@@ -1,0 +1,91 @@
+// Ablation A1: which Gibbs estimator of the error bound to trust?
+//
+// The paper's Algorithm 1 accumulates Err = sum_t min(...) / sum_t
+// total(...) over samples that are *already* drawn from P(SC) — that
+// weights likely samples by their probability twice and biases the
+// estimate. The unbiased alternative is the plain Monte-Carlo mean of
+// the per-sample minimum posterior. This bench measures both against
+// the exact bound across instance sizes.
+#include "bench_common.h"
+#include "bounds/convolution_bound.h"
+#include "bounds/dataset_bound.h"
+#include "simgen/parametric_gen.h"
+
+int main() {
+  using namespace ss;
+  bench::banner("Ablation A1 — Algorithm-1 ratio vs unbiased MC bound",
+                "DESIGN.md §5 (Gibbs estimator choice)");
+  std::size_t reps = bench_repetitions(20, 5);
+  std::printf("reps per point: %zu\n\n", reps);
+
+  TablePrinter table({"n", "exact", "unbiased MC", "|MC-exact|",
+                      "Algorithm 1", "|Alg1-exact|", "convolution",
+                      "|conv-exact|"});
+  JsonValue rows = JsonValue::array();
+  for (std::size_t n : {5u, 10u, 15u, 20u}) {
+    SimKnobs knobs = SimKnobs::paper_defaults(n, 50);
+    MetricSummary summary = run_repetitions(
+        reps, 41, [&](std::size_t, Rng& rng) {
+          SimInstance inst = generate_parametric(knobs, rng);
+          MetricRow row;
+          auto exact = exact_dataset_bound(inst.dataset, inst.true_params);
+          GibbsBoundConfig mc;
+          mc.kind = GibbsEstimatorKind::kUnbiasedMc;
+          mc.min_sweeps = 1000;
+          mc.max_sweeps = 8000;
+          GibbsBoundConfig alg1 = mc;
+          alg1.kind = GibbsEstimatorKind::kAlgorithm1;
+          std::uint64_t seed = rng.engine()();
+          auto r_mc = gibbs_dataset_bound(inst.dataset, inst.true_params,
+                                          seed, mc);
+          auto r_a1 = gibbs_dataset_bound(inst.dataset, inst.true_params,
+                                          seed, alg1);
+          row["exact"] = exact.bound.error;
+          row["mc"] = r_mc.bound.error;
+          row["mc_gap"] = std::fabs(r_mc.bound.error - exact.bound.error);
+          row["alg1"] = r_a1.bound.error;
+          row["alg1_gap"] =
+              std::fabs(r_a1.bound.error - exact.bound.error);
+          // Deterministic convolution alternative, averaged over the
+          // same distinct exposure patterns.
+          double conv = 0.0;
+          for (std::size_t j = 0; j < inst.dataset.assertion_count();
+               ++j) {
+            conv += convolution_bound(
+                        make_column_model(inst.true_params,
+                                          inst.dataset.dependency, j))
+                        .error;
+          }
+          conv /= static_cast<double>(inst.dataset.assertion_count());
+          row["conv"] = conv;
+          row["conv_gap"] = std::fabs(conv - exact.bound.error);
+          return row;
+        });
+    table.add_row({std::to_string(n),
+                   format_double(summary["exact"].mean(), 4),
+                   format_double(summary["mc"].mean(), 4),
+                   format_double(summary["mc_gap"].mean(), 4),
+                   format_double(summary["alg1"].mean(), 4),
+                   format_double(summary["alg1_gap"].mean(), 4),
+                   format_double(summary["conv"].mean(), 4),
+                   format_double(summary["conv_gap"].mean(), 4)});
+    JsonValue row = JsonValue::object();
+    row["n"] = n;
+    for (const char* k : {"exact", "mc", "mc_gap", "alg1", "alg1_gap",
+                          "conv", "conv_gap"}) {
+      row[k] = summary[k].mean();
+    }
+    rows.push_back(std::move(row));
+  }
+  table.print();
+  std::printf("\nexpected: the unbiased MC estimator sits within MC noise "
+              "of exact (the paper's reported <=0.013 gaps); the literal "
+              "ratio form shows a systematic offset. The library defaults "
+              "to the unbiased estimator.\n");
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = "ablation_bound_estimators";
+  doc["rows"] = std::move(rows);
+  bench::write_result("ablation_bound_estimators", doc);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation A3: EM-Ext initialization sensitivity.
+//
+// Algorithm 2 line 1 says "random probability"; in practice random
+// parameter draws can land in a degenerate basin where z collapses and
+// every assertion is called false. This bench compares: the library's
+// default vote-prior initialization, literal random init, random init
+// with best-of-10 restarts (by final likelihood), and oracle init from
+// the generating parameters.
+#include "bench_common.h"
+#include "core/em_ext.h"
+#include "eval/metrics.h"
+#include "simgen/parametric_gen.h"
+
+int main() {
+  using namespace ss;
+  bench::banner("Ablation A3 — EM-Ext initialization strategies",
+                "Algorithm 2 line 1 (DESIGN.md §5)");
+  std::size_t reps = bench_repetitions(40, 10);
+  std::printf("reps: %zu (n = 50, m = 50, paper defaults)\n\n", reps);
+
+  SimKnobs knobs = SimKnobs::paper_defaults(50, 50);
+  MetricSummary summary = run_repetitions(
+      reps, 53, [&](std::size_t, Rng& rng) {
+        SimInstance inst = generate_parametric(knobs, rng);
+        std::uint64_t seed = rng.engine()();
+        MetricRow row;
+        auto measure = [&](const char* name, const EmExtConfig& config) {
+          EmExtEstimator em(config);
+          EmExtResult r = em.run_detailed(inst.dataset, seed);
+          row[std::string(name) + ".acc"] =
+              classify(inst.dataset, r.estimate).accuracy();
+          row[std::string(name) + ".ll"] = r.log_likelihood;
+        };
+        measure("1.vote-prior", {});
+        EmExtConfig random;
+        random.init_kind = EmInit::kRandom;
+        measure("2.random", random);
+        EmExtConfig restarts = random;
+        restarts.restarts = 10;
+        measure("3.random-x10", restarts);
+        EmExtConfig oracle;
+        oracle.init = inst.true_params;
+        measure("4.oracle", oracle);
+        // The same strategies with the paper's literal M-step
+        // (shrinkage 0): this is where random init's z-collapse basins
+        // bite, and where restarts fail to save it because the
+        // degenerate optima are likelihood-competitive.
+        EmExtConfig vote0;
+        vote0.shrinkage = 0.0;
+        measure("5.vote-prior/s0", vote0);
+        EmExtConfig random0 = vote0;
+        random0.init_kind = EmInit::kRandom;
+        measure("6.random/s0", random0);
+        EmExtConfig restarts0 = random0;
+        restarts0.restarts = 10;
+        measure("7.random-x10/s0", restarts0);
+        return row;
+      });
+
+  TablePrinter table({"initialization", "accuracy", "final log-lik"});
+  JsonValue rows = JsonValue::array();
+  for (const char* name :
+       {"1.vote-prior", "2.random", "3.random-x10", "4.oracle",
+        "5.vote-prior/s0", "6.random/s0", "7.random-x10/s0"}) {
+    table.add_row({name,
+                   bench::mean_ci(summary[std::string(name) + ".acc"]),
+                   format_double(
+                       summary[std::string(name) + ".ll"].mean(), 1)});
+    JsonValue row = JsonValue::object();
+    row["init"] = name;
+    row["accuracy"] = summary[std::string(name) + ".acc"].mean();
+    row["log_likelihood"] = summary[std::string(name) + ".ll"].mean();
+    rows.push_back(std::move(row));
+  }
+  table.print();
+  std::printf("\nexpected: with the default shrinkage all inits land "
+              "close to oracle (the prior smooths the landscape); with "
+              "the paper's literal M-step (s0 rows) random init falls "
+              "into z-collapse basins that best-of-10 restarts cannot "
+              "repair, because the degenerate optima are "
+              "likelihood-competitive — the reason the library defaults "
+              "to the vote prior.\n");
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = "ablation_em_init";
+  doc["rows"] = std::move(rows);
+  bench::write_result("ablation_em_init", doc);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Ablation A7: direct vs transitive exposure.
+//
+// The paper defines a claim as dependent when an *ancestor* made the
+// same assertion earlier; its Figure-1 walkthrough applies only direct
+// followees. On depth-one dependency structures the two coincide, but on
+// real follow graphs influence chains exist. This bench builds the same
+// simulated event under both scopes and compares dependency volume and
+// fact-finding quality.
+#include "bench_common.h"
+#include "core/em_ext.h"
+#include "eval/metrics.h"
+#include "twitter/builder.h"
+
+int main() {
+  using namespace ss;
+  bench::banner("Ablation A7 — direct vs transitive exposure scope",
+                "Section II-A ancestor definition (DESIGN.md §5)");
+  double scale = env_double("SS_SCALE", 0.15);
+  std::size_t reps = bench_repetitions(5, 2);
+  std::printf("reps per scenario: %zu (scale %.2f)\n\n", reps, scale);
+
+  TablePrinter table({"scenario", "scope", "exposed cells",
+                      "dependent claims", "EM-Ext top-100"});
+  JsonValue rows = JsonValue::array();
+  for (const char* name : {"Kirkuk", "LA Marathon"}) {
+    for (ExposureScope scope :
+         {ExposureScope::kDirect, ExposureScope::kTransitive}) {
+      StreamingStats exposed;
+      StreamingStats dependent;
+      StreamingStats top100;
+      for (std::size_t rep = 0; rep < reps; ++rep) {
+        TwitterScenario scenario = scenario_by_name(name).scaled(scale);
+        TwitterSimulation sim =
+            simulate_twitter(scenario, 900 + rep);
+        BuiltDataset built = build_dataset(sim);
+        Dataset dataset = built.dataset;
+        dataset.dependency = DependencyIndicators::from_graph(
+            dataset.claims, built.follows, scope);
+        exposed.add(static_cast<double>(
+            dataset.dependency.exposed_cell_count()));
+        dependent.add(static_cast<double>(
+            dataset.claims.claim_count() -
+            count_original_claims(dataset.claims, dataset.dependency)));
+        EstimateResult est = EmExtEstimator().run(dataset, 1);
+        top100.add(top_k_true_fraction(dataset, est, 100));
+      }
+      const char* scope_name =
+          scope == ExposureScope::kDirect ? "direct" : "transitive";
+      table.add_row({name, scope_name,
+                     format_double(exposed.mean(), 0),
+                     format_double(dependent.mean(), 0),
+                     bench::mean_ci(top100, 3)});
+      JsonValue row = JsonValue::object();
+      row["scenario"] = name;
+      row["scope"] = scope_name;
+      row["exposed_cells"] = exposed.mean();
+      row["dependent_claims"] = dependent.mean();
+      row["em_ext_top100"] = top100.mean();
+      rows.push_back(std::move(row));
+    }
+  }
+  table.print();
+  std::printf("\nexpected: transitive exposure marks more cells dependent "
+              "but changes EM-Ext's ranking quality only marginally — the "
+              "direct definition (the paper's walkthrough) suffices.\n");
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = "ablation_exposure_scope";
+  doc["rows"] = std::move(rows);
+  bench::write_result("ablation_exposure_scope", doc);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Ablation A2: parametric vs procedural generator.
+//
+// The parametric generator (per-cell Bernoulli with known theta) is the
+// workhorse because bounds need exact parameters; the procedural
+// generator implements Section V-A's pool/opportunity process literally.
+// This bench checks that the estimator *ranking* — the paper's
+// qualitative claim — is robust to that modelling choice, in a regime
+// where dependent claims mislead (low p^depT).
+#include "bench_common.h"
+#include "core/em_ext.h"
+#include "estimators/em_ipsn12.h"
+#include "estimators/em_social.h"
+#include "eval/metrics.h"
+#include "simgen/parametric_gen.h"
+#include "simgen/procedural_gen.h"
+
+int main() {
+  using namespace ss;
+  bench::banner("Ablation A2 — parametric vs procedural generator",
+                "DESIGN.md §5 (generator fidelity)");
+  std::size_t reps = bench_repetitions(40, 10);
+  std::printf("reps per generator: %zu (n = 40, m = 50, misleading "
+              "dependent claims)\n\n",
+              reps);
+
+  TablePrinter table(
+      {"generator", "EM-Ext", "EM-Social", "EM", "EM-Ext wins?"});
+  JsonValue rows = JsonValue::array();
+  for (bool procedural : {false, true}) {
+    SimKnobs knobs = SimKnobs::paper_defaults(40, 50);
+    knobs.p_dep_true = {0.15, 0.25};
+    knobs.p_dep = {0.5, 0.7};
+    if (procedural) {
+      // The literal pool process dilutes informativeness by the
+      // pool-size ratio; a smaller true pool keeps the instance
+      // informative (DESIGN.md §5).
+      knobs.d = {0.35, 0.45};
+      knobs.p_indep_true = {0.75, 0.85};
+    }
+    MetricSummary summary = run_repetitions(
+        reps, 47, [&](std::size_t, Rng& rng) {
+          SimInstance inst = procedural ? generate_procedural(knobs, rng)
+                                        : generate_parametric(knobs, rng);
+          MetricRow row;
+          row["ext"] = classify(inst.dataset,
+                                EmExtEstimator().run(inst.dataset, 1))
+                           .accuracy();
+          row["social"] = classify(inst.dataset, EmSocialEstimator().run(
+                                                     inst.dataset, 1))
+                              .accuracy();
+          row["em"] = classify(inst.dataset,
+                               EmIpsn12Estimator().run(inst.dataset, 1))
+                          .accuracy();
+          return row;
+        });
+    bool wins = summary["ext"].mean() >= summary["social"].mean() &&
+                summary["ext"].mean() >= summary["em"].mean();
+    table.add_row({procedural ? "procedural (V-A literal)" : "parametric",
+                   bench::mean_ci(summary["ext"]),
+                   bench::mean_ci(summary["social"]),
+                   bench::mean_ci(summary["em"]), wins ? "yes" : "NO"});
+    JsonValue row = JsonValue::object();
+    row["generator"] = procedural ? "procedural" : "parametric";
+    row["em_ext"] = summary["ext"].mean();
+    row["em_social"] = summary["social"].mean();
+    row["em"] = summary["em"].mean();
+    rows.push_back(std::move(row));
+  }
+  table.print();
+  std::printf("\nexpected: EM-Ext leads under both generators — the "
+              "qualitative result does not hinge on generator fidelity.\n");
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = "ablation_generator";
+  doc["rows"] = std::move(rows);
+  bench::write_result("ablation_generator", doc);
+  return 0;
+}

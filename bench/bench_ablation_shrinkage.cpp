@@ -1,0 +1,72 @@
+// Ablation A5: hierarchical shrinkage strength.
+//
+// EM-Ext (and, for fairness, the EM baselines) MAP-shrink per-source
+// rates toward the pooled rate. This bench sweeps the pseudo-observation
+// count for EM-Ext at the paper's default knobs and at strongly
+// informative dependent claims, quantifying the bias/variance trade:
+// 0 = the paper's literal M-step (high variance at m = 50), large values
+// approach a single pooled-rate model (biased when sources differ).
+#include "bench_common.h"
+#include "core/em_ext.h"
+#include "estimators/em_social.h"
+#include "eval/metrics.h"
+#include "simgen/parametric_gen.h"
+
+int main() {
+  using namespace ss;
+  bench::banner("Ablation A5 — EM-Ext shrinkage strength",
+                "DESIGN.md §5 (hierarchical MAP shrinkage)");
+  std::size_t reps = bench_repetitions(40, 10);
+  std::printf("reps per point: %zu (n = 50, m = 50)\n\n", reps);
+
+  const std::vector<double> strengths = {0.0, 1.0, 2.0, 5.0, 10.0,
+                                         20.0, 50.0};
+  TablePrinter table({"regime", "shrinkage", "EM-Ext accuracy",
+                      "EM-Social accuracy (ref)"});
+  JsonValue rows = JsonValue::array();
+  for (bool informative : {false, true}) {
+    SimKnobs knobs = SimKnobs::paper_defaults(50, 50);
+    if (informative) {
+      knobs.p_indep_true = Range::fixed(prob_from_odds(2.0));
+      knobs.p_dep_true = Range::fixed(prob_from_odds(2.0));
+    }
+    const char* regime =
+        informative ? "dep odds = 2.0" : "paper defaults (odds ~ 1)";
+    for (double s : strengths) {
+      MetricSummary summary = run_repetitions(
+          reps, 59, [&](std::size_t, Rng& rng) {
+            SimInstance inst = generate_parametric(knobs, rng);
+            MetricRow row;
+            EmExtConfig config;
+            config.shrinkage = s;
+            row["ext"] = classify(inst.dataset, EmExtEstimator(config)
+                                                    .run(inst.dataset, 1))
+                             .accuracy();
+            row["social"] =
+                classify(inst.dataset,
+                         EmSocialEstimator().run(inst.dataset, 1))
+                    .accuracy();
+            return row;
+          });
+      table.add_row({regime, format_double(s, 0),
+                     bench::mean_ci(summary["ext"]),
+                     bench::mean_ci(summary["social"])});
+      JsonValue row = JsonValue::object();
+      row["regime"] = regime;
+      row["shrinkage"] = s;
+      row["em_ext"] = summary["ext"].mean();
+      row["em_social"] = summary["social"].mean();
+      rows.push_back(std::move(row));
+    }
+  }
+  table.print();
+  std::printf("\nexpected: accuracy rises steeply from 0 and flattens; "
+              "the library default (10) sits on the plateau while keeping "
+              "per-source signal at larger m.\n");
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = "ablation_shrinkage";
+  doc["rows"] = std::move(rows);
+  bench::write_result("ablation_shrinkage", doc);
+  return 0;
+}

@@ -1,0 +1,13 @@
+#include "bench_common.h"
+
+#include <filesystem>
+
+namespace ss::bench {
+
+void write_result(const std::string& name, const JsonValue& doc) {
+  std::string dir = results_dir();
+  std::filesystem::create_directories(dir);
+  doc.write_file(dir + "/" + name + ".json");
+}
+
+}  // namespace ss::bench

@@ -1,0 +1,130 @@
+// Extension bench: the recursive (streaming) estimator.
+//
+// A fixed source population reports over a stream of assertion windows;
+// we sweep the window size and report the streaming estimator's accuracy
+// against (i) the offline EM-Ext run on each window in isolation and
+// (ii) the offline EM-Ext run on the *concatenation* of all windows seen
+// so far (the gold standard the recursion approximates at O(window)
+// instead of O(history) cost per update).
+#include "bench_common.h"
+#include "core/em_ext.h"
+#include "core/streaming_em.h"
+#include "eval/metrics.h"
+#include "simgen/parametric_gen.h"
+
+namespace {
+
+using namespace ss;
+
+// Concatenates batches (same sources, disjoint assertion blocks).
+Dataset concat_batches(const std::vector<Dataset>& batches) {
+  std::size_t n = batches.front().source_count();
+  std::vector<Claim> claims;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> exposed;
+  std::vector<Label> truth;
+  std::uint32_t offset = 0;
+  for (const Dataset& b : batches) {
+    for (const Claim& c : b.claims.to_claims()) {
+      claims.push_back({c.source, c.assertion + offset, c.time});
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint32_t j : b.dependency.exposed_assertions(i)) {
+        exposed.emplace_back(static_cast<std::uint32_t>(i), j + offset);
+      }
+    }
+    truth.insert(truth.end(), b.truth.begin(), b.truth.end());
+    offset += static_cast<std::uint32_t>(b.assertion_count());
+  }
+  Dataset all;
+  all.name = "concat";
+  all.claims = SourceClaimMatrix(n, offset, claims);
+  all.dependency = DependencyIndicators::from_cells(n, offset, exposed);
+  all.truth = std::move(truth);
+  return all;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ss;
+  bench::banner("Extension — streaming (recursive) EM-Ext",
+                "recursive estimation over windows; cf. IPSN'16 stream "
+                "estimator cited in related work");
+  std::size_t reps = bench_repetitions(30, 8);
+  std::printf("reps per point: %zu (n = 50, 12 windows)\n\n", reps);
+
+  TablePrinter table({"window size", "streaming", "isolated offline",
+                      "full-history offline"});
+  JsonValue rows = JsonValue::array();
+  for (std::size_t window : {8u, 15u, 30u}) {
+    MetricSummary summary = run_repetitions(
+        reps, 71, [&](std::size_t, Rng& rng) {
+          SimKnobs knobs = SimKnobs::paper_defaults(50, window);
+          knobs.p_indep_true = {0.35, 0.95};
+          knobs.p_dep_true = {0.3, 0.9};
+          SimInstance population = generate_parametric(knobs, rng);
+
+          StreamingEmExt streaming(50);
+          std::vector<Dataset> history;
+          MetricRow row;
+          double stream_acc = 0.0;
+          double isolated_acc = 0.0;
+          double full_acc = 0.0;
+          std::size_t measured = 0;
+          for (int w = 0; w < 12; ++w) {
+            SimInstance batch = generate_parametric_batch(
+                population.true_params, population.forest, window, rng);
+            StreamingBatchResult r = streaming.observe(batch.dataset);
+            history.push_back(batch.dataset);
+            if (w < 2) continue;  // warm-up
+            ++measured;
+            EstimateResult est;
+            est.belief = r.belief;
+            est.log_odds = r.log_odds;
+            est.probabilistic = true;
+            stream_acc += classify(batch.dataset, est).accuracy();
+            isolated_acc +=
+                classify(batch.dataset,
+                         EmExtEstimator().run(batch.dataset, 1))
+                    .accuracy();
+            Dataset all = concat_batches(history);
+            EstimateResult full =
+                EmExtEstimator().run(all, 1);
+            // Score only this window's block within the concatenation.
+            std::size_t block = all.assertion_count() -
+                                batch.dataset.assertion_count();
+            EstimateResult window_view;
+            window_view.belief.assign(
+                full.belief.begin() + static_cast<long>(block),
+                full.belief.end());
+            window_view.probabilistic = true;
+            full_acc +=
+                classify(batch.dataset, window_view).accuracy();
+          }
+          row["stream"] = stream_acc / static_cast<double>(measured);
+          row["isolated"] = isolated_acc / static_cast<double>(measured);
+          row["full"] = full_acc / static_cast<double>(measured);
+          return row;
+        });
+    table.add_row({std::to_string(window),
+                   bench::mean_ci(summary["stream"]),
+                   bench::mean_ci(summary["isolated"]),
+                   bench::mean_ci(summary["full"])});
+    JsonValue row = JsonValue::object();
+    row["window"] = window;
+    row["streaming"] = summary["stream"].mean();
+    row["isolated"] = summary["isolated"].mean();
+    row["full_history"] = summary["full"].mean();
+    rows.push_back(std::move(row));
+  }
+  table.print();
+  std::printf("\nexpected: streaming > isolated (carried source "
+              "knowledge), approaching the full-history rerun at a "
+              "fraction of its cost; the gap narrows as windows grow.\n");
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = "ext_streaming";
+  doc["rows"] = std::move(rows);
+  bench::write_result("ext_streaming", doc);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 10: estimator performance vs dependent-claim discrimination
+// p^depT/(1-p^depT) = 1.1..2.0 with independent odds fixed at 2.
+// Paper shape: as dependent claims grow informative all algorithms
+// except EM-Social (which deletes them) benefit; near odds = 1 EM-Ext
+// degenerates gracefully to EM-Social, and near odds = 2 plain EM
+// catches up (dependent == independent claims there).
+#include "estimator_sweep.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ss;
+  bench::banner(
+      "Figure 10 — estimators vs dependent-claim discrimination",
+      "ICDCS'16 Fig. 10 (dep odds 1.1..2.0, indep odds 2, n = 50)");
+  std::vector<bench::EstimatorSweepPoint> points;
+  for (int step = 0; step <= 9; ++step) {
+    double odds = 1.1 + 0.1 * step;
+    SimKnobs knobs = SimKnobs::paper_defaults(50, 50);
+    knobs.p_indep_true = Range::fixed(prob_from_odds(2.0));
+    knobs.p_dep_true = Range::fixed(prob_from_odds(odds));
+    points.push_back({strprintf("%.1f", odds), knobs});
+  }
+  bench::run_estimator_sweep("fig10_estimators_vs_reliability",
+                             "dep odds", points);
+  std::printf(
+      "\nexpected shape: EM-Ext >= EM-Social everywhere, with the margin\n"
+      "growing as dependent odds rise; EM approaches EM-Ext near odds 2.\n");
+  return 0;
+}

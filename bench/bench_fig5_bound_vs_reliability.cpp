@@ -1,0 +1,24 @@
+// Figure 5: precision of the approximate error bound as dependent-claim
+// discrimination p^depT/(1-p^depT) sweeps 1.1 to 2.0 with independent
+// odds fixed at 2 (paper: max gap 0.0116 at odds = 2.0). n = 20, m = 50.
+#include "bound_sweep.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace ss;
+  bench::banner(
+      "Figure 5 — approximate vs exact bound, sweeping dependent odds",
+      "ICDCS'16 Fig. 5 (odds 1.1..2.0, indep odds = 2, n = 20)");
+  std::vector<bench::BoundSweepPoint> points;
+  for (int step = 0; step <= 9; ++step) {
+    double odds = 1.1 + 0.1 * step;
+    SimKnobs knobs = SimKnobs::paper_defaults(20, 50);
+    knobs.p_indep_true = Range::fixed(prob_from_odds(2.0));
+    knobs.p_dep_true = Range::fixed(prob_from_odds(odds));
+    points.push_back({strprintf("%.1f", odds), knobs});
+  }
+  bench::run_bound_sweep("fig5_bound_vs_reliability", "dep odds", points);
+  std::printf("\nexpected shape: approx tracks exact across the sweep; "
+              "more discriminative dependent claims => lower bound.\n");
+  return 0;
+}

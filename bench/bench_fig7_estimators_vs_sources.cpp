@@ -1,0 +1,20 @@
+// Figure 7: estimator performance vs number of sources n = 20..50.
+// Paper shape: more sources help EM-Ext / EM-Social / Optimal, while
+// plain EM's false-positive rate grows because rumour echoes masquerade
+// as extra substantiation.
+#include "estimator_sweep.h"
+
+int main() {
+  using namespace ss;
+  bench::banner("Figure 7 — estimators vs number of sources",
+                "ICDCS'16 Fig. 7 (n = 20..50 step 5, m = 50)");
+  std::vector<bench::EstimatorSweepPoint> points;
+  for (std::size_t n = 20; n <= 50; n += 5) {
+    points.push_back({std::to_string(n), SimKnobs::paper_defaults(n, 50)});
+  }
+  bench::run_estimator_sweep("fig7_estimators_vs_sources", "n", points);
+  std::printf(
+      "\nexpected shape: EM-Ext tracks Optimal closest; EM's false\n"
+      "positives grow with n (dependencies mistaken for support).\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 8: estimator performance vs number of assertions m = 10..100
+// at n = 100 sources. Paper shape: all algorithms improve with more
+// assertions; EM-Ext's gap to Optimal shrinks.
+#include "estimator_sweep.h"
+
+int main() {
+  using namespace ss;
+  bench::banner("Figure 8 — estimators vs number of assertions",
+                "ICDCS'16 Fig. 8 (m = 10..100 step 10, n = 100)");
+  std::vector<bench::EstimatorSweepPoint> points;
+  for (std::size_t m = 10; m <= 100; m += 10) {
+    points.push_back(
+        {std::to_string(m), SimKnobs::paper_defaults(100, m)});
+  }
+  bench::run_estimator_sweep("fig8_estimators_vs_assertions", "m",
+                             points);
+  std::printf(
+      "\nexpected shape: accuracy rises with m for every algorithm; the\n"
+      "EM-Ext-to-Optimal gap narrows as parameters are better estimated.\n");
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 9: estimator performance vs number of dependency trees
+// tau = 1..11 at n = 50. Paper shape: EM-Ext outperforms EM-Social and
+// EM across the board; everyone improves as sources become independent.
+#include "estimator_sweep.h"
+
+int main() {
+  using namespace ss;
+  bench::banner("Figure 9 — estimators vs number of dependency trees",
+                "ICDCS'16 Fig. 9 (tau = 1..11, n = 50, m = 50)");
+  std::vector<bench::EstimatorSweepPoint> points;
+  for (std::size_t tau = 1; tau <= 11; ++tau) {
+    SimKnobs knobs = SimKnobs::paper_defaults(50, 50);
+    knobs.tau_lo = knobs.tau_hi = tau;
+    points.push_back({std::to_string(tau), knobs});
+  }
+  bench::run_estimator_sweep("fig9_estimators_vs_trees", "tau", points);
+  std::printf(
+      "\nexpected shape: EM-Ext leads at every tau; the EM gap is widest\n"
+      "at small tau, where cascades dominate the claim mix.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Performance scaling of the core algorithms (google-benchmark).
+//
+// Establishes that the implementation scales as designed:
+//  * LikelihoodTable::column is O(#claimants + #exposed), not O(n) — the
+//    property that makes EM practical on Table-III-scale matrices;
+//  * one full EM-Ext iteration is ~linear in claims + exposed cells;
+//  * the whole estimator on the Paris-Attack-scale sparse regime.
+#include <benchmark/benchmark.h>
+
+#include "core/em_ext.h"
+#include "core/likelihood.h"
+#include "simgen/parametric_gen.h"
+#include "twitter/builder.h"
+
+namespace {
+
+using namespace ss;
+
+void BM_LikelihoodColumns(benchmark::State& state) {
+  Rng rng(7);
+  SimKnobs knobs = SimKnobs::paper_defaults(
+      static_cast<std::size_t>(state.range(0)), 100);
+  SimInstance inst = generate_parametric(knobs, rng);
+  LikelihoodTable table(inst.dataset, inst.true_params);
+  for (auto _ : state) {
+    for (std::size_t j = 0; j < 100; ++j) {
+      benchmark::DoNotOptimize(table.column(j));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+
+void BM_EmExtFull(benchmark::State& state) {
+  Rng rng(8);
+  SimKnobs knobs = SimKnobs::paper_defaults(
+      static_cast<std::size_t>(state.range(0)),
+      static_cast<std::size_t>(state.range(1)));
+  SimInstance inst = generate_parametric(knobs, rng);
+  EmExtEstimator em;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(em.run(inst.dataset, 1));
+  }
+}
+
+void BM_EmExtSparseTwitterScale(benchmark::State& state) {
+  TwitterScenario scenario = scenario_by_name("Kirkuk")
+                                 .scaled(state.range(0) / 100.0);
+  BuiltDataset built = make_twitter_dataset(scenario, 42);
+  EmExtEstimator em;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(em.run(built.dataset, 1));
+  }
+  state.counters["sources"] =
+      static_cast<double>(built.dataset.source_count());
+  state.counters["claims"] =
+      static_cast<double>(built.dataset.claims.claim_count());
+}
+
+}  // namespace
+
+BENCHMARK(BM_LikelihoodColumns)->Arg(50)->Arg(200)->Arg(800)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_EmExtFull)
+    ->Args({50, 50})
+    ->Args({100, 50})
+    ->Args({100, 200})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EmExtSparseTwitterScale)->Arg(25)->Arg(100)->Unit(
+    benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::printf("==============================================\n");
+  std::printf("Performance scaling — likelihood columns, EM-Ext\n");
+  std::printf("(engineering bench, not a paper figure)\n");
+  std::printf("==============================================\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Shared driver for the bound-precision figures (Figs. 3-5): sweep one
+// knob, and at each point average the exact bound (Eq. 3) and the Gibbs
+// approximation (Algorithm 1 / Eq. 6) over repeated generated instances,
+// reporting total error plus false-positive/false-negative parts.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bounds/dataset_bound.h"
+#include "simgen/parametric_gen.h"
+
+namespace ss::bench {
+
+struct BoundSweepPoint {
+  std::string label;  // x-axis value as printed
+  SimKnobs knobs;
+};
+
+inline void run_bound_sweep(const std::string& experiment,
+                            const std::string& x_name,
+                            const std::vector<BoundSweepPoint>& points) {
+  std::size_t reps = bench_repetitions(/*paper_default=*/20,
+                                       /*fast_default=*/5);
+  std::printf("reps per point: %zu (SS_REPS overrides)\n\n", reps);
+
+  TablePrinter table({x_name, "exact bound", "approx bound", "|diff|",
+                      "exact FP", "approx FP", "exact FN", "approx FN"});
+  JsonValue rows = JsonValue::array();
+  for (const auto& point : points) {
+    MetricSummary summary = run_repetitions(
+        reps, 1234, [&](std::size_t, Rng& rng) {
+          SimInstance inst = generate_parametric(point.knobs, rng);
+          MetricRow row;
+          auto exact = exact_dataset_bound(inst.dataset, inst.true_params);
+          GibbsBoundConfig config;
+          config.min_sweeps = 1000;
+          config.max_sweeps = 8000;
+          auto approx = gibbs_dataset_bound(
+              inst.dataset, inst.true_params,
+              rng.engine()(), config);
+          row["exact"] = exact.bound.error;
+          row["approx"] = approx.bound.error;
+          row["diff"] = std::fabs(exact.bound.error - approx.bound.error);
+          row["exact_fp"] = exact.bound.false_positive;
+          row["approx_fp"] = approx.bound.false_positive;
+          row["exact_fn"] = exact.bound.false_negative;
+          row["approx_fn"] = approx.bound.false_negative;
+          return row;
+        });
+    table.add_row({point.label,
+                   format_double(summary["exact"].mean(), 4),
+                   format_double(summary["approx"].mean(), 4),
+                   format_double(summary["diff"].mean(), 4),
+                   format_double(summary["exact_fp"].mean(), 4),
+                   format_double(summary["approx_fp"].mean(), 4),
+                   format_double(summary["exact_fn"].mean(), 4),
+                   format_double(summary["approx_fn"].mean(), 4)});
+    JsonValue row = JsonValue::object();
+    row["x"] = point.label;
+    for (const char* key : {"exact", "approx", "diff", "exact_fp",
+                            "approx_fp", "exact_fn", "approx_fn"}) {
+      row[key] = summary[key].mean();
+      row[std::string(key) + "_ci95"] = summary[key].ci95_halfwidth();
+    }
+    rows.push_back(std::move(row));
+  }
+  table.print();
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = experiment;
+  doc["x"] = x_name;
+  doc["reps"] = reps;
+  doc["rows"] = std::move(rows);
+  write_result(experiment, doc);
+}
+
+}  // namespace ss::bench

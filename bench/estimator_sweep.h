@@ -1,0 +1,112 @@
+// Shared driver for the estimator figures (Figs. 7-10): sweep one knob
+// and at each point average accuracy / false-positive / false-negative
+// rates of EM-Ext, EM-Social, EM (IPSN'12), and the transformed bound
+// ("Optimal" = 1 - Err via the Gibbs approximation), over repeated
+// instances.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "bounds/dataset_bound.h"
+#include "core/em_ext.h"
+#include "estimators/em_ipsn12.h"
+#include "estimators/em_social.h"
+#include "eval/metrics.h"
+#include "simgen/parametric_gen.h"
+
+namespace ss::bench {
+
+struct EstimatorSweepPoint {
+  std::string label;
+  SimKnobs knobs;
+};
+
+inline void run_estimator_sweep(
+    const std::string& experiment, const std::string& x_name,
+    const std::vector<EstimatorSweepPoint>& points) {
+  // The paper averages 300 repetitions; 60 gives CIs well under a point
+  // of accuracy and keeps the default full-suite run quick. Set
+  // SS_REPS=300 for paper-scale averaging.
+  std::size_t reps = bench_repetitions(/*paper_default=*/60,
+                                       /*fast_default=*/15);
+  std::printf("reps per point: %zu (SS_REPS overrides; paper used 300)\n\n",
+              reps);
+
+  const std::vector<std::string> algos = {"Optimal", "EM-Ext", "EM-Social",
+                                          "EM"};
+  TablePrinter acc({x_name, "Optimal", "EM-Ext", "EM-Social", "EM"});
+  TablePrinter fp({x_name, "Optimal", "EM-Ext", "EM-Social", "EM"});
+  TablePrinter fn({x_name, "Optimal", "EM-Ext", "EM-Social", "EM"});
+  JsonValue rows = JsonValue::array();
+
+  for (const auto& point : points) {
+    MetricSummary summary = run_repetitions(
+        reps, 777, [&](std::size_t, Rng& rng) {
+          SimInstance inst = generate_parametric(point.knobs, rng);
+          MetricRow row;
+          auto record = [&](const std::string& name,
+                            const EstimateResult& est) {
+            auto m = classify(inst.dataset, est);
+            row[name + ".acc"] = m.accuracy();
+            row[name + ".fp"] = m.false_positive_rate();
+            row[name + ".fn"] = m.false_negative_rate();
+          };
+          std::uint64_t seed = rng.engine()();
+          record("EM-Ext", EmExtEstimator().run(inst.dataset, seed));
+          record("EM-Social",
+                 EmSocialEstimator().run(inst.dataset, seed));
+          record("EM", EmIpsn12Estimator().run(inst.dataset, seed));
+          GibbsBoundConfig config;
+          config.min_sweeps = 300;
+          config.max_sweeps = 3000;
+          config.tol = 1e-4;
+          config.patience = 20;
+          auto bound = gibbs_dataset_bound(inst.dataset, inst.true_params,
+                                           seed, config);
+          row["Optimal.acc"] = bound.bound.optimal_accuracy();
+          row["Optimal.fp"] = bound.bound.false_positive;
+          row["Optimal.fn"] = bound.bound.false_negative;
+          return row;
+        });
+    auto cells = [&](const char* metric) {
+      std::vector<std::string> out = {point.label};
+      for (const auto& algo : algos) {
+        out.push_back(
+            format_double(summary[algo + "." + metric].mean(), 4));
+      }
+      return out;
+    };
+    acc.add_row(cells("acc"));
+    fp.add_row(cells("fp"));
+    fn.add_row(cells("fn"));
+
+    JsonValue row = JsonValue::object();
+    row["x"] = point.label;
+    for (const auto& algo : algos) {
+      for (const char* metric : {"acc", "fp", "fn"}) {
+        std::string key = algo + "." + metric;
+        row[key] = summary[key].mean();
+        row[key + "_ci95"] = summary[key].ci95_halfwidth();
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  std::printf("(a) estimation accuracy\n");
+  acc.print();
+  std::printf("\n(b) false positives (portion of all assertions)\n");
+  fp.print();
+  std::printf("\n(c) false negatives (portion of all assertions)\n");
+  fn.print();
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = experiment;
+  doc["x"] = x_name;
+  doc["reps"] = reps;
+  doc["rows"] = std::move(rows);
+  write_result(experiment, doc);
+}
+
+}  // namespace ss::bench

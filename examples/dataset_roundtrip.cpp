@@ -1,0 +1,54 @@
+// Dataset persistence: generate, save, reload, re-analyze.
+//
+// Demonstrates the CSV dataset format (claims / exposure / truth) that
+// lets collected or generated datasets be versioned and shared, and
+// verifies a reloaded dataset produces identical fact-finding output.
+//
+//   ./dataset_roundtrip [--seed N] [--dir PATH]
+#include <cmath>
+#include <cstdio>
+
+#include "core/em_ext.h"
+#include "data/io.h"
+#include "simgen/procedural_gen.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace ss;
+  Cli cli("dataset_roundtrip", "Save/load a dataset and verify identity");
+  auto& seed_flag = cli.add_int("seed", 11, "RNG seed");
+  auto& dir = cli.add_string("dir", "/tmp/ss_dataset_roundtrip",
+                             "output directory");
+  cli.parse(argc, argv);
+  auto seed = static_cast<std::uint64_t>(seed_flag);
+
+  Rng rng(seed);
+  SimKnobs knobs = SimKnobs::paper_defaults(30, 40);
+  SimInstance inst = generate_procedural(knobs, rng);
+  inst.dataset.name = "roundtrip-demo";
+
+  save_dataset(inst.dataset, dir);
+  std::printf("saved dataset '%s' to %s\n", inst.dataset.name.c_str(),
+              dir.c_str());
+
+  Dataset reloaded = load_dataset(dir);
+  DatasetSummary before = inst.dataset.summary();
+  DatasetSummary after = reloaded.summary();
+  std::printf("claims %zu -> %zu | original %zu -> %zu | assertions "
+              "%zu -> %zu\n",
+              before.total_claims, after.total_claims,
+              before.original_claims, after.original_claims,
+              before.assertions, after.assertions);
+
+  EmExtEstimator em;
+  auto original = em.run(inst.dataset, seed);
+  auto roundtripped = em.run(reloaded, seed);
+  double max_diff = 0.0;
+  for (std::size_t j = 0; j < original.belief.size(); ++j) {
+    max_diff = std::max(
+        max_diff, std::fabs(original.belief[j] - roundtripped.belief[j]));
+  }
+  std::printf("max posterior difference after roundtrip: %.2e (%s)\n",
+              max_diff, max_diff < 1e-12 ? "identical" : "DIFFERS");
+  return max_diff < 1e-12 ? 0 : 1;
+}

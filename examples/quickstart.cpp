@@ -1,0 +1,115 @@
+// Quickstart: the paper's Figure-1 scenario plus a first fact-finding run.
+//
+// Part 1 reconstructs the John/Sally/Heather example from Section II-A and
+// shows how claims and dependency indicators are derived from the follow
+// graph and timestamps.
+// Part 2 generates a synthetic instance with known ground truth, runs the
+// dependency-aware EM-Ext estimator, and compares its verdicts with the
+// truth.
+//
+//   ./quickstart [--seed N] [--sources N] [--assertions M]
+#include <algorithm>
+#include <cstdio>
+
+#include "core/em_ext.h"
+#include "data/dataset.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "simgen/parametric_gen.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+namespace {
+
+void figure1_walkthrough() {
+  using namespace ss;
+  print_banner("Part 1: Figure 1 walkthrough (John, Sally, Heather)");
+
+  // Sources: 0 = John, 1 = Sally, 2 = Heather. John follows Sally.
+  Digraph follows(3);
+  follows.add_edge(0, 1);
+
+  // Assertions: 0 = "Main Street congested", 1 = "University Ave
+  // congested". Sally tweets assertion 0 at t1, Heather tweets assertion
+  // 1 at t1; John repeats both later (t2, t3).
+  std::vector<Claim> claims = {
+      {1, 0, 1.0},  // Sally,   Main St,       t1
+      {2, 1, 1.0},  // Heather, University Av, t1
+      {0, 0, 2.0},  // John,    Main St,       t2
+      {0, 1, 3.0},  // John,    University Av, t3
+  };
+  SourceClaimMatrix sc(3, 2, claims);
+  auto dep = DependencyIndicators::from_graph(sc, follows);
+
+  const char* names[] = {"John", "Sally", "Heather"};
+  const char* assertions[] = {"Main St congested", "University Ave congested"};
+  TablePrinter table({"source", "assertion", "SC", "D"});
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      table.add_row({names[i], assertions[j],
+                     sc.has_claim(i, j) ? "1" : "0",
+                     dep.dependent(i, j) ? "1" : "0"});
+    }
+  }
+  table.print();
+  std::printf(
+      "John's Main-St claim is dependent (D=1): Sally, whom he follows,\n"
+      "asserted it first. His University-Ave claim is independent: he\n"
+      "does not follow Heather.\n");
+}
+
+void first_factfinding_run(std::uint64_t seed, std::size_t n,
+                           std::size_t m) {
+  using namespace ss;
+  print_banner("Part 2: dependency-aware fact-finding on synthetic data");
+
+  Rng rng(seed);
+  SimKnobs knobs = SimKnobs::paper_defaults(n, m);
+  SimInstance inst = generate_parametric(knobs, rng);
+
+  EmExtEstimator em_ext;
+  EmExtResult result = inst.dataset.claims.claim_count() == 0
+                           ? EmExtResult{}
+                           : em_ext.run_detailed(inst.dataset, seed);
+
+  ClassificationMetrics metrics = classify(inst.dataset, result.estimate);
+  std::printf("instance: %zu sources, %zu assertions, %zu claims "
+              "(%zu dependent cells)\n",
+              inst.dataset.source_count(), inst.dataset.assertion_count(),
+              inst.dataset.claims.claim_count(),
+              inst.dataset.dependency.exposed_cell_count());
+  std::printf("EM-Ext converged after %zu iterations "
+              "(log-likelihood %.3f)\n",
+              result.estimate.iterations, result.log_likelihood);
+  std::printf("accuracy %.3f | false positives %.3f | false negatives "
+              "%.3f\n",
+              metrics.accuracy(), metrics.false_positive_rate(),
+              metrics.false_negative_rate());
+
+  TablePrinter table({"assertion", "posterior P(true)", "truth", "verdict"});
+  std::size_t shown = std::min<std::size_t>(10, m);
+  for (std::size_t j = 0; j < shown; ++j) {
+    double p = result.estimate.belief[j];
+    table.add_row({std::to_string(j), format_double(p, 3),
+                   label_name(inst.dataset.truth[j]),
+                   p > 0.5 ? "True" : "False"});
+  }
+  table.print();
+  std::printf("(first %zu of %zu assertions shown)\n", shown, m);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ss::Cli cli("quickstart", "Figure-1 walkthrough and a first EM-Ext run");
+  auto& seed = cli.add_int("seed", 42, "RNG seed");
+  auto& sources = cli.add_int("sources", 50, "sources in part 2");
+  auto& assertions = cli.add_int("assertions", 50, "assertions in part 2");
+  cli.parse(argc, argv);
+
+  figure1_walkthrough();
+  first_factfinding_run(static_cast<std::uint64_t>(seed),
+                        static_cast<std::size_t>(sources),
+                        static_cast<std::size_t>(assertions));
+  return 0;
+}

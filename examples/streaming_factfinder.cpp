@@ -1,0 +1,84 @@
+// Streaming fact-finder: a fixed source population observed over many
+// event windows.
+//
+// The same sources (fixed reliabilities, fixed dependency forest) report
+// on a fresh batch of assertions each window — a live deployment's
+// steady state. The recursive StreamingEmExt carries decayed sufficient
+// statistics across windows, so its source-reliability estimates sharpen
+// over time; the comparison column re-runs the offline EM-Ext on each
+// window in isolation. Expected: the streaming estimator starts equal
+// and pulls ahead as accumulated evidence about sources compounds.
+//
+//   ./streaming_factfinder [--seed N] [--sources N] [--batch-size M]
+//                          [--windows K]
+#include <cstdio>
+
+#include "core/em_ext.h"
+#include "core/streaming_em.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "math/stats.h"
+#include "simgen/parametric_gen.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ss;
+  Cli cli("streaming_factfinder",
+          "Recursive EM-Ext over a stream of assertion batches");
+  auto& seed_flag = cli.add_int("seed", 77, "RNG seed");
+  auto& n_flag = cli.add_int("sources", 50, "source population size");
+  auto& m_flag = cli.add_int("batch-size", 10, "assertions per window");
+  auto& windows_flag = cli.add_int("windows", 12, "number of windows");
+  cli.parse(argc, argv);
+
+  auto seed = static_cast<std::uint64_t>(seed_flag);
+  auto n = static_cast<std::size_t>(n_flag);
+  auto m = static_cast<std::size_t>(m_flag);
+  auto windows = static_cast<std::size_t>(windows_flag);
+
+  // Fix the population: one draw of theta + forest shared by all
+  // windows. Reliabilities are spread wide (some sources excellent, some
+  // contrarian) so *knowing the sources* is what accuracy hinges on —
+  // the regime where carrying statistics across windows pays off.
+  Rng rng(seed);
+  SimKnobs knobs = SimKnobs::paper_defaults(n, m);
+  knobs.p_indep_true = {0.35, 0.95};
+  knobs.p_dep_true = {0.3, 0.9};
+  SimInstance population = generate_parametric(knobs, rng);
+  std::printf("population: %zu sources in %zu dependency trees, "
+              "%zu-assertion windows\n\n",
+              n, population.tau, m);
+
+  StreamingEmExt streaming(n);
+  TablePrinter table(
+      {"window", "streaming acc", "isolated acc", "learned z"});
+  StreamingStats stream_total;
+  StreamingStats isolated_total;
+  for (std::size_t w = 0; w < windows; ++w) {
+    SimInstance batch = generate_parametric_batch(
+        population.true_params, population.forest, m, rng);
+
+    StreamingBatchResult sres = streaming.observe(batch.dataset);
+    EstimateResult stream_est;
+    stream_est.belief = sres.belief;
+    stream_est.log_odds = sres.log_odds;
+    stream_est.probabilistic = true;
+    double stream_acc = classify(batch.dataset, stream_est).accuracy();
+
+    double isolated_acc =
+        classify(batch.dataset, EmExtEstimator().run(batch.dataset, seed))
+            .accuracy();
+    stream_total.add(stream_acc);
+    isolated_total.add(isolated_acc);
+    table.add_row({std::to_string(w + 1), format_double(stream_acc, 3),
+                   format_double(isolated_acc, 3),
+                   format_double(streaming.params().z, 3)});
+  }
+  table.print();
+  std::printf("\nmean accuracy: streaming %.3f vs isolated %.3f\n",
+              stream_total.mean(), isolated_total.mean());
+  std::printf("the streaming estimator compounds source evidence across "
+              "windows instead of relearning it.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "apollo/grading.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ss {
+
+EmpiricalStudyResult run_empirical_protocol(
+    const Dataset& dataset, const std::vector<std::string>& estimators,
+    std::size_t top_k, std::uint64_t seed) {
+  if (dataset.truth.size() != dataset.assertion_count()) {
+    throw std::invalid_argument(
+        "run_empirical_protocol: dataset lacks ground truth for grading");
+  }
+  EmpiricalStudyResult result;
+
+  // Phase 1: each algorithm nominates its top-k.
+  std::vector<std::vector<RankedAssertion>> nominations;
+  for (const std::string& name : estimators) {
+    ApolloPipeline pipeline(name);
+    PipelineReport report = pipeline.analyze(dataset, seed);
+    nominations.push_back(report.top(top_k));
+  }
+
+  // Phase 2: merge into one anonymized grading pool; each unique
+  // assertion is graded once (here: by ground truth).
+  std::unordered_map<std::uint32_t, Label> grades;
+  for (const auto& top : nominations) {
+    for (const RankedAssertion& ra : top) {
+      grades.emplace(ra.assertion, dataset.truth[ra.assertion]);
+    }
+  }
+  result.pool_size = grades.size();
+
+  // Phase 3: de-anonymize and score each algorithm on its own top-k.
+  for (std::size_t e = 0; e < estimators.size(); ++e) {
+    GradeBreakdown breakdown;
+    for (const RankedAssertion& ra : nominations[e]) {
+      switch (grades.at(ra.assertion)) {
+        case Label::kTrue: ++breakdown.graded_true; break;
+        case Label::kFalse: ++breakdown.graded_false; break;
+        case Label::kOpinion: ++breakdown.graded_opinion; break;
+        case Label::kUnknown:
+          // An assertion the grader could not verify counts against the
+          // algorithm, like Opinion.
+          ++breakdown.graded_opinion;
+          break;
+      }
+    }
+    result.per_algorithm.emplace_back(estimators[e], breakdown);
+  }
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,49 @@
+// The empirical grading protocol of Section V-C.
+//
+// The paper collects each algorithm's top-100 assertions, merges and
+// anonymizes them, has human graders mark every item True / False /
+// Opinion, then de-anonymizes and scores each algorithm as
+// #True / (#True + #False + #Opinion) over its own top-100. With the
+// simulator, ground truth replaces the graders; the merge/anonymize step
+// is preserved so per-assertion grades are shared across algorithms
+// exactly as in the paper (one grade per unique assertion).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apollo/pipeline.h"
+
+namespace ss {
+
+struct GradeBreakdown {
+  std::size_t graded_true = 0;
+  std::size_t graded_false = 0;
+  std::size_t graded_opinion = 0;
+
+  std::size_t total() const {
+    return graded_true + graded_false + graded_opinion;
+  }
+  // The paper's metric: #True / (#True + #False + #Opinion).
+  double accuracy() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(graded_true) /
+                              static_cast<double>(total());
+  }
+};
+
+struct EmpiricalStudyResult {
+  // Per estimator name, in run order.
+  std::vector<std::pair<std::string, GradeBreakdown>> per_algorithm;
+  // Size of the merged grading pool (unique assertions over all top-k).
+  std::size_t pool_size = 0;
+};
+
+// Runs every named estimator on the dataset, grades the merged top-k
+// pool, and scores each algorithm.
+EmpiricalStudyResult run_empirical_protocol(
+    const Dataset& dataset, const std::vector<std::string>& estimators,
+    std::size_t top_k = 100, std::uint64_t seed = 1);
+
+}  // namespace ss

@@ -1,0 +1,78 @@
+#include "apollo/live.h"
+
+#include <algorithm>
+
+namespace ss {
+
+LiveApollo::LiveApollo(Digraph follows, LiveApolloConfig config)
+    : config_(config),
+      follows_(std::move(follows)),
+      clusterer_(config.clustering),
+      em_(follows_.node_count(), config.em) {}
+
+std::uint32_t LiveApollo::ingest(const Tweet& tweet) {
+  std::uint32_t cluster = clusterer_.add(tweet);
+  auto [it, inserted] = claims_of_cluster_.emplace(
+      cluster, std::vector<Claim>{});
+  it->second.push_back({tweet.user, /*assertion=*/0, tweet.time});
+  if (it->second.size() == 1 || inserted ||
+      std::find(active_.begin(), active_.end(), cluster) ==
+          active_.end()) {
+    active_.push_back(cluster);
+  }
+  ++window_claims_;
+  return cluster;
+}
+
+LiveRefreshResult LiveApollo::refresh() {
+  LiveRefreshResult result;
+  if (active_.empty()) return result;
+  result.window_claims = window_claims_;
+
+  // Dense assertion space over the clusters touched this window; each
+  // brings its full claim history.
+  std::sort(active_.begin(), active_.end());
+  active_.erase(std::unique(active_.begin(), active_.end()),
+                active_.end());
+  result.clusters = active_;
+  std::vector<Claim> claims;
+  for (std::size_t d = 0; d < active_.size(); ++d) {
+    for (Claim c : claims_of_cluster_.at(active_[d])) {
+      c.assertion = static_cast<std::uint32_t>(d);
+      claims.push_back(c);
+    }
+  }
+
+  Dataset batch;
+  batch.name = "live-window";
+  batch.claims =
+      SourceClaimMatrix(follows_.node_count(), active_.size(), claims);
+  batch.dependency =
+      DependencyIndicators::from_graph(batch.claims, follows_);
+
+  StreamingBatchResult em_result = em_.observe(batch);
+  result.belief = em_result.belief;
+  result.log_odds = em_result.log_odds;
+  for (std::size_t d = 0; d < result.clusters.size(); ++d) {
+    belief_of_cluster_[result.clusters[d]] = result.belief[d];
+    log_odds_of_cluster_[result.clusters[d]] = result.log_odds[d];
+  }
+  active_.clear();
+  window_claims_ = 0;
+  return result;
+}
+
+std::vector<std::pair<std::uint32_t, double>> LiveApollo::top(
+    std::size_t k) const {
+  std::vector<std::pair<std::uint32_t, double>> entries(
+      log_odds_of_cluster_.begin(), log_odds_of_cluster_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+}  // namespace ss

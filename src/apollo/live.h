@@ -1,0 +1,77 @@
+// Live (incremental) Apollo pipeline.
+//
+// The batch pipeline re-ingests and re-estimates from scratch; during a
+// breaking event the stream never stops. LiveApollo maintains
+//   * an IncrementalClusterer assigning each arriving tweet to a stable
+//     assertion cluster,
+//   * a per-window claim buffer, and
+//   * a StreamingEmExt whose per-source sufficient statistics persist
+//     across refreshes,
+// so each refresh() costs O(window), not O(history). Beliefs are tracked
+// per global cluster id and updated by the latest refresh that touched
+// the cluster.
+#pragma once
+
+#include <unordered_map>
+
+#include "core/streaming_em.h"
+#include "graph/digraph.h"
+#include "twitter/clustering.h"
+
+namespace ss {
+
+struct LiveApolloConfig {
+  ClusteringConfig clustering;
+  StreamingEmConfig em;
+};
+
+struct LiveRefreshResult {
+  // Global cluster ids active in the refreshed window, with posteriors.
+  std::vector<std::uint32_t> clusters;
+  std::vector<double> belief;
+  std::vector<double> log_odds;
+  std::size_t window_claims = 0;
+};
+
+class LiveApollo {
+ public:
+  // `follows` must cover all user ids that will ever tweet (edge u -> v
+  // means u follows v); it drives the dependency indicators.
+  LiveApollo(Digraph follows, LiveApolloConfig config = {});
+
+  // Feeds one tweet (arrival order). Returns its cluster id.
+  std::uint32_t ingest(const Tweet& tweet);
+
+  // Folds the buffered window into the streaming estimator and clears
+  // the buffer. No-op result when the window is empty.
+  LiveRefreshResult refresh();
+
+  // Latest belief per cluster (clusters never refreshed are absent).
+  const std::unordered_map<std::uint32_t, double>& beliefs() const {
+    return belief_of_cluster_;
+  }
+  // Top-k clusters by latest log-odds.
+  std::vector<std::pair<std::uint32_t, double>> top(std::size_t k) const;
+
+  const ModelParams& params() const { return em_.params(); }
+  std::size_t clusters_seen() const { return clusterer_.cluster_count(); }
+  std::size_t refreshes() const { return em_.batches_seen(); }
+
+ private:
+  LiveApolloConfig config_;
+  Digraph follows_;
+  IncrementalClusterer clusterer_;
+  StreamingEmExt em_;
+  // Full claim history per cluster: a refresh re-presents every claim of
+  // the clusters its window touched, so an assertion's belief always
+  // reflects its accumulated evidence (the window only decides *which*
+  // assertions are re-evaluated).
+  std::unordered_map<std::uint32_t, std::vector<Claim>>
+      claims_of_cluster_;
+  std::vector<std::uint32_t> active_;  // clusters touched this window
+  std::size_t window_claims_ = 0;
+  std::unordered_map<std::uint32_t, double> belief_of_cluster_;
+  std::unordered_map<std::uint32_t, double> log_odds_of_cluster_;
+};
+
+}  // namespace ss

@@ -1,0 +1,41 @@
+#include "apollo/pipeline.h"
+
+#include "estimators/registry.h"
+
+namespace ss {
+
+std::vector<RankedAssertion> PipelineReport::top(std::size_t k) const {
+  k = std::min(k, ranked.size());
+  return {ranked.begin(), ranked.begin() + static_cast<long>(k)};
+}
+
+ApolloPipeline::ApolloPipeline(std::string estimator_name)
+    : estimator_name_(std::move(estimator_name)),
+      estimator_(make_estimator(estimator_name_)) {}
+
+PipelineReport ApolloPipeline::analyze(const Dataset& dataset,
+                                       std::uint64_t seed) const {
+  PipelineReport report;
+  report.estimator = estimator_name_;
+  report.estimate = estimator_->run(dataset, seed);
+
+  auto order = report.estimate.ranking();
+  report.ranked.reserve(order.size());
+  for (std::uint32_t j : order) {
+    RankedAssertion ra;
+    ra.assertion = j;
+    ra.belief = report.estimate.belief[j];
+    ra.truth = dataset.truth.empty() ? Label::kUnknown : dataset.truth[j];
+    ra.support = dataset.claims.support(j);
+    report.ranked.push_back(ra);
+  }
+  return report;
+}
+
+PipelineReport ApolloPipeline::analyze(const TwitterSimulation& sim,
+                                       std::uint64_t seed) const {
+  BuiltDataset built = build_dataset(sim);
+  return analyze(built.dataset, seed);
+}
+
+}  // namespace ss

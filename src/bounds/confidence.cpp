@@ -1,0 +1,70 @@
+#include "bounds/confidence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ss {
+namespace {
+
+RateConfidence make_rate(double estimate, double n_effective) {
+  RateConfidence rc;
+  rc.estimate = estimate;
+  rc.n_effective = n_effective;
+  if (n_effective > 0.0) {
+    rc.stderr_asymptotic =
+        std::sqrt(std::max(estimate * (1.0 - estimate), 0.0) /
+                  n_effective);
+  }
+  return rc;
+}
+
+}  // namespace
+
+double RateConfidence::lower(double z_score) const {
+  return std::max(0.0, estimate - half_width(z_score));
+}
+
+double RateConfidence::upper(double z_score) const {
+  return std::min(1.0, estimate + half_width(z_score));
+}
+
+std::vector<SourceConfidence> estimate_confidence(
+    const Dataset& dataset, const ModelParams& params,
+    const std::vector<double>& posterior) {
+  dataset.validate();
+  std::size_t n = dataset.source_count();
+  std::size_t m = dataset.assertion_count();
+  if (params.source_count() != n) {
+    throw std::invalid_argument(
+        "estimate_confidence: params/dataset source mismatch");
+  }
+  if (posterior.size() != m) {
+    throw std::invalid_argument(
+        "estimate_confidence: posterior/assertion mismatch");
+  }
+
+  double total_z = 0.0;
+  for (double p : posterior) total_z += p;
+  double total_y = static_cast<double>(m) - total_z;
+
+  std::vector<SourceConfidence> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double exposed_z = 0.0;
+    for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
+      exposed_z += posterior[j];
+    }
+    double exposed_count = static_cast<double>(
+        dataset.dependency.exposed_assertions(i).size());
+    double exposed_y = exposed_count - exposed_z;
+
+    const SourceParams& s = params.source[i];
+    out[i].a = make_rate(s.a, total_z - exposed_z);
+    out[i].b = make_rate(s.b, total_y - exposed_y);
+    out[i].f = make_rate(s.f, exposed_z);
+    out[i].g = make_rate(s.g, exposed_y);
+  }
+  return out;
+}
+
+}  // namespace ss

@@ -1,0 +1,51 @@
+// Asymptotic confidence bounds on the estimated source parameters.
+//
+// The paper's companion line of work (Wang et al., SECON 2012 — cited as
+// [17]) quantifies how well the source reliabilities themselves are
+// known, via the Cramer-Rao lower bound of the estimation problem. For
+// the dependency-aware model the complete-data Fisher information of a
+// per-source rate r estimated from N effective observations is
+// N / (r (1 - r)), giving the asymptotic standard error
+// sqrt(r (1 - r) / N). The effective observation counts are the same
+// posterior-weighted masses the M-step divides by (Eq. 10-14), so the
+// intervals come almost for free after an EM run.
+//
+// These are *approximate* (observed-information, labels replaced by
+// posteriors) confidence intervals: exact coverage degrades when
+// posteriors are far from 0/1, which the demo and tests acknowledge.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/params.h"
+#include "data/dataset.h"
+
+namespace ss {
+
+struct RateConfidence {
+  double estimate = 0.5;
+  double stderr_asymptotic = 0.0;  // sqrt(r(1-r)/N_eff)
+  double n_effective = 0.0;
+
+  double half_width(double z_score = 1.96) const {
+    return z_score * stderr_asymptotic;
+  }
+  double lower(double z_score = 1.96) const;
+  double upper(double z_score = 1.96) const;
+};
+
+struct SourceConfidence {
+  RateConfidence a;
+  RateConfidence b;
+  RateConfidence f;
+  RateConfidence g;
+};
+
+// Computes per-source confidence structures for the fitted `params`
+// given the dataset and the final posterior (one entry per assertion).
+std::vector<SourceConfidence> estimate_confidence(
+    const Dataset& dataset, const ModelParams& params,
+    const std::vector<double>& posterior);
+
+}  // namespace ss

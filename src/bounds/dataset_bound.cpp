@@ -1,0 +1,58 @@
+#include "bounds/dataset_bound.h"
+
+#include <unordered_map>
+
+#include "bounds/exact_bound.h"
+
+namespace ss {
+namespace {
+
+template <typename ComputeColumn>
+DatasetBoundResult average_over_columns(const Dataset& dataset,
+                                        ComputeColumn&& compute) {
+  std::size_t m = dataset.assertion_count();
+  std::unordered_map<std::uint64_t, BoundResult> memo;
+  DatasetBoundResult out;
+  out.columns = m;
+  for (std::size_t j = 0; j < m; ++j) {
+    std::uint64_t key = exposure_pattern_key(dataset.dependency, j);
+    auto it = memo.find(key);
+    if (it == memo.end()) {
+      it = memo.emplace(key, compute(j)).first;
+    }
+    out.bound.error += it->second.error;
+    out.bound.false_positive += it->second.false_positive;
+    out.bound.false_negative += it->second.false_negative;
+  }
+  if (m > 0) {
+    double inv = 1.0 / static_cast<double>(m);
+    out.bound.error *= inv;
+    out.bound.false_positive *= inv;
+    out.bound.false_negative *= inv;
+  }
+  out.distinct_patterns = memo.size();
+  return out;
+}
+
+}  // namespace
+
+DatasetBoundResult exact_dataset_bound(const Dataset& dataset,
+                                       const ModelParams& params) {
+  return average_over_columns(dataset, [&](std::size_t j) {
+    return exact_bound(make_column_model(params, dataset.dependency, j));
+  });
+}
+
+DatasetBoundResult gibbs_dataset_bound(const Dataset& dataset,
+                                       const ModelParams& params,
+                                       std::uint64_t seed,
+                                       const GibbsBoundConfig& config) {
+  return average_over_columns(dataset, [&](std::size_t j) {
+    ColumnModel model = make_column_model(params, dataset.dependency, j);
+    return gibbs_bound(model, seed ^ (0x9e3779b97f4a7c15ULL * (j + 1)),
+                       config)
+        .bound;
+  });
+}
+
+}  // namespace ss

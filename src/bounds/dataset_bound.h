@@ -1,0 +1,36 @@
+// Dataset-level error bound: the expected misclassification rate of the
+// optimal estimator over a whole problem instance, i.e. the per-assertion
+// bound (Eq. 3 / Eq. 6) averaged over the m assertion columns.
+//
+// Columns sharing an exposure pattern have identical bounds (theta does
+// not vary by assertion), so results are memoized by pattern key — on the
+// level-two-forest workloads this collapses m columns to only a handful
+// of distinct computations.
+#pragma once
+
+#include <cstdint>
+
+#include "bounds/gibbs_bound.h"
+#include "core/params.h"
+#include "data/dataset.h"
+
+namespace ss {
+
+struct DatasetBoundResult {
+  BoundResult bound;        // averaged over assertions
+  std::size_t distinct_patterns = 0;
+  std::size_t columns = 0;
+};
+
+// Exact enumeration per distinct column pattern. Throws when the source
+// count exceeds kExactBoundMaxSources.
+DatasetBoundResult exact_dataset_bound(const Dataset& dataset,
+                                       const ModelParams& params);
+
+// Gibbs approximation per distinct column pattern.
+DatasetBoundResult gibbs_dataset_bound(const Dataset& dataset,
+                                       const ModelParams& params,
+                                       std::uint64_t seed,
+                                       const GibbsBoundConfig& config = {});
+
+}  // namespace ss

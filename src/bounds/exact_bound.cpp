@@ -1,0 +1,84 @@
+#include "bounds/exact_bound.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace ss {
+namespace {
+
+// Iterative depth-first walk of the claim-combination tree. An explicit
+// stack of (depth, partial products) frames avoids recursion-depth limits
+// and keeps the hot loop branch-light.
+struct Frame {
+  std::size_t depth;
+  double prod_true;
+  double prod_false;
+};
+
+}  // namespace
+
+BoundResult exact_bound(const ColumnModel& model) {
+  std::size_t n = model.source_count();
+  if (n > kExactBoundMaxSources) {
+    throw std::invalid_argument(
+        "exact_bound: too many sources for exact enumeration; use the "
+        "Gibbs approximation");
+  }
+  const double z = model.z;
+  const double* p1 = model.p_claim_true.data();
+  const double* p0 = model.p_claim_false.data();
+
+  BoundResult result;
+  // Stack capacity: each visited node pushes at most one sibling frame.
+  std::vector<Frame> stack;
+  stack.reserve(n + 1);
+  stack.push_back({0, 1.0, 1.0});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    // Expand silent branches inline until a leaf; push the claim branch
+    // as a deferred frame. This halves the stack traffic relative to
+    // pushing both children.
+    while (f.depth < n) {
+      std::size_t i = f.depth;
+      stack.push_back(
+          {i + 1, f.prod_true * p1[i], f.prod_false * p0[i]});
+      f.prod_true *= 1.0 - p1[i];
+      f.prod_false *= 1.0 - p0[i];
+      ++f.depth;
+    }
+    double weight_true = z * f.prod_true;
+    double weight_false = (1.0 - z) * f.prod_false;
+    if (weight_true >= weight_false) {
+      // Optimal estimator declares "true"; it errs when C_j = 0, i.e.
+      // a false assertion is labelled true.
+      result.false_positive += weight_false;
+    } else {
+      result.false_negative += weight_true;
+    }
+  }
+  result.error = result.false_positive + result.false_negative;
+  return result;
+}
+
+BoundResult bound_from_joint(const std::vector<double>& joint_true,
+                             const std::vector<double>& joint_false,
+                             double z) {
+  if (joint_true.size() != joint_false.size()) {
+    throw std::invalid_argument("bound_from_joint: size mismatch");
+  }
+  BoundResult result;
+  for (std::size_t k = 0; k < joint_true.size(); ++k) {
+    double weight_true = z * joint_true[k];
+    double weight_false = (1.0 - z) * joint_false[k];
+    if (weight_true >= weight_false) {
+      result.false_positive += weight_false;
+    } else {
+      result.false_negative += weight_true;
+    }
+  }
+  result.error = result.false_positive + result.false_negative;
+  return result;
+}
+
+}  // namespace ss

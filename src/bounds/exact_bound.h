@@ -1,0 +1,48 @@
+// Exact Bayes-risk error bound (Section III, Eq. 3).
+//
+// For one assertion the optimal estimator errs with probability
+//   Err = sum over all 2^n claim combinations SC_j of
+//         min{ z * P(SC_j | C=1), (1-z) * P(SC_j | C=0) }
+// The implementation walks the full combination tree depth-first carrying
+// the two partial products, so each of the 2^n leaves costs O(1) and no
+// products are ever divided (no rounding drift). Complexity is O(2^n) —
+// exponential by nature (the paper's Fig. 6 point) — and the entry point
+// refuses n beyond a guard rail rather than silently running for hours.
+#pragma once
+
+#include <cstddef>
+
+#include "bounds/column_model.h"
+
+namespace ss {
+
+struct BoundResult {
+  // Total expected error probability of the optimal estimator.
+  double error = 0.0;
+  // Portion from declaring false assertions true (paper: "false positive
+  // bound") and true assertions false ("false negative bound").
+  // error == false_positive + false_negative.
+  double false_positive = 0.0;
+  double false_negative = 0.0;
+
+  double optimal_accuracy() const { return 1.0 - error; }
+};
+
+// Largest n exact_bound accepts (2^30 leaves ~ seconds; beyond that the
+// Gibbs approximation is the supported tool).
+inline constexpr std::size_t kExactBoundMaxSources = 30;
+
+// Throws std::invalid_argument when model.source_count() exceeds
+// kExactBoundMaxSources.
+BoundResult exact_bound(const ColumnModel& model);
+
+// Eq. 3 applied to an *explicit* joint distribution over claim
+// combinations: joint_true[k] = P(SC_j = k-th combination | C_j = 1) and
+// likewise joint_false. Used for walkthroughs like the paper's Table I,
+// whose joint does not factor into per-source rates. The two vectors
+// must be equal-length; each should sum to ~1.
+BoundResult bound_from_joint(const std::vector<double>& joint_true,
+                             const std::vector<double>& joint_false,
+                             double z);
+
+}  // namespace ss

@@ -1,0 +1,184 @@
+#include "bounds/gibbs_bound.h"
+
+#include <cmath>
+#include <vector>
+
+#include "math/convergence.h"
+#include "math/logprob.h"
+#include "util/rng.h"
+
+namespace ss {
+namespace {
+
+// Chain state: the claim bits plus the two log-likelihood sums
+//   L1 = log P(s | C=1), L0 = log P(s | C=0)
+// maintained incrementally (O(1) per bit flip) and refreshed once per
+// sweep to cancel floating-point drift.
+struct ChainState {
+  std::vector<char> bits;
+  double log_true = 0.0;
+  double log_false = 0.0;
+};
+
+// Initial-monotone-sequence style ESS estimate over a scalar series.
+// Autocorrelations are summed up to the first non-positive lag (capped),
+// the standard practical truncation for MCMC output.
+void chain_diagnostics(const std::vector<double>& series, double* ess,
+                       double* lag1) {
+  *ess = static_cast<double>(series.size());
+  *lag1 = 0.0;
+  std::size_t n = series.size();
+  if (n < 4) return;
+  double mean = 0.0;
+  for (double x : series) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double x : series) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(n);
+  if (var <= 0.0) return;  // constant chain: treat as i.i.d.
+  double sum_rho = 0.0;
+  std::size_t max_lag = std::min<std::size_t>(n / 2, 200);
+  for (std::size_t lag = 1; lag <= max_lag; ++lag) {
+    double acc = 0.0;
+    for (std::size_t t = lag; t < n; ++t) {
+      acc += (series[t] - mean) * (series[t - lag] - mean);
+    }
+    double rho = acc / (static_cast<double>(n) * var);
+    if (lag == 1) *lag1 = rho;
+    if (rho <= 0.0) break;
+    sum_rho += rho;
+  }
+  *ess = static_cast<double>(n) / (1.0 + 2.0 * sum_rho);
+}
+
+void refresh_logs(const ColumnModel& model, ChainState& state) {
+  state.log_true = 0.0;
+  state.log_false = 0.0;
+  for (std::size_t i = 0; i < model.source_count(); ++i) {
+    double p1 = model.p_claim_true[i];
+    double p0 = model.p_claim_false[i];
+    state.log_true += state.bits[i] ? std::log(p1) : std::log1p(-p1);
+    state.log_false += state.bits[i] ? std::log(p0) : std::log1p(-p0);
+  }
+}
+
+}  // namespace
+
+GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
+                             const GibbsBoundConfig& config) {
+  std::size_t n = model.source_count();
+  Rng rng(seed, /*stream=*/0x61bb5);
+  const double log_z = std::log(model.z);
+  const double log_1mz = std::log1p(-model.z);
+
+  ChainState state;
+  state.bits.resize(n);
+  // Initialize each bit from its marginal claim probability under the
+  // prior mixture — a draw already close to the target distribution.
+  for (std::size_t i = 0; i < n; ++i) {
+    double marginal = model.z * model.p_claim_true[i] +
+                      (1.0 - model.z) * model.p_claim_false[i];
+    state.bits[i] = rng.bernoulli(marginal) ? 1 : 0;
+  }
+  refresh_logs(model, state);
+
+  // Accumulators for both estimators (see header).
+  double err_part = 0.0;   // Algorithm 1 numerator
+  double total = 0.0;      // Algorithm 1 denominator
+  double fp_part = 0.0;
+  double fn_part = 0.0;
+  double err_mc = 0.0;     // unbiased mean of min-posterior
+  double fp_mc = 0.0;
+  double fn_mc = 0.0;
+  std::size_t samples = 0;
+  std::vector<double> min_posterior_series;
+  min_posterior_series.reserve(
+      std::min<std::size_t>(config.max_sweeps, 20000));
+
+  ConvergenceMonitor monitor(config.tol, config.max_sweeps,
+                             config.patience);
+  bool done = false;
+  std::size_t sweep = 0;
+  GibbsBoundResult out;
+
+  while (!done) {
+    ++sweep;
+    refresh_logs(model, state);
+    for (std::size_t i = 0; i < n; ++i) {
+      double p1 = model.p_claim_true[i];
+      double p0 = model.p_claim_false[i];
+      double log_t1 = std::log(p1);
+      double log_t1n = std::log1p(-p1);
+      double log_f1 = std::log(p0);
+      double log_f1n = std::log1p(-p0);
+      // Leave-one-out log likelihoods.
+      double rest_true =
+          state.log_true - (state.bits[i] ? log_t1 : log_t1n);
+      double rest_false =
+          state.log_false - (state.bits[i] ? log_f1 : log_f1n);
+      // P(s_i = 1 | rest) marginalizing C (Algorithm 1 line 6):
+      //   w1 = z * P(rest | C=1), w0 = (1-z) * P(rest | C=0)
+      //   P(s_i=1|rest) = (w1*p1 + w0*p0) / (w1 + w0)
+      double lw1 = log_z + rest_true;
+      double lw0 = log_1mz + rest_false;
+      double w1_frac = normalize_log_pair(lw1, lw0);  // w1/(w1+w0)
+      double prob_one = w1_frac * p1 + (1.0 - w1_frac) * p0;
+      bool bit = rng.bernoulli(prob_one);
+      state.bits[i] = bit ? 1 : 0;
+      state.log_true = rest_true + (bit ? log_t1 : log_t1n);
+      state.log_false = rest_false + (bit ? log_f1 : log_f1n);
+    }
+    if (sweep <= config.burn_in_sweeps) continue;
+
+    // One post-burn-in sample per sweep.
+    ++samples;
+    double lm1 = log_z + state.log_true;      // log(z P1)
+    double lm0 = log_1mz + state.log_false;   // log((1-z) P0)
+    double m1 = std::exp(lm1);
+    double m0 = std::exp(lm0);
+    bool decide_true = lm1 >= lm0;
+    err_part += decide_true ? m0 : m1;
+    total += m1 + m0;
+    if (decide_true) {
+      fp_part += m0;
+    } else {
+      fn_part += m1;
+    }
+    double min_posterior = normalize_log_pair(
+        decide_true ? lm0 : lm1, decide_true ? lm1 : lm0);
+    min_posterior_series.push_back(min_posterior);
+    err_mc += min_posterior;
+    if (decide_true) {
+      fp_mc += min_posterior;
+    } else {
+      fn_mc += min_posterior;
+    }
+
+    double current =
+        config.kind == GibbsEstimatorKind::kAlgorithm1
+            ? (total > 0.0 ? err_part / total : 0.0)
+            : err_mc / static_cast<double>(samples);
+    if (samples >= config.min_sweeps && monitor.update(current)) {
+      done = true;
+      out.converged = !monitor.hit_max();
+    }
+    if (sweep >= config.max_sweeps) done = true;
+  }
+
+  out.sweeps = samples;
+  if (config.kind == GibbsEstimatorKind::kAlgorithm1) {
+    double denom = total > 0.0 ? total : 1.0;
+    out.bound.false_positive = fp_part / denom;
+    out.bound.false_negative = fn_part / denom;
+  } else {
+    double denom = samples > 0 ? static_cast<double>(samples) : 1.0;
+    out.bound.false_positive = fp_mc / denom;
+    out.bound.false_negative = fn_mc / denom;
+  }
+  out.bound.error = out.bound.false_positive + out.bound.false_negative;
+  chain_diagnostics(min_posterior_series, &out.effective_sample_size,
+                    &out.autocorr_lag1);
+  return out;
+}
+
+}  // namespace ss

@@ -1,0 +1,276 @@
+#include "core/em_ext.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/likelihood.h"
+#include "core/posterior.h"
+#include "math/convergence.h"
+#include "math/logprob.h"
+#include "util/rng.h"
+
+namespace ss {
+namespace {
+
+std::vector<std::uint32_t> ranking_of(const std::vector<double>& belief) {
+  std::vector<std::uint32_t> order(belief.size());
+  for (std::size_t j = 0; j < belief.size(); ++j) {
+    order[j] = static_cast<std::uint32_t>(j);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint32_t x, std::uint32_t y) {
+                     return belief[x] > belief[y];
+                   });
+  return order;
+}
+
+// Per-source sufficient statistics for one M-step.
+struct SourceMStats {
+  double claim_indep_z = 0.0;  // claims with D_ij = 0, weighted by Z_j
+  double claim_indep_y = 0.0;
+  double claim_dep_z = 0.0;  // claims with D_ij = 1
+  double claim_dep_y = 0.0;
+  double denom_a = 0.0;  // Z mass over D_ij = 0 cells
+  double denom_b = 0.0;
+  double denom_f = 0.0;  // Z mass over D_ij = 1 (exposed) cells
+  double denom_g = 0.0;
+};
+
+// Closed-form M-step (Eq. 10-14) given the current posterior. With
+// shrinkage > 0 each ratio becomes a MAP estimate with `shrinkage`
+// pseudo-observations at the pooled all-source rate (see EmExtConfig).
+ModelParams m_step(const Dataset& dataset,
+                   const std::vector<double>& posterior,
+                   const ModelParams& previous, double clamp_eps,
+                   double shrinkage, double z_floor) {
+  std::size_t n = dataset.source_count();
+  std::size_t m = dataset.assertion_count();
+  double total_z = 0.0;
+  for (double p : posterior) total_z += p;
+  double total_y = static_cast<double>(m) - total_z;
+
+  std::vector<SourceMStats> stats(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SourceMStats& s = stats[i];
+    double exposed_z = 0.0;  // sum of Z_j over exposed cells of i
+    for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
+      exposed_z += posterior[j];
+    }
+    double exposed_count = static_cast<double>(
+        dataset.dependency.exposed_assertions(i).size());
+    for (std::uint32_t j : dataset.claims.claims_of(i)) {
+      if (dataset.dependency.dependent(i, j)) {
+        s.claim_dep_z += posterior[j];
+        s.claim_dep_y += 1.0 - posterior[j];
+      } else {
+        s.claim_indep_z += posterior[j];
+        s.claim_indep_y += 1.0 - posterior[j];
+      }
+    }
+    s.denom_a = total_z - exposed_z;
+    s.denom_b = total_y - (exposed_count - exposed_z);
+    s.denom_f = exposed_z;
+    s.denom_g = exposed_count - exposed_z;
+  }
+
+  // Pooled rates anchor the shrinkage prior.
+  SourceMStats pooled;
+  for (const SourceMStats& s : stats) {
+    pooled.claim_indep_z += s.claim_indep_z;
+    pooled.claim_indep_y += s.claim_indep_y;
+    pooled.claim_dep_z += s.claim_dep_z;
+    pooled.claim_dep_y += s.claim_dep_y;
+    pooled.denom_a += s.denom_a;
+    pooled.denom_b += s.denom_b;
+    pooled.denom_f += s.denom_f;
+    pooled.denom_g += s.denom_g;
+  }
+  auto rate = [](double num, double denom, double fallback) {
+    return denom > 0.0 ? num / denom : fallback;
+  };
+  double mu_a = rate(pooled.claim_indep_z, pooled.denom_a, 0.5);
+  double mu_b = rate(pooled.claim_indep_y, pooled.denom_b, 0.5);
+  double mu_f = rate(pooled.claim_dep_z, pooled.denom_f, 0.5);
+  double mu_g = rate(pooled.claim_dep_y, pooled.denom_g, 0.5);
+
+  ModelParams next = previous;
+  next.source.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SourceMStats& s = stats[i];
+    // Beta-prior MAP with mean mu and strength `shrinkage` pseudo-claims
+    // (shrinkage/mu pseudo-cells). Degenerate denominators with zero
+    // shrinkage (a source exposed to everything, or a posterior
+    // collapsed to one side) keep the previous estimate: those
+    // parameters do not influence the likelihood.
+    auto update = [&](double num, double denom, double mu, double& out) {
+      double cells = shrinkage > 0.0
+                         ? shrinkage / std::max(mu, 1e-9)
+                         : 0.0;
+      double d = denom + cells;
+      if (d > 0.0) out = (num + cells * mu) / d;
+    };
+    update(s.claim_indep_z, s.denom_a, mu_a, next.source[i].a);
+    update(s.claim_indep_y, s.denom_b, mu_b, next.source[i].b);
+    update(s.claim_dep_z, s.denom_f, mu_f, next.source[i].f);
+    update(s.claim_dep_y, s.denom_g, mu_g, next.source[i].g);
+  }
+  next.z = total_z / static_cast<double>(m);
+  if (z_floor > 0.0) {
+    next.z = std::clamp(next.z, z_floor, 1.0 - z_floor);
+  }
+  clamp_params(next, clamp_eps);
+  return next;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> EstimateResult::ranking() const {
+  return ranking_of(log_odds.size() == belief.size() && !belief.empty()
+                        ? log_odds
+                        : belief);
+}
+
+std::vector<double> vote_prior_posterior(const Dataset& dataset,
+                                         bool independent_only) {
+  std::size_t m = dataset.assertion_count();
+  std::vector<double> posterior(m, 0.5);
+  if (m == 0) return posterior;
+  std::vector<double> support(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (!independent_only) {
+      support[j] = static_cast<double>(dataset.claims.support(j));
+      continue;
+    }
+    for (std::uint32_t v : dataset.claims.claimants_of(j)) {
+      if (!dataset.dependency.dependent(v, j)) support[j] += 1.0;
+    }
+  }
+  double mean_support = 0.0;
+  for (double s : support) mean_support += s;
+  mean_support /= static_cast<double>(m);
+  if (mean_support <= 0.0) return posterior;
+  for (std::size_t j = 0; j < m; ++j) {
+    posterior[j] =
+        std::clamp(support[j] / (support[j] + mean_support), 0.05, 0.95);
+  }
+  return posterior;
+}
+
+EmExtEstimator::EmExtEstimator(EmExtConfig config)
+    : config_(std::move(config)) {}
+
+EstimateResult EmExtEstimator::run(const Dataset& dataset,
+                                   std::uint64_t seed) const {
+  return run_detailed(dataset, seed).estimate;
+}
+
+EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
+                                         std::uint64_t seed) const {
+  dataset.validate();
+  std::size_t n = dataset.source_count();
+  if (dataset.assertion_count() == 0) {
+    // Nothing to estimate; return a well-formed empty result.
+    EmExtResult empty;
+    empty.estimate.probabilistic = true;
+    empty.params.source.assign(n, SourceParams{});
+    return empty;
+  }
+  Rng rng(seed, /*stream=*/0x37);
+
+  bool random_init = !config_.init.has_value() &&
+                     config_.init_kind == EmInit::kRandom;
+  std::size_t restarts =
+      random_init ? std::max<std::size_t>(1, config_.restarts) : 1;
+
+  EmExtResult best;
+  bool have_best = false;
+
+  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+    ModelParams params;
+    if (config_.init.has_value()) {
+      params = *config_.init;
+    } else if (random_init) {
+      Rng attempt_rng = rng.split(attempt);
+      params = random_init_params(n, attempt_rng);
+    } else {
+      // Vote prior: derive the initial parameters from a support-based
+      // posterior via one M-step. Only independent claims count toward
+      // the initial support — seeding belief from echo counts would let
+      // a viral rumour enter the first M-step as "true", inflating f
+      // relative to g and locking the dependent-claim semantics in
+      // backwards.
+      ModelParams neutral;
+      neutral.source.assign(n, SourceParams{});
+      params = m_step(dataset,
+                      vote_prior_posterior(dataset,
+                                           /*independent_only=*/true),
+                      neutral, config_.clamp_eps, config_.shrinkage,
+                      config_.z_floor);
+    }
+    clamp_params(params, config_.clamp_eps);
+
+    EmExtResult result;
+    // Phase 1 (warm-up): f and g tied per source, which cancels every
+    // dependent-branch factor from the posterior — labels form from
+    // independent evidence only (see EmExtConfig::warmup_iters).
+    std::size_t warmup = config_.init.has_value() || random_init
+                             ? 0
+                             : config_.warmup_iters;
+    if (warmup > 0) {
+      ConvergenceMonitor warm_monitor(config_.tol, warmup);
+      bool warm_done = false;
+      while (!warm_done) {
+        LikelihoodTable table(dataset, params);
+        std::vector<double> posterior = all_posteriors(table);
+        result.likelihood_trace.push_back(table.data_log_likelihood());
+        ModelParams next =
+            m_step(dataset, posterior, params, config_.clamp_eps,
+                   config_.shrinkage, config_.z_floor);
+        for (auto& s : next.source) {
+          double tied = 0.5 * (s.f + s.g);
+          s.f = tied;
+          s.g = tied;
+        }
+        double delta = next.max_abs_diff(params);
+        params = std::move(next);
+        warm_done = warm_monitor.update_delta(delta);
+      }
+    }
+
+    // Phase 2: the full model (Eq. 9 / Eq. 10-14).
+    ConvergenceMonitor monitor(config_.tol, config_.max_iters);
+    bool done = false;
+    while (!done) {
+      // E-step (Eq. 9).
+      LikelihoodTable table(dataset, params);
+      std::vector<double> posterior = all_posteriors(table);
+      result.likelihood_trace.push_back(table.data_log_likelihood());
+
+      // M-step (Eq. 10-14).
+      ModelParams next =
+          m_step(dataset, posterior, params, config_.clamp_eps,
+                 config_.shrinkage, config_.z_floor);
+      double delta = next.max_abs_diff(params);
+      params = std::move(next);
+      done = monitor.update_delta(delta);
+    }
+
+    // Final posterior under the converged parameters.
+    LikelihoodTable table(dataset, params);
+    result.estimate.belief = all_posteriors(table);
+    result.estimate.log_odds = all_log_odds(table);
+    result.estimate.probabilistic = true;
+    result.estimate.iterations = monitor.iterations();
+    result.estimate.converged = !monitor.hit_max();
+    result.params = std::move(params);
+    result.log_likelihood = table.data_log_likelihood();
+
+    if (!have_best || result.log_likelihood > best.log_likelihood) {
+      best = std::move(result);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace ss

@@ -1,0 +1,112 @@
+// EM-Ext: the paper's dependency-aware maximum-likelihood fact-finder
+// (Section IV, Algorithm 2).
+//
+// Jointly estimates the per-source behaviour parameters
+// theta_i = {a_i, b_i, f_i, g_i}, the prior z, and the truth posterior of
+// every assertion, by alternating:
+//   E-step (Eq. 9):    Z_j = P(C_j = 1 | SC_j; D, theta)
+//   M-step (Eq. 10-14): closed-form ratio updates of a, f, b, g, z
+// until the parameter vector moves less than `tol` in the max norm.
+//
+// Initialization. Algorithm 2 line 1 says "random probability", but pure
+// random parameter draws often land the chain in a degenerate basin where
+// z collapses toward 0 and every assertion is called false (the prior
+// term then buries the evidence — a well-known failure mode of
+// truth-discovery EM). The default here is therefore a *vote prior*: the
+// initial posterior Z_j = support_j / (support_j + mean support), i.e.
+// assertions with above-average support start slightly believed, and the
+// first M-step derives parameters from that. kRandom reproduces the
+// paper's literal initialization for comparison.
+#pragma once
+
+#include <optional>
+
+#include "core/estimator.h"
+#include "core/params.h"
+
+namespace ss {
+
+enum class EmInit {
+  kVotePrior,  // data-driven initial posterior (default, robust)
+  kRandom,     // Algorithm 2's literal random parameters
+};
+
+struct EmExtConfig {
+  double tol = 1e-6;
+  std::size_t max_iters = 200;
+  // Probability clamp keeping likelihoods finite (DESIGN.md §5).
+  double clamp_eps = 1e-6;
+  // Hierarchical shrinkage: each per-source rate is MAP-estimated under
+  // a Beta prior whose mean is the *pooled* (all-source) rate and whose
+  // strength is `shrinkage` pseudo-claims (i.e. shrinkage/mu pseudo
+  // cells, so the prior carries the same weight whether rates are ~0.4
+  // as in the dense simulations or ~0.002 as in sparse Twitter data).
+  // Sources with many claims keep their individual estimates; sources
+  // with one claim shrink toward the population, which breaks the
+  // "assertion believed -> its lone claimant looks reliable -> assertion
+  // believed harder" echo chamber on sparse data, and stops noisy
+  // f_i/g_i estimates from hurting EM-Ext exactly when dependent claims
+  // carry little information (the paper's Fig. 10 left edge). 0 disables
+  // (the paper's literal M-step); ablation bench A5 quantifies the
+  // effect. The EM baselines default to the same value so comparisons
+  // isolate the dependency model, not the regularizer.
+  double shrinkage = 8.0;
+  // Bounds on the learned prior z. With sparse evidence z is weakly
+  // identified and plain MLE can spiral into z -> 0 (or 1): singleton
+  // assertions inherit the prior, the prior is re-estimated from them,
+  // and the collapsed fixed point swallows the informative one. Keeping
+  // z inside [z_floor, 1 - z_floor] caps the spiral while leaving
+  // evidence-bearing assertions free to override the prior. 0 disables.
+  double z_floor = 0.05;
+  // Two-phase fit. Phase 1 runs EM with f_i = g_i tied — provably
+  // equivalent to deleting every dependent cell (EM-Social's premise;
+  // see tests/test_properties.cpp) — so assertion labels stabilize from
+  // *independent* evidence alone. Phase 2 releases f, g, which then
+  // learn their sign from those labels: echoes concentrated on
+  // false-labelled cascades land in g, not f. Without the warm-up a
+  // viral rumour whose independent support happens to sit above average
+  // seeds its own echoes into f and locks the dependent-claim semantics
+  // in backwards (observed on Twitter-scale data). 0 disables.
+  std::size_t warmup_iters = 50;
+  EmInit init_kind = EmInit::kVotePrior;
+  // Optional explicit initialization; overrides init_kind when set.
+  std::optional<ModelParams> init;
+  // Number of random restarts; the run with the best final data
+  // log-likelihood wins. Only meaningful with kRandom (vote-prior and
+  // explicit initializations are deterministic).
+  std::size_t restarts = 1;
+};
+
+struct EmExtResult {
+  EstimateResult estimate;
+  ModelParams params;
+  double log_likelihood = 0.0;
+  // Data log-likelihood after every iteration of the winning run, for
+  // monotonicity checks and convergence diagnostics.
+  std::vector<double> likelihood_trace;
+};
+
+class EmExtEstimator : public Estimator {
+ public:
+  explicit EmExtEstimator(EmExtConfig config = {});
+
+  std::string name() const override { return "EM-Ext"; }
+  EstimateResult run(const Dataset& dataset,
+                     std::uint64_t seed) const override;
+
+  // Full-detail run exposing the learned parameters and likelihood trace.
+  EmExtResult run_detailed(const Dataset& dataset,
+                           std::uint64_t seed) const;
+
+ private:
+  EmExtConfig config_;
+};
+
+// Shared by the EM-family estimators: the support-based initial posterior
+// Z_j = support_j / (support_j + mean support), clamped to [0.05, 0.95].
+// With independent_only, dependent claims (D_ij = 1) do not count toward
+// support — the right prior for EM-Social, whose model never sees them.
+std::vector<double> vote_prior_posterior(const Dataset& dataset,
+                                         bool independent_only = false);
+
+}  // namespace ss

@@ -1,0 +1,60 @@
+// Common interface every fact-finder in the library implements.
+//
+// An estimator consumes a Dataset (source-claim matrix + dependency
+// indicators) and produces one credibility score per assertion. For the
+// probabilistic estimators (EM-Ext, EM, EM-Social) the score is a
+// calibrated posterior P(C_j = 1); for the heuristics (Voting, Sums,
+// Average.Log, Truth-Finder) it is a relative ranking score. Both usages
+// in the paper — thresholding at 0.5 for simulation accuracy and top-k
+// ranking for the empirical protocol — work off this vector.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace ss {
+
+struct EstimateResult {
+  // One score per assertion; higher means more credible.
+  std::vector<double> belief;
+  // Posterior log-odds log P(C_j=1|..) - log P(C_j=0|..), filled by the
+  // probabilistic estimators. Beliefs saturate to exactly 1.0 in double
+  // precision once the evidence passes ~37 nats, which would reduce
+  // top-k ranking to tie order; log-odds keep the full resolution.
+  std::vector<double> log_odds;
+  // True when belief[j] is a probability P(C_j = 1).
+  bool probabilistic = false;
+  std::size_t iterations = 0;
+  bool converged = true;
+
+  // Hard labels by thresholding belief at `threshold`.
+  std::vector<bool> labels(double threshold = 0.5) const {
+    std::vector<bool> out(belief.size());
+    for (std::size_t j = 0; j < belief.size(); ++j) {
+      out[j] = belief[j] > threshold;
+    }
+    return out;
+  }
+
+  // Assertion ids sorted by descending credibility — log-odds when
+  // available, else belief (ties by ascending id, so rankings are
+  // deterministic).
+  std::vector<std::uint32_t> ranking() const;
+};
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Runs the estimator. `seed` feeds any internal randomization (e.g. EM
+  // initialization); deterministic estimators ignore it.
+  virtual EstimateResult run(const Dataset& dataset,
+                             std::uint64_t seed) const = 0;
+};
+
+}  // namespace ss

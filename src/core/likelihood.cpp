@@ -1,0 +1,93 @@
+#include "core/likelihood.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/logprob.h"
+
+namespace ss {
+
+double cell_probability(const SourceParams& p, bool claimed, bool truth,
+                        bool dependent) {
+  double rate = truth ? (dependent ? p.f : p.a) : (dependent ? p.g : p.b);
+  return claimed ? rate : 1.0 - rate;
+}
+
+LikelihoodTable::LikelihoodTable(const Dataset& dataset,
+                                 const ModelParams& params)
+    : dataset_(dataset) {
+  std::size_t n = dataset.source_count();
+  if (params.source.size() != n) {
+    throw std::invalid_argument(
+        "LikelihoodTable: params/source count mismatch");
+  }
+  double z = clamp_prob(params.z);
+  log_z_ = std::log(z);
+  log_1mz_ = std::log1p(-z);
+
+  exposed_silent_true_.resize(n);
+  exposed_silent_false_.resize(n);
+  claim_indep_true_.resize(n);
+  claim_indep_false_.resize(n);
+  claim_dep_true_.resize(n);
+  claim_dep_false_.resize(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double a = clamp_prob(params.source[i].a);
+    double b = clamp_prob(params.source[i].b);
+    double f = clamp_prob(params.source[i].f);
+    double g = clamp_prob(params.source[i].g);
+    double log_na = std::log1p(-a);
+    double log_nb = std::log1p(-b);
+    double log_nf = std::log1p(-f);
+    double log_ng = std::log1p(-g);
+    base_true_ += log_na;
+    base_false_ += log_nb;
+    exposed_silent_true_[i] = log_nf - log_na;
+    exposed_silent_false_[i] = log_ng - log_nb;
+    claim_indep_true_[i] = std::log(a) - log_na;
+    claim_indep_false_[i] = std::log(b) - log_nb;
+    claim_dep_true_[i] = std::log(f) - log_nf;
+    claim_dep_false_[i] = std::log(g) - log_ng;
+  }
+}
+
+ColumnLogLikelihood LikelihoodTable::column(std::size_t assertion) const {
+  double lt = base_true_;
+  double lf = base_false_;
+  // Move every exposed source from the unexposed-silent baseline to
+  // exposed-silent...
+  for (std::uint32_t u : dataset_.dependency.exposed_sources(assertion)) {
+    lt += exposed_silent_true_[u];
+    lf += exposed_silent_false_[u];
+  }
+  // ...then flip claimants from silent to claiming within their branch.
+  for (std::uint32_t v : dataset_.claims.claimants_of(assertion)) {
+    if (dataset_.dependency.dependent(v, assertion)) {
+      lt += claim_dep_true_[v];
+      lf += claim_dep_false_[v];
+    } else {
+      lt += claim_indep_true_[v];
+      lf += claim_indep_false_[v];
+    }
+  }
+  return {lt, lf};
+}
+
+std::vector<ColumnLogLikelihood> LikelihoodTable::all_columns() const {
+  std::vector<ColumnLogLikelihood> out(dataset_.assertion_count());
+  for (std::size_t j = 0; j < out.size(); ++j) out[j] = column(j);
+  return out;
+}
+
+double LikelihoodTable::data_log_likelihood() const {
+  double total = 0.0;
+  for (std::size_t j = 0; j < dataset_.assertion_count(); ++j) {
+    ColumnLogLikelihood c = column(j);
+    total += logsumexp(c.log_given_true + log_z_,
+                       c.log_given_false + log_1mz_);
+  }
+  return total;
+}
+
+}  // namespace ss

@@ -1,0 +1,72 @@
+// Likelihood machinery for the dependency-aware model (Table II and
+// Eq. 4/5 of the paper).
+//
+// The E-step needs, per assertion j, the two column log-likelihoods
+//   log P(SC_j | C_j = 1; D, theta) = sum_i log P(S_iC_j | C_j=1, D_ij)
+//   log P(SC_j | C_j = 0; D, theta)
+// where the per-cell factor is read from Table II. A naive evaluation is
+// O(n) per assertion; since non-claims dominate, LikelihoodTable instead
+// precomputes the "everyone silent and unexposed" baseline
+//   B1 = sum_i log(1 - a_i),  B0 = sum_i log(1 - b_i)
+// and per-source *correction* terms so each column costs only
+// O(#claimants + #exposed) — the key to running EM on Table-III-scale
+// matrices (tens of thousands of sources) in milliseconds.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/params.h"
+#include "data/dataset.h"
+
+namespace ss {
+
+// Per-cell probability from Table II: P(S_iC_j = s | C_j = c, D_ij = d).
+double cell_probability(const SourceParams& p, bool claimed, bool truth,
+                        bool dependent);
+
+struct ColumnLogLikelihood {
+  double log_given_true = 0.0;   // log P(SC_j | C_j = 1)
+  double log_given_false = 0.0;  // log P(SC_j | C_j = 0)
+};
+
+class LikelihoodTable {
+ public:
+  // Precomputes baselines and correction terms. `params` must have one
+  // entry per source in `dataset`; probabilities are clamped internally so
+  // logs stay finite.
+  LikelihoodTable(const Dataset& dataset, const ModelParams& params);
+
+  // Column log-likelihoods for assertion j (Eq. 4/5).
+  ColumnLogLikelihood column(std::size_t assertion) const;
+
+  // All m columns at once.
+  std::vector<ColumnLogLikelihood> all_columns() const;
+
+  // Total data log-likelihood (Eq. 7): sum_j logsumexp over C_j of
+  // log P(SC_j | C_j) + log P(C_j).
+  double data_log_likelihood() const;
+
+  double log_prior_true() const { return log_z_; }
+  double log_prior_false() const { return log_1mz_; }
+
+ private:
+  const Dataset& dataset_;
+  double log_z_;
+  double log_1mz_;
+  double base_true_ = 0.0;   // sum_i log(1 - a_i)
+  double base_false_ = 0.0;  // sum_i log(1 - b_i)
+  // Per-source correction terms, applied on top of the baseline:
+  //   exposed silent:   log(1-f_i) - log(1-a_i)   [true hypothesis]
+  //   claim, D_ij = 0:  log(a_i)   - log(1-a_i)
+  //   claim, D_ij = 1:  log(f_i)   - log(1-f_i)   [after exposure corr.]
+  // and the analogous b/g terms for the false hypothesis.
+  std::vector<double> exposed_silent_true_;
+  std::vector<double> exposed_silent_false_;
+  std::vector<double> claim_indep_true_;
+  std::vector<double> claim_indep_false_;
+  std::vector<double> claim_dep_true_;
+  std::vector<double> claim_dep_false_;
+};
+
+}  // namespace ss

@@ -1,0 +1,65 @@
+#include "core/params.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "math/logprob.h"
+
+namespace ss {
+namespace {
+
+bool is_prob(double p) { return p >= 0.0 && p <= 1.0 && !std::isnan(p); }
+
+}  // namespace
+
+bool SourceParams::valid() const {
+  return is_prob(a) && is_prob(b) && is_prob(f) && is_prob(g);
+}
+
+bool ModelParams::valid() const {
+  if (!is_prob(z)) return false;
+  return std::all_of(source.begin(), source.end(),
+                     [](const SourceParams& s) { return s.valid(); });
+}
+
+double ModelParams::max_abs_diff(const ModelParams& other) const {
+  if (source.size() != other.source.size()) {
+    throw std::invalid_argument("ModelParams::max_abs_diff: size mismatch");
+  }
+  double best = std::fabs(z - other.z);
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    best = std::max(best, std::fabs(source[i].a - other.source[i].a));
+    best = std::max(best, std::fabs(source[i].b - other.source[i].b));
+    best = std::max(best, std::fabs(source[i].f - other.source[i].f));
+    best = std::max(best, std::fabs(source[i].g - other.source[i].g));
+  }
+  return best;
+}
+
+ModelParams random_init_params(std::size_t sources, Rng& rng) {
+  ModelParams params;
+  params.source.resize(sources);
+  for (auto& s : params.source) {
+    s.a = rng.uniform(0.1, 0.9);
+    s.b = rng.uniform(0.1, 0.9);
+    if (s.a < s.b) std::swap(s.a, s.b);
+    s.f = rng.uniform(0.1, 0.9);
+    s.g = rng.uniform(0.1, 0.9);
+    if (s.f < s.g) std::swap(s.f, s.g);
+  }
+  params.z = rng.uniform(0.3, 0.7);
+  return params;
+}
+
+void clamp_params(ModelParams& params, double eps) {
+  for (auto& s : params.source) {
+    s.a = clamp_prob(s.a, eps);
+    s.b = clamp_prob(s.b, eps);
+    s.f = clamp_prob(s.f, eps);
+    s.g = clamp_prob(s.g, eps);
+  }
+  params.z = clamp_prob(params.z, eps);
+}
+
+}  // namespace ss

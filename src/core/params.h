@@ -1,0 +1,50 @@
+// The source behaviour model theta (Section II-B).
+//
+// Each source S_i is described by four unknown probabilities:
+//   a_i = P(S_i claims j | C_j = 1, D_ij = 0)   independent true-claim rate
+//   b_i = P(S_i claims j | C_j = 0, D_ij = 0)   independent false-claim rate
+//   f_i = P(S_i claims j | C_j = 1, D_ij = 1)   dependent true-claim rate
+//   g_i = P(S_i claims j | C_j = 0, D_ij = 1)   dependent false-claim rate
+// plus the global prior z = P(C = 1). Setting f_i = a_i and g_i = b_i
+// recovers the independent-source model (IPSN'12); f_i = g_i makes
+// dependent claims carry no information (the EM-Social assumption).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ss {
+
+struct SourceParams {
+  double a = 0.5;
+  double b = 0.5;
+  double f = 0.5;
+  double g = 0.5;
+
+  bool valid() const;
+};
+
+struct ModelParams {
+  std::vector<SourceParams> source;
+  double z = 0.5;  // prior P(C_j = 1)
+
+  std::size_t source_count() const { return source.size(); }
+  bool valid() const;
+
+  // Largest absolute elementwise difference from `other`; shapes must
+  // match. Used as the EM convergence criterion.
+  double max_abs_diff(const ModelParams& other) const;
+};
+
+// Random initialization for EM (Algorithm 2 line 1). Draws every rate
+// uniformly from (0.1, 0.9) and then orders a_i > b_i and f_i > g_i by
+// swapping, which breaks the model's label-switching symmetry toward the
+// standard "sources are better than chance on true claims" convention.
+ModelParams random_init_params(std::size_t sources, Rng& rng);
+
+// Clamps every probability into [eps, 1-eps].
+void clamp_params(ModelParams& params, double eps = 1e-6);
+
+}  // namespace ss

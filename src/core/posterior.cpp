@@ -1,0 +1,45 @@
+#include "core/posterior.h"
+
+#include "math/logprob.h"
+
+namespace ss {
+
+double assertion_posterior(const LikelihoodTable& table,
+                           std::size_t assertion) {
+  ColumnLogLikelihood c = table.column(assertion);
+  return normalize_log_pair(c.log_given_true + table.log_prior_true(),
+                            c.log_given_false + table.log_prior_false());
+}
+
+std::vector<double> all_posteriors(const LikelihoodTable& table) {
+  std::vector<double> out;
+  // The table holds a reference to its dataset; reuse column() per j.
+  // Size is taken from a probe column loop guard via all_columns shape.
+  // (LikelihoodTable exposes no size directly to keep its surface small.)
+  auto cols = table.all_columns();
+  out.resize(cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    out[j] = normalize_log_pair(
+        cols[j].log_given_true + table.log_prior_true(),
+        cols[j].log_given_false + table.log_prior_false());
+  }
+  return out;
+}
+
+std::vector<double> all_posteriors(const Dataset& dataset,
+                                   const ModelParams& params) {
+  LikelihoodTable table(dataset, params);
+  return all_posteriors(table);
+}
+
+std::vector<double> all_log_odds(const LikelihoodTable& table) {
+  auto cols = table.all_columns();
+  std::vector<double> out(cols.size());
+  for (std::size_t j = 0; j < cols.size(); ++j) {
+    out[j] = (cols[j].log_given_true + table.log_prior_true()) -
+             (cols[j].log_given_false + table.log_prior_false());
+  }
+  return out;
+}
+
+}  // namespace ss

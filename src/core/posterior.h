@@ -1,0 +1,28 @@
+// Per-assertion truth posterior, Eq. 9:
+//   P(C_j = 1 | SC_j; D, theta) =
+//     P(SC_j | C_j=1) z / (P(SC_j | C_j=1) z + P(SC_j | C_j=0)(1-z))
+#pragma once
+
+#include <vector>
+
+#include "core/likelihood.h"
+
+namespace ss {
+
+// Posterior for one assertion.
+double assertion_posterior(const LikelihoodTable& table,
+                           std::size_t assertion);
+
+// Posteriors for all assertions (the E-step output Z_j).
+std::vector<double> all_posteriors(const LikelihoodTable& table);
+
+// Convenience: posteriors directly from a dataset + parameters.
+std::vector<double> all_posteriors(const Dataset& dataset,
+                                   const ModelParams& params);
+
+// Posterior log-odds log P(C_j=1|SC_j) - log P(C_j=0|SC_j) for all
+// assertions; unlike the posterior itself this does not saturate, which
+// top-k ranking relies on.
+std::vector<double> all_log_odds(const LikelihoodTable& table);
+
+}  // namespace ss

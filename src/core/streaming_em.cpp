@@ -1,0 +1,165 @@
+#include "core/streaming_em.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/em_ext.h"
+#include "core/likelihood.h"
+#include "core/posterior.h"
+#include "math/logprob.h"
+
+namespace ss {
+
+StreamingEmExt::StreamingEmExt(std::size_t sources,
+                               StreamingEmConfig config)
+    : config_(config) {
+  params_.source.assign(sources, SourceParams{});
+  params_.z = 0.5;
+  stats_claim_indep_z_.assign(sources, 0.0);
+  stats_claim_indep_y_.assign(sources, 0.0);
+  stats_claim_dep_z_.assign(sources, 0.0);
+  stats_claim_dep_y_.assign(sources, 0.0);
+  stats_denom_a_.assign(sources, 0.0);
+  stats_denom_b_.assign(sources, 0.0);
+  stats_denom_f_.assign(sources, 0.0);
+  stats_denom_g_.assign(sources, 0.0);
+}
+
+StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
+  batch.validate();
+  std::size_t n = source_count();
+  if (batch.source_count() != n) {
+    throw std::invalid_argument(
+        "StreamingEmExt::observe: batch source count mismatch");
+  }
+  std::size_t m = batch.assertion_count();
+
+  // On the very first batch, bootstrap theta from the batch's vote
+  // prior (independent support) exactly like the offline estimator.
+  if (batches_ == 0) {
+    EmExtConfig boot;
+    boot.shrinkage = config_.shrinkage;
+    boot.clamp_eps = config_.clamp_eps;
+    boot.max_iters = 1;
+    params_ = EmExtEstimator(boot).run_detailed(batch, 1).params;
+  }
+
+  std::vector<double> posterior(m, 0.5);
+  for (std::size_t inner = 0; inner < config_.iters_per_batch; ++inner) {
+    // E-step on this batch under the current theta.
+    LikelihoodTable table(batch, params_);
+    posterior = all_posteriors(table);
+
+    // Batch sufficient statistics.
+    std::vector<double> bz(n, 0.0), by(n, 0.0), dz(n, 0.0), dy(n, 0.0);
+    std::vector<double> da(n, 0.0), db(n, 0.0), df(n, 0.0), dg(n, 0.0);
+    double total_z = 0.0;
+    for (double p : posterior) total_z += p;
+    double total_y = static_cast<double>(m) - total_z;
+    for (std::size_t i = 0; i < n; ++i) {
+      double exposed_z = 0.0;
+      for (std::uint32_t j : batch.dependency.exposed_assertions(i)) {
+        exposed_z += posterior[j];
+      }
+      double exposed_count = static_cast<double>(
+          batch.dependency.exposed_assertions(i).size());
+      for (std::uint32_t j : batch.claims.claims_of(i)) {
+        if (batch.dependency.dependent(i, j)) {
+          dz[i] += posterior[j];
+          dy[i] += 1.0 - posterior[j];
+        } else {
+          bz[i] += posterior[j];
+          by[i] += 1.0 - posterior[j];
+        }
+      }
+      da[i] = total_z - exposed_z;
+      db[i] = total_y - (exposed_count - exposed_z);
+      df[i] = exposed_z;
+      dg[i] = exposed_count - exposed_z;
+    }
+
+    // Recursive update: decay history, add the batch. Only the final
+    // inner iteration commits to the running statistics; earlier inner
+    // iterations refine theta against a blended view so warm starts do
+    // not double-count the batch.
+    double lambda = config_.forgetting;
+    auto blend = [&](const std::vector<double>& hist,
+                     const std::vector<double>& fresh, std::size_t i) {
+      return lambda * hist[i] + fresh[i];
+    };
+
+    // Pooled rates for shrinkage.
+    double pnum_a = 0, pden_a = 0, pnum_b = 0, pden_b = 0;
+    double pnum_f = 0, pden_f = 0, pnum_g = 0, pden_g = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pnum_a += blend(stats_claim_indep_z_, bz, i);
+      pden_a += blend(stats_denom_a_, da, i);
+      pnum_b += blend(stats_claim_indep_y_, by, i);
+      pden_b += blend(stats_denom_b_, db, i);
+      pnum_f += blend(stats_claim_dep_z_, dz, i);
+      pden_f += blend(stats_denom_f_, df, i);
+      pnum_g += blend(stats_claim_dep_y_, dy, i);
+      pden_g += blend(stats_denom_g_, dg, i);
+    }
+    auto pooled = [](double num, double den) {
+      return den > 0.0 ? num / den : 0.5;
+    };
+    double mu_a = pooled(pnum_a, pden_a);
+    double mu_b = pooled(pnum_b, pden_b);
+    double mu_f = pooled(pnum_f, pden_f);
+    double mu_g = pooled(pnum_g, pden_g);
+
+    auto map_rate = [&](double num, double den, double mu,
+                        double& out) {
+      double cells = config_.shrinkage > 0.0
+                         ? config_.shrinkage / std::max(mu, 1e-9)
+                         : 0.0;
+      double d = den + cells;
+      if (d > 0.0) out = clamp_prob((num + cells * mu) / d,
+                                    config_.clamp_eps);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      map_rate(blend(stats_claim_indep_z_, bz, i),
+               blend(stats_denom_a_, da, i), mu_a, params_.source[i].a);
+      map_rate(blend(stats_claim_indep_y_, by, i),
+               blend(stats_denom_b_, db, i), mu_b, params_.source[i].b);
+      map_rate(blend(stats_claim_dep_z_, dz, i),
+               blend(stats_denom_f_, df, i), mu_f, params_.source[i].f);
+      map_rate(blend(stats_claim_dep_y_, dy, i),
+               blend(stats_denom_g_, dg, i), mu_g, params_.source[i].g);
+    }
+    params_.z = clamp_prob(
+        (lambda * stats_z_num_ + total_z) /
+            (lambda * stats_z_den_ + static_cast<double>(m)),
+        config_.clamp_eps);
+    if (config_.z_floor > 0.0) {
+      params_.z = std::clamp(params_.z, config_.z_floor,
+                             1.0 - config_.z_floor);
+    }
+
+    if (inner + 1 == config_.iters_per_batch) {
+      for (std::size_t i = 0; i < n; ++i) {
+        stats_claim_indep_z_[i] = blend(stats_claim_indep_z_, bz, i);
+        stats_claim_indep_y_[i] = blend(stats_claim_indep_y_, by, i);
+        stats_claim_dep_z_[i] = blend(stats_claim_dep_z_, dz, i);
+        stats_claim_dep_y_[i] = blend(stats_claim_dep_y_, dy, i);
+        stats_denom_a_[i] = blend(stats_denom_a_, da, i);
+        stats_denom_b_[i] = blend(stats_denom_b_, db, i);
+        stats_denom_f_[i] = blend(stats_denom_f_, df, i);
+        stats_denom_g_[i] = blend(stats_denom_g_, dg, i);
+      }
+      stats_z_num_ = lambda * stats_z_num_ + total_z;
+      stats_z_den_ = lambda * stats_z_den_ + static_cast<double>(m);
+    }
+  }
+  ++batches_;
+
+  StreamingBatchResult result;
+  LikelihoodTable table(batch, params_);
+  result.belief = all_posteriors(table);
+  result.log_odds = all_log_odds(table);
+  result.log_likelihood = table.data_log_likelihood();
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,80 @@
+// Streaming (recursive) dependency-aware fact-finding.
+//
+// The paper's related work points at a recursive estimator for social
+// data *streams* (Yao et al., IPSN'16): instead of re-running EM over
+// the full history whenever new claims arrive, keep per-source
+// sufficient statistics and fold each new batch in with an exponential
+// forgetting factor. This module implements that extension on top of the
+// EM-Ext model:
+//
+//   per batch b:
+//     1. E-step on the batch's assertions under the current theta
+//        (warm start — a handful of inner iterations suffice);
+//     2. compute the batch's per-source sufficient statistics
+//        (claim/exposure posterior masses split by D_ij);
+//     3. decay the running statistics by `forgetting` and add the batch;
+//     4. closed-form M-step from the running statistics.
+//
+// Sources persist across batches (same index space); assertions are
+// batch-local, as in a sliding window over a live event.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/estimator.h"
+#include "core/params.h"
+
+namespace ss {
+
+struct StreamingEmConfig {
+  // Exponential forgetting factor in (0, 1]; 1 = never forget.
+  double forgetting = 0.9;
+  // Inner EM iterations per batch (warm-started).
+  std::size_t iters_per_batch = 5;
+  double clamp_eps = 1e-6;
+  // Hierarchical Beta shrinkage in pseudo-claims (see EmExtConfig).
+  double shrinkage = 8.0;
+  // Bounds on the learned prior z (see EmExtConfig::z_floor).
+  double z_floor = 0.05;
+};
+
+struct StreamingBatchResult {
+  // Posterior truth probability per assertion of the batch.
+  std::vector<double> belief;
+  std::vector<double> log_odds;
+  double log_likelihood = 0.0;
+};
+
+class StreamingEmExt {
+ public:
+  // `sources` fixes the source universe for the stream's lifetime.
+  StreamingEmExt(std::size_t sources, StreamingEmConfig config = {});
+
+  // Folds one batch into the model and returns its posteriors. The
+  // batch dataset must have exactly `sources()` sources; its assertion
+  // space is independent of previous batches. Throws on shape mismatch.
+  StreamingBatchResult observe(const Dataset& batch);
+
+  const ModelParams& params() const { return params_; }
+  std::size_t source_count() const { return stats_claim_indep_z_.size(); }
+  std::size_t batches_seen() const { return batches_; }
+
+ private:
+  StreamingEmConfig config_;
+  ModelParams params_;
+  std::size_t batches_ = 0;
+  // Running (decayed) sufficient statistics per source.
+  std::vector<double> stats_claim_indep_z_;
+  std::vector<double> stats_claim_indep_y_;
+  std::vector<double> stats_claim_dep_z_;
+  std::vector<double> stats_claim_dep_y_;
+  std::vector<double> stats_denom_a_;
+  std::vector<double> stats_denom_b_;
+  std::vector<double> stats_denom_f_;
+  std::vector<double> stats_denom_g_;
+  double stats_z_num_ = 0.0;
+  double stats_z_den_ = 0.0;
+};
+
+}  // namespace ss

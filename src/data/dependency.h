@@ -1,0 +1,83 @@
+// Dependency indicators D (Section II-A), generalized to *exposure*.
+//
+// The paper defines D_ij = 1 when source i's claim of assertion j is
+// "dependent": some ancestor of i (a source i follows) asserted j earlier.
+// The EM-Ext M-step (Eq. 10-14) also sums over *unclaimed* cells split by
+// D_ij, so D must be defined for every (i, j) pair, not just claims. The
+// natural extension — and the only one under which those sums are
+// well-formed — is exposure: D_ij = 1 iff some ancestor of i asserted j
+// before i's claim (or at any time, when i never claimed j). See DESIGN.md
+// §5.
+//
+// Exposure is stored sparsely in both orientations because exposed cells
+// are rare in realistic data: per-source sorted assertion lists and
+// per-assertion sorted source lists.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/source_claim_matrix.h"
+#include "graph/digraph.h"
+#include "graph/forest.h"
+
+namespace ss {
+
+// Which sources count as a claim's potential influencers. The paper's
+// Figure-1 walkthrough uses direct followees; its prose definition says
+// "ancestors", which reads as transitive reachability. Both are
+// supported; kDirect is the default (and the cheaper one — transitive
+// closure on a celebrity graph explodes).
+enum class ExposureScope { kDirect, kTransitive };
+
+class DependencyIndicators {
+ public:
+  DependencyIndicators() = default;
+
+  // Computes exposure from a follows-graph: source u is exposed to
+  // assertion j iff some followee (direct, or any ancestor under
+  // kTransitive) v of u claimed j, and (when u itself claimed j) v's
+  // claim strictly precedes u's.
+  static DependencyIndicators from_graph(
+      const SourceClaimMatrix& sc, const Digraph& follows,
+      ExposureScope scope = ExposureScope::kDirect);
+
+  // Forest shortcut: leaves are exposed to exactly the assertions their
+  // root claimed (roots always claim "first" in the generators).
+  static DependencyIndicators from_forest(const SourceClaimMatrix& sc,
+                                          const DependencyForest& forest);
+
+  // Builds directly from explicit exposed cells (tests, file IO).
+  static DependencyIndicators from_cells(
+      std::size_t sources, std::size_t assertions,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& cells);
+
+  std::size_t source_count() const { return by_source_.size(); }
+  std::size_t assertion_count() const { return by_assertion_.size(); }
+  std::size_t exposed_cell_count() const { return cell_count_; }
+
+  // D_ij. O(log deg).
+  bool dependent(std::size_t source, std::size_t assertion) const;
+
+  // Assertions source i is exposed to, ascending.
+  const std::vector<std::uint32_t>& exposed_assertions(
+      std::size_t source) const;
+  // Sources exposed to assertion j, ascending.
+  const std::vector<std::uint32_t>& exposed_sources(
+      std::size_t assertion) const;
+
+ private:
+  void finalize();
+
+  std::vector<std::vector<std::uint32_t>> by_source_;
+  std::vector<std::vector<std::uint32_t>> by_assertion_;
+  std::size_t cell_count_ = 0;
+};
+
+// Counts claims with D_ij == 0, the paper's "#Original Claims" column in
+// Table III.
+std::size_t count_original_claims(const SourceClaimMatrix& sc,
+                                  const DependencyIndicators& dep);
+
+}  // namespace ss

@@ -1,0 +1,150 @@
+#include "data/io.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ss {
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return in;
+}
+
+Label parse_label(const std::string& s) {
+  if (s == "True") return Label::kTrue;
+  if (s == "False") return Label::kFalse;
+  if (s == "Opinion") return Label::kOpinion;
+  if (s == "Unknown") return Label::kUnknown;
+  throw std::runtime_error("bad label: " + s);
+}
+
+}  // namespace
+
+void save_dataset(const Dataset& dataset, const std::string& directory) {
+  dataset.validate();
+  std::filesystem::create_directories(directory);
+
+  {
+    auto out = open_out(directory + "/meta.csv");
+    out << "name,sources,assertions\n";
+    out << csv_escape(dataset.name) << ',' << dataset.source_count() << ','
+        << dataset.assertion_count() << '\n';
+  }
+  {
+    auto out = open_out(directory + "/claims.csv");
+    out << "source,assertion,time\n";
+    for (const Claim& c : dataset.claims.to_claims()) {
+      out << c.source << ',' << c.assertion << ','
+          << strprintf("%.9g", c.time) << '\n';
+    }
+  }
+  {
+    auto out = open_out(directory + "/exposure.csv");
+    out << "source,assertion\n";
+    for (std::size_t i = 0; i < dataset.source_count(); ++i) {
+      for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
+        out << i << ',' << j << '\n';
+      }
+    }
+  }
+  {
+    auto out = open_out(directory + "/truth.csv");
+    out << "assertion,label\n";
+    for (std::size_t j = 0; j < dataset.truth.size(); ++j) {
+      out << j << ',' << label_name(dataset.truth[j]) << '\n';
+    }
+  }
+}
+
+Dataset load_dataset(const std::string& directory) {
+  std::string name;
+  std::size_t sources = 0;
+  std::size_t assertions = 0;
+  {
+    auto in = open_in(directory + "/meta.csv");
+    std::string line;
+    std::getline(in, line);  // header
+    if (!std::getline(in, line)) {
+      throw std::runtime_error("meta.csv: missing data row");
+    }
+    auto fields = csv_parse_line(line);
+    if (fields.size() != 3) throw std::runtime_error("meta.csv: bad row");
+    name = fields[0];
+    sources = std::stoull(fields[1]);
+    assertions = std::stoull(fields[2]);
+  }
+
+  std::vector<Claim> claims;
+  {
+    auto in = open_in(directory + "/claims.csv");
+    std::string line;
+    std::getline(in, line);
+    while (std::getline(in, line)) {
+      if (trim(line).empty()) continue;
+      auto fields = csv_parse_line(line);
+      if (fields.size() != 3) {
+        throw std::runtime_error("claims.csv: bad row: " + line);
+      }
+      claims.push_back({static_cast<std::uint32_t>(std::stoul(fields[0])),
+                        static_cast<std::uint32_t>(std::stoul(fields[1])),
+                        std::stod(fields[2])});
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> exposed;
+  {
+    auto in = open_in(directory + "/exposure.csv");
+    std::string line;
+    std::getline(in, line);
+    while (std::getline(in, line)) {
+      if (trim(line).empty()) continue;
+      auto fields = csv_parse_line(line);
+      if (fields.size() != 2) {
+        throw std::runtime_error("exposure.csv: bad row: " + line);
+      }
+      exposed.emplace_back(
+          static_cast<std::uint32_t>(std::stoul(fields[0])),
+          static_cast<std::uint32_t>(std::stoul(fields[1])));
+    }
+  }
+
+  std::vector<Label> truth;
+  {
+    auto in = open_in(directory + "/truth.csv");
+    std::string line;
+    std::getline(in, line);
+    while (std::getline(in, line)) {
+      if (trim(line).empty()) continue;
+      auto fields = csv_parse_line(line);
+      if (fields.size() != 2) {
+        throw std::runtime_error("truth.csv: bad row: " + line);
+      }
+      std::size_t j = std::stoull(fields[0]);
+      if (truth.size() <= j) truth.resize(j + 1, Label::kUnknown);
+      truth[j] = parse_label(fields[1]);
+    }
+  }
+  if (!truth.empty()) truth.resize(assertions, Label::kUnknown);
+
+  Dataset dataset;
+  dataset.name = name;
+  dataset.claims = SourceClaimMatrix(sources, assertions, claims);
+  dataset.dependency =
+      DependencyIndicators::from_cells(sources, assertions, exposed);
+  dataset.truth = std::move(truth);
+  dataset.validate();
+  return dataset;
+}
+
+}  // namespace ss

@@ -1,0 +1,26 @@
+// Dataset persistence.
+//
+// A dataset serializes to a directory of three CSV files:
+//   claims.csv    source,assertion,time
+//   exposure.csv  source,assertion          (cells with D_ij == 1)
+//   truth.csv     assertion,label           (True|False|Opinion|Unknown)
+// plus meta.csv carrying name and matrix dimensions. The format is
+// intentionally line-oriented and diff-able so collected or generated
+// datasets can be inspected and versioned.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace ss {
+
+// Writes the dataset; creates the directory if needed. Throws
+// std::runtime_error on IO failure.
+void save_dataset(const Dataset& dataset, const std::string& directory);
+
+// Reads a dataset written by save_dataset. Throws std::runtime_error on
+// missing files or parse errors.
+Dataset load_dataset(const std::string& directory);
+
+}  // namespace ss

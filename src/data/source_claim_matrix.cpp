@@ -1,0 +1,97 @@
+#include "data/source_claim_matrix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ss {
+
+SourceClaimMatrix::SourceClaimMatrix(std::size_t sources,
+                                     std::size_t assertions,
+                                     const std::vector<Claim>& claims)
+    : rows_(sources), cols_(assertions) {
+  std::vector<Claim> sorted = claims;
+  for (const Claim& c : sorted) {
+    if (c.source >= sources || c.assertion >= assertions) {
+      throw std::out_of_range("SourceClaimMatrix: claim index out of range");
+    }
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Claim& a, const Claim& b) {
+              if (a.source != b.source) return a.source < b.source;
+              if (a.assertion != b.assertion) return a.assertion < b.assertion;
+              return a.time < b.time;
+            });
+  // Deduplicate keeping the earliest time per (source, assertion) cell.
+  std::vector<Claim> unique;
+  unique.reserve(sorted.size());
+  for (const Claim& c : sorted) {
+    if (!unique.empty() && unique.back().source == c.source &&
+        unique.back().assertion == c.assertion) {
+      continue;
+    }
+    unique.push_back(c);
+  }
+  claim_count_ = unique.size();
+  for (const Claim& c : unique) {
+    rows_[c.source].ids.push_back(c.assertion);
+    rows_[c.source].times.push_back(c.time);
+  }
+  // Column adjacency must itself be sorted by source id; iterating claims
+  // sorted by (source, assertion) appends sources in ascending order.
+  for (const Claim& c : unique) {
+    cols_[c.assertion].ids.push_back(c.source);
+    cols_[c.assertion].times.push_back(c.time);
+  }
+}
+
+const std::vector<std::uint32_t>& SourceClaimMatrix::claims_of(
+    std::size_t source) const {
+  return rows_.at(source).ids;
+}
+
+const std::vector<double>& SourceClaimMatrix::claim_times_of(
+    std::size_t source) const {
+  return rows_.at(source).times;
+}
+
+const std::vector<std::uint32_t>& SourceClaimMatrix::claimants_of(
+    std::size_t assertion) const {
+  return cols_.at(assertion).ids;
+}
+
+const std::vector<double>& SourceClaimMatrix::claimant_times_of(
+    std::size_t assertion) const {
+  return cols_.at(assertion).times;
+}
+
+bool SourceClaimMatrix::has_claim(std::size_t source,
+                                  std::size_t assertion) const {
+  const auto& ids = rows_.at(source).ids;
+  return std::binary_search(ids.begin(), ids.end(),
+                            static_cast<std::uint32_t>(assertion));
+}
+
+double SourceClaimMatrix::claim_time(std::size_t source,
+                                     std::size_t assertion) const {
+  const auto& row = rows_.at(source);
+  auto it = std::lower_bound(row.ids.begin(), row.ids.end(),
+                             static_cast<std::uint32_t>(assertion));
+  if (it == row.ids.end() || *it != assertion) {
+    throw std::out_of_range("SourceClaimMatrix::claim_time: no such claim");
+  }
+  return row.times[static_cast<std::size_t>(it - row.ids.begin())];
+}
+
+std::vector<Claim> SourceClaimMatrix::to_claims() const {
+  std::vector<Claim> out;
+  out.reserve(claim_count_);
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    for (std::size_t k = 0; k < rows_[i].ids.size(); ++k) {
+      out.push_back({static_cast<std::uint32_t>(i), rows_[i].ids[k],
+                     rows_[i].times[k]});
+    }
+  }
+  return out;
+}
+
+}  // namespace ss

@@ -1,0 +1,75 @@
+// The source-claim matrix SC (Section II-A).
+//
+// SC is an n x m binary matrix where SC[i][j] = 1 iff source i asserted
+// assertion j. Real social-sensing matrices are extremely sparse (the
+// paper's Table III datasets average ~1.3 claims per source over thousands
+// of assertions), so the matrix is stored as sorted adjacency in both
+// orientations: claims-by-source (rows) and claimants-by-assertion
+// (columns). Each claim optionally carries a timestamp, which the
+// dependency-indicator computation uses to decide whether an ancestor's
+// matching claim happened *before* this one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ss {
+
+struct Claim {
+  std::uint32_t source = 0;
+  std::uint32_t assertion = 0;
+  // Event time; claims without meaningful time should use 0. When a source
+  // repeats the same assertion, only its earliest claim is kept.
+  double time = 0.0;
+};
+
+class SourceClaimMatrix {
+ public:
+  SourceClaimMatrix() = default;
+
+  // Builds from a claim list. Duplicate (source, assertion) pairs collapse
+  // to the earliest timestamp. Throws std::out_of_range on indices outside
+  // [0, sources) x [0, assertions).
+  SourceClaimMatrix(std::size_t sources, std::size_t assertions,
+                    const std::vector<Claim>& claims);
+
+  std::size_t source_count() const { return rows_.size(); }
+  std::size_t assertion_count() const { return cols_.size(); }
+  std::size_t claim_count() const { return claim_count_; }
+
+  // Assertion ids claimed by source i, ascending.
+  const std::vector<std::uint32_t>& claims_of(std::size_t source) const;
+  // Claim times aligned with claims_of(source).
+  const std::vector<double>& claim_times_of(std::size_t source) const;
+
+  // Source ids that claimed assertion j, ascending.
+  const std::vector<std::uint32_t>& claimants_of(
+      std::size_t assertion) const;
+  // Claim times aligned with claimants_of(assertion).
+  const std::vector<double>& claimant_times_of(
+      std::size_t assertion) const;
+
+  // True iff SC[source][assertion] == 1. O(log deg).
+  bool has_claim(std::size_t source, std::size_t assertion) const;
+  // Timestamp of the claim; requires has_claim.
+  double claim_time(std::size_t source, std::size_t assertion) const;
+
+  std::size_t support(std::size_t assertion) const {
+    return claimants_of(assertion).size();
+  }
+
+  // Flat claim list (earliest-per-cell), ordered by (source, assertion).
+  std::vector<Claim> to_claims() const;
+
+ private:
+  struct Adjacency {
+    std::vector<std::uint32_t> ids;
+    std::vector<double> times;
+  };
+  std::vector<Adjacency> rows_;  // per source
+  std::vector<Adjacency> cols_;  // per assertion
+  std::size_t claim_count_ = 0;
+};
+
+}  // namespace ss

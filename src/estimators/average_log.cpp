@@ -1,0 +1,60 @@
+#include "estimators/average_log.h"
+
+#include <cmath>
+
+#include "math/matrix.h"
+
+namespace ss {
+
+AverageLogEstimator::AverageLogEstimator(AverageLogConfig config)
+    : config_(config) {}
+
+EstimateResult AverageLogEstimator::run(const Dataset& dataset,
+                                        std::uint64_t /*seed*/) const {
+  dataset.validate();
+  std::size_t n = dataset.source_count();
+  std::size_t m = dataset.assertion_count();
+  std::vector<double> trust(n, 1.0);
+  std::vector<double> belief(m, 0.0);
+
+  for (std::size_t it = 0; it < config_.iterations; ++it) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (std::uint32_t v : dataset.claims.claimants_of(j)) {
+        acc += trust[v];
+      }
+      belief[j] = acc;
+    }
+    if (!normalize_max(belief)) {
+      // Degenerate instance (e.g. every source has exactly one claim so
+      // all trust collapsed to zero): fall back to claim counts.
+      for (std::size_t j = 0; j < m; ++j) {
+        belief[j] = static_cast<double>(dataset.claims.support(j));
+      }
+      normalize_max(belief);
+      break;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t deg = dataset.claims.claims_of(i).size();
+      if (deg == 0) {
+        trust[i] = 0.0;
+        continue;
+      }
+      double acc = 0.0;
+      for (std::uint32_t j : dataset.claims.claims_of(i)) {
+        acc += belief[j];
+      }
+      trust[i] = std::log(static_cast<double>(deg)) * acc /
+                 static_cast<double>(deg);
+    }
+    normalize_max(trust);
+  }
+
+  EstimateResult result;
+  result.belief = std::move(belief);
+  result.probabilistic = false;
+  result.iterations = config_.iterations;
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,162 @@
+#include "estimators/em_ipsn12.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/em_ext.h"
+#include "math/convergence.h"
+#include "math/logprob.h"
+
+namespace ss {
+
+EmIpsn12Estimator::EmIpsn12Estimator(EmIpsn12Config config)
+    : config_(config) {}
+
+EstimateResult EmIpsn12Estimator::run(const Dataset& dataset,
+                                      std::uint64_t seed) const {
+  return run_detailed(dataset, seed).estimate;
+}
+
+EmIpsn12Result EmIpsn12Estimator::run_detailed(const Dataset& dataset,
+                                               std::uint64_t seed) const {
+  dataset.validate();
+  (void)seed;  // deterministic: vote-prior initialization (see EM-Ext)
+  std::size_t n = dataset.source_count();
+  std::size_t m = dataset.assertion_count();
+
+  EmIpsn12Result result;
+  if (m == 0) {
+    result.a.assign(n, 0.5);
+    result.b.assign(n, 0.5);
+    result.estimate.probabilistic = true;
+    return result;
+  }
+  result.a.assign(n, 0.5);
+  result.b.assign(n, 0.5);
+  result.z = 0.5;
+
+  // Initial parameters from the support-based vote prior via one M-step.
+  std::vector<double> posterior = vote_prior_posterior(dataset);
+  {
+    double total_z = 0.0;
+    for (double p : posterior) total_z += p;
+    double total_y = static_cast<double>(m) - total_z;
+    for (std::size_t i = 0; i < n; ++i) {
+      double claim_z = 0.0;
+      double claim_y = 0.0;
+      for (std::uint32_t j : dataset.claims.claims_of(i)) {
+        claim_z += posterior[j];
+        claim_y += 1.0 - posterior[j];
+      }
+      if (total_z > 0.0) {
+        result.a[i] = clamp_prob(claim_z / total_z, config_.clamp_eps);
+      }
+      if (total_y > 0.0) {
+        result.b[i] = clamp_prob(claim_y / total_y, config_.clamp_eps);
+      }
+    }
+    result.z =
+        clamp_prob(total_z / static_cast<double>(m), config_.clamp_eps);
+  }
+  std::vector<double> log_odds(m, 0.0);
+  std::vector<double> log_a(n), log_na(n), log_b(n), log_nb(n);
+  ConvergenceMonitor monitor(config_.tol, config_.max_iters);
+  bool done = false;
+
+  while (!done) {
+    // E-step. Baseline = everyone silent; claimants corrected in O(deg).
+    double base_true = 0.0;
+    double base_false = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double a = clamp_prob(result.a[i], config_.clamp_eps);
+      double b = clamp_prob(result.b[i], config_.clamp_eps);
+      log_a[i] = std::log(a);
+      log_na[i] = std::log1p(-a);
+      log_b[i] = std::log(b);
+      log_nb[i] = std::log1p(-b);
+      base_true += log_na[i];
+      base_false += log_nb[i];
+    }
+    double z = clamp_prob(result.z, config_.clamp_eps);
+    double log_z = std::log(z);
+    double log_1mz = std::log1p(-z);
+    for (std::size_t j = 0; j < m; ++j) {
+      double lt = base_true;
+      double lf = base_false;
+      for (std::uint32_t v : dataset.claims.claimants_of(j)) {
+        lt += log_a[v] - log_na[v];
+        lf += log_b[v] - log_nb[v];
+      }
+      posterior[j] = normalize_log_pair(lt + log_z, lf + log_1mz);
+      log_odds[j] = (lt + log_z) - (lf + log_1mz);
+    }
+
+    // M-step with pooled-rate MAP shrinkage (see config).
+    double total_z = 0.0;
+    for (double p : posterior) total_z += p;
+    double total_y = static_cast<double>(m) - total_z;
+
+    std::vector<double> claim_zs(n, 0.0);
+    std::vector<double> claim_ys(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint32_t j : dataset.claims.claims_of(i)) {
+        claim_zs[i] += posterior[j];
+        claim_ys[i] += 1.0 - posterior[j];
+      }
+    }
+    double pooled_z = 0.0;
+    double pooled_y = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pooled_z += claim_zs[i];
+      pooled_y += claim_ys[i];
+    }
+    double nn = static_cast<double>(n);
+    double mu_a = total_z > 0.0 ? pooled_z / (nn * total_z) : 0.5;
+    double mu_b = total_y > 0.0 ? pooled_y / (nn * total_y) : 0.5;
+    // Beta-prior strength in pseudo-claims => shrinkage/mu pseudo-cells
+    // (see EmExtConfig::shrinkage).
+    double cells_a =
+        config_.shrinkage > 0.0
+            ? config_.shrinkage / std::max(mu_a, 1e-9)
+            : 0.0;
+    double cells_b =
+        config_.shrinkage > 0.0
+            ? config_.shrinkage / std::max(mu_b, 1e-9)
+            : 0.0;
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double claim_z = claim_zs[i];
+      double claim_y = claim_ys[i];
+      double new_a = total_z + cells_a > 0.0
+                         ? (claim_z + cells_a * mu_a) / (total_z + cells_a)
+                         : result.a[i];
+      double new_b = total_y + cells_b > 0.0
+                         ? (claim_y + cells_b * mu_b) / (total_y + cells_b)
+                         : result.b[i];
+      new_a = clamp_prob(new_a, config_.clamp_eps);
+      new_b = clamp_prob(new_b, config_.clamp_eps);
+      delta = std::max(delta, std::fabs(new_a - result.a[i]));
+      delta = std::max(delta, std::fabs(new_b - result.b[i]));
+      result.a[i] = new_a;
+      result.b[i] = new_b;
+    }
+    double new_z = clamp_prob(total_z / static_cast<double>(m),
+                              config_.clamp_eps);
+    if (config_.z_floor > 0.0) {
+      new_z = std::clamp(new_z, config_.z_floor, 1.0 - config_.z_floor);
+    }
+    delta = std::max(delta, std::fabs(new_z - result.z));
+    result.z = new_z;
+    done = monitor.update_delta(delta);
+  }
+
+  result.estimate.belief = posterior;
+  result.estimate.log_odds = log_odds;
+  result.estimate.probabilistic = true;
+  result.estimate.iterations = monitor.iterations();
+  result.estimate.converged = !monitor.hit_max();
+  return result;
+}
+
+}  // namespace ss

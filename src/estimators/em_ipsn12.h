@@ -1,0 +1,49 @@
+// EM (IPSN 2012) baseline — Wang et al., "On Truth Discovery in Social
+// Sensing: A Maximum Likelihood Estimation Approach".
+//
+// Jointly estimates per-source reliabilities (a_i, b_i) and assertion
+// truth values under the assumption that *all* sources are independent:
+// the dependency indicators are ignored entirely. This is the estimator
+// whose false-positive rate degrades as dependent sources multiply
+// (paper Fig. 7), motivating EM-Ext.
+#pragma once
+
+#include "core/estimator.h"
+#include "core/params.h"
+
+namespace ss {
+
+struct EmIpsn12Config {
+  double tol = 1e-6;
+  std::size_t max_iters = 200;
+  double clamp_eps = 1e-6;
+  // MAP pseudo-observations toward the pooled rate, matching EM-Ext's
+  // hierarchical shrinkage so estimator comparisons isolate the
+  // dependency model rather than the regularizer (DESIGN.md §5).
+  double shrinkage = 8.0;
+  // Bounds on the learned prior z (see EmExtConfig::z_floor).
+  double z_floor = 0.05;
+};
+
+struct EmIpsn12Result {
+  EstimateResult estimate;
+  std::vector<double> a;  // P(claim | true)
+  std::vector<double> b;  // P(claim | false)
+  double z = 0.5;
+};
+
+class EmIpsn12Estimator : public Estimator {
+ public:
+  explicit EmIpsn12Estimator(EmIpsn12Config config = {});
+
+  std::string name() const override { return "EM"; }
+  EstimateResult run(const Dataset& dataset,
+                     std::uint64_t seed) const override;
+  EmIpsn12Result run_detailed(const Dataset& dataset,
+                              std::uint64_t seed) const;
+
+ private:
+  EmIpsn12Config config_;
+};
+
+}  // namespace ss

@@ -1,0 +1,191 @@
+#include "estimators/em_social.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/em_ext.h"
+#include "math/convergence.h"
+#include "math/logprob.h"
+
+namespace ss {
+
+EmSocialEstimator::EmSocialEstimator(EmSocialConfig config)
+    : config_(config) {}
+
+EstimateResult EmSocialEstimator::run(const Dataset& dataset,
+                                      std::uint64_t seed) const {
+  dataset.validate();
+  (void)seed;  // deterministic: vote-prior initialization (see EM-Ext)
+  std::size_t n = dataset.source_count();
+  std::size_t m = dataset.assertion_count();
+  if (m == 0) {
+    EstimateResult empty;
+    empty.probabilistic = true;
+    return empty;
+  }
+
+  std::vector<double> a(n, 0.5);
+  std::vector<double> b(n, 0.5);
+  double z = 0.5;
+
+  // Initial parameters from the support-based vote prior via one M-step
+  // over the independent (D_ij = 0) cells this estimator keeps.
+  std::vector<double> log_odds(m, 0.0);
+  std::vector<double> posterior =
+      vote_prior_posterior(dataset, /*independent_only=*/true);
+  {
+    double total_z = 0.0;
+    for (double p : posterior) total_z += p;
+    double total_y = static_cast<double>(m) - total_z;
+    for (std::size_t i = 0; i < n; ++i) {
+      double exposed_z = 0.0;
+      for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
+        exposed_z += posterior[j];
+      }
+      double exposed_count = static_cast<double>(
+          dataset.dependency.exposed_assertions(i).size());
+      double exposed_y = exposed_count - exposed_z;
+      double claim_z = 0.0;
+      double claim_y = 0.0;
+      for (std::uint32_t j : dataset.claims.claims_of(i)) {
+        if (dataset.dependency.dependent(i, j)) continue;
+        claim_z += posterior[j];
+        claim_y += 1.0 - posterior[j];
+      }
+      double denom_a = total_z - exposed_z;
+      double denom_b = total_y - exposed_y;
+      if (denom_a > 0.0) {
+        a[i] = clamp_prob(claim_z / denom_a, config_.clamp_eps);
+      }
+      if (denom_b > 0.0) {
+        b[i] = clamp_prob(claim_y / denom_b, config_.clamp_eps);
+      }
+    }
+    z = clamp_prob(total_z / static_cast<double>(m), config_.clamp_eps);
+  }
+  std::vector<double> log_a(n), log_na(n), log_b(n), log_nb(n);
+  ConvergenceMonitor monitor(config_.tol, config_.max_iters);
+  bool done = false;
+
+  while (!done) {
+    // E-step over independent cells only. Baseline assumes every source
+    // is silent and independent; exposed sources are *removed* (their
+    // silent factor subtracted), then independent claimants corrected.
+    double base_true = 0.0;
+    double base_false = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double ca = clamp_prob(a[i], config_.clamp_eps);
+      double cb = clamp_prob(b[i], config_.clamp_eps);
+      log_a[i] = std::log(ca);
+      log_na[i] = std::log1p(-ca);
+      log_b[i] = std::log(cb);
+      log_nb[i] = std::log1p(-cb);
+      base_true += log_na[i];
+      base_false += log_nb[i];
+    }
+    double cz = clamp_prob(z, config_.clamp_eps);
+    double log_z = std::log(cz);
+    double log_1mz = std::log1p(-cz);
+
+    for (std::size_t j = 0; j < m; ++j) {
+      double lt = base_true;
+      double lf = base_false;
+      for (std::uint32_t u : dataset.dependency.exposed_sources(j)) {
+        lt -= log_na[u];
+        lf -= log_nb[u];
+      }
+      for (std::uint32_t v : dataset.claims.claimants_of(j)) {
+        if (dataset.dependency.dependent(v, j)) continue;  // deleted cell
+        lt += log_a[v] - log_na[v];
+        lf += log_b[v] - log_nb[v];
+      }
+      posterior[j] = normalize_log_pair(lt + log_z, lf + log_1mz);
+      log_odds[j] = (lt + log_z) - (lf + log_1mz);
+    }
+
+    // M-step over independent cells only, with pooled-rate MAP
+    // shrinkage (see config).
+    double total_z = 0.0;
+    for (double p : posterior) total_z += p;
+    double total_y = static_cast<double>(m) - total_z;
+
+    std::vector<double> claim_zs(n, 0.0);
+    std::vector<double> claim_ys(n, 0.0);
+    std::vector<double> denom_as(n, 0.0);
+    std::vector<double> denom_bs(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double exposed_z = 0.0;
+      for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
+        exposed_z += posterior[j];
+      }
+      double exposed_count = static_cast<double>(
+          dataset.dependency.exposed_assertions(i).size());
+      double exposed_y = exposed_count - exposed_z;
+      for (std::uint32_t j : dataset.claims.claims_of(i)) {
+        if (dataset.dependency.dependent(i, j)) continue;
+        claim_zs[i] += posterior[j];
+        claim_ys[i] += 1.0 - posterior[j];
+      }
+      denom_as[i] = total_z - exposed_z;
+      denom_bs[i] = total_y - exposed_y;
+    }
+    double pooled_num_a = 0.0;
+    double pooled_den_a = 0.0;
+    double pooled_num_b = 0.0;
+    double pooled_den_b = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      pooled_num_a += claim_zs[i];
+      pooled_den_a += denom_as[i];
+      pooled_num_b += claim_ys[i];
+      pooled_den_b += denom_bs[i];
+    }
+    double mu_a = pooled_den_a > 0.0 ? pooled_num_a / pooled_den_a : 0.5;
+    double mu_b = pooled_den_b > 0.0 ? pooled_num_b / pooled_den_b : 0.5;
+    // Beta-prior strength in pseudo-claims => shrinkage/mu pseudo-cells
+    // (see EmExtConfig::shrinkage).
+    double cells_a =
+        config_.shrinkage > 0.0
+            ? config_.shrinkage / std::max(mu_a, 1e-9)
+            : 0.0;
+    double cells_b =
+        config_.shrinkage > 0.0
+            ? config_.shrinkage / std::max(mu_b, 1e-9)
+            : 0.0;
+
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double claim_z = claim_zs[i];
+      double claim_y = claim_ys[i];
+      double denom_a = denom_as[i] + cells_a;
+      double denom_b = denom_bs[i] + cells_b;
+      double new_a =
+          denom_a > 0.0 ? (claim_z + cells_a * mu_a) / denom_a : a[i];
+      double new_b =
+          denom_b > 0.0 ? (claim_y + cells_b * mu_b) / denom_b : b[i];
+      new_a = clamp_prob(new_a, config_.clamp_eps);
+      new_b = clamp_prob(new_b, config_.clamp_eps);
+      delta = std::max(delta, std::fabs(new_a - a[i]));
+      delta = std::max(delta, std::fabs(new_b - b[i]));
+      a[i] = new_a;
+      b[i] = new_b;
+    }
+    double new_z =
+        clamp_prob(total_z / static_cast<double>(m), config_.clamp_eps);
+    if (config_.z_floor > 0.0) {
+      new_z = std::clamp(new_z, config_.z_floor, 1.0 - config_.z_floor);
+    }
+    delta = std::max(delta, std::fabs(new_z - z));
+    z = new_z;
+    done = monitor.update_delta(delta);
+  }
+
+  EstimateResult result;
+  result.belief = posterior;
+  result.log_odds = log_odds;
+  result.probabilistic = true;
+  result.iterations = monitor.iterations();
+  result.converged = !monitor.hit_max();
+  return result;
+}
+
+}  // namespace ss

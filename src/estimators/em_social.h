@@ -1,0 +1,39 @@
+// EM-Social (IPSN 2014) baseline — Wang et al., "Using Humans as Sensors:
+// An Estimation-Theoretic Perspective".
+//
+// Improves on EM (IPSN'12) by acknowledging source dependencies, but in
+// the bluntest way: dependent claims are assumed to carry *no* information
+// and every cell with D_ij = 1 is removed from the likelihood and the
+// parameter updates — as if the dependent source had never spoken. EM-Ext
+// replaces this deletion with the learned (f_i, g_i) rates.
+#pragma once
+
+#include "core/estimator.h"
+
+namespace ss {
+
+struct EmSocialConfig {
+  double tol = 1e-6;
+  std::size_t max_iters = 200;
+  double clamp_eps = 1e-6;
+  // MAP pseudo-observations toward the pooled rate, matching EM-Ext's
+  // hierarchical shrinkage so estimator comparisons isolate the
+  // dependency model rather than the regularizer (DESIGN.md §5).
+  double shrinkage = 8.0;
+  // Bounds on the learned prior z (see EmExtConfig::z_floor).
+  double z_floor = 0.05;
+};
+
+class EmSocialEstimator : public Estimator {
+ public:
+  explicit EmSocialEstimator(EmSocialConfig config = {});
+
+  std::string name() const override { return "EM-Social"; }
+  EstimateResult run(const Dataset& dataset,
+                     std::uint64_t seed) const override;
+
+ private:
+  EmSocialConfig config_;
+};
+
+}  // namespace ss

@@ -1,0 +1,60 @@
+#include "estimators/investment.h"
+
+#include <cmath>
+
+#include "math/matrix.h"
+
+namespace ss {
+
+InvestmentEstimator::InvestmentEstimator(InvestmentConfig config)
+    : config_(config) {}
+
+EstimateResult InvestmentEstimator::run(const Dataset& dataset,
+                                        std::uint64_t /*seed*/) const {
+  dataset.validate();
+  std::size_t n = dataset.source_count();
+  std::size_t m = dataset.assertion_count();
+  std::vector<double> trust(n, 1.0);
+  std::vector<double> belief(m, 0.0);
+
+  for (std::size_t it = 0; it < config_.iterations; ++it) {
+    // Per-claim pooled investment sum_{s in S_c} T(s)/|C_s|.
+    std::vector<double> pool(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t deg = dataset.claims.claims_of(i).size();
+      if (deg == 0) continue;
+      double share = trust[i] / static_cast<double>(deg);
+      for (std::uint32_t j : dataset.claims.claims_of(i)) {
+        pool[j] += share;
+      }
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      belief[j] = std::pow(pool[j], config_.growth);
+    }
+    if (!normalize_max(belief)) break;  // no claims at all
+
+    // Returns: each source collects belief proportional to its share of
+    // the claim's investment pool.
+    std::vector<double> next_trust(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t deg = dataset.claims.claims_of(i).size();
+      if (deg == 0) continue;
+      double share = trust[i] / static_cast<double>(deg);
+      for (std::uint32_t j : dataset.claims.claims_of(i)) {
+        if (pool[j] > 0.0) {
+          next_trust[i] += belief[j] * share / pool[j];
+        }
+      }
+    }
+    trust = std::move(next_trust);
+    if (!normalize_max(trust)) break;
+  }
+
+  EstimateResult result;
+  result.belief = std::move(belief);
+  result.probabilistic = false;
+  result.iterations = config_.iterations;
+  return result;
+}
+
+}  // namespace ss

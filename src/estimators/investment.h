@@ -1,0 +1,35 @@
+// Investment baseline (Pasternack & Roth, COLING 2010).
+//
+// Sources "invest" their trust uniformly across their claims and collect
+// returns proportional to their share of each claim's belief:
+//   B(c) = ( sum_{s in S_c} T(s)/|C_s| )^g            (g = 1.2)
+//   T(s) = sum_{c in C_s} B(c) * (T0(s)/|C_s|) /
+//                         ( sum_{s' in S_c} T0(s')/|C_s'| )
+// where T0 is the previous round's trust. The non-linear growth g > 1
+// makes well-backed claims pull ahead — and makes the heuristic
+// sensitive to cascade-inflated support, which is why it belongs in the
+// "high variance" bucket the paper observes for this family.
+#pragma once
+
+#include "core/estimator.h"
+
+namespace ss {
+
+struct InvestmentConfig {
+  std::size_t iterations = 20;
+  double growth = 1.2;
+};
+
+class InvestmentEstimator : public Estimator {
+ public:
+  explicit InvestmentEstimator(InvestmentConfig config = {});
+
+  std::string name() const override { return "Investment"; }
+  EstimateResult run(const Dataset& dataset,
+                     std::uint64_t seed) const override;
+
+ private:
+  InvestmentConfig config_;
+};
+
+}  // namespace ss

@@ -1,0 +1,55 @@
+#include "estimators/truth_finder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/logprob.h"
+#include "math/matrix.h"
+
+namespace ss {
+
+TruthFinderEstimator::TruthFinderEstimator(TruthFinderConfig config)
+    : config_(config) {}
+
+EstimateResult TruthFinderEstimator::run(const Dataset& dataset,
+                                         std::uint64_t /*seed*/) const {
+  dataset.validate();
+  std::size_t n = dataset.source_count();
+  std::size_t m = dataset.assertion_count();
+  std::vector<double> trust(n, config_.initial_trust);
+  std::vector<double> confidence(m, 0.0);
+
+  std::size_t iters = 0;
+  bool converged = false;
+  std::vector<double> prev = trust;
+  while (iters < config_.max_iters && !converged) {
+    ++iters;
+    for (std::size_t j = 0; j < m; ++j) {
+      double sigma = 0.0;
+      for (std::uint32_t v : dataset.claims.claimants_of(j)) {
+        double t = std::min(trust[v], config_.max_trust);
+        sigma += -std::log1p(-t);
+      }
+      confidence[j] = sigmoid(config_.gamma * sigma);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& claims = dataset.claims.claims_of(i);
+      if (claims.empty()) continue;
+      double acc = 0.0;
+      for (std::uint32_t j : claims) acc += confidence[j];
+      trust[i] = acc / static_cast<double>(claims.size());
+    }
+    double cos = cosine_similarity(prev, trust);
+    converged = (1.0 - cos) <= config_.tol;
+    prev = trust;
+  }
+
+  EstimateResult result;
+  result.belief = std::move(confidence);
+  result.probabilistic = false;  // sigmoid scores, not calibrated
+  result.iterations = iters;
+  result.converged = converged;
+  return result;
+}
+
+}  // namespace ss

@@ -1,0 +1,21 @@
+#include "estimators/voting.h"
+
+#include "math/matrix.h"
+
+namespace ss {
+
+EstimateResult VotingEstimator::run(const Dataset& dataset,
+                                    std::uint64_t /*seed*/) const {
+  dataset.validate();
+  EstimateResult result;
+  result.belief.resize(dataset.assertion_count());
+  for (std::size_t j = 0; j < result.belief.size(); ++j) {
+    result.belief[j] = static_cast<double>(dataset.claims.support(j));
+  }
+  normalize_max(result.belief);  // cosmetic: scores in [0, 1]
+  result.probabilistic = false;
+  result.iterations = 1;
+  return result;
+}
+
+}  // namespace ss

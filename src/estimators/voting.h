@@ -1,0 +1,17 @@
+// Voting baseline: an assertion's credibility is the number of sources
+// asserting it. The simplest fact-finder and the one most vulnerable to
+// rumour cascades — every retweet is one more "vote".
+#pragma once
+
+#include "core/estimator.h"
+
+namespace ss {
+
+class VotingEstimator : public Estimator {
+ public:
+  std::string name() const override { return "Voting"; }
+  EstimateResult run(const Dataset& dataset,
+                     std::uint64_t seed) const override;
+};
+
+}  // namespace ss

@@ -1,0 +1,114 @@
+#include "eval/json.h"
+
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ss {
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue& JsonValue::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) {
+    throw std::logic_error("JsonValue: not an object");
+  }
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, JsonValue());
+  return members_.back().second;
+}
+
+void JsonValue::push_back(JsonValue v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) {
+    throw std::logic_error("JsonValue: not an array");
+  }
+  elements_.push_back(std::move(v));
+}
+
+void JsonValue::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      if (std::isfinite(number_)) {
+        out += strprintf("%.12g", number_);
+      } else {
+        out += "null";  // JSON has no Inf/NaN
+      }
+      break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!members_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& v : elements_) {
+        if (!first) out += ',';
+        first = false;
+        newline(depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      if (!elements_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+void JsonValue::write_file(const std::string& path, int indent) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("JsonValue: cannot write " + path);
+  f << dump(indent) << '\n';
+}
+
+}  // namespace ss

@@ -1,0 +1,56 @@
+// Minimal JSON document builder for persisting bench results
+// (EXPERIMENTS.md is generated from these machine-readable records).
+// Build trees of JsonValue and dump(); no parsing — results are written,
+// never read back by the library.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}           // NOLINT
+  JsonValue(double d) : kind_(Kind::kNumber), number_(d) {}     // NOLINT
+  JsonValue(long long i)                                        // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(i)) {}
+  JsonValue(std::size_t u)                                      // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), string_(s) {} // NOLINT
+  JsonValue(std::string s)                                      // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static JsonValue object();
+  static JsonValue array();
+
+  // Object access; converts a null value into an object on first use.
+  JsonValue& operator[](const std::string& key);
+  // Array append; converts a null value into an array on first use.
+  void push_back(JsonValue v);
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  // Serializes with keys in insertion order and `indent` spaces per
+  // level (0 = compact).
+  std::string dump(int indent = 2) const;
+
+  // Writes dump() to `path`; throws std::runtime_error on IO failure.
+  void write_file(const std::string& path, int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+}  // namespace ss

@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ss {
+
+double ClassificationMetrics::accuracy() const {
+  if (evaluated == 0) return 0.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(evaluated);
+}
+
+double ClassificationMetrics::false_positive_rate() const {
+  if (evaluated == 0) return 0.0;
+  return static_cast<double>(false_positives) /
+         static_cast<double>(evaluated);
+}
+
+double ClassificationMetrics::false_negative_rate() const {
+  if (evaluated == 0) return 0.0;
+  return static_cast<double>(false_negatives) /
+         static_cast<double>(evaluated);
+}
+
+ClassificationMetrics classify(const Dataset& dataset,
+                               const EstimateResult& estimate,
+                               double threshold) {
+  if (estimate.belief.size() != dataset.assertion_count()) {
+    throw std::invalid_argument("classify: belief/assertion size mismatch");
+  }
+  if (dataset.truth.size() != dataset.assertion_count()) {
+    throw std::invalid_argument("classify: dataset lacks ground truth");
+  }
+  ClassificationMetrics m;
+  for (std::size_t j = 0; j < dataset.assertion_count(); ++j) {
+    Label label = dataset.truth[j];
+    if (label == Label::kUnknown) continue;
+    bool actual_true = label == Label::kTrue;
+    bool predicted_true = estimate.belief[j] > threshold;
+    ++m.evaluated;
+    if (predicted_true && actual_true) ++m.true_positives;
+    else if (predicted_true && !actual_true) ++m.false_positives;
+    else if (!predicted_true && !actual_true) ++m.true_negatives;
+    else ++m.false_negatives;
+  }
+  return m;
+}
+
+double top_k_true_fraction(const Dataset& dataset,
+                           const EstimateResult& estimate, std::size_t k) {
+  if (estimate.belief.size() != dataset.assertion_count()) {
+    throw std::invalid_argument(
+        "top_k_true_fraction: belief/assertion size mismatch");
+  }
+  if (dataset.truth.size() != dataset.assertion_count()) {
+    throw std::invalid_argument(
+        "top_k_true_fraction: dataset lacks ground truth");
+  }
+  auto order = estimate.ranking();
+  k = std::min(k, order.size());
+  if (k == 0) return 0.0;
+  std::size_t true_hits = 0;
+  for (std::size_t r = 0; r < k; ++r) {
+    if (dataset.truth[order[r]] == Label::kTrue) ++true_hits;
+  }
+  return static_cast<double>(true_hits) / static_cast<double>(k);
+}
+
+}  // namespace ss

@@ -1,0 +1,45 @@
+// Evaluation metrics matching the paper's two protocols:
+//  * simulation (Figs. 7-10): threshold beliefs at 0.5, report accuracy
+//    and the false-positive / false-negative *portions* of all assertions
+//    ("the portion ... caused by regarding false assertions as true and
+//    true assertions as false");
+//  * empirical (Fig. 11): rank assertions by belief, take the top k, and
+//    report #True / (#True + #False + #Opinion) within them.
+#pragma once
+
+#include <cstddef>
+
+#include "core/estimator.h"
+#include "data/dataset.h"
+
+namespace ss {
+
+struct ClassificationMetrics {
+  std::size_t evaluated = 0;  // assertions with a usable ground truth
+  std::size_t true_positives = 0;
+  std::size_t false_positives = 0;  // false assertion judged true
+  std::size_t true_negatives = 0;
+  std::size_t false_negatives = 0;  // true assertion judged false
+
+  // All three are fractions of `evaluated`, so
+  // accuracy + false_positive_rate + false_negative_rate == 1.
+  double accuracy() const;
+  double false_positive_rate() const;
+  double false_negative_rate() const;
+};
+
+// Compares thresholded beliefs against dataset.truth. Opinion labels count
+// as not-true (an "Opinion" is not a verified fact); Unknown labels are
+// excluded from the tally.
+ClassificationMetrics classify(const Dataset& dataset,
+                               const EstimateResult& estimate,
+                               double threshold = 0.5);
+
+// Fraction of the top-k ranked assertions whose label is True (Opinion
+// and False both count against, Unknown too — mirroring the grading rule
+// where only confirmed-true tweets score). k is capped at the assertion
+// count.
+double top_k_true_fraction(const Dataset& dataset,
+                           const EstimateResult& estimate, std::size_t k);
+
+}  // namespace ss

@@ -1,0 +1,62 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ss {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_row(const std::vector<double>& cells,
+                           int precision) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format_double(v, precision));
+  add_row(std::move(formatted));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += " | ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::size_t total = out.size() - 1;
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+
+void print_banner(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace ss

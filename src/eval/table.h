@@ -1,0 +1,35 @@
+// Aligned plain-text table printer. Every bench binary prints its
+// figure/table as one of these so the output is directly comparable with
+// the paper's rows and trivially machine-parsable (pipe-separated).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Convenience: formats doubles with `precision` decimals.
+  void add_row(const std::vector<double>& cells, int precision = 4);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  // Renders with a header underline and column alignment.
+  std::string to_string() const;
+  // Writes to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Section banner used by benches: "== Figure 7: ... ==".
+void print_banner(const std::string& title);
+
+}  // namespace ss

@@ -1,0 +1,64 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+namespace ss {
+
+Digraph::Digraph(std::size_t node_count)
+    : out_(node_count), in_(node_count) {}
+
+void Digraph::add_edge(std::size_t u, std::size_t v) {
+  assert(u < out_.size() && v < out_.size());
+  if (u == v) return;
+  if (has_edge(u, v)) return;
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  ++edge_count_;
+}
+
+bool Digraph::has_edge(std::size_t u, std::size_t v) const {
+  assert(u < out_.size() && v < out_.size());
+  return std::find(out_[u].begin(), out_[u].end(), v) != out_[u].end();
+}
+
+const std::vector<std::size_t>& Digraph::following(std::size_t u) const {
+  assert(u < out_.size());
+  return out_[u];
+}
+
+const std::vector<std::size_t>& Digraph::followers(std::size_t u) const {
+  assert(u < in_.size());
+  return in_[u];
+}
+
+std::vector<std::size_t> Digraph::ancestors(std::size_t u) const {
+  std::vector<char> mask = ancestor_mask(u);
+  std::vector<std::size_t> out;
+  for (std::size_t v = 0; v < mask.size(); ++v) {
+    if (mask[v]) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<char> Digraph::ancestor_mask(std::size_t u) const {
+  assert(u < out_.size());
+  std::vector<char> seen(out_.size(), 0);
+  std::deque<std::size_t> frontier(out_[u].begin(), out_[u].end());
+  for (std::size_t v : out_[u]) seen[v] = 1;
+  while (!frontier.empty()) {
+    std::size_t v = frontier.front();
+    frontier.pop_front();
+    for (std::size_t w : out_[v]) {
+      if (!seen[w]) {
+        seen[w] = 1;
+        frontier.push_back(w);
+      }
+    }
+  }
+  seen[u] = 0;  // a node is not its own ancestor
+  return seen;
+}
+
+}  // namespace ss

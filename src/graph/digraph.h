@@ -1,0 +1,50 @@
+// Directed "follows" graph over sources.
+//
+// Edge u -> v means "u follows v", i.e. v's posts appear on u's timeline
+// and v is an *ancestor* of u in the paper's terminology (Section II-A).
+// The graph backs both the dependency-indicator computation (a claim by u
+// is dependent iff some ancestor of u asserted the same thing earlier) and
+// the Twitter substrate's cascade propagation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ss {
+
+class Digraph {
+ public:
+  explicit Digraph(std::size_t node_count = 0);
+
+  std::size_t node_count() const { return out_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  // Adds edge u -> v ("u follows v"). Self-loops and duplicates are
+  // ignored (a source is never its own ancestor; one following suffices).
+  void add_edge(std::size_t u, std::size_t v);
+
+  bool has_edge(std::size_t u, std::size_t v) const;
+
+  // Sources that `u` follows (u's direct ancestors).
+  const std::vector<std::size_t>& following(std::size_t u) const;
+  // Sources that follow `u` (u's direct descendants / audience).
+  const std::vector<std::size_t>& followers(std::size_t u) const;
+
+  // Transitive ancestors of u (everyone whose posts can reach u along
+  // follow edges), excluding u itself unless u lies on a cycle through
+  // itself. BFS; O(V + E).
+  std::vector<std::size_t> ancestors(std::size_t u) const;
+
+  // Convenience: boolean reachability mask of ancestors for hot loops.
+  std::vector<char> ancestor_mask(std::size_t u) const;
+
+  std::size_t out_degree(std::size_t u) const { return out_[u].size(); }
+  std::size_t in_degree(std::size_t u) const { return in_[u].size(); }
+
+ private:
+  std::vector<std::vector<std::size_t>> out_;  // u -> followees
+  std::vector<std::vector<std::size_t>> in_;   // u -> followers
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace ss

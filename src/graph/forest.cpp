@@ -1,0 +1,56 @@
+#include "graph/forest.h"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace ss {
+
+Digraph DependencyForest::to_digraph() const {
+  Digraph g(root_of.size());
+  for (std::size_t i = 0; i < root_of.size(); ++i) {
+    if (!is_root(i)) g.add_edge(i, root_of[i]);
+  }
+  return g;
+}
+
+DependencyForest make_level_two_forest(std::size_t n, std::size_t tau,
+                                       Rng& rng) {
+  if (tau == 0 || tau > n) {
+    throw std::invalid_argument("make_level_two_forest: need 1 <= tau <= n");
+  }
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+
+  DependencyForest forest;
+  forest.root_of.assign(n, 0);
+  forest.roots.assign(perm.begin(), perm.begin() + static_cast<long>(tau));
+  for (std::size_t r : forest.roots) forest.root_of[r] = r;
+  for (std::size_t k = tau; k < n; ++k) {
+    std::size_t leaf = perm[k];
+    std::size_t root =
+        forest.roots[rng.uniform_u32(static_cast<std::uint32_t>(tau))];
+    forest.root_of[leaf] = root;
+  }
+  return forest;
+}
+
+DependencyForest make_level_two_forest_round_robin(std::size_t n,
+                                                   std::size_t tau) {
+  if (tau == 0 || tau > n) {
+    throw std::invalid_argument(
+        "make_level_two_forest_round_robin: need 1 <= tau <= n");
+  }
+  DependencyForest forest;
+  forest.root_of.assign(n, 0);
+  forest.roots.resize(tau);
+  std::iota(forest.roots.begin(), forest.roots.end(), 0);
+  for (std::size_t i = 0; i < tau; ++i) forest.root_of[i] = i;
+  for (std::size_t i = tau; i < n; ++i) {
+    forest.root_of[i] = (i - tau) % tau;
+  }
+  return forest;
+}
+
+}  // namespace ss

@@ -1,0 +1,41 @@
+// Level-two dependency forests (Section V-A of the paper).
+//
+// The simulation generator organizes sources as a forest of tau trees of
+// depth two: each tree has one independent "root source" and zero or more
+// "leaf sources" that follow (only) their root. tau = n reduces to fully
+// independent sources; tau = 1 makes a single root followed by everyone.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace ss {
+
+struct DependencyForest {
+  // root_of[i] == i for roots; otherwise the index of i's (single) root.
+  std::vector<std::size_t> root_of;
+  std::vector<std::size_t> roots;  // the tau root indices
+
+  std::size_t source_count() const { return root_of.size(); }
+  bool is_root(std::size_t i) const { return root_of[i] == i; }
+
+  // The equivalent follows-graph: each leaf follows its root.
+  Digraph to_digraph() const;
+};
+
+// Builds a forest of `tau` level-two trees over `n` sources.
+// Roots are the first `tau` sources after a random permutation; remaining
+// sources are assigned to roots uniformly at random. Requires
+// 1 <= tau <= n.
+DependencyForest make_level_two_forest(std::size_t n, std::size_t tau,
+                                       Rng& rng);
+
+// Deterministic variant used by tests: roots are sources 0..tau-1 and
+// leaves are dealt round-robin.
+DependencyForest make_level_two_forest_round_robin(std::size_t n,
+                                                   std::size_t tau);
+
+}  // namespace ss

@@ -1,0 +1,47 @@
+#include "graph/pref_attach.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace ss {
+
+Digraph make_preferential_attachment(const PrefAttachConfig& config,
+                                     Rng& rng) {
+  if (config.nodes == 0) {
+    throw std::invalid_argument("make_preferential_attachment: empty graph");
+  }
+  Digraph g(config.nodes);
+  if (config.nodes == 1) return g;
+
+  // repeated[i] lists target nodes once per incoming edge plus once per
+  // node, implementing the classic "urn" that makes sampling proportional
+  // to (in_degree + 1).
+  std::vector<std::size_t> urn;
+  urn.reserve(config.nodes * (config.edges_per_node + 1));
+  urn.push_back(0);
+
+  for (std::size_t u = 1; u < config.nodes; ++u) {
+    std::size_t want = std::min(config.edges_per_node, u);
+    std::size_t attempts = 0;
+    std::size_t made = 0;
+    // Rejection on duplicates; bounded attempts keep worst case linear.
+    while (made < want && attempts < want * 20) {
+      ++attempts;
+      std::size_t v;
+      if (rng.uniform() < config.uniform_mix) {
+        v = rng.uniform_u32(static_cast<std::uint32_t>(u));
+      } else {
+        v = urn[rng.uniform_u32(static_cast<std::uint32_t>(urn.size()))];
+      }
+      if (v == u || g.has_edge(u, v)) continue;
+      g.add_edge(u, v);
+      urn.push_back(v);
+      ++made;
+    }
+    urn.push_back(u);
+  }
+  return g;
+}
+
+}  // namespace ss

@@ -1,0 +1,29 @@
+// Preferential-attachment follower-graph generator for the Twitter
+// substrate. Produces the heavy-tailed in-degree ("celebrity") structure
+// real follow graphs exhibit, which is what makes a few sources' rumours
+// propagate widely — the failure mode dependency-aware fact-finding
+// targets.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace ss {
+
+struct PrefAttachConfig {
+  std::size_t nodes = 1000;
+  // Follow edges each new node creates (Barabasi-Albert m parameter).
+  std::size_t edges_per_node = 3;
+  // Blend toward uniform attachment in [0,1]; 0 = pure preferential.
+  double uniform_mix = 0.15;
+};
+
+// Each arriving node follows `edges_per_node` earlier nodes, chosen by
+// in-degree-proportional sampling (with `uniform_mix` uniform smoothing).
+// Edge u -> v means u follows v; v accumulates followers.
+Digraph make_preferential_attachment(const PrefAttachConfig& config,
+                                     Rng& rng);
+
+}  // namespace ss

@@ -1,0 +1,36 @@
+#include "graph/small_world.h"
+
+#include <stdexcept>
+
+namespace ss {
+
+Digraph make_small_world(const SmallWorldConfig& config, Rng& rng) {
+  std::size_t n = config.nodes;
+  std::size_t k = config.neighbors;
+  if (n == 0) {
+    throw std::invalid_argument("make_small_world: empty graph");
+  }
+  if (k % 2 != 0 || k == 0 || k >= n) {
+    throw std::invalid_argument(
+        "make_small_world: neighbors must be even, positive and < nodes");
+  }
+  Digraph g(n);
+  for (std::size_t u = 0; u < n; ++u) {
+    for (std::size_t d = 1; d <= k / 2; ++d) {
+      for (long sign : {+1L, -1L}) {
+        std::size_t v =
+            (u + n + static_cast<std::size_t>(
+                         (sign * static_cast<long>(d) + static_cast<long>(n)) %
+                         static_cast<long>(n))) %
+            n;
+        if (rng.bernoulli(config.rewire_prob)) {
+          v = rng.uniform_u32(static_cast<std::uint32_t>(n));
+        }
+        if (v != u) g.add_edge(u, v);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ss

@@ -1,0 +1,32 @@
+// Watts-Strogatz small-world follower graphs.
+//
+// An alternative social topology to preferential attachment: high
+// clustering (friend circles) with a few long-range links. Useful for
+// sensitivity studies — cascade behaviour, and therefore the value of
+// dependency-awareness, differs between "celebrity" (heavy-tail) and
+// "community" (small-world) networks.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.h"
+#include "util/rng.h"
+
+namespace ss {
+
+struct SmallWorldConfig {
+  std::size_t nodes = 1000;
+  // Each node follows its k nearest ring neighbours (k even, >= 2).
+  std::size_t neighbors = 4;
+  // Probability of rewiring each ring edge to a uniform target.
+  double rewire_prob = 0.1;
+};
+
+// Directed variant of the Watts-Strogatz construction: node u follows
+// its k/2 ring successors and k/2 predecessors, each edge rewired to a
+// uniformly random target with probability rewire_prob (no self-loops;
+// duplicate rewires are skipped). Throws std::invalid_argument on
+// degenerate parameters (k odd, k >= nodes).
+Digraph make_small_world(const SmallWorldConfig& config, Rng& rng);
+
+}  // namespace ss

@@ -1,0 +1,58 @@
+// O(log n) sampling from a fixed discrete distribution via cumulative
+// weights + binary search. Built once, sampled millions of times (e.g.
+// tweet authorship in the Twitter simulator, where per-draw O(n) zipf
+// sampling would dominate the whole simulation).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ss {
+
+class DiscreteSampler {
+ public:
+  // Weights must be non-negative with a positive sum.
+  explicit DiscreteSampler(const std::vector<double>& weights) {
+    cumulative_.reserve(weights.size());
+    double acc = 0.0;
+    for (double w : weights) {
+      if (w < 0.0) {
+        throw std::invalid_argument("DiscreteSampler: negative weight");
+      }
+      acc += w;
+      cumulative_.push_back(acc);
+    }
+    if (cumulative_.empty() || acc <= 0.0) {
+      throw std::invalid_argument("DiscreteSampler: no positive weight");
+    }
+  }
+
+  // Zipf-like weights 1/(i+1)^exponent over n items.
+  static DiscreteSampler zipf(std::size_t n, double exponent) {
+    std::vector<double> weights(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    }
+    return DiscreteSampler(weights);
+  }
+
+  std::size_t size() const { return cumulative_.size(); }
+
+  std::size_t sample(Rng& rng) const {
+    double r = rng.uniform() * cumulative_.back();
+    auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), r);
+    if (it == cumulative_.end()) return cumulative_.size() - 1;
+    return static_cast<std::size_t>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace ss

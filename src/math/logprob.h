@@ -1,0 +1,41 @@
+// Log-space probability arithmetic.
+//
+// Posterior computations multiply hundreds of per-source likelihood terms
+// (Eq. 4/5 of the paper); in linear space those products underflow double
+// precision well before n = 100 sources. Everything that aggregates per-
+// source likelihoods therefore works with natural-log probabilities and
+// converts back only at the final normalization, where logsumexp keeps the
+// result exact to double rounding.
+#pragma once
+
+#include <vector>
+
+namespace ss {
+
+// Natural log of p with p == 0 mapped to -infinity (well-defined in IEEE
+// arithmetic and handled by logsumexp/log1p downstream).
+double safe_log(double p);
+
+// log(exp(a) + exp(b)) without overflow/underflow.
+double logsumexp(double a, double b);
+
+// log(sum_i exp(v_i)); returns -infinity for an empty input.
+double logsumexp(const std::vector<double>& v);
+
+// log(p / (1-p)); p must be in (0, 1).
+double logit(double p);
+
+// 1 / (1 + exp(-x)).
+double sigmoid(double x);
+
+// Given log-numerators la = log(w1) and lb = log(w0), returns
+// w1 / (w1 + w0) computed stably. Handles the all--inf case by returning
+// 0.5 (uninformative).
+double normalize_log_pair(double la, double lb);
+
+// Clamps a probability into [eps, 1-eps]; EM parameter updates use this to
+// keep likelihood terms finite (a source with an empirical rate of exactly
+// 0 or 1 would otherwise veto every other source's evidence).
+double clamp_prob(double p, double eps = 1e-9);
+
+}  // namespace ss

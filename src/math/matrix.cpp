@@ -1,0 +1,98 @@
+#include "math/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ss {
+
+double Matrix::row_sum(std::size_t r) const {
+  const double* p = row(r);
+  double acc = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) acc += p[c];
+  return acc;
+}
+
+double Matrix::col_sum(std::size_t c) const {
+  assert(c < cols_);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) acc += data_[r * cols_ + c];
+  return acc;
+}
+
+double Matrix::sum() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x;
+  return acc;
+}
+
+double Matrix::max_abs_diff(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double best = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    best = std::max(best, std::fabs(data_[i] - other.data_[i]));
+  }
+  return best;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double l1_distance(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += std::fabs(a[i] - b[i]);
+  return acc;
+}
+
+double linf_distance(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double best = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    best = std::max(best, std::fabs(a[i] - b[i]));
+  }
+  return best;
+}
+
+void axpy(double s, const std::vector<double>& b, std::vector<double>& a) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+double cosine_similarity(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double ab = 0.0;
+  double aa = 0.0;
+  double bb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ab += a[i] * b[i];
+    aa += a[i] * a[i];
+    bb += b[i] * b[i];
+  }
+  if (aa == 0.0 || bb == 0.0) return 1.0;
+  return ab / std::sqrt(aa * bb);
+}
+
+bool normalize_sum(std::vector<double>& v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  if (total <= 0.0) return false;
+  for (double& x : v) x /= total;
+  return true;
+}
+
+bool normalize_max(std::vector<double>& v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, x);
+  if (best <= 0.0) return false;
+  for (double& x : v) x /= best;
+  return true;
+}
+
+}  // namespace ss

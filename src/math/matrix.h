@@ -1,0 +1,78 @@
+// Small dense row-major matrix used for posterior tables, Gibbs sample
+// buffers and the handful of places the algorithms want 2-D indexing.
+// This is deliberately not a BLAS: the paper's linear algebra is all
+// element-wise products and reductions over modest shapes.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace ss {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // Raw row access for tight loops.
+  double* row(std::size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* row(std::size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  void fill(double v) { data_.assign(data_.size(), v); }
+
+  double row_sum(std::size_t r) const;
+  double col_sum(std::size_t c) const;
+  double sum() const;
+
+  // Frobenius-style max absolute difference; shapes must match.
+  double max_abs_diff(const Matrix& other) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Element-wise helpers on vectors (the "manual linear algebra").
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double l1_distance(const std::vector<double>& a,
+                   const std::vector<double>& b);
+double linf_distance(const std::vector<double>& a,
+                     const std::vector<double>& b);
+// a := a + s*b
+void axpy(double s, const std::vector<double>& b, std::vector<double>& a);
+// Cosine similarity; returns 1 when either vector is all-zero (treated as
+// "no change" by iterative convergence checks).
+double cosine_similarity(const std::vector<double>& a,
+                         const std::vector<double>& b);
+// Normalizes v to sum 1; leaves v untouched (and returns false) when the
+// sum is non-positive.
+bool normalize_sum(std::vector<double>& v);
+// Normalizes v by its max element (Sums/Average.Log style damping);
+// returns false when max <= 0.
+bool normalize_max(std::vector<double>& v);
+
+}  // namespace ss

@@ -1,0 +1,98 @@
+#include "math/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ss {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::stderror() const {
+  if (count_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+double StreamingStats::ci95_halfwidth() const { return 1.96 * stderror(); }
+
+void StreamingStats::merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double n1 = static_cast<double>(count_);
+  double n2 = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size() - 1);
+}
+
+double quantile(std::vector<double> v, double q) {
+  assert(!v.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  std::sort(v.begin(), v.end());
+  double pos = q * static_cast<double>(v.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, v.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  if (x.size() < 2) return 0.0;
+  double mx = mean(x);
+  double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ss

@@ -1,0 +1,47 @@
+// Streaming and batch statistics used by the experiment harness to
+// aggregate independent repetitions into the mean ± CI rows the paper's
+// figures plot.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ss {
+
+// Welford online mean/variance accumulator.
+class StreamingStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  // Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double stderror() const;
+  // Half-width of the normal-approximation 95% confidence interval.
+  double ci95_halfwidth() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Merges another accumulator (parallel reduction).
+  void merge(const StreamingStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Batch helpers.
+double mean(const std::vector<double>& v);
+double variance(const std::vector<double>& v);
+// Linear-interpolated quantile, q in [0,1]. Copies and sorts.
+double quantile(std::vector<double> v, double q);
+// Pearson correlation; returns 0 when either side is constant.
+double pearson(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ss

@@ -1,0 +1,34 @@
+#include "simgen/knobs.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ss {
+
+double prob_from_odds(double odds) {
+  if (odds <= 0.0) {
+    throw std::invalid_argument("prob_from_odds: odds must be positive");
+  }
+  return odds / (1.0 + odds);
+}
+
+SimKnobs SimKnobs::paper_defaults(std::size_t n, std::size_t m) {
+  SimKnobs knobs;
+  knobs.sources = n;
+  knobs.assertions = m;
+  // tau must not exceed n; the paper's [8, 10] default assumes n >= 10.
+  knobs.tau_lo = std::min<std::size_t>(8, n);
+  knobs.tau_hi = std::min<std::size_t>(10, n);
+  return knobs;
+}
+
+std::size_t SimKnobs::sample_tau(Rng& rng) const {
+  if (tau_lo > tau_hi || tau_hi > sources || tau_lo == 0) {
+    throw std::invalid_argument("SimKnobs: invalid tau range");
+  }
+  if (tau_lo == tau_hi) return tau_lo;
+  return tau_lo + rng.uniform_u32(
+                      static_cast<std::uint32_t>(tau_hi - tau_lo + 1));
+}
+
+}  // namespace ss

@@ -1,0 +1,55 @@
+// Simulation knobs (Section V-A).
+//
+// Default values reproduce the paper's stated defaults:
+//   n = 20/50, m = 50, p_on in [0.5, 0.7], tau in [8, 10],
+//   p_dep in [0.4, 0.6], d in [0.55, 0.75],
+//   p_indepT in [7/12, 3/4], p_depT in [0.4, 0.6].
+// Range-valued parameters are drawn uniformly per source (reliabilities,
+// participation) or per experiment (d, tau), matching "parameters with
+// ranges are chosen uniformly within the range".
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+
+namespace ss {
+
+struct Range {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  static Range fixed(double v) { return {v, v}; }
+
+  double sample(Rng& rng) const {
+    return lo == hi ? lo : rng.uniform(lo, hi);
+  }
+  double midpoint() const { return 0.5 * (lo + hi); }
+};
+
+// Converts a true-claim odds value p/(1-p) back to the probability p —
+// convenient for the Fig. 5 / Fig. 10 sweeps expressed in odds.
+double prob_from_odds(double odds);
+
+struct SimKnobs {
+  std::size_t sources = 50;      // n
+  std::size_t assertions = 50;   // m
+  std::size_t tau_lo = 8;        // dependency trees, inclusive range
+  std::size_t tau_hi = 10;
+  Range p_on{0.5, 0.7};          // participation
+  Range p_dep{0.4, 0.6};         // leaf picks the dependent branch
+  Range d{0.55, 0.75};           // fraction of true assertions
+  Range p_indep_true{7.0 / 12.0, 0.75};  // p^indepT
+  Range p_dep_true{0.4, 0.6};            // p^depT
+  // Claim opportunities per source for the procedural generator; 0 means
+  // assertions / 2, which matches the parametric generator's density.
+  std::size_t opportunities = 0;
+
+  // Paper defaults with n overridden (n = 20 in the bound simulations,
+  // n = 50 in the estimator simulations).
+  static SimKnobs paper_defaults(std::size_t n, std::size_t m = 50);
+
+  std::size_t sample_tau(Rng& rng) const;
+};
+
+}  // namespace ss

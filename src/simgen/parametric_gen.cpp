@@ -1,0 +1,117 @@
+#include "simgen/parametric_gen.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "math/logprob.h"
+
+namespace ss {
+
+namespace {
+
+// Draws the claim matrix for fixed (params, forest, truth): roots claim
+// each assertion at rate a/b by its truth (t = 0); leaves are exposed to
+// exactly their root's claims and claim exposed cells at f/g, unexposed
+// at a/b (t = 1).
+void fill_claims(const ModelParams& params, const DependencyForest& forest,
+                 const std::vector<Label>& truth, Rng& rng,
+                 SimInstance& inst) {
+  std::size_t n = forest.source_count();
+  std::size_t m = truth.size();
+  std::vector<Claim> claims;
+  for (std::size_t r : forest.roots) {
+    const SourceParams& s = params.source[r];
+    for (std::size_t j = 0; j < m; ++j) {
+      double rate = truth[j] == Label::kTrue ? s.a : s.b;
+      if (rng.bernoulli(rate)) {
+        claims.push_back({static_cast<std::uint32_t>(r),
+                          static_cast<std::uint32_t>(j), 0.0});
+      }
+    }
+  }
+  SourceClaimMatrix root_claims(n, m, claims);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (forest.is_root(i)) continue;
+    std::size_t r = forest.root_of[i];
+    const SourceParams& s = params.source[i];
+    for (std::size_t j = 0; j < m; ++j) {
+      bool exposed = root_claims.has_claim(r, j);
+      bool is_true = truth[j] == Label::kTrue;
+      double rate = is_true ? (exposed ? s.f : s.a)
+                            : (exposed ? s.g : s.b);
+      if (rng.bernoulli(rate)) {
+        claims.push_back({static_cast<std::uint32_t>(i),
+                          static_cast<std::uint32_t>(j), 1.0});
+      }
+    }
+  }
+
+  inst.dataset.claims = SourceClaimMatrix(n, m, claims);
+  inst.dataset.dependency =
+      DependencyIndicators::from_forest(inst.dataset.claims, forest);
+  inst.dataset.truth = truth;
+  inst.dataset.validate();
+}
+
+std::vector<Label> make_labels(double d, std::size_t m, Rng& rng) {
+  std::size_t true_count = static_cast<std::size_t>(
+      std::lround(d * static_cast<double>(m)));
+  true_count = std::min(true_count, m);
+  std::vector<Label> truth(m, Label::kFalse);
+  for (std::size_t j = 0; j < true_count; ++j) truth[j] = Label::kTrue;
+  rng.shuffle(truth);
+  return truth;
+}
+
+}  // namespace
+
+SimInstance generate_parametric(const SimKnobs& knobs, Rng& rng) {
+  std::size_t n = knobs.sources;
+  std::size_t m = knobs.assertions;
+
+  SimInstance inst;
+  inst.tau = knobs.sample_tau(rng);
+  inst.d = knobs.d.sample(rng);
+  inst.forest = make_level_two_forest(n, inst.tau, rng);
+
+  std::vector<Label> truth = make_labels(inst.d, m, rng);
+
+  // Per-source behaviour parameters.
+  inst.true_params.source.resize(n);
+  inst.true_params.z = inst.d;
+  for (std::size_t i = 0; i < n; ++i) {
+    double p_on = knobs.p_on.sample(rng);
+    double p_it = knobs.p_indep_true.sample(rng);
+    double p_dt = knobs.p_dep_true.sample(rng);
+    SourceParams& s = inst.true_params.source[i];
+    s.a = clamp_prob(p_on * p_it);
+    s.b = clamp_prob(p_on * (1.0 - p_it));
+    s.f = clamp_prob(p_on * p_dt);
+    s.g = clamp_prob(p_on * (1.0 - p_dt));
+  }
+
+  inst.dataset.name = "parametric";
+  fill_claims(inst.true_params, inst.forest, truth, rng, inst);
+  return inst;
+}
+
+SimInstance generate_parametric_batch(const ModelParams& params,
+                                      const DependencyForest& forest,
+                                      std::size_t assertions, Rng& rng) {
+  if (params.source_count() != forest.source_count()) {
+    throw std::invalid_argument(
+        "generate_parametric_batch: params/forest source mismatch");
+  }
+  SimInstance inst;
+  inst.true_params = params;
+  inst.forest = forest;
+  inst.d = params.z;
+  inst.tau = forest.roots.size();
+  std::vector<Label> truth = make_labels(params.z, assertions, rng);
+  inst.dataset.name = "parametric-batch";
+  fill_claims(params, forest, truth, rng, inst);
+  return inst;
+}
+
+}  // namespace ss

@@ -1,0 +1,48 @@
+// Parametric synthetic-data generator.
+//
+// Generates instances whose true source-behaviour parameters theta are
+// known exactly — the prerequisite for computing the error bound and the
+// "Optimal" curve of Figs. 7-10. Knobs map to theta as (DESIGN.md §5):
+//   a_i = p_on_i * p_indepT_i      b_i = p_on_i * (1 - p_indepT_i)
+//   f_i = p_on_i * p_depT_i        g_i = p_on_i * (1 - p_depT_i)
+//   z   = d
+// Process per instance:
+//   1. draw tau, d; build a level-two forest; label round(d*m)
+//      assertions true (positions shuffled);
+//   2. root sources claim each assertion j independently with rate
+//      a_r / b_r by its truth (roots are never exposed);
+//   3. a leaf is exposed to exactly the assertions its root claimed;
+//      it claims exposed cells at rate f_i / g_i and unexposed cells at
+//      a_i / b_i.
+// Roots carry timestamp 0 and leaves timestamp 1, so the exposure
+// semantics agree with DependencyIndicators::from_graph as well.
+#pragma once
+
+#include "core/params.h"
+#include "data/dataset.h"
+#include "graph/forest.h"
+#include "simgen/knobs.h"
+
+namespace ss {
+
+struct SimInstance {
+  Dataset dataset;
+  // Exact generating parameters; drives bound computations.
+  ModelParams true_params;
+  DependencyForest forest;
+  double d = 0.0;          // realized true-assertion ratio parameter
+  std::size_t tau = 0;     // realized tree count
+};
+
+SimInstance generate_parametric(const SimKnobs& knobs, Rng& rng);
+
+// Generates a fresh batch of `assertions` under a *fixed* source
+// population: the same behaviour parameters and dependency forest, with
+// z = params.z controlling the true-assertion ratio. This is the
+// streaming workload — each batch is a new window of events observed by
+// the same sources — used by StreamingEmExt demos and tests.
+SimInstance generate_parametric_batch(const ModelParams& params,
+                                      const DependencyForest& forest,
+                                      std::size_t assertions, Rng& rng);
+
+}  // namespace ss

@@ -1,0 +1,28 @@
+// Procedural synthetic-data generator — a literal implementation of the
+// pool/opportunity process of Section V-A.
+//
+// Assertions are split into "True" and "False" pools by ratio d. Sources
+// are organized as a level-two forest. Each source gets a number of claim
+// opportunities; at each opportunity it participates with probability
+// p_on. Root sources then pick an assertion they have not claimed yet
+// from the True pool with probability p_indepT, else from the False pool.
+// Leaf sources first choose the dependent branch with probability p_dep
+// (candidates: assertions their root claimed) or the independent branch
+// (candidates: the rest), then pick True vs False within the branch with
+// p_depT / p_indepT. Empty candidate subsets fall through to the other
+// branch, and an opportunity with no candidates anywhere is skipped.
+//
+// Unlike the parametric generator this process does not expose exact
+// per-cell Bernoulli parameters, so SimInstance::true_params is *not*
+// meaningful here (left defaulted); the procedural generator exists to
+// validate estimator rankings against the paper's own description
+// (ablation A2).
+#pragma once
+
+#include "simgen/parametric_gen.h"
+
+namespace ss {
+
+SimInstance generate_procedural(const SimKnobs& knobs, Rng& rng);
+
+}  // namespace ss

@@ -1,0 +1,73 @@
+#include "twitter/retweet_detect.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace ss {
+
+bool parse_retweet_text(const std::string& text, std::string& name,
+                        std::string& body) {
+  if (!starts_with(text, "RT @")) return false;
+  auto colon = text.find(": ", 4);
+  if (colon == std::string::npos || colon == 4) return false;
+  name = text.substr(4, colon - 4);
+  body = text.substr(colon + 2);
+  return !name.empty();
+}
+
+std::string username_of(std::uint32_t user) {
+  return strprintf("user%u", user);
+}
+
+RetweetDetectionResult detect_retweet_parents(
+    std::vector<Tweet>& tweets) {
+  RetweetDetectionResult result;
+  // (author name, exact text) -> id of the earliest tweet with that
+  // content. Keys are built lazily as tweets arrive so only earlier
+  // tweets are candidates — timestamps enforce causality for free.
+  std::unordered_map<std::string, std::uint32_t> earliest;
+  for (Tweet& t : tweets) {
+    std::string name;
+    std::string body;
+    if (parse_retweet_text(t.text, name, body)) {
+      ++result.retweets_seen;
+      auto it = earliest.find(name + "\x1f" + body);
+      if (it != earliest.end()) {
+        t.parent = it->second;
+        ++result.parents_resolved;
+      } else {
+        t.parent = Tweet::kNoParent;
+      }
+    } else {
+      t.parent = Tweet::kNoParent;
+    }
+    // Register this tweet's own content (retweets too: a retweet can be
+    // re-retweeted with the RT prefix chained by this tweet's author).
+    earliest.emplace(username_of(t.user) + "\x1f" + t.text, t.id);
+  }
+  return result;
+}
+
+Digraph infer_dependency_network(const std::vector<Tweet>& tweets,
+                                 std::size_t user_count) {
+  std::unordered_map<std::uint32_t, std::uint32_t> author_of;
+  for (const Tweet& t : tweets) {
+    if (t.user >= user_count) {
+      throw std::invalid_argument(
+          "infer_dependency_network: user id out of range");
+    }
+    author_of.emplace(t.id, t.user);
+  }
+  Digraph follows(user_count);
+  for (const Tweet& t : tweets) {
+    if (!t.is_retweet()) continue;
+    auto it = author_of.find(t.parent);
+    if (it == author_of.end()) continue;
+    follows.add_edge(t.user, it->second);
+  }
+  return follows;
+}
+
+}  // namespace ss

@@ -1,0 +1,46 @@
+// Retweet detection and dependency-network inference from raw text.
+//
+// External tweet streams carry no parent pointers and no follower graph.
+// The paper's empirical pipeline derives both from behaviour: a tweet of
+// the form "RT @name: body" repeats an earlier tweet by `name` with the
+// same body, and a source that retweets another is taken to depend on it
+// ("a link indicated that a source tends to repeat claims of another",
+// Section I). These helpers reconstruct exactly that: parent resolution
+// by (author, body) matching with timestamps, and a follows-graph whose
+// edge u -> v means "u retweeted v at least once".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/digraph.h"
+#include "twitter/simulator.h"
+
+namespace ss {
+
+// Splits "RT @name: body" into (name, body). Returns false when the
+// text is not a retweet form.
+bool parse_retweet_text(const std::string& text, std::string& name,
+                        std::string& body);
+
+// The username convention used by the simulator's retweet texts.
+std::string username_of(std::uint32_t user);
+
+struct RetweetDetectionResult {
+  std::size_t retweets_seen = 0;      // texts in RT form
+  std::size_t parents_resolved = 0;   // matched to an earlier tweet
+};
+
+// Fills Tweet::parent for every tweet whose text matches an earlier
+// tweet "RT @name: body" (earliest matching original wins). Existing
+// parent pointers are overwritten; unresolved retweets keep kNoParent.
+// Tweets must be time-sorted.
+RetweetDetectionResult detect_retweet_parents(std::vector<Tweet>& tweets);
+
+// Dependency network from retweet behaviour: edge u -> v ("u depends on
+// v") for every resolved retweet by u of a tweet authored by v.
+// `user_count` sizes the graph (user ids must be < user_count).
+Digraph infer_dependency_network(const std::vector<Tweet>& tweets,
+                                 std::size_t user_count);
+
+}  // namespace ss

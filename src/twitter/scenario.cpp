@@ -1,0 +1,190 @@
+#include "twitter/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/env.h"
+
+namespace ss {
+namespace {
+
+std::size_t scale_count(std::size_t v, double f) {
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(v * f)));
+}
+
+}  // namespace
+
+TwitterScenario TwitterScenario::scaled(double factor) const {
+  TwitterScenario s = *this;
+  s.users = scale_count(users, factor);
+  s.true_facts = scale_count(true_facts, factor);
+  s.false_rumours = scale_count(false_rumours, factor);
+  s.opinions = scale_count(opinions, factor);
+  s.seed_tweets = scale_count(seed_tweets, factor);
+  s.graph.nodes = s.users;
+  return s;
+}
+
+std::vector<TwitterScenario> paper_scenarios() {
+  std::vector<TwitterScenario> out;
+
+  {
+    // Ukraine: Putin-disappearance speculation — heavy rumour load,
+    // moderately viral, month-long window. Table III: 3703 assertions,
+    // 5403 sources, 7192 claims, 4242 original.
+    TwitterScenario s;
+    s.name = "Ukraine";
+    s.users = 10000;
+    s.true_facts = 3000;
+    s.false_rumours = 1300;
+    s.opinions = 700;
+    s.seed_tweets = 4700;
+    s.retweet_rate = 0.022;
+    s.rumour_virality = 2.5;
+    s.reliability_mean = 0.82;
+    s.reliability_stddev = 0.08;
+    s.unreliable_fraction = 0.35;
+    s.unreliable_mean = 0.22;
+    s.unreliable_stddev = 0.10;
+    s.opinion_rate = 0.15;
+    s.activity_exponent = 0.4;
+    s.popularity_exponent = 0.3;
+    s.duration_hours = 24.0 * 40;
+    s.graph = {s.users, 4, 0.15};
+    s.topic_words = {"putin",   "russia",  "kremlin", "moscow",
+                     "ukraine", "missing", "health",  "treaty",
+                     "kazakhstan", "ossetia", "president", "dead",
+                     "alive",   "public",  "appearance"};
+    out.push_back(s);
+  }
+  {
+    // Kirkuk: military offensive commentary — mid-size, mixed quality.
+    // Table III: 2795 assertions, 4816 sources, 6188 claims, 3079 orig.
+    TwitterScenario s;
+    s.name = "Kirkuk";
+    s.users = 9500;
+    s.true_facts = 2300;
+    s.false_rumours = 1000;
+    s.opinions = 600;
+    s.seed_tweets = 3700;
+    s.retweet_rate = 0.028;
+    s.rumour_virality = 2.0;
+    s.reliability_mean = 0.84;
+    s.reliability_stddev = 0.08;
+    s.unreliable_fraction = 0.30;
+    s.unreliable_mean = 0.25;
+    s.unreliable_stddev = 0.10;
+    s.opinion_rate = 0.14;
+    s.activity_exponent = 0.4;
+    s.popularity_exponent = 0.3;
+    s.duration_hours = 24.0 * 60;
+    s.graph = {s.users, 4, 0.15};
+    s.topic_words = {"kirkuk", "kurdish", "peshmerga", "isis",
+                     "iraq",   "offensive", "oil",     "forces",
+                     "attack", "north",   "city",     "front",
+                     "airstrike", "village", "liberated"};
+    out.push_back(s);
+  }
+  {
+    // Superbug: hospital infection story — smallest, factual, low
+    // virality. Table III: 2873 assertions, 7764 sources, 9426 claims.
+    TwitterScenario s;
+    s.name = "Superbug";
+    s.users = 15500;
+    s.true_facts = 2400;
+    s.false_rumours = 700;
+    s.opinions = 650;
+    s.seed_tweets = 6400;
+    s.retweet_rate = 0.028;
+    s.rumour_virality = 1.8;
+    s.reliability_mean = 0.88;
+    s.reliability_stddev = 0.06;
+    s.unreliable_fraction = 0.20;
+    s.unreliable_mean = 0.30;
+    s.unreliable_stddev = 0.10;
+    s.opinion_rate = 0.10;
+    s.activity_exponent = 0.4;
+    s.popularity_exponent = 0.55;
+    s.duration_hours = 24.0 * 50;
+    s.graph = {s.users, 3, 0.2};
+    s.topic_words = {"superbug", "cre",     "hospital", "patients",
+                     "infected", "antibiotic", "resistant", "outbreak",
+                     "losangeles", "endoscope", "cdc",   "scope",
+                     "bacteria", "cedars",  "ucla"};
+    out.push_back(s);
+  }
+  {
+    // LA Marathon: benign sporting event, mostly true observations.
+    // Table III: 3537 assertions, 5174 sources, 7148 claims, 4332 orig.
+    TwitterScenario s;
+    s.name = "LA Marathon";
+    s.users = 10200;
+    s.true_facts = 3400;
+    s.false_rumours = 450;
+    s.opinions = 850;
+    s.seed_tweets = 4800;
+    s.retweet_rate = 0.025;
+    s.rumour_virality = 1.5;
+    s.reliability_mean = 0.90;
+    s.reliability_stddev = 0.05;
+    s.unreliable_fraction = 0.12;
+    s.unreliable_mean = 0.35;
+    s.unreliable_stddev = 0.10;
+    s.opinion_rate = 0.16;
+    s.activity_exponent = 0.4;
+    s.popularity_exponent = 0.3;
+    s.duration_hours = 24.0 * 6;
+    s.graph = {s.users, 4, 0.2};
+    s.topic_words = {"marathon", "runners", "mile",    "finish",
+                     "dodger",   "stadium", "santamonica", "pier",
+                     "race",     "street",  "closed",  "cheering",
+                     "heat",     "water",   "course"};
+    out.push_back(s);
+  }
+  {
+    // Paris Attack: breaking terror event — an order of magnitude
+    // larger, extremely bursty, rumour-heavy, little retweet-free time.
+    // Table III: 23513 assertions, 38844 sources, 41249 claims.
+    TwitterScenario s;
+    s.name = "Paris Attack";
+    s.users = 80000;
+    s.true_facts = 16000;
+    s.false_rumours = 7500;
+    s.opinions = 3500;
+    s.seed_tweets = 43000;
+    s.retweet_rate = 0.0015;
+    s.rumour_virality = 3.0;
+    s.reliability_mean = 0.80;
+    s.reliability_stddev = 0.08;
+    s.unreliable_fraction = 0.35;
+    s.unreliable_mean = 0.20;
+    s.unreliable_stddev = 0.10;
+    s.opinion_rate = 0.13;
+    s.activity_exponent = 0.1;
+    s.popularity_exponent = 0.35;
+    s.duration_hours = 24.0 * 10;
+    s.graph = {s.users, 5, 0.1};
+    s.topic_words = {"paris",    "attack",   "bataclan", "explosion",
+                     "shooting", "stade",    "france",   "hostages",
+                     "police",   "suspects", "eagles",   "concert",
+                     "borders",  "casualties", "raid"};
+    out.push_back(s);
+  }
+  return out;
+}
+
+TwitterScenario scenario_by_name(const std::string& name) {
+  for (TwitterScenario& s : paper_scenarios()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("scenario_by_name: unknown scenario " + name);
+}
+
+double scenario_scale_from_env() {
+  double scale = env_double("SS_SCALE", 1.0);
+  return std::clamp(scale, 0.01, 10.0);
+}
+
+}  // namespace ss

@@ -1,0 +1,74 @@
+// Scenario configurations for the five simulated Twitter datasets.
+//
+// Each preset mirrors one dataset of the paper's Table III in scale
+// (#sources, #assertions, #claims within the same order of magnitude) and
+// personality: Paris Attack is a huge, bursty, rumour-heavy event;
+// LA Marathon is benign with mostly true observations; Ukraine carries a
+// high rumour load (the Putin-disappearance speculation wave); etc.
+// SS_SCALE (a float, default 1.0) scales user/assertion counts for quick
+// runs without changing the qualitative behaviour.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/pref_attach.h"
+
+namespace ss {
+
+struct TwitterScenario {
+  std::string name;
+  std::size_t users = 5000;
+  // Hidden assertion inventory.
+  std::size_t true_facts = 1500;
+  std::size_t false_rumours = 800;
+  std::size_t opinions = 700;
+  // Original (non-retweet) tweet volume.
+  std::size_t seed_tweets = 4000;
+  // Probability a follower retweets a tweet it is exposed to.
+  double retweet_rate = 0.02;
+  // Multiplier on retweet_rate for rumours ("falsehood travels faster").
+  double rumour_virality = 2.0;
+  // Per-user reliability (probability an original tweet states a true
+  // fact rather than a rumour) is bimodal, as in real events: a majority
+  // of mostly-credible accounts and a minority of rumour-mongers. The
+  // separation is what lets reliability-learning fact-finders label
+  // rumours false via their originators.
+  double reliability_mean = 0.7;
+  double reliability_stddev = 0.15;
+  double unreliable_fraction = 0.3;
+  double unreliable_mean = 0.25;
+  double unreliable_stddev = 0.1;
+  // Probability an original tweet voices an opinion instead of a claim.
+  double opinion_rate = 0.12;
+  // Probability that an original false tweet *invents a fresh rumour*
+  // rather than independently asserting an existing one. Real rumours
+  // have a single originator and spread by repetition, while true facts
+  // accumulate independent witnesses — the asymmetry dependency-aware
+  // fact-finding feeds on.
+  double rumour_invention = 0.8;
+  // Zipf exponent of per-user activity (heavier tail = fewer loud users).
+  double activity_exponent = 0.8;
+  // Zipf exponent of assertion popularity.
+  double popularity_exponent = 0.9;
+  double duration_hours = 72.0;
+  PrefAttachConfig graph{/*nodes=*/5000, /*edges_per_node=*/4,
+                         /*uniform_mix=*/0.15};
+  std::vector<std::string> topic_words;
+
+  // Applies a linear scale factor to users / assertions / tweet volume.
+  TwitterScenario scaled(double factor) const;
+};
+
+// The five presets, in the paper's Table III order.
+std::vector<TwitterScenario> paper_scenarios();
+
+// One preset by name ("Ukraine", "Kirkuk", "Superbug", "LA Marathon",
+// "Paris Attack"); throws std::invalid_argument otherwise.
+TwitterScenario scenario_by_name(const std::string& name);
+
+// Scale factor from SS_SCALE (default 1.0, clamped to [0.01, 10]).
+double scenario_scale_from_env();
+
+}  // namespace ss

@@ -1,0 +1,54 @@
+// Twitter event simulator.
+//
+// Produces a raw tweet stream over a preferential-attachment follower
+// graph. Original tweets are authored according to each user's (hidden)
+// reliability and the assertion popularity distribution; every tweet then
+// cascades: each follower of the author retweets independently with the
+// scenario's retweet rate (scaled up for rumours), recursively, giving the
+// long-tailed cascade structure that creates correlated errors — the
+// phenomenon the paper's dependency model addresses.
+//
+// The hidden assertion id and label carried by each tweet are ground
+// truth for grading only; the ingestion pipeline (clustering + dependency
+// extraction) never reads them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "graph/digraph.h"
+#include "twitter/scenario.h"
+#include "util/rng.h"
+
+namespace ss {
+
+struct Tweet {
+  std::uint32_t id = 0;
+  std::uint32_t user = 0;
+  double time = 0.0;  // hours since event start
+  std::string text;
+  // id of the retweeted tweet, or kNoParent for originals.
+  std::uint32_t parent = kNoParent;
+
+  // Ground truth (hidden from the pipeline).
+  std::uint32_t hidden_assertion = 0;
+  Label hidden_label = Label::kUnknown;
+
+  static constexpr std::uint32_t kNoParent = 0xffffffffu;
+  bool is_retweet() const { return parent != kNoParent; }
+};
+
+struct TwitterSimulation {
+  TwitterScenario scenario;
+  Digraph follows;            // over all scenario.users
+  std::vector<Tweet> tweets;  // time-ordered
+  // Hidden label per assertion id.
+  std::vector<Label> assertion_labels;
+};
+
+TwitterSimulation simulate_twitter(const TwitterScenario& scenario,
+                                   std::uint64_t seed);
+
+}  // namespace ss

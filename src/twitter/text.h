@@ -1,0 +1,49 @@
+// Synthetic tweet text.
+//
+// The empirical pipeline must demonstrate the full ingestion path the
+// paper's Apollo tool implements: free-text tweets arrive, near-duplicate
+// texts are clustered into assertions, and the clusters become the
+// columns of the source-claim matrix. To exercise that path without the
+// (unavailable) 2015 crawls, each hidden assertion gets a canonical
+// token sequence built from event-specific vocabulary plus two unique
+// entity tokens; individual tweets emit noisy variants (dropped/extra
+// filler tokens) and retweets copy their parent verbatim with an
+// "RT @user:" prefix — the signal the dependency extractor keys on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ss {
+
+// Lowercases, strips punctuation, splits on whitespace, removes the
+// "rt" marker and @mentions. The clustering operates on these tokens.
+std::vector<std::string> tokenize_tweet(const std::string& text);
+
+class TweetTextGenerator {
+ public:
+  // `topic_words`: event-specific vocabulary (e.g. {"kirkuk","isis",...}).
+  TweetTextGenerator(std::vector<std::string> topic_words,
+                     std::uint64_t seed);
+
+  // Canonical text for a new hidden assertion; successive calls create
+  // distinct assertions (unique entity tokens keep clusters separable).
+  std::string make_canonical(std::size_t assertion_id, bool opinion);
+
+  // A noisy restatement of a canonical text: drops up to one content
+  // token and appends 0-2 filler tokens.
+  std::string make_variant(const std::string& canonical, Rng& rng) const;
+
+  // The verbatim retweet form.
+  static std::string make_retweet(const std::string& original,
+                                  const std::string& username);
+
+ private:
+  std::vector<std::string> topic_words_;
+  Rng rng_;
+};
+
+}  // namespace ss

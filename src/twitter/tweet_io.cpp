@@ -1,0 +1,172 @@
+#include "twitter/tweet_io.h"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace ss {
+namespace {
+
+// Minimal targeted JSON-line parsing: the writer controls the format
+// (flat object, known keys, no nesting), so a small scanner suffices and
+// keeps the module dependency-free.
+bool extract_field(const std::string& line, const std::string& key,
+                   std::string& out) {
+  std::string marker = "\"" + key + "\":";
+  auto pos = line.find(marker);
+  if (pos == std::string::npos) return false;
+  pos += marker.size();
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    // String value with escapes.
+    std::string value;
+    for (std::size_t i = pos + 1; i < line.size(); ++i) {
+      char c = line[i];
+      if (c == '\\' && i + 1 < line.size()) {
+        char next = line[++i];
+        switch (next) {
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case 'r': value += '\r'; break;
+          default: value += next;
+        }
+      } else if (c == '"') {
+        out = std::move(value);
+        return true;
+      } else {
+        value += c;
+      }
+    }
+    return false;
+  }
+  auto end = line.find_first_of(",}", pos);
+  if (end == std::string::npos) return false;
+  out = trim(line.substr(pos, end - pos));
+  return true;
+}
+
+}  // namespace
+
+void save_tweets(const std::vector<Tweet>& tweets,
+                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_tweets: cannot write " + path);
+  for (const Tweet& t : tweets) {
+    out << "{\"id\":" << t.id << ",\"user\":" << t.user
+        << ",\"time\":" << strprintf("%.17g", t.time) << ",\"text\":\""
+        << json_escape(t.text) << "\"";
+    if (t.is_retweet()) out << ",\"parent\":" << t.parent;
+    out << "}\n";
+  }
+}
+
+std::vector<Tweet> load_tweets(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_tweets: cannot read " + path);
+  std::vector<Tweet> tweets;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    Tweet t;
+    std::string field;
+    auto require = [&](const char* key) {
+      if (!extract_field(line, key, field)) {
+        throw std::runtime_error(
+            strprintf("load_tweets: %s:%zu missing field \"%s\"",
+                      path.c_str(), line_no, key));
+      }
+    };
+    require("id");
+    t.id = static_cast<std::uint32_t>(std::stoul(field));
+    require("user");
+    t.user = static_cast<std::uint32_t>(std::stoul(field));
+    require("time");
+    t.time = std::stod(field);
+    require("text");
+    t.text = field;
+    if (extract_field(line, "parent", field)) {
+      t.parent = static_cast<std::uint32_t>(std::stoul(field));
+    }
+    tweets.push_back(std::move(t));
+  }
+  return tweets;
+}
+
+void save_assertion_labels(const std::vector<Label>& labels,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_assertion_labels: cannot write " +
+                             path);
+  }
+  out << "assertion,label\n";
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    out << k << ',' << label_name(labels[k]) << '\n';
+  }
+}
+
+void save_tweet_labels(const std::vector<Tweet>& tweets,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_tweet_labels: cannot write " + path);
+  }
+  out << "tweet,label\n";
+  for (const Tweet& t : tweets) {
+    out << t.id << ',' << label_name(t.hidden_label) << '\n';
+  }
+}
+
+std::unordered_map<std::uint32_t, Label> load_tweet_labels(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_tweet_labels: cannot read " + path);
+  }
+  std::unordered_map<std::uint32_t, Label> labels;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    auto fields = csv_parse_line(line);
+    if (fields.size() != 2) {
+      throw std::runtime_error("load_tweet_labels: bad row " + line);
+    }
+    Label label = Label::kUnknown;
+    if (fields[1] == "True") label = Label::kTrue;
+    else if (fields[1] == "False") label = Label::kFalse;
+    else if (fields[1] == "Opinion") label = Label::kOpinion;
+    labels[static_cast<std::uint32_t>(std::stoul(fields[0]))] = label;
+  }
+  return labels;
+}
+
+std::vector<Label> load_assertion_labels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_assertion_labels: cannot read " +
+                             path);
+  }
+  std::vector<Label> labels;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    auto fields = csv_parse_line(line);
+    if (fields.size() != 2) {
+      throw std::runtime_error("load_assertion_labels: bad row " + line);
+    }
+    std::size_t k = std::stoull(fields[0]);
+    if (labels.size() <= k) labels.resize(k + 1, Label::kUnknown);
+    if (fields[1] == "True") labels[k] = Label::kTrue;
+    else if (fields[1] == "False") labels[k] = Label::kFalse;
+    else if (fields[1] == "Opinion") labels[k] = Label::kOpinion;
+    else labels[k] = Label::kUnknown;
+  }
+  return labels;
+}
+
+}  // namespace ss

@@ -1,0 +1,42 @@
+// Raw tweet-stream persistence (JSONL).
+//
+// One JSON object per line: {"id":..,"user":..,"time":..,"text":"..",
+// "parent":..}. `parent` is omitted for originals. Ground-truth fields
+// are intentionally NOT serialized — a stored stream looks exactly like
+// crawled data, so the ingestion pipeline (clustering, retweet
+// detection, dependency extraction) can be exercised on files the same
+// way Apollo consumed crawler output. A sidecar labels file carries the
+// hidden assertion labels for grading when the stream came from the
+// simulator.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "twitter/simulator.h"
+
+namespace ss {
+
+// Writes tweets as JSONL. Throws std::runtime_error on IO failure.
+void save_tweets(const std::vector<Tweet>& tweets,
+                 const std::string& path);
+
+// Reads a JSONL tweet stream written by save_tweets (hidden fields come
+// back as kUnknown / 0). Throws std::runtime_error on parse errors.
+std::vector<Tweet> load_tweets(const std::string& path);
+
+// Sidecar grading labels: "assertion_id,label" CSV.
+void save_assertion_labels(const std::vector<Label>& labels,
+                           const std::string& path);
+std::vector<Label> load_assertion_labels(const std::string& path);
+
+// Per-tweet grading labels ("tweet_id,label" CSV) — the shape human
+// grading takes in the paper's protocol. Keyed by tweet id so the file
+// survives any reordering of the stream.
+void save_tweet_labels(const std::vector<Tweet>& tweets,
+                       const std::string& path);
+std::unordered_map<std::uint32_t, Label> load_tweet_labels(
+    const std::string& path);
+
+}  // namespace ss

@@ -1,0 +1,20 @@
+// Typed access to environment-variable overrides used by benches/tests.
+#pragma once
+
+#include <string>
+
+namespace ss {
+
+// Returns the integer value of `name`, or `fallback` when unset/invalid.
+long long env_int(const char* name, long long fallback);
+
+// Returns the double value of `name`, or `fallback` when unset/invalid.
+double env_double(const char* name, double fallback);
+
+// True when `name` is set to a truthy value ("1", "true", "yes", "on").
+bool env_flag(const char* name, bool fallback = false);
+
+// Raw string value, or `fallback` when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace ss

@@ -1,0 +1,59 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace ss {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("SS_LOG");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_storage() {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_emit(LogLevel level, const std::string& message) {
+  static std::mutex mu;
+  using clock = std::chrono::system_clock;
+  auto now = clock::now();
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                now.time_since_epoch())
+                .count();
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
+               static_cast<long long>(ms / 1000),
+               static_cast<long long>(ms % 1000), tag(level),
+               message.c_str());
+}
+
+}  // namespace ss

@@ -1,0 +1,51 @@
+// Minimal thread-safe leveled logging.
+//
+// The level is read once from the SS_LOG environment variable
+// (error|warn|info|debug; default info). Messages are written to stderr so
+// bench/table output on stdout stays machine-parsable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ss {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+// Internal: emits one formatted line (timestamp, level tag, message).
+void log_emit(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace ss
+
+#define SS_LOG(level)                                  \
+  if (::ss::LogLevel::level <= ::ss::log_level())      \
+  ::ss::detail::LogLine(::ss::LogLevel::level)
+
+#define SS_ERROR SS_LOG(kError)
+#define SS_WARN SS_LOG(kWarn)
+#define SS_INFO SS_LOG(kInfo)
+#define SS_DEBUG SS_LOG(kDebug)

@@ -1,0 +1,40 @@
+// Small string helpers shared across IO, CLI and table printing.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ss {
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Joins with a separator string.
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string trim(std::string_view s);
+
+// ASCII lowercasing.
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// printf-style formatting into std::string.
+std::string strprintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Fixed-width, '%.*f'-style numeric cell used by the table printer.
+std::string format_double(double v, int precision);
+
+// Escapes a string for inclusion in a JSON document (quotes not added).
+std::string json_escape(std::string_view s);
+
+// Escapes/unescapes one CSV field (RFC-4180 quoting).
+std::string csv_escape(std::string_view field);
+std::vector<std::string> csv_parse_line(std::string_view line);
+
+}  // namespace ss

@@ -1,0 +1,63 @@
+// Fixed-size worker pool used by the experiment runner to execute
+// independent repetitions in parallel. Deliberately minimal: tasks are
+// type-erased closures; results flow back via std::future or the
+// parallel_for index interface.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ss {
+
+class ThreadPool {
+ public:
+  // `threads` == 0 selects hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Enqueues a task; the returned future reports its result/exception.
+  template <typename F>
+  auto submit(F&& task) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto packaged = std::make_shared<std::packaged_task<R()>>(
+        std::forward<F>(task));
+    std::future<R> fut = packaged->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  // Runs body(i) for i in [0, count), blocking until all complete.
+  // Exceptions from body are rethrown (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+// Number of worker threads benches should use: SS_THREADS env override,
+// else hardware concurrency.
+std::size_t default_thread_count();
+
+}  // namespace ss

@@ -1,0 +1,266 @@
+// Unit tests for the data layer: source-claim matrix, dependency
+// indicators (including the paper's Figure-1 example), dataset summary
+// and CSV persistence.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/dataset.h"
+#include "data/io.h"
+
+namespace ss {
+namespace {
+
+SourceClaimMatrix small_matrix() {
+  // 3 sources x 4 assertions.
+  std::vector<Claim> claims = {
+      {0, 0, 1.0}, {0, 2, 2.0}, {1, 0, 3.0}, {2, 3, 0.5},
+  };
+  return SourceClaimMatrix(3, 4, claims);
+}
+
+TEST(SourceClaimMatrix, BasicAccessors) {
+  SourceClaimMatrix sc = small_matrix();
+  EXPECT_EQ(sc.source_count(), 3u);
+  EXPECT_EQ(sc.assertion_count(), 4u);
+  EXPECT_EQ(sc.claim_count(), 4u);
+  EXPECT_TRUE(sc.has_claim(0, 0));
+  EXPECT_TRUE(sc.has_claim(0, 2));
+  EXPECT_FALSE(sc.has_claim(0, 1));
+  EXPECT_EQ(sc.claims_of(0), (std::vector<std::uint32_t>{0, 2}));
+  EXPECT_EQ(sc.claimants_of(0), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(sc.support(0), 2u);
+  EXPECT_EQ(sc.support(1), 0u);
+  EXPECT_DOUBLE_EQ(sc.claim_time(1, 0), 3.0);
+}
+
+TEST(SourceClaimMatrix, DeduplicatesKeepingEarliest) {
+  std::vector<Claim> claims = {
+      {0, 0, 5.0}, {0, 0, 2.0}, {0, 0, 9.0},
+  };
+  SourceClaimMatrix sc(1, 1, claims);
+  EXPECT_EQ(sc.claim_count(), 1u);
+  EXPECT_DOUBLE_EQ(sc.claim_time(0, 0), 2.0);
+}
+
+TEST(SourceClaimMatrix, ColumnsSortedBySource) {
+  std::vector<Claim> claims = {
+      {2, 0, 1.0}, {0, 0, 2.0}, {1, 0, 3.0},
+  };
+  SourceClaimMatrix sc(3, 1, claims);
+  EXPECT_EQ(sc.claimants_of(0), (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(SourceClaimMatrix, OutOfRangeThrows) {
+  std::vector<Claim> claims = {{5, 0, 0.0}};
+  EXPECT_THROW(SourceClaimMatrix(3, 4, claims), std::out_of_range);
+  std::vector<Claim> claims2 = {{0, 9, 0.0}};
+  EXPECT_THROW(SourceClaimMatrix(3, 4, claims2), std::out_of_range);
+}
+
+TEST(SourceClaimMatrix, ClaimTimeMissingThrows) {
+  SourceClaimMatrix sc = small_matrix();
+  EXPECT_THROW(sc.claim_time(0, 1), std::out_of_range);
+}
+
+TEST(SourceClaimMatrix, ToClaimsRoundtrip) {
+  SourceClaimMatrix sc = small_matrix();
+  auto claims = sc.to_claims();
+  SourceClaimMatrix copy(3, 4, claims);
+  EXPECT_EQ(copy.claim_count(), sc.claim_count());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(copy.claims_of(i), sc.claims_of(i));
+  }
+}
+
+TEST(Dependency, Figure1Example) {
+  // John(0) follows Sally(1); Heather(2) independent.
+  Digraph follows(3);
+  follows.add_edge(0, 1);
+  std::vector<Claim> claims = {
+      {1, 0, 1.0},  // Sally tweets "Main St" at t1
+      {2, 1, 1.0},  // Heather tweets "University Ave" at t1
+      {0, 0, 2.0},  // John repeats Main St at t2 -> dependent
+      {0, 1, 3.0},  // John repeats University Ave -> independent
+  };
+  SourceClaimMatrix sc(3, 2, claims);
+  auto dep = DependencyIndicators::from_graph(sc, follows);
+  EXPECT_TRUE(dep.dependent(0, 0));    // D_11 = 1 in the paper
+  EXPECT_FALSE(dep.dependent(0, 1));   // D_12 = 0
+  EXPECT_FALSE(dep.dependent(1, 0));   // D_21 = 0
+  EXPECT_FALSE(dep.dependent(2, 1));   // D_32 = 0
+}
+
+TEST(Dependency, EarlierClaimIsIndependent) {
+  // u follows v but u claimed BEFORE v: u's claim is original.
+  Digraph follows(2);
+  follows.add_edge(0, 1);
+  std::vector<Claim> claims = {{0, 0, 1.0}, {1, 0, 2.0}};
+  SourceClaimMatrix sc(2, 1, claims);
+  auto dep = DependencyIndicators::from_graph(sc, follows);
+  EXPECT_FALSE(dep.dependent(0, 0));
+  EXPECT_FALSE(dep.dependent(1, 0));  // v follows nobody
+}
+
+TEST(Dependency, UnclaimedCellExposure) {
+  // u follows v; v claims assertion 0. u never claims it, but the cell
+  // (u, 0) is exposed: D_u0 = 1 (the M-step denominators need this).
+  Digraph follows(2);
+  follows.add_edge(0, 1);
+  std::vector<Claim> claims = {{1, 0, 1.0}};
+  SourceClaimMatrix sc(2, 2, claims);
+  auto dep = DependencyIndicators::from_graph(sc, follows);
+  EXPECT_TRUE(dep.dependent(0, 0));
+  EXPECT_FALSE(dep.dependent(0, 1));
+  EXPECT_EQ(dep.exposed_cell_count(), 1u);
+  EXPECT_EQ(dep.exposed_assertions(0), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(dep.exposed_sources(0), (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Dependency, TransitiveScopeReachesGrandparents) {
+  // Chain: 0 follows 1 follows 2. Source 2 claims assertion 0.
+  Digraph follows(3);
+  follows.add_edge(0, 1);
+  follows.add_edge(1, 2);
+  std::vector<Claim> claims = {{2, 0, 1.0}};
+  SourceClaimMatrix sc(3, 1, claims);
+  auto direct = DependencyIndicators::from_graph(sc, follows,
+                                                 ExposureScope::kDirect);
+  auto transitive = DependencyIndicators::from_graph(
+      sc, follows, ExposureScope::kTransitive);
+  // Direct: only source 1 (follows 2) is exposed.
+  EXPECT_TRUE(direct.dependent(1, 0));
+  EXPECT_FALSE(direct.dependent(0, 0));
+  // Transitive: source 0 reaches 2 through 1.
+  EXPECT_TRUE(transitive.dependent(1, 0));
+  EXPECT_TRUE(transitive.dependent(0, 0));
+}
+
+TEST(Dependency, TransitiveMatchesDirectOnDepthOneGraphs) {
+  // On a level-two forest the two scopes coincide (no chains).
+  DependencyForest forest = make_level_two_forest_round_robin(8, 3);
+  std::vector<Claim> claims = {
+      {0, 0, 0.0}, {1, 1, 0.0}, {3, 0, 1.0}, {4, 2, 1.0},
+  };
+  SourceClaimMatrix sc(8, 3, claims);
+  Digraph g = forest.to_digraph();
+  auto direct =
+      DependencyIndicators::from_graph(sc, g, ExposureScope::kDirect);
+  auto transitive = DependencyIndicators::from_graph(
+      sc, g, ExposureScope::kTransitive);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(direct.exposed_assertions(i),
+              transitive.exposed_assertions(i))
+        << i;
+  }
+}
+
+TEST(Dependency, FromForestMatchesFromGraph) {
+  // Level-two forest: roots claim at t=0, leaves at t=1, so from_graph
+  // over the equivalent digraph must agree with from_forest.
+  DependencyForest forest = make_level_two_forest_round_robin(6, 2);
+  std::vector<Claim> claims = {
+      {0, 0, 0.0}, {0, 1, 0.0}, {1, 2, 0.0},  // roots
+      {2, 0, 1.0}, {3, 2, 1.0}, {4, 3, 1.0},  // leaves
+  };
+  SourceClaimMatrix sc(6, 4, claims);
+  auto from_forest = DependencyIndicators::from_forest(sc, forest);
+  auto from_graph =
+      DependencyIndicators::from_graph(sc, forest.to_digraph());
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(from_forest.exposed_assertions(i),
+              from_graph.exposed_assertions(i))
+        << "source " << i;
+  }
+}
+
+TEST(Dependency, FromCellsAndQueries) {
+  auto dep = DependencyIndicators::from_cells(3, 3, {{0, 1}, {2, 0}});
+  EXPECT_TRUE(dep.dependent(0, 1));
+  EXPECT_TRUE(dep.dependent(2, 0));
+  EXPECT_FALSE(dep.dependent(1, 1));
+  EXPECT_EQ(dep.exposed_cell_count(), 2u);
+  EXPECT_THROW(
+      DependencyIndicators::from_cells(2, 2, {{5, 0}}),
+      std::out_of_range);
+}
+
+TEST(Dependency, CountOriginalClaims) {
+  Digraph follows(2);
+  follows.add_edge(1, 0);
+  std::vector<Claim> claims = {{0, 0, 1.0}, {1, 0, 2.0}, {1, 1, 3.0}};
+  SourceClaimMatrix sc(2, 2, claims);
+  auto dep = DependencyIndicators::from_graph(sc, follows);
+  // Source 1's claim of assertion 0 is a repeat; the rest are original.
+  EXPECT_EQ(count_original_claims(sc, dep), 2u);
+}
+
+TEST(Dataset, SummaryCounts) {
+  Dataset d;
+  d.name = "t";
+  d.claims = small_matrix();
+  d.dependency = DependencyIndicators::from_cells(3, 4, {{1, 0}});
+  d.truth = {Label::kTrue, Label::kFalse, Label::kOpinion, Label::kTrue};
+  DatasetSummary s = d.summary();
+  EXPECT_EQ(s.sources, 3u);
+  EXPECT_EQ(s.assertions, 4u);
+  EXPECT_EQ(s.total_claims, 4u);
+  EXPECT_EQ(s.original_claims, 3u);  // (1,0) is dependent
+  EXPECT_EQ(s.true_assertions, 2u);
+  EXPECT_EQ(s.false_assertions, 1u);
+  EXPECT_EQ(s.opinion_assertions, 1u);
+}
+
+TEST(Dataset, ValidateRejectsShapeMismatch) {
+  Dataset d;
+  d.claims = small_matrix();
+  d.dependency = DependencyIndicators::from_cells(2, 4, {});
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.dependency = DependencyIndicators::from_cells(3, 4, {});
+  d.truth = {Label::kTrue};  // wrong length
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+  d.truth.clear();
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(DatasetIo, RoundtripPreservesEverything) {
+  Dataset d;
+  d.name = "roundtrip, with \"quotes\"";
+  d.claims = small_matrix();
+  d.dependency = DependencyIndicators::from_cells(3, 4, {{1, 0}, {2, 2}});
+  d.truth = {Label::kTrue, Label::kFalse, Label::kOpinion,
+             Label::kUnknown};
+
+  std::string dir = "/tmp/ss_test_io_roundtrip";
+  std::filesystem::remove_all(dir);
+  save_dataset(d, dir);
+  Dataset r = load_dataset(dir);
+
+  EXPECT_EQ(r.name, d.name);
+  EXPECT_EQ(r.source_count(), d.source_count());
+  EXPECT_EQ(r.assertion_count(), d.assertion_count());
+  EXPECT_EQ(r.claims.claim_count(), d.claims.claim_count());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(r.claims.claims_of(i), d.claims.claims_of(i));
+    EXPECT_EQ(r.dependency.exposed_assertions(i),
+              d.dependency.exposed_assertions(i));
+  }
+  EXPECT_DOUBLE_EQ(r.claims.claim_time(2, 3), 0.5);
+  EXPECT_EQ(r.truth, d.truth);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetIo, LoadMissingDirectoryThrows) {
+  EXPECT_THROW(load_dataset("/tmp/ss_definitely_missing_dir_42"),
+               std::runtime_error);
+}
+
+TEST(Labels, Names) {
+  EXPECT_STREQ(label_name(Label::kTrue), "True");
+  EXPECT_STREQ(label_name(Label::kFalse), "False");
+  EXPECT_STREQ(label_name(Label::kOpinion), "Opinion");
+  EXPECT_STREQ(label_name(Label::kUnknown), "Unknown");
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,116 @@
+// Tests for the live (incremental) Apollo pipeline.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "apollo/live.h"
+#include "apollo/pipeline.h"
+#include "twitter/builder.h"
+
+namespace ss {
+namespace {
+
+TwitterSimulation small_event(std::uint64_t seed) {
+  TwitterScenario scenario = scenario_by_name("Kirkuk").scaled(0.08);
+  return simulate_twitter(scenario, seed);
+}
+
+TEST(LiveApollo, IngestAssignsStableClusters) {
+  TwitterSimulation sim = small_event(1);
+  LiveApollo live(sim.follows);
+  std::unordered_map<std::uint32_t, std::uint32_t> first_cluster;
+  for (const Tweet& t : sim.tweets) {
+    std::uint32_t c = live.ingest(t);
+    // Retweets land in their parent's cluster.
+    if (t.is_retweet()) {
+      auto it = first_cluster.find(t.parent);
+      if (it != first_cluster.end()) {
+        EXPECT_EQ(c, it->second);
+      }
+    }
+    first_cluster.emplace(t.id, c);
+  }
+  EXPECT_GT(live.clusters_seen(), 0u);
+  EXPECT_LE(live.clusters_seen(), sim.tweets.size());
+}
+
+TEST(LiveApollo, RefreshProducesBeliefsForActiveClusters) {
+  TwitterSimulation sim = small_event(2);
+  LiveApollo live(sim.follows);
+  std::size_t half = sim.tweets.size() / 2;
+  for (std::size_t t = 0; t < half; ++t) live.ingest(sim.tweets[t]);
+  LiveRefreshResult r1 = live.refresh();
+  EXPECT_FALSE(r1.clusters.empty());
+  EXPECT_EQ(r1.clusters.size(), r1.belief.size());
+  EXPECT_EQ(live.refreshes(), 1u);
+  for (double b : r1.belief) {
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+  // Beliefs are recorded per cluster.
+  EXPECT_EQ(live.beliefs().size(), r1.clusters.size());
+
+  for (std::size_t t = half; t < sim.tweets.size(); ++t) {
+    live.ingest(sim.tweets[t]);
+  }
+  LiveRefreshResult r2 = live.refresh();
+  EXPECT_FALSE(r2.clusters.empty());
+  EXPECT_EQ(live.refreshes(), 2u);
+}
+
+TEST(LiveApollo, EmptyRefreshIsNoop) {
+  TwitterSimulation sim = small_event(3);
+  LiveApollo live(sim.follows);
+  LiveRefreshResult r = live.refresh();
+  EXPECT_TRUE(r.clusters.empty());
+  EXPECT_EQ(live.refreshes(), 0u);
+}
+
+TEST(LiveApollo, TopRankingSortedAndBounded) {
+  TwitterSimulation sim = small_event(4);
+  LiveApollo live(sim.follows);
+  for (const Tweet& t : sim.tweets) live.ingest(t);
+  live.refresh();
+  auto top = live.top(10);
+  EXPECT_LE(top.size(), 10u);
+  for (std::size_t k = 1; k < top.size(); ++k) {
+    EXPECT_GE(top[k - 1].second, top[k].second);
+  }
+}
+
+TEST(LiveApollo, WindowedRunTracksOfflineQuality) {
+  // The live pipeline's final top-20 should contain a true-fraction in
+  // the same ballpark as the offline batch pipeline on the whole event.
+  TwitterSimulation sim = small_event(5);
+
+  LiveApollo live(sim.follows);
+  std::unordered_map<std::uint32_t, Label> label_of_cluster;
+  std::size_t chunk = sim.tweets.size() / 6 + 1;
+  for (std::size_t t = 0; t < sim.tweets.size(); ++t) {
+    std::uint32_t c = live.ingest(sim.tweets[t]);
+    label_of_cluster.emplace(c, sim.tweets[t].hidden_label);
+    if ((t + 1) % chunk == 0) live.refresh();
+  }
+  live.refresh();
+  auto top = live.top(20);
+  double live_true = 0.0;
+  for (const auto& [cluster, lo] : top) {
+    live_true += label_of_cluster[cluster] == Label::kTrue ? 1.0 : 0.0;
+  }
+  live_true /= static_cast<double>(top.size());
+
+  BuiltDataset built = build_dataset(sim);
+  ApolloPipeline pipeline("EM-Ext");
+  PipelineReport report = pipeline.analyze(built.dataset, 1);
+  double offline_true = 0.0;
+  for (const RankedAssertion& ra : report.top(20)) {
+    offline_true += ra.truth == Label::kTrue ? 1.0 : 0.0;
+  }
+  offline_true /= 20.0;
+
+  EXPECT_GT(live_true, offline_true - 0.3);
+  EXPECT_GT(live_true, 0.3);
+}
+
+}  // namespace
+}  // namespace ss

@@ -1,0 +1,227 @@
+// Tests for the synthetic-data generators: knob handling, parametric
+// theta faithfulness (empirical rates match the generating parameters),
+// exposure semantics, and the procedural (Section V-A) process.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "simgen/knobs.h"
+#include "simgen/parametric_gen.h"
+#include "simgen/procedural_gen.h"
+
+namespace ss {
+namespace {
+
+TEST(Knobs, RangeSampling) {
+  Rng rng(1);
+  Range r{0.2, 0.4};
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.sample(rng);
+    EXPECT_GE(v, 0.2);
+    EXPECT_LE(v, 0.4);
+  }
+  Range fixed = Range::fixed(0.7);
+  EXPECT_DOUBLE_EQ(fixed.sample(rng), 0.7);
+  EXPECT_DOUBLE_EQ(fixed.midpoint(), 0.7);
+}
+
+TEST(Knobs, ProbFromOdds) {
+  EXPECT_NEAR(prob_from_odds(1.0), 0.5, 1e-12);
+  EXPECT_NEAR(prob_from_odds(2.0), 2.0 / 3.0, 1e-12);
+  EXPECT_THROW(prob_from_odds(0.0), std::invalid_argument);
+}
+
+TEST(Knobs, PaperDefaults) {
+  SimKnobs knobs = SimKnobs::paper_defaults(50);
+  EXPECT_EQ(knobs.sources, 50u);
+  EXPECT_EQ(knobs.assertions, 50u);
+  EXPECT_EQ(knobs.tau_lo, 8u);
+  EXPECT_EQ(knobs.tau_hi, 10u);
+  EXPECT_NEAR(knobs.p_indep_true.lo, 7.0 / 12.0, 1e-12);
+  // Small n clips tau.
+  SimKnobs small = SimKnobs::paper_defaults(5);
+  EXPECT_EQ(small.tau_lo, 5u);
+  EXPECT_EQ(small.tau_hi, 5u);
+}
+
+TEST(Knobs, TauSampling) {
+  Rng rng(2);
+  SimKnobs knobs = SimKnobs::paper_defaults(20);
+  for (int i = 0; i < 200; ++i) {
+    std::size_t tau = knobs.sample_tau(rng);
+    EXPECT_GE(tau, 8u);
+    EXPECT_LE(tau, 10u);
+  }
+  knobs.tau_lo = 0;
+  EXPECT_THROW(knobs.sample_tau(rng), std::invalid_argument);
+  knobs.tau_lo = 25;
+  knobs.tau_hi = 25;
+  EXPECT_THROW(knobs.sample_tau(rng), std::invalid_argument);
+}
+
+TEST(ParametricGen, ShapesAndLabels) {
+  Rng rng(3);
+  SimKnobs knobs = SimKnobs::paper_defaults(30, 40);
+  SimInstance inst = generate_parametric(knobs, rng);
+  inst.dataset.validate();
+  EXPECT_EQ(inst.dataset.source_count(), 30u);
+  EXPECT_EQ(inst.dataset.assertion_count(), 40u);
+  EXPECT_EQ(inst.dataset.truth.size(), 40u);
+  EXPECT_GE(inst.tau, 8u);
+  EXPECT_LE(inst.tau, 10u);
+  std::size_t true_count = 0;
+  for (Label l : inst.dataset.truth) {
+    true_count += (l == Label::kTrue) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(true_count),
+              std::lround(inst.d * 40.0), 0.5);
+  EXPECT_TRUE(inst.true_params.valid());
+  EXPECT_DOUBLE_EQ(inst.true_params.z, inst.d);
+}
+
+TEST(ParametricGen, ExposureIffRootClaimed) {
+  Rng rng(4);
+  SimKnobs knobs = SimKnobs::paper_defaults(20, 30);
+  SimInstance inst = generate_parametric(knobs, rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    bool root = inst.forest.is_root(i);
+    for (std::size_t j = 0; j < 30; ++j) {
+      bool exposed = inst.dataset.dependency.dependent(i, j);
+      if (root) {
+        EXPECT_FALSE(exposed) << "roots are never exposed";
+      } else {
+        EXPECT_EQ(exposed, inst.dataset.claims.has_claim(
+                               inst.forest.root_of[i], j))
+            << "leaf " << i << " assertion " << j;
+      }
+    }
+  }
+}
+
+// Property sweep: the empirical per-cell claim rates must match the
+// generating theta within binomial noise when aggregated over many
+// instances sharing fixed knobs.
+class ParametricRatesTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ParametricRatesTest, EmpiricalRatesMatchTheta) {
+  double p_dep_true = GetParam();
+  SimKnobs knobs = SimKnobs::paper_defaults(20, 40);
+  knobs.p_on = Range::fixed(0.6);
+  knobs.p_indep_true = Range::fixed(2.0 / 3.0);
+  knobs.p_dep_true = Range::fixed(p_dep_true);
+  knobs.d = Range::fixed(0.6);
+  Rng rng(static_cast<std::uint64_t>(p_dep_true * 1000));
+
+  double claims_true_indep = 0.0;
+  double cells_true_indep = 0.0;
+  double claims_true_dep = 0.0;
+  double cells_true_dep = 0.0;
+  for (int rep = 0; rep < 40; ++rep) {
+    SimInstance inst = generate_parametric(knobs, rng);
+    for (std::size_t i = 0; i < 20; ++i) {
+      for (std::size_t j = 0; j < 40; ++j) {
+        if (inst.dataset.truth[j] != Label::kTrue) continue;
+        bool exposed = inst.dataset.dependency.dependent(i, j);
+        bool claimed = inst.dataset.claims.has_claim(i, j);
+        if (exposed) {
+          cells_true_dep += 1.0;
+          claims_true_dep += claimed ? 1.0 : 0.0;
+        } else {
+          cells_true_indep += 1.0;
+          claims_true_indep += claimed ? 1.0 : 0.0;
+        }
+      }
+    }
+  }
+  double expect_a = 0.6 * (2.0 / 3.0);
+  double expect_f = 0.6 * p_dep_true;
+  EXPECT_NEAR(claims_true_indep / cells_true_indep, expect_a, 0.02);
+  EXPECT_NEAR(claims_true_dep / cells_true_dep, expect_f, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(DepTrueSweep, ParametricRatesTest,
+                         ::testing::Values(0.3, 0.5, 0.7));
+
+TEST(ParametricGen, DeterministicGivenRngState) {
+  SimKnobs knobs = SimKnobs::paper_defaults(15, 20);
+  Rng a(9);
+  Rng b(9);
+  SimInstance ia = generate_parametric(knobs, a);
+  SimInstance ib = generate_parametric(knobs, b);
+  EXPECT_EQ(ia.dataset.claims.claim_count(),
+            ib.dataset.claims.claim_count());
+  EXPECT_EQ(ia.dataset.truth, ib.dataset.truth);
+  EXPECT_EQ(ia.tau, ib.tau);
+}
+
+TEST(ProceduralGen, ShapesAndPools) {
+  Rng rng(5);
+  SimKnobs knobs = SimKnobs::paper_defaults(30, 40);
+  SimInstance inst = generate_procedural(knobs, rng);
+  inst.dataset.validate();
+  EXPECT_EQ(inst.dataset.source_count(), 30u);
+  EXPECT_EQ(inst.dataset.assertion_count(), 40u);
+  EXPECT_GT(inst.dataset.claims.claim_count(), 0u);
+  // No source claims the same assertion twice (pick-without-repeat).
+  for (std::size_t i = 0; i < 30; ++i) {
+    auto claims = inst.dataset.claims.claims_of(i);
+    std::set<std::uint32_t> unique(claims.begin(), claims.end());
+    EXPECT_EQ(unique.size(), claims.size());
+  }
+}
+
+TEST(ProceduralGen, ParticipationBoundsClaimVolume) {
+  Rng rng(6);
+  SimKnobs knobs = SimKnobs::paper_defaults(20, 50);
+  knobs.p_on = Range::fixed(0.5);
+  knobs.opportunities = 30;
+  SimInstance inst = generate_procedural(knobs, rng);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_LE(inst.dataset.claims.claims_of(i).size(), 30u);
+  }
+  // Aggregate volume near n * opportunities * p_on.
+  EXPECT_NEAR(static_cast<double>(inst.dataset.claims.claim_count()),
+              20 * 30 * 0.5, 80.0);
+}
+
+TEST(ProceduralGen, DependentClaimsComeFromRootClaims) {
+  Rng rng(7);
+  SimKnobs knobs = SimKnobs::paper_defaults(25, 40);
+  knobs.p_dep = Range::fixed(0.8);  // mostly dependent picks
+  SimInstance inst = generate_procedural(knobs, rng);
+  for (std::size_t i = 0; i < 25; ++i) {
+    if (inst.forest.is_root(i)) continue;
+    std::size_t r = inst.forest.root_of[i];
+    for (std::uint32_t j : inst.dataset.claims.claims_of(i)) {
+      if (inst.dataset.dependency.dependent(i, j)) {
+        EXPECT_TRUE(inst.dataset.claims.has_claim(r, j));
+      }
+    }
+  }
+}
+
+TEST(ProceduralGen, TimestampsOrderRootsBeforeLeaves) {
+  Rng rng(8);
+  SimKnobs knobs = SimKnobs::paper_defaults(20, 30);
+  SimInstance inst = generate_procedural(knobs, rng);
+  double max_root_time = 0.0;
+  double min_leaf_time = 1e18;
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::uint32_t j : inst.dataset.claims.claims_of(i)) {
+      double t = inst.dataset.claims.claim_time(i, j);
+      if (inst.forest.is_root(i)) {
+        max_root_time = std::max(max_root_time, t);
+      } else {
+        min_leaf_time = std::min(min_leaf_time, t);
+      }
+    }
+  }
+  if (min_leaf_time < 1e18) {
+    EXPECT_GT(min_leaf_time, max_root_time);
+  }
+}
+
+}  // namespace
+}  // namespace ss

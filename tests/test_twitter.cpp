@@ -1,0 +1,357 @@
+// Tests for the Twitter substrate: text generation and tokenization,
+// the event simulator's cascade structure, clustering quality, and the
+// ingestion path into a fact-finding dataset.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include <filesystem>
+
+#include "twitter/builder.h"
+#include "twitter/clustering.h"
+#include "twitter/retweet_detect.h"
+#include "twitter/scenario.h"
+#include "twitter/simulator.h"
+#include "twitter/text.h"
+#include "twitter/tweet_io.h"
+
+namespace ss {
+namespace {
+
+TwitterScenario small_scenario() {
+  TwitterScenario s = scenario_by_name("Kirkuk").scaled(0.05);
+  return s;
+}
+
+TEST(Text, TokenizerNormalizes) {
+  auto tokens = tokenize_tweet("RT @user12: Breaking! KIRKUK falls?");
+  // "rt" and "@user12" are stripped; the rest lowercased, no punctuation.
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"breaking", "kirkuk", "falls"}));
+}
+
+TEST(Text, TokenizerKeepsHashtags) {
+  auto tokens = tokenize_tweet("#BREAKING news");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"#breaking", "news"}));
+}
+
+TEST(Text, CanonicalTextsAreDistinct) {
+  TweetTextGenerator gen({"alpha", "beta", "gamma", "delta"}, 1);
+  std::string a = gen.make_canonical(0, false);
+  std::string b = gen.make_canonical(1, false);
+  // Unique entity tokens keep assertions separable.
+  EXPECT_NE(a.find("entity0a"), std::string::npos);
+  EXPECT_NE(b.find("entity1a"), std::string::npos);
+  EXPECT_EQ(a.find("entity1a"), std::string::npos);
+}
+
+TEST(Text, VariantPreservesEntities) {
+  TweetTextGenerator gen({"alpha", "beta", "gamma", "delta"}, 2);
+  Rng rng(3);
+  std::string canonical = gen.make_canonical(5, false);
+  for (int i = 0; i < 20; ++i) {
+    std::string variant = gen.make_variant(canonical, rng);
+    EXPECT_NE(variant.find("entity5a"), std::string::npos);
+    EXPECT_NE(variant.find("entity5b"), std::string::npos);
+  }
+}
+
+TEST(Text, RetweetFormat) {
+  std::string rt = TweetTextGenerator::make_retweet("hello world", "bob");
+  EXPECT_EQ(rt, "RT @bob: hello world");
+  auto tokens = tokenize_tweet(rt);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(Simulator, ProducesTimeOrderedStream) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 7);
+  ASSERT_GT(sim.tweets.size(), 10u);
+  for (std::size_t t = 1; t < sim.tweets.size(); ++t) {
+    EXPECT_LE(sim.tweets[t - 1].time, sim.tweets[t].time);
+  }
+}
+
+TEST(Simulator, RetweetsFollowEdgesAndParents) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 8);
+  std::unordered_map<std::uint32_t, const Tweet*> by_id;
+  for (const Tweet& t : sim.tweets) by_id[t.id] = &t;
+  std::size_t retweets = 0;
+  for (const Tweet& t : sim.tweets) {
+    if (!t.is_retweet()) continue;
+    ++retweets;
+    auto it = by_id.find(t.parent);
+    ASSERT_NE(it, by_id.end());
+    const Tweet* parent = it->second;
+    // A retweeter follows the parent's author, inherits the assertion,
+    // and tweets later.
+    EXPECT_TRUE(sim.follows.has_edge(t.user, parent->user));
+    EXPECT_EQ(t.hidden_assertion, parent->hidden_assertion);
+    EXPECT_GT(t.time, parent->time);
+  }
+  EXPECT_GT(retweets, 0u);
+}
+
+TEST(Simulator, LabelsCoverAllThreeClasses) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 9);
+  std::set<Label> seen;
+  for (const Tweet& t : sim.tweets) seen.insert(t.hidden_label);
+  EXPECT_TRUE(seen.count(Label::kTrue));
+  EXPECT_TRUE(seen.count(Label::kFalse));
+  EXPECT_TRUE(seen.count(Label::kOpinion));
+}
+
+TEST(Simulator, DeterministicForSeed) {
+  TwitterScenario s = small_scenario();
+  TwitterSimulation a = simulate_twitter(s, 10);
+  TwitterSimulation b = simulate_twitter(s, 10);
+  ASSERT_EQ(a.tweets.size(), b.tweets.size());
+  for (std::size_t t = 0; t < a.tweets.size(); ++t) {
+    EXPECT_EQ(a.tweets[t].text, b.tweets[t].text);
+    EXPECT_EQ(a.tweets[t].user, b.tweets[t].user);
+  }
+}
+
+TEST(IncrementalClusterer, MatchesBatchClustering) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 35);
+  ClusteringResult batch = cluster_tweets(sim.tweets);
+  IncrementalClusterer inc;
+  for (std::size_t t = 0; t < sim.tweets.size(); ++t) {
+    EXPECT_EQ(inc.add(sim.tweets[t]), batch.cluster_of[t]) << t;
+  }
+  EXPECT_EQ(inc.cluster_count(), batch.cluster_count);
+  EXPECT_EQ(inc.tweets_seen(), sim.tweets.size());
+}
+
+TEST(IncrementalClusterer, NearDuplicateTextsShareCluster) {
+  IncrementalClusterer inc;
+  Tweet a;
+  a.id = 0;
+  a.text = "bridge closed entity9a entity9b police confirm";
+  Tweet b;
+  b.id = 1;
+  b.text = "bridge closed entity9a entity9b police";
+  Tweet c;
+  c.id = 2;
+  c.text = "completely different entity4a entity4b words here";
+  EXPECT_EQ(inc.add(a), inc.add(b));
+  EXPECT_NE(inc.add(c), inc.add(a));
+}
+
+TEST(Clustering, GroupsVariantsOfSameAssertion) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 11);
+  ClusteringResult clusters = cluster_tweets(sim.tweets);
+  EXPECT_GT(clusters.cluster_count, 0u);
+  EXPECT_LE(clusters.cluster_count, sim.tweets.size());
+  // Near-duplicate texts (entity tokens shared) must cluster cleanly.
+  EXPECT_GT(clusters.purity, 0.95);
+}
+
+TEST(Clustering, RetweetJoinsParentCluster) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 12);
+  ClusteringResult clusters = cluster_tweets(sim.tweets);
+  std::unordered_map<std::uint32_t, std::size_t> pos;
+  for (std::size_t t = 0; t < sim.tweets.size(); ++t) {
+    pos[sim.tweets[t].id] = t;
+  }
+  for (std::size_t t = 0; t < sim.tweets.size(); ++t) {
+    if (!sim.tweets[t].is_retweet()) continue;
+    std::size_t parent_pos = pos.at(sim.tweets[t].parent);
+    EXPECT_EQ(clusters.cluster_of[t], clusters.cluster_of[parent_pos]);
+  }
+}
+
+TEST(Clustering, ClusterLabelsMatchHiddenLabels) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 13);
+  ClusteringResult clusters = cluster_tweets(sim.tweets);
+  // For every tweet whose cluster is pure, the cluster's label equals
+  // the tweet's hidden label; check a global consistency ratio instead
+  // of per-cluster (a few merged clusters are tolerable).
+  std::size_t agree = 0;
+  std::size_t total = 0;
+  for (std::size_t t = 0; t < sim.tweets.size(); ++t) {
+    ++total;
+    if (clusters.cluster_labels[clusters.cluster_of[t]] ==
+        sim.tweets[t].hidden_label) {
+      ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.9);
+}
+
+TEST(Builder, DatasetShapeAndClaims) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 14);
+  BuiltDataset built = build_dataset(sim);
+  built.dataset.validate();
+  DatasetSummary summary = built.dataset.summary();
+  EXPECT_EQ(summary.sources, built.user_of_source.size());
+  EXPECT_EQ(summary.assertions, built.clustering.cluster_count);
+  EXPECT_GT(summary.total_claims, 0u);
+  EXPECT_LE(summary.original_claims, summary.total_claims);
+  // Claims cannot exceed tweets (dedup only shrinks).
+  EXPECT_LE(summary.total_claims, sim.tweets.size());
+}
+
+TEST(Builder, RetweetClaimsAreDependent) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 15);
+  BuiltDataset built = build_dataset(sim);
+  // Count retweet-origin claims marked dependent. A retweeter follows
+  // the original author and claims later, so unless it *also* tweeted
+  // the assertion first, its claim must be dependent.
+  std::unordered_map<std::uint32_t, std::uint32_t> source_of_user;
+  for (std::size_t s = 0; s < built.user_of_source.size(); ++s) {
+    source_of_user[built.user_of_source[s]] =
+        static_cast<std::uint32_t>(s);
+  }
+  std::unordered_map<std::uint32_t, std::size_t> pos;
+  for (std::size_t t = 0; t < sim.tweets.size(); ++t) {
+    pos[sim.tweets[t].id] = t;
+  }
+  std::size_t dependent = 0;
+  std::size_t checked = 0;
+  for (std::size_t t = 0; t < sim.tweets.size(); ++t) {
+    const Tweet& tweet = sim.tweets[t];
+    if (!tweet.is_retweet()) continue;
+    std::uint32_t source = source_of_user.at(tweet.user);
+    std::uint32_t cluster = built.clustering.cluster_of[t];
+    // Only check when this retweet *is* the source's earliest claim of
+    // the cluster.
+    if (built.dataset.claims.claim_time(source, cluster) != tweet.time) {
+      continue;
+    }
+    ++checked;
+    dependent +=
+        built.dataset.dependency.dependent(source, cluster) ? 1 : 0;
+  }
+  ASSERT_GT(checked, 0u);
+  EXPECT_EQ(dependent, checked);
+}
+
+TEST(TweetIo, JsonlRoundtrip) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 31);
+  std::string path = "/tmp/ss_test_tweets.jsonl";
+  save_tweets(sim.tweets, path);
+  auto loaded = load_tweets(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), sim.tweets.size());
+  for (std::size_t t = 0; t < loaded.size(); ++t) {
+    EXPECT_EQ(loaded[t].id, sim.tweets[t].id);
+    EXPECT_EQ(loaded[t].user, sim.tweets[t].user);
+    EXPECT_EQ(loaded[t].text, sim.tweets[t].text);
+    EXPECT_EQ(loaded[t].parent, sim.tweets[t].parent);
+    EXPECT_NEAR(loaded[t].time, sim.tweets[t].time, 1e-6);
+    // Ground truth is deliberately not serialized.
+    EXPECT_EQ(loaded[t].hidden_label, Label::kUnknown);
+  }
+}
+
+TEST(TweetIo, LabelSidecars) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 32);
+  std::string path = "/tmp/ss_test_tweet_labels.csv";
+  save_tweet_labels(sim.tweets, path);
+  auto labels = load_tweet_labels(path);
+  std::filesystem::remove(path);
+  ASSERT_EQ(labels.size(), sim.tweets.size());
+  for (const Tweet& t : sim.tweets) {
+    EXPECT_EQ(labels.at(t.id), t.hidden_label);
+  }
+}
+
+TEST(TweetIo, MissingFileThrows) {
+  EXPECT_THROW(load_tweets("/tmp/ss_no_such_tweets.jsonl"),
+               std::runtime_error);
+}
+
+TEST(RetweetDetect, ParsesRetweetForm) {
+  std::string name;
+  std::string body;
+  EXPECT_TRUE(parse_retweet_text("RT @alice: hello world", name, body));
+  EXPECT_EQ(name, "alice");
+  EXPECT_EQ(body, "hello world");
+  EXPECT_FALSE(parse_retweet_text("hello world", name, body));
+  EXPECT_FALSE(parse_retweet_text("RT @: no name", name, body));
+}
+
+TEST(RetweetDetect, RecoversSimulatorParents) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 33);
+  std::vector<Tweet> stripped = sim.tweets;
+  for (Tweet& t : stripped) t.parent = Tweet::kNoParent;
+  RetweetDetectionResult result = detect_retweet_parents(stripped);
+  // Every simulated retweet text is exact, so detection should resolve
+  // essentially all of them to the correct parent.
+  std::size_t expected_retweets = 0;
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < sim.tweets.size(); ++t) {
+    if (!sim.tweets[t].is_retweet()) continue;
+    ++expected_retweets;
+    if (stripped[t].parent == sim.tweets[t].parent) ++correct;
+  }
+  ASSERT_GT(expected_retweets, 0u);
+  EXPECT_EQ(result.retweets_seen, expected_retweets);
+  // Ambiguity (two identical originals) can redirect a handful.
+  EXPECT_GE(correct, expected_retweets * 9 / 10);
+}
+
+TEST(RetweetDetect, InferredNetworkEdges) {
+  std::vector<Tweet> tweets;
+  Tweet original;
+  original.id = 0;
+  original.user = 1;
+  original.time = 1.0;
+  original.text = "eiffel closed tonight";
+  tweets.push_back(original);
+  Tweet rt;
+  rt.id = 1;
+  rt.user = 2;
+  rt.time = 2.0;
+  rt.text = TweetTextGenerator::make_retweet(original.text,
+                                             username_of(1));
+  tweets.push_back(rt);
+  detect_retweet_parents(tweets);
+  ASSERT_EQ(tweets[1].parent, 0u);
+  Digraph net = infer_dependency_network(tweets, 3);
+  EXPECT_TRUE(net.has_edge(2, 1));
+  EXPECT_EQ(net.edge_count(), 1u);
+}
+
+TEST(BuilderFromStream, ExternalIngestionMatchesShapes) {
+  TwitterSimulation sim = simulate_twitter(small_scenario(), 34);
+  std::vector<Tweet> raw = sim.tweets;
+  for (Tweet& t : raw) t.parent = Tweet::kNoParent;
+  BuiltDataset external = build_dataset_from_stream(raw);
+  external.dataset.validate();
+  // Sources and claims agree with the graph-based path (clusters may
+  // differ slightly when orphan retweets fall back to text matching).
+  BuiltDataset internal = build_dataset(sim);
+  EXPECT_EQ(external.dataset.source_count(),
+            internal.dataset.source_count());
+  EXPECT_EQ(external.dataset.claims.claim_count(),
+            internal.dataset.claims.claim_count());
+  // Dependency in the external path comes from retweet behaviour only,
+  // so it is a subset signal: nonzero but no larger than follow-graph
+  // exposure.
+  EXPECT_GT(external.dataset.dependency.exposed_cell_count(), 0u);
+}
+
+TEST(Scenario, FivePresetsMatchPaperOrder) {
+  auto scenarios = paper_scenarios();
+  ASSERT_EQ(scenarios.size(), 5u);
+  EXPECT_EQ(scenarios[0].name, "Ukraine");
+  EXPECT_EQ(scenarios[1].name, "Kirkuk");
+  EXPECT_EQ(scenarios[2].name, "Superbug");
+  EXPECT_EQ(scenarios[3].name, "LA Marathon");
+  EXPECT_EQ(scenarios[4].name, "Paris Attack");
+  EXPECT_THROW(scenario_by_name("MarsLanding"), std::invalid_argument);
+}
+
+TEST(Scenario, ScalingAdjustsCountsButNotRates) {
+  TwitterScenario s = scenario_by_name("Ukraine");
+  TwitterScenario half = s.scaled(0.5);
+  EXPECT_NEAR(half.users, s.users / 2, 1);
+  EXPECT_NEAR(half.seed_tweets, s.seed_tweets / 2, 1);
+  EXPECT_DOUBLE_EQ(half.retweet_rate, s.retweet_rate);
+  EXPECT_EQ(half.graph.nodes, half.users);
+}
+
+}  // namespace
+}  // namespace ss
