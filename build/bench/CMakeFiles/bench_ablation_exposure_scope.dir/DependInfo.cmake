@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_exposure_scope.cpp" "bench/CMakeFiles/bench_ablation_exposure_scope.dir/bench_ablation_exposure_scope.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_exposure_scope.dir/bench_ablation_exposure_scope.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/ss_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/apollo/CMakeFiles/ss_apollo.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/ss_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/bounds/CMakeFiles/ss_bounds.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/ss_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/twitter/CMakeFiles/ss_twitter.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ss_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

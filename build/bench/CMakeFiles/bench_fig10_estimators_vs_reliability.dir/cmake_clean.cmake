@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_estimators_vs_reliability.dir/bench_fig10_estimators_vs_reliability.cpp.o"
+  "CMakeFiles/bench_fig10_estimators_vs_reliability.dir/bench_fig10_estimators_vs_reliability.cpp.o.d"
+  "bench_fig10_estimators_vs_reliability"
+  "bench_fig10_estimators_vs_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_estimators_vs_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_estimators_vs_assertions.dir/bench_fig8_estimators_vs_assertions.cpp.o"
+  "CMakeFiles/bench_fig8_estimators_vs_assertions.dir/bench_fig8_estimators_vs_assertions.cpp.o.d"
+  "bench_fig8_estimators_vs_assertions"
+  "bench_fig8_estimators_vs_assertions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_estimators_vs_assertions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

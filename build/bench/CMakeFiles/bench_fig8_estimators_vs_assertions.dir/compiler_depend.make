@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_estimators_vs_assertions.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/ss_bench_common.dir/bench_common.cpp.o.d"
+  "libss_bench_common.a"
+  "libss_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

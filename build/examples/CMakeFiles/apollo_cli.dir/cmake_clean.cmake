@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apollo_cli.dir/apollo_cli.cpp.o"
+  "CMakeFiles/apollo_cli.dir/apollo_cli.cpp.o.d"
+  "apollo_cli"
+  "apollo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apollo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

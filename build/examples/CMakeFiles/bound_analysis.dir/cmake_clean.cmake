@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_analysis.dir/bound_analysis.cpp.o"
+  "CMakeFiles/bound_analysis.dir/bound_analysis.cpp.o.d"
+  "bound_analysis"
+  "bound_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breaking_news.dir/breaking_news.cpp.o"
+  "CMakeFiles/breaking_news.dir/breaking_news.cpp.o.d"
+  "breaking_news"
+  "breaking_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breaking_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

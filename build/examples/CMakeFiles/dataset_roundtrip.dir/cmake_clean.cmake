@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_roundtrip.dir/dataset_roundtrip.cpp.o"
+  "CMakeFiles/dataset_roundtrip.dir/dataset_roundtrip.cpp.o.d"
+  "dataset_roundtrip"
+  "dataset_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_factfinder.dir/streaming_factfinder.cpp.o"
+  "CMakeFiles/streaming_factfinder.dir/streaming_factfinder.cpp.o.d"
+  "streaming_factfinder"
+  "streaming_factfinder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_factfinder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

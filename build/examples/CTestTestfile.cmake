@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--sources" "20" "--assertions" "20")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_bound_analysis "/root/repo/build/examples/bound_analysis" "--sources" "12" "--assertions" "20")
+set_tests_properties(example_bound_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_breaking_news "/root/repo/build/examples/breaking_news" "--scale" "0.05" "--top" "20")
+set_tests_properties(example_breaking_news PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dataset_roundtrip "/root/repo/build/examples/dataset_roundtrip" "--dir" "/root/repo/build/rt_example")
+set_tests_properties(example_dataset_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_streaming "/root/repo/build/examples/streaming_factfinder" "--windows" "4" "--batch-size" "8")
+set_tests_properties(example_streaming PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_live_monitor "/root/repo/build/examples/live_monitor" "--scale" "0.05" "--refresh-hours" "240")
+set_tests_properties(example_live_monitor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_apollo_cli "/root/repo/build/examples/apollo_cli" "--mode" "simulate" "--scale" "0.05" "--dir" "/root/repo/build/apollo_example" "--report" "--grade-top" "30")
+set_tests_properties(example_apollo_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apollo/grading.cpp" "src/apollo/CMakeFiles/ss_apollo.dir/grading.cpp.o" "gcc" "src/apollo/CMakeFiles/ss_apollo.dir/grading.cpp.o.d"
+  "/root/repo/src/apollo/live.cpp" "src/apollo/CMakeFiles/ss_apollo.dir/live.cpp.o" "gcc" "src/apollo/CMakeFiles/ss_apollo.dir/live.cpp.o.d"
+  "/root/repo/src/apollo/pipeline.cpp" "src/apollo/CMakeFiles/ss_apollo.dir/pipeline.cpp.o" "gcc" "src/apollo/CMakeFiles/ss_apollo.dir/pipeline.cpp.o.d"
+  "/root/repo/src/apollo/report.cpp" "src/apollo/CMakeFiles/ss_apollo.dir/report.cpp.o" "gcc" "src/apollo/CMakeFiles/ss_apollo.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/estimators/CMakeFiles/ss_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/twitter/CMakeFiles/ss_twitter.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/ss_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_apollo.dir/grading.cpp.o"
+  "CMakeFiles/ss_apollo.dir/grading.cpp.o.d"
+  "CMakeFiles/ss_apollo.dir/live.cpp.o"
+  "CMakeFiles/ss_apollo.dir/live.cpp.o.d"
+  "CMakeFiles/ss_apollo.dir/pipeline.cpp.o"
+  "CMakeFiles/ss_apollo.dir/pipeline.cpp.o.d"
+  "CMakeFiles/ss_apollo.dir/report.cpp.o"
+  "CMakeFiles/ss_apollo.dir/report.cpp.o.d"
+  "libss_apollo.a"
+  "libss_apollo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_apollo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

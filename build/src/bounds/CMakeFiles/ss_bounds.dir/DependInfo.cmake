@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bounds/column_model.cpp" "src/bounds/CMakeFiles/ss_bounds.dir/column_model.cpp.o" "gcc" "src/bounds/CMakeFiles/ss_bounds.dir/column_model.cpp.o.d"
+  "/root/repo/src/bounds/confidence.cpp" "src/bounds/CMakeFiles/ss_bounds.dir/confidence.cpp.o" "gcc" "src/bounds/CMakeFiles/ss_bounds.dir/confidence.cpp.o.d"
+  "/root/repo/src/bounds/convolution_bound.cpp" "src/bounds/CMakeFiles/ss_bounds.dir/convolution_bound.cpp.o" "gcc" "src/bounds/CMakeFiles/ss_bounds.dir/convolution_bound.cpp.o.d"
+  "/root/repo/src/bounds/dataset_bound.cpp" "src/bounds/CMakeFiles/ss_bounds.dir/dataset_bound.cpp.o" "gcc" "src/bounds/CMakeFiles/ss_bounds.dir/dataset_bound.cpp.o.d"
+  "/root/repo/src/bounds/exact_bound.cpp" "src/bounds/CMakeFiles/ss_bounds.dir/exact_bound.cpp.o" "gcc" "src/bounds/CMakeFiles/ss_bounds.dir/exact_bound.cpp.o.d"
+  "/root/repo/src/bounds/gibbs_bound.cpp" "src/bounds/CMakeFiles/ss_bounds.dir/gibbs_bound.cpp.o" "gcc" "src/bounds/CMakeFiles/ss_bounds.dir/gibbs_bound.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

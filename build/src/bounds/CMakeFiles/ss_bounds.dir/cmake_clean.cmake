@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_bounds.dir/column_model.cpp.o"
+  "CMakeFiles/ss_bounds.dir/column_model.cpp.o.d"
+  "CMakeFiles/ss_bounds.dir/confidence.cpp.o"
+  "CMakeFiles/ss_bounds.dir/confidence.cpp.o.d"
+  "CMakeFiles/ss_bounds.dir/convolution_bound.cpp.o"
+  "CMakeFiles/ss_bounds.dir/convolution_bound.cpp.o.d"
+  "CMakeFiles/ss_bounds.dir/dataset_bound.cpp.o"
+  "CMakeFiles/ss_bounds.dir/dataset_bound.cpp.o.d"
+  "CMakeFiles/ss_bounds.dir/exact_bound.cpp.o"
+  "CMakeFiles/ss_bounds.dir/exact_bound.cpp.o.d"
+  "CMakeFiles/ss_bounds.dir/gibbs_bound.cpp.o"
+  "CMakeFiles/ss_bounds.dir/gibbs_bound.cpp.o.d"
+  "libss_bounds.a"
+  "libss_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/em_ext.cpp" "src/core/CMakeFiles/ss_core.dir/em_ext.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/em_ext.cpp.o.d"
+  "/root/repo/src/core/likelihood.cpp" "src/core/CMakeFiles/ss_core.dir/likelihood.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/likelihood.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/core/CMakeFiles/ss_core.dir/params.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/params.cpp.o.d"
+  "/root/repo/src/core/posterior.cpp" "src/core/CMakeFiles/ss_core.dir/posterior.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/posterior.cpp.o.d"
+  "/root/repo/src/core/streaming_em.cpp" "src/core/CMakeFiles/ss_core.dir/streaming_em.cpp.o" "gcc" "src/core/CMakeFiles/ss_core.dir/streaming_em.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

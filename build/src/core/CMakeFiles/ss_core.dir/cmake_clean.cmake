@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_core.dir/em_ext.cpp.o"
+  "CMakeFiles/ss_core.dir/em_ext.cpp.o.d"
+  "CMakeFiles/ss_core.dir/likelihood.cpp.o"
+  "CMakeFiles/ss_core.dir/likelihood.cpp.o.d"
+  "CMakeFiles/ss_core.dir/params.cpp.o"
+  "CMakeFiles/ss_core.dir/params.cpp.o.d"
+  "CMakeFiles/ss_core.dir/posterior.cpp.o"
+  "CMakeFiles/ss_core.dir/posterior.cpp.o.d"
+  "CMakeFiles/ss_core.dir/streaming_em.cpp.o"
+  "CMakeFiles/ss_core.dir/streaming_em.cpp.o.d"
+  "libss_core.a"
+  "libss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

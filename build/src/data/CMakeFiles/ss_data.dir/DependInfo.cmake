@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/ss_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/ss_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/dependency.cpp" "src/data/CMakeFiles/ss_data.dir/dependency.cpp.o" "gcc" "src/data/CMakeFiles/ss_data.dir/dependency.cpp.o.d"
+  "/root/repo/src/data/io.cpp" "src/data/CMakeFiles/ss_data.dir/io.cpp.o" "gcc" "src/data/CMakeFiles/ss_data.dir/io.cpp.o.d"
+  "/root/repo/src/data/source_claim_matrix.cpp" "src/data/CMakeFiles/ss_data.dir/source_claim_matrix.cpp.o" "gcc" "src/data/CMakeFiles/ss_data.dir/source_claim_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

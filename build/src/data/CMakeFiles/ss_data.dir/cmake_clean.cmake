@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_data.dir/dataset.cpp.o"
+  "CMakeFiles/ss_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/ss_data.dir/dependency.cpp.o"
+  "CMakeFiles/ss_data.dir/dependency.cpp.o.d"
+  "CMakeFiles/ss_data.dir/io.cpp.o"
+  "CMakeFiles/ss_data.dir/io.cpp.o.d"
+  "CMakeFiles/ss_data.dir/source_claim_matrix.cpp.o"
+  "CMakeFiles/ss_data.dir/source_claim_matrix.cpp.o.d"
+  "libss_data.a"
+  "libss_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/average_log.cpp" "src/estimators/CMakeFiles/ss_estimators.dir/average_log.cpp.o" "gcc" "src/estimators/CMakeFiles/ss_estimators.dir/average_log.cpp.o.d"
+  "/root/repo/src/estimators/em_ipsn12.cpp" "src/estimators/CMakeFiles/ss_estimators.dir/em_ipsn12.cpp.o" "gcc" "src/estimators/CMakeFiles/ss_estimators.dir/em_ipsn12.cpp.o.d"
+  "/root/repo/src/estimators/em_social.cpp" "src/estimators/CMakeFiles/ss_estimators.dir/em_social.cpp.o" "gcc" "src/estimators/CMakeFiles/ss_estimators.dir/em_social.cpp.o.d"
+  "/root/repo/src/estimators/investment.cpp" "src/estimators/CMakeFiles/ss_estimators.dir/investment.cpp.o" "gcc" "src/estimators/CMakeFiles/ss_estimators.dir/investment.cpp.o.d"
+  "/root/repo/src/estimators/registry.cpp" "src/estimators/CMakeFiles/ss_estimators.dir/registry.cpp.o" "gcc" "src/estimators/CMakeFiles/ss_estimators.dir/registry.cpp.o.d"
+  "/root/repo/src/estimators/sums.cpp" "src/estimators/CMakeFiles/ss_estimators.dir/sums.cpp.o" "gcc" "src/estimators/CMakeFiles/ss_estimators.dir/sums.cpp.o.d"
+  "/root/repo/src/estimators/truth_finder.cpp" "src/estimators/CMakeFiles/ss_estimators.dir/truth_finder.cpp.o" "gcc" "src/estimators/CMakeFiles/ss_estimators.dir/truth_finder.cpp.o.d"
+  "/root/repo/src/estimators/voting.cpp" "src/estimators/CMakeFiles/ss_estimators.dir/voting.cpp.o" "gcc" "src/estimators/CMakeFiles/ss_estimators.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_estimators.dir/average_log.cpp.o"
+  "CMakeFiles/ss_estimators.dir/average_log.cpp.o.d"
+  "CMakeFiles/ss_estimators.dir/em_ipsn12.cpp.o"
+  "CMakeFiles/ss_estimators.dir/em_ipsn12.cpp.o.d"
+  "CMakeFiles/ss_estimators.dir/em_social.cpp.o"
+  "CMakeFiles/ss_estimators.dir/em_social.cpp.o.d"
+  "CMakeFiles/ss_estimators.dir/investment.cpp.o"
+  "CMakeFiles/ss_estimators.dir/investment.cpp.o.d"
+  "CMakeFiles/ss_estimators.dir/registry.cpp.o"
+  "CMakeFiles/ss_estimators.dir/registry.cpp.o.d"
+  "CMakeFiles/ss_estimators.dir/sums.cpp.o"
+  "CMakeFiles/ss_estimators.dir/sums.cpp.o.d"
+  "CMakeFiles/ss_estimators.dir/truth_finder.cpp.o"
+  "CMakeFiles/ss_estimators.dir/truth_finder.cpp.o.d"
+  "CMakeFiles/ss_estimators.dir/voting.cpp.o"
+  "CMakeFiles/ss_estimators.dir/voting.cpp.o.d"
+  "libss_estimators.a"
+  "libss_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

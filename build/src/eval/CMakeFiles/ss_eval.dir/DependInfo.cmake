@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/json.cpp" "src/eval/CMakeFiles/ss_eval.dir/json.cpp.o" "gcc" "src/eval/CMakeFiles/ss_eval.dir/json.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/ss_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/ss_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/runner.cpp" "src/eval/CMakeFiles/ss_eval.dir/runner.cpp.o" "gcc" "src/eval/CMakeFiles/ss_eval.dir/runner.cpp.o.d"
+  "/root/repo/src/eval/table.cpp" "src/eval/CMakeFiles/ss_eval.dir/table.cpp.o" "gcc" "src/eval/CMakeFiles/ss_eval.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/ss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

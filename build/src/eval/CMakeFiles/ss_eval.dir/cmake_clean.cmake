@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_eval.dir/json.cpp.o"
+  "CMakeFiles/ss_eval.dir/json.cpp.o.d"
+  "CMakeFiles/ss_eval.dir/metrics.cpp.o"
+  "CMakeFiles/ss_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/ss_eval.dir/runner.cpp.o"
+  "CMakeFiles/ss_eval.dir/runner.cpp.o.d"
+  "CMakeFiles/ss_eval.dir/table.cpp.o"
+  "CMakeFiles/ss_eval.dir/table.cpp.o.d"
+  "libss_eval.a"
+  "libss_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

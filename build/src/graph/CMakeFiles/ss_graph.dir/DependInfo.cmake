@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/ss_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/ss_graph.dir/digraph.cpp.o.d"
+  "/root/repo/src/graph/forest.cpp" "src/graph/CMakeFiles/ss_graph.dir/forest.cpp.o" "gcc" "src/graph/CMakeFiles/ss_graph.dir/forest.cpp.o.d"
+  "/root/repo/src/graph/pref_attach.cpp" "src/graph/CMakeFiles/ss_graph.dir/pref_attach.cpp.o" "gcc" "src/graph/CMakeFiles/ss_graph.dir/pref_attach.cpp.o.d"
+  "/root/repo/src/graph/small_world.cpp" "src/graph/CMakeFiles/ss_graph.dir/small_world.cpp.o" "gcc" "src/graph/CMakeFiles/ss_graph.dir/small_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_graph.dir/digraph.cpp.o"
+  "CMakeFiles/ss_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/ss_graph.dir/forest.cpp.o"
+  "CMakeFiles/ss_graph.dir/forest.cpp.o.d"
+  "CMakeFiles/ss_graph.dir/pref_attach.cpp.o"
+  "CMakeFiles/ss_graph.dir/pref_attach.cpp.o.d"
+  "CMakeFiles/ss_graph.dir/small_world.cpp.o"
+  "CMakeFiles/ss_graph.dir/small_world.cpp.o.d"
+  "libss_graph.a"
+  "libss_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

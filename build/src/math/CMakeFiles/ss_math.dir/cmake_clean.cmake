@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_math.dir/logprob.cpp.o"
+  "CMakeFiles/ss_math.dir/logprob.cpp.o.d"
+  "CMakeFiles/ss_math.dir/matrix.cpp.o"
+  "CMakeFiles/ss_math.dir/matrix.cpp.o.d"
+  "CMakeFiles/ss_math.dir/stats.cpp.o"
+  "CMakeFiles/ss_math.dir/stats.cpp.o.d"
+  "libss_math.a"
+  "libss_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_simgen.dir/knobs.cpp.o"
+  "CMakeFiles/ss_simgen.dir/knobs.cpp.o.d"
+  "CMakeFiles/ss_simgen.dir/parametric_gen.cpp.o"
+  "CMakeFiles/ss_simgen.dir/parametric_gen.cpp.o.d"
+  "CMakeFiles/ss_simgen.dir/procedural_gen.cpp.o"
+  "CMakeFiles/ss_simgen.dir/procedural_gen.cpp.o.d"
+  "libss_simgen.a"
+  "libss_simgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_simgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

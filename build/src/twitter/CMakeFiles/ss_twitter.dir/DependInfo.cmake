@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/twitter/builder.cpp" "src/twitter/CMakeFiles/ss_twitter.dir/builder.cpp.o" "gcc" "src/twitter/CMakeFiles/ss_twitter.dir/builder.cpp.o.d"
+  "/root/repo/src/twitter/clustering.cpp" "src/twitter/CMakeFiles/ss_twitter.dir/clustering.cpp.o" "gcc" "src/twitter/CMakeFiles/ss_twitter.dir/clustering.cpp.o.d"
+  "/root/repo/src/twitter/retweet_detect.cpp" "src/twitter/CMakeFiles/ss_twitter.dir/retweet_detect.cpp.o" "gcc" "src/twitter/CMakeFiles/ss_twitter.dir/retweet_detect.cpp.o.d"
+  "/root/repo/src/twitter/scenario.cpp" "src/twitter/CMakeFiles/ss_twitter.dir/scenario.cpp.o" "gcc" "src/twitter/CMakeFiles/ss_twitter.dir/scenario.cpp.o.d"
+  "/root/repo/src/twitter/simulator.cpp" "src/twitter/CMakeFiles/ss_twitter.dir/simulator.cpp.o" "gcc" "src/twitter/CMakeFiles/ss_twitter.dir/simulator.cpp.o.d"
+  "/root/repo/src/twitter/text.cpp" "src/twitter/CMakeFiles/ss_twitter.dir/text.cpp.o" "gcc" "src/twitter/CMakeFiles/ss_twitter.dir/text.cpp.o.d"
+  "/root/repo/src/twitter/tweet_io.cpp" "src/twitter/CMakeFiles/ss_twitter.dir/tweet_io.cpp.o" "gcc" "src/twitter/CMakeFiles/ss_twitter.dir/tweet_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/ss_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ss_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ss_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/ss_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

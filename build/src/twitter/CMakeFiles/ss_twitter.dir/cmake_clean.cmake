@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_twitter.dir/builder.cpp.o"
+  "CMakeFiles/ss_twitter.dir/builder.cpp.o.d"
+  "CMakeFiles/ss_twitter.dir/clustering.cpp.o"
+  "CMakeFiles/ss_twitter.dir/clustering.cpp.o.d"
+  "CMakeFiles/ss_twitter.dir/retweet_detect.cpp.o"
+  "CMakeFiles/ss_twitter.dir/retweet_detect.cpp.o.d"
+  "CMakeFiles/ss_twitter.dir/scenario.cpp.o"
+  "CMakeFiles/ss_twitter.dir/scenario.cpp.o.d"
+  "CMakeFiles/ss_twitter.dir/simulator.cpp.o"
+  "CMakeFiles/ss_twitter.dir/simulator.cpp.o.d"
+  "CMakeFiles/ss_twitter.dir/text.cpp.o"
+  "CMakeFiles/ss_twitter.dir/text.cpp.o.d"
+  "CMakeFiles/ss_twitter.dir/tweet_io.cpp.o"
+  "CMakeFiles/ss_twitter.dir/tweet_io.cpp.o.d"
+  "libss_twitter.a"
+  "libss_twitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss_util.dir/cli.cpp.o"
+  "CMakeFiles/ss_util.dir/cli.cpp.o.d"
+  "CMakeFiles/ss_util.dir/env.cpp.o"
+  "CMakeFiles/ss_util.dir/env.cpp.o.d"
+  "CMakeFiles/ss_util.dir/log.cpp.o"
+  "CMakeFiles/ss_util.dir/log.cpp.o.d"
+  "CMakeFiles/ss_util.dir/rng.cpp.o"
+  "CMakeFiles/ss_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ss_util.dir/string_util.cpp.o"
+  "CMakeFiles/ss_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/ss_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/ss_util.dir/thread_pool.cpp.o.d"
+  "libss_util.a"
+  "libss_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

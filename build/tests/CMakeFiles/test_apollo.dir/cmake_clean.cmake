@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apollo.dir/test_apollo.cpp.o"
+  "CMakeFiles/test_apollo.dir/test_apollo.cpp.o.d"
+  "test_apollo"
+  "test_apollo.pdb"
+  "test_apollo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apollo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

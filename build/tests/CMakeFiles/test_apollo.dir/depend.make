@@ -1,0 +1,2 @@
+# Empty dependencies file for test_apollo.
+# This may be replaced when dependencies are built.

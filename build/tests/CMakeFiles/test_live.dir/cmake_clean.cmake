@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_live.dir/test_live.cpp.o"
+  "CMakeFiles/test_live.dir/test_live.cpp.o.d"
+  "test_live"
+  "test_live.pdb"
+  "test_live[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simgen.dir/test_simgen.cpp.o"
+  "CMakeFiles/test_simgen.dir/test_simgen.cpp.o.d"
+  "test_simgen"
+  "test_simgen.pdb"
+  "test_simgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

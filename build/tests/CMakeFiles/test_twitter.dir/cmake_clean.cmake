@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_twitter.dir/test_twitter.cpp.o"
+  "CMakeFiles/test_twitter.dir/test_twitter.cpp.o.d"
+  "test_twitter"
+  "test_twitter.pdb"
+  "test_twitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
