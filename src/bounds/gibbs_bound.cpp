@@ -1,11 +1,13 @@
 #include "bounds/gibbs_bound.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "math/convergence.h"
 #include "math/logprob.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ss {
 namespace {
@@ -18,6 +20,23 @@ struct ChainState {
   std::vector<char> bits;
   double log_true = 0.0;
   double log_false = 0.0;
+};
+
+// Everything one chain produces: the accumulators of both estimators,
+// the per-sweep min-posterior series, and its diagnostics.
+struct ChainRun {
+  double err_part = 0.0;  // Algorithm 1 numerator
+  double total = 0.0;     // Algorithm 1 denominator
+  double fp_part = 0.0;
+  double fn_part = 0.0;
+  double err_mc = 0.0;  // unbiased mean of min-posterior
+  double fp_mc = 0.0;
+  double fn_mc = 0.0;
+  std::size_t samples = 0;
+  bool converged = false;
+  std::vector<double> min_posterior_series;
+  double ess = 0.0;
+  double lag1 = 0.0;
 };
 
 // Initial-monotone-sequence style ESS estimate over a scalar series.
@@ -51,6 +70,44 @@ void chain_diagnostics(const std::vector<double>& series, double* ess,
   *ess = static_cast<double>(n) / (1.0 + 2.0 * sum_rho);
 }
 
+// Gelman-Rubin potential scale reduction over per-chain series truncated
+// to their common length.
+double cross_chain_r_hat(const std::vector<ChainRun>& runs) {
+  std::size_t k = runs.size();
+  if (k < 2) return 1.0;
+  std::size_t len = runs[0].min_posterior_series.size();
+  for (const ChainRun& r : runs) {
+    len = std::min(len, r.min_posterior_series.size());
+  }
+  if (len < 4) return 1.0;
+  double n = static_cast<double>(len);
+  std::vector<double> means(k, 0.0);
+  std::vector<double> vars(k, 0.0);
+  double grand = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto& s = runs[c].min_posterior_series;
+    for (std::size_t t = 0; t < len; ++t) means[c] += s[t];
+    means[c] /= n;
+    for (std::size_t t = 0; t < len; ++t) {
+      vars[c] += (s[t] - means[c]) * (s[t] - means[c]);
+    }
+    vars[c] /= n - 1.0;
+    grand += means[c];
+  }
+  grand /= static_cast<double>(k);
+  double between = 0.0;  // B/n: variance of the chain means
+  double within = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    between += (means[c] - grand) * (means[c] - grand);
+    within += vars[c];
+  }
+  between /= static_cast<double>(k - 1);
+  within /= static_cast<double>(k);
+  if (within <= 0.0) return 1.0;  // constant chains
+  double var_plus = (n - 1.0) / n * within + between;
+  return std::sqrt(var_plus / within);
+}
+
 void refresh_logs(const ColumnModel& model, ChainState& state) {
   state.log_true = 0.0;
   state.log_false = 0.0;
@@ -62,12 +119,11 @@ void refresh_logs(const ColumnModel& model, ChainState& state) {
   }
 }
 
-}  // namespace
-
-GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
-                             const GibbsBoundConfig& config) {
+// One full chain: Algorithm 1's sweep loop with both estimators'
+// accumulators. Exactly the historical single-chain behaviour.
+ChainRun run_chain(const ColumnModel& model, Rng rng,
+                   const GibbsBoundConfig& config) {
   std::size_t n = model.source_count();
-  Rng rng(seed, /*stream=*/0x61bb5);
   const double log_z = std::log(model.z);
   const double log_1mz = std::log1p(-model.z);
 
@@ -82,24 +138,14 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
   }
   refresh_logs(model, state);
 
-  // Accumulators for both estimators (see header).
-  double err_part = 0.0;   // Algorithm 1 numerator
-  double total = 0.0;      // Algorithm 1 denominator
-  double fp_part = 0.0;
-  double fn_part = 0.0;
-  double err_mc = 0.0;     // unbiased mean of min-posterior
-  double fp_mc = 0.0;
-  double fn_mc = 0.0;
-  std::size_t samples = 0;
-  std::vector<double> min_posterior_series;
-  min_posterior_series.reserve(
+  ChainRun run;
+  run.min_posterior_series.reserve(
       std::min<std::size_t>(config.max_sweeps, 20000));
 
   ConvergenceMonitor monitor(config.tol, config.max_sweeps,
                              config.patience);
   bool done = false;
   std::size_t sweep = 0;
-  GibbsBoundResult out;
 
   while (!done) {
     ++sweep;
@@ -131,41 +177,91 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
     if (sweep <= config.burn_in_sweeps) continue;
 
     // One post-burn-in sample per sweep.
-    ++samples;
+    ++run.samples;
     double lm1 = log_z + state.log_true;      // log(z P1)
     double lm0 = log_1mz + state.log_false;   // log((1-z) P0)
     double m1 = std::exp(lm1);
     double m0 = std::exp(lm0);
     bool decide_true = lm1 >= lm0;
-    err_part += decide_true ? m0 : m1;
-    total += m1 + m0;
+    run.err_part += decide_true ? m0 : m1;
+    run.total += m1 + m0;
     if (decide_true) {
-      fp_part += m0;
+      run.fp_part += m0;
     } else {
-      fn_part += m1;
+      run.fn_part += m1;
     }
     double min_posterior = normalize_log_pair(
         decide_true ? lm0 : lm1, decide_true ? lm1 : lm0);
-    min_posterior_series.push_back(min_posterior);
-    err_mc += min_posterior;
+    run.min_posterior_series.push_back(min_posterior);
+    run.err_mc += min_posterior;
     if (decide_true) {
-      fp_mc += min_posterior;
+      run.fp_mc += min_posterior;
     } else {
-      fn_mc += min_posterior;
+      run.fn_mc += min_posterior;
     }
 
     double current =
         config.kind == GibbsEstimatorKind::kAlgorithm1
-            ? (total > 0.0 ? err_part / total : 0.0)
-            : err_mc / static_cast<double>(samples);
-    if (samples >= config.min_sweeps && monitor.update(current)) {
+            ? (run.total > 0.0 ? run.err_part / run.total : 0.0)
+            : run.err_mc / static_cast<double>(run.samples);
+    if (run.samples >= config.min_sweeps && monitor.update(current)) {
       done = true;
-      out.converged = !monitor.hit_max();
+      run.converged = !monitor.hit_max();
     }
     if (sweep >= config.max_sweeps) done = true;
   }
 
+  chain_diagnostics(run.min_posterior_series, &run.ess, &run.lag1);
+  return run;
+}
+
+}  // namespace
+
+GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
+                             const GibbsBoundConfig& config) {
+  std::size_t chains = std::max<std::size_t>(1, config.chains);
+  std::vector<ChainRun> runs(chains);
+
+  // Chain 0 keeps the historical RNG stream so `chains = 1` reproduces
+  // the single-chain results bit-for-bit; extra chains draw from split
+  // streams keyed only by the chain index.
+  auto launch = [&](std::size_t c) {
+    Rng base(seed, /*stream=*/0x61bb5);
+    runs[c] = run_chain(model, c == 0 ? base : base.split(c), config);
+  };
+  if (chains > 1) {
+    ThreadPool* pool =
+        config.pool != nullptr ? config.pool : &global_pool();
+    pool->parallel_for_chunks(
+        chains, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t c = begin; c < end; ++c) launch(c);
+        });
+  } else {
+    launch(0);
+  }
+
+  // Pool the estimators in chain order (deterministic for any pool
+  // size; with one chain the reduction is the identity).
+  GibbsBoundResult out;
+  out.chains = chains;
+  out.converged = true;
+  double err_part = 0.0, total = 0.0, fp_part = 0.0, fn_part = 0.0;
+  double fp_mc = 0.0, fn_mc = 0.0, lag1_sum = 0.0;
+  std::size_t samples = 0;
+  for (const ChainRun& run : runs) {
+    err_part += run.err_part;
+    total += run.total;
+    fp_part += run.fp_part;
+    fn_part += run.fn_part;
+    fp_mc += run.fp_mc;
+    fn_mc += run.fn_mc;
+    samples += run.samples;
+    out.converged = out.converged && run.converged;
+    out.effective_sample_size += run.ess;
+    lag1_sum += run.lag1;
+  }
   out.sweeps = samples;
+  out.autocorr_lag1 = lag1_sum / static_cast<double>(chains);
   if (config.kind == GibbsEstimatorKind::kAlgorithm1) {
     double denom = total > 0.0 ? total : 1.0;
     out.bound.false_positive = fp_part / denom;
@@ -176,8 +272,7 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
     out.bound.false_negative = fn_mc / denom;
   }
   out.bound.error = out.bound.false_positive + out.bound.false_negative;
-  chain_diagnostics(min_posterior_series, &out.effective_sample_size,
-                    &out.autocorr_lag1);
+  out.r_hat = cross_chain_r_hat(runs);
   return out;
 }
 

@@ -20,6 +20,8 @@
 
 namespace ss {
 
+class ThreadPool;
+
 enum class GibbsEstimatorKind {
   kAlgorithm1,  // faithful to the paper
   kUnbiasedMc,
@@ -38,18 +40,36 @@ struct GibbsBoundConfig {
   // literal ratio form of Eq. 6 double-weights likely samples and shows a
   // visible bias (ablation bench A1 quantifies it).
   GibbsEstimatorKind kind = GibbsEstimatorKind::kUnbiasedMc;
+  // Number of independent chains. Each chain draws from its own split
+  // RNG stream (chain 0 reproduces the single-chain stream exactly, so
+  // `chains = 1` is bit-identical to the historical behaviour);
+  // estimators pool the per-chain accumulators in chain order, and with
+  // >= 2 chains the result also carries a cross-chain R-hat diagnostic.
+  std::size_t chains = 1;
+  // Pool the chains run on when chains > 1; nullptr selects the
+  // process-wide global_pool(). The chain -> RNG mapping and the pooled
+  // reduction order are fixed, so results are bit-identical for any
+  // pool size.
+  ThreadPool* pool = nullptr;
 };
 
 struct GibbsBoundResult {
   BoundResult bound;
-  std::size_t sweeps = 0;  // post-burn-in samples used
-  bool converged = false;
+  std::size_t sweeps = 0;  // post-burn-in samples used, all chains
+  bool converged = false;  // every chain converged before max_sweeps
   // Chain-quality diagnostics over the per-sweep min-posterior series:
-  // effective sample size N / (1 + 2 sum of autocorrelations) and the
-  // lag-1 autocorrelation. ESS near `sweeps` means the chain mixes like
-  // i.i.d. sampling; a tiny ESS flags untrustworthy convergence.
+  // effective sample size N / (1 + 2 sum of autocorrelations), summed
+  // over chains, and the mean lag-1 autocorrelation. ESS near `sweeps`
+  // means the chains mix like i.i.d. sampling; a tiny ESS flags
+  // untrustworthy convergence.
   double effective_sample_size = 0.0;
   double autocorr_lag1 = 0.0;
+  // Gelman-Rubin potential scale reduction over the per-chain
+  // min-posterior series (chains truncated to a common length). 1.0
+  // when fewer than 2 chains or too few samples; values well above 1
+  // flag chains that disagree about the stationary distribution.
+  double r_hat = 1.0;
+  std::size_t chains = 1;  // chains actually run
 };
 
 GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,

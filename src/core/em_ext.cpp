@@ -8,9 +8,14 @@
 #include "math/convergence.h"
 #include "math/logprob.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace ss {
 namespace {
+
+// Sources per parallel chunk of the M-step statistics pass. Fixed so
+// slot writes are identical for any worker count.
+constexpr std::size_t kSourceGrain = 256;
 
 std::vector<std::uint32_t> ranking_of(const std::vector<double>& belief) {
   std::vector<std::uint32_t> order(belief.size());
@@ -39,38 +44,52 @@ struct SourceMStats {
 // Closed-form M-step (Eq. 10-14) given the current posterior. With
 // shrinkage > 0 each ratio becomes a MAP estimate with `shrinkage`
 // pseudo-observations at the pooled all-source rate (see EmExtConfig).
+// The per-source statistics fill runs in parallel source chunks (each
+// source owns its slot); the pooled reduction and the parameter updates
+// stay serial in source order, so the result is bit-identical for any
+// worker count.
 ModelParams m_step(const Dataset& dataset,
                    const std::vector<double>& posterior,
                    const ModelParams& previous, double clamp_eps,
-                   double shrinkage, double z_floor) {
+                   double shrinkage, double z_floor, ThreadPool* pool) {
   std::size_t n = dataset.source_count();
   std::size_t m = dataset.assertion_count();
+  const ClaimPartition& part = dataset.partition();
   double total_z = 0.0;
   for (double p : posterior) total_z += p;
   double total_y = static_cast<double>(m) - total_z;
 
   std::vector<SourceMStats> stats(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    SourceMStats& s = stats[i];
-    double exposed_z = 0.0;  // sum of Z_j over exposed cells of i
-    for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
-      exposed_z += posterior[j];
-    }
-    double exposed_count = static_cast<double>(
-        dataset.dependency.exposed_assertions(i).size());
-    for (std::uint32_t j : dataset.claims.claims_of(i)) {
-      if (dataset.dependency.dependent(i, j)) {
+  auto fill = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      SourceMStats& s = stats[i];
+      double exposed_z = 0.0;  // sum of Z_j over exposed cells of i
+      for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
+        exposed_z += posterior[j];
+      }
+      double exposed_count = static_cast<double>(
+          dataset.dependency.exposed_assertions(i).size());
+      // The partition's split claim lists are ascending subsequences of
+      // claims_of(i), so each accumulator sees the same addition order
+      // as the branch-per-claim loop they replace.
+      for (std::uint32_t j : part.dependent_claims(i)) {
         s.claim_dep_z += posterior[j];
         s.claim_dep_y += 1.0 - posterior[j];
-      } else {
+      }
+      for (std::uint32_t j : part.independent_claims(i)) {
         s.claim_indep_z += posterior[j];
         s.claim_indep_y += 1.0 - posterior[j];
       }
+      s.denom_a = total_z - exposed_z;
+      s.denom_b = total_y - (exposed_count - exposed_z);
+      s.denom_f = exposed_z;
+      s.denom_g = exposed_count - exposed_z;
     }
-    s.denom_a = total_z - exposed_z;
-    s.denom_b = total_y - (exposed_count - exposed_z);
-    s.denom_f = exposed_z;
-    s.denom_g = exposed_count - exposed_z;
+  };
+  if (pool != nullptr && pool->size() > 1 && n > kSourceGrain) {
+    pool->parallel_for_chunks(n, kSourceGrain, fill);
+  } else {
+    fill(0, 0, n);
   }
 
   // Pooled rates anchor the shrinkage prior.
@@ -137,13 +156,9 @@ std::vector<double> vote_prior_posterior(const Dataset& dataset,
   if (m == 0) return posterior;
   std::vector<double> support(m, 0.0);
   for (std::size_t j = 0; j < m; ++j) {
-    if (!independent_only) {
-      support[j] = static_cast<double>(dataset.claims.support(j));
-      continue;
-    }
-    for (std::uint32_t v : dataset.claims.claimants_of(j)) {
-      if (!dataset.dependency.dependent(v, j)) support[j] += 1.0;
-    }
+    support[j] = static_cast<double>(
+        independent_only ? dataset.partition().independent_claimants(j).size()
+                         : dataset.claims.support(j));
   }
   double mean_support = 0.0;
   for (double s : support) mean_support += s;
@@ -175,6 +190,7 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
     empty.params.source.assign(n, SourceParams{});
     return empty;
   }
+  ThreadPool* pool = config_.pool != nullptr ? config_.pool : &global_pool();
   Rng rng(seed, /*stream=*/0x37);
 
   bool random_init = !config_.init.has_value() &&
@@ -182,10 +198,7 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
   std::size_t restarts =
       random_init ? std::max<std::size_t>(1, config_.restarts) : 1;
 
-  EmExtResult best;
-  bool have_best = false;
-
-  for (std::size_t attempt = 0; attempt < restarts; ++attempt) {
+  auto run_attempt = [&](std::size_t attempt) -> EmExtResult {
     ModelParams params;
     if (config_.init.has_value()) {
       params = *config_.init;
@@ -205,7 +218,7 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
                       vote_prior_posterior(dataset,
                                            /*independent_only=*/true),
                       neutral, config_.clamp_eps, config_.shrinkage,
-                      config_.z_floor);
+                      config_.z_floor, pool);
     }
     clamp_params(params, config_.clamp_eps);
 
@@ -221,11 +234,11 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
       bool warm_done = false;
       while (!warm_done) {
         LikelihoodTable table(dataset, params);
-        std::vector<double> posterior = all_posteriors(table);
-        result.likelihood_trace.push_back(table.data_log_likelihood());
+        EStepResult e = fused_e_step(table, pool);
+        result.likelihood_trace.push_back(e.log_likelihood);
         ModelParams next =
-            m_step(dataset, posterior, params, config_.clamp_eps,
-                   config_.shrinkage, config_.z_floor);
+            m_step(dataset, e.posterior, params, config_.clamp_eps,
+                   config_.shrinkage, config_.z_floor, pool);
         for (auto& s : next.source) {
           double tied = 0.5 * (s.f + s.g);
           s.f = tied;
@@ -237,34 +250,60 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
       }
     }
 
-    // Phase 2: the full model (Eq. 9 / Eq. 10-14).
+    // Phase 2: the full model (Eq. 9 / Eq. 10-14). The fused E-step
+    // yields the posterior and the likelihood trace in one column pass.
     ConvergenceMonitor monitor(config_.tol, config_.max_iters);
     bool done = false;
     while (!done) {
       // E-step (Eq. 9).
       LikelihoodTable table(dataset, params);
-      std::vector<double> posterior = all_posteriors(table);
-      result.likelihood_trace.push_back(table.data_log_likelihood());
+      EStepResult e = fused_e_step(table, pool);
+      result.likelihood_trace.push_back(e.log_likelihood);
 
       // M-step (Eq. 10-14).
       ModelParams next =
-          m_step(dataset, posterior, params, config_.clamp_eps,
-                 config_.shrinkage, config_.z_floor);
+          m_step(dataset, e.posterior, params, config_.clamp_eps,
+                 config_.shrinkage, config_.z_floor, pool);
       double delta = next.max_abs_diff(params);
       params = std::move(next);
       done = monitor.update_delta(delta);
     }
 
-    // Final posterior under the converged parameters.
+    // Final posterior under the converged parameters — one fused pass
+    // supplies beliefs, log-odds and the final likelihood together
+    // (previously three separate full column scans).
     LikelihoodTable table(dataset, params);
-    result.estimate.belief = all_posteriors(table);
-    result.estimate.log_odds = all_log_odds(table);
+    EStepResult e = fused_e_step(table, pool);
+    result.estimate.belief = std::move(e.posterior);
+    result.estimate.log_odds = std::move(e.log_odds);
     result.estimate.probabilistic = true;
     result.estimate.iterations = monitor.iterations();
     result.estimate.converged = !monitor.hit_max();
     result.params = std::move(params);
-    result.log_likelihood = table.data_log_likelihood();
+    result.log_likelihood = e.log_likelihood;
+    return result;
+  };
 
+  std::vector<EmExtResult> attempts(restarts);
+  if (restarts > 1) {
+    // Random restarts are independent; run them across the pool (grain
+    // 1: one attempt per chunk). Nested parallel sections inside each
+    // attempt are safe because parallel_for_chunks callers participate.
+    pool->parallel_for_chunks(
+        restarts, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t a = begin; a < end; ++a) {
+            attempts[a] = run_attempt(a);
+          }
+        });
+  } else {
+    attempts[0] = run_attempt(0);
+  }
+
+  // Winner selection in attempt order (first best wins ties), identical
+  // to the sequential loop it replaces.
+  EmExtResult best;
+  bool have_best = false;
+  for (EmExtResult& result : attempts) {
     if (!have_best || result.log_likelihood > best.log_likelihood) {
       best = std::move(result);
       have_best = true;

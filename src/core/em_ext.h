@@ -26,6 +26,8 @@
 
 namespace ss {
 
+class ThreadPool;
+
 enum class EmInit {
   kVotePrior,  // data-driven initial posterior (default, robust)
   kRandom,     // Algorithm 2's literal random parameters
@@ -73,8 +75,16 @@ struct EmExtConfig {
   std::optional<ModelParams> init;
   // Number of random restarts; the run with the best final data
   // log-likelihood wins. Only meaningful with kRandom (vote-prior and
-  // explicit initializations are deterministic).
+  // explicit initializations are deterministic). Restarts run
+  // concurrently on the pool; the winner is selected in attempt order,
+  // so results do not depend on scheduling.
   std::size_t restarts = 1;
+  // Worker pool for the fused E-step, the M-step statistics and the
+  // restarts. nullptr selects the process-wide global_pool() (sized by
+  // SS_THREADS). Results are bit-identical for every pool size,
+  // including 1 — parallel slots are index-addressed and every
+  // floating-point reduction runs serially in canonical order.
+  ThreadPool* pool = nullptr;
 };
 
 struct EmExtResult {

@@ -15,7 +15,7 @@ double cell_probability(const SourceParams& p, bool claimed, bool truth,
 
 LikelihoodTable::LikelihoodTable(const Dataset& dataset,
                                  const ModelParams& params)
-    : dataset_(dataset) {
+    : dataset_(dataset), partition_(&dataset.partition()) {
   std::size_t n = dataset.source_count();
   if (params.source.size() != n) {
     throw std::invalid_argument(
@@ -62,8 +62,14 @@ ColumnLogLikelihood LikelihoodTable::column(std::size_t assertion) const {
     lf += exposed_silent_false_[u];
   }
   // ...then flip claimants from silent to claiming within their branch.
-  for (std::uint32_t v : dataset_.claims.claimants_of(assertion)) {
-    if (dataset_.dependency.dependent(v, assertion)) {
+  // The partition cache answers D_ij with a flat flag lookup (aligned
+  // with the claimant list, so the summation order — and therefore the
+  // floating-point result — matches the per-claimant search it replaced).
+  const auto& claimants = dataset_.claims.claimants_of(assertion);
+  std::span<const char> dep = partition_->claimant_dependent(assertion);
+  for (std::size_t k = 0; k < claimants.size(); ++k) {
+    std::uint32_t v = claimants[k];
+    if (dep[k]) {
       lt += claim_dep_true_[v];
       lf += claim_dep_false_[v];
     } else {

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/params.h"
@@ -37,7 +38,13 @@ class LikelihoodTable {
   // logs stay finite.
   LikelihoodTable(const Dataset& dataset, const ModelParams& params);
 
-  // Column log-likelihoods for assertion j (Eq. 4/5).
+  std::size_t assertion_count() const {
+    return dataset_.assertion_count();
+  }
+  const Dataset& dataset() const { return dataset_; }
+
+  // Column log-likelihoods for assertion j (Eq. 4/5). Claim cells read
+  // D_ij from the dataset's ClaimPartition cache; thread-safe.
   ColumnLogLikelihood column(std::size_t assertion) const;
 
   // All m columns at once.
@@ -52,6 +59,7 @@ class LikelihoodTable {
 
  private:
   const Dataset& dataset_;
+  const ClaimPartition* partition_;  // owned by dataset_
   double log_z_;
   double log_1mz_;
   double base_true_ = 0.0;   // sum_i log(1 - a_i)

@@ -1,8 +1,17 @@
 #include "core/posterior.h"
 
 #include "math/logprob.h"
+#include "util/thread_pool.h"
 
 namespace ss {
+namespace {
+
+// Columns per parallel chunk. Fixed (never derived from the worker
+// count) so chunk boundaries — and thus every slot write — are the same
+// for any SS_THREADS value.
+constexpr std::size_t kColumnGrain = 256;
+
+}  // namespace
 
 double assertion_posterior(const LikelihoodTable& table,
                            std::size_t assertion) {
@@ -12,16 +21,13 @@ double assertion_posterior(const LikelihoodTable& table,
 }
 
 std::vector<double> all_posteriors(const LikelihoodTable& table) {
-  std::vector<double> out;
-  // The table holds a reference to its dataset; reuse column() per j.
-  // Size is taken from a probe column loop guard via all_columns shape.
-  // (LikelihoodTable exposes no size directly to keep its surface small.)
-  auto cols = table.all_columns();
-  out.resize(cols.size());
-  for (std::size_t j = 0; j < cols.size(); ++j) {
-    out[j] = normalize_log_pair(
-        cols[j].log_given_true + table.log_prior_true(),
-        cols[j].log_given_false + table.log_prior_false());
+  std::size_t m = table.assertion_count();
+  std::vector<double> out(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    ColumnLogLikelihood c = table.column(j);
+    out[j] = normalize_log_pair(c.log_given_true + table.log_prior_true(),
+                                c.log_given_false +
+                                    table.log_prior_false());
   }
   return out;
 }
@@ -33,12 +39,44 @@ std::vector<double> all_posteriors(const Dataset& dataset,
 }
 
 std::vector<double> all_log_odds(const LikelihoodTable& table) {
-  auto cols = table.all_columns();
-  std::vector<double> out(cols.size());
-  for (std::size_t j = 0; j < cols.size(); ++j) {
-    out[j] = (cols[j].log_given_true + table.log_prior_true()) -
-             (cols[j].log_given_false + table.log_prior_false());
+  std::size_t m = table.assertion_count();
+  std::vector<double> out(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    ColumnLogLikelihood c = table.column(j);
+    out[j] = (c.log_given_true + table.log_prior_true()) -
+             (c.log_given_false + table.log_prior_false());
   }
+  return out;
+}
+
+EStepResult fused_e_step(const LikelihoodTable& table, ThreadPool* pool) {
+  std::size_t m = table.assertion_count();
+  EStepResult out;
+  out.posterior.resize(m);
+  out.log_odds.resize(m);
+  std::vector<double> column_ll(m);
+
+  auto pass = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t j = begin; j < end; ++j) {
+      ColumnLogLikelihood c = table.column(j);
+      double lt = c.log_given_true + table.log_prior_true();
+      double lf = c.log_given_false + table.log_prior_false();
+      out.posterior[j] = normalize_log_pair(lt, lf);
+      out.log_odds[j] = lt - lf;
+      column_ll[j] = logsumexp(lt, lf);
+    }
+  };
+  if (pool != nullptr && pool->size() > 1 && m > kColumnGrain) {
+    pool->parallel_for_chunks(m, kColumnGrain, pass);
+  } else {
+    pass(0, 0, m);
+  }
+
+  // Canonical assertion-order summation, independent of which thread
+  // produced each term.
+  double total = 0.0;
+  for (double v : column_ll) total += v;
+  out.log_likelihood = total;
   return out;
 }
 

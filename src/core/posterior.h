@@ -9,6 +9,8 @@
 
 namespace ss {
 
+class ThreadPool;
+
 // Posterior for one assertion.
 double assertion_posterior(const LikelihoodTable& table,
                            std::size_t assertion);
@@ -24,5 +26,24 @@ std::vector<double> all_posteriors(const Dataset& dataset,
 // assertions; unlike the posterior itself this does not saturate, which
 // top-k ranking relies on.
 std::vector<double> all_log_odds(const LikelihoodTable& table);
+
+// Everything one EM iteration (and the finalization path) needs from the
+// columns, computed in a single fused pass.
+struct EStepResult {
+  std::vector<double> posterior;  // Z_j (Eq. 9)
+  std::vector<double> log_odds;   // unsaturated ranking score
+  double log_likelihood = 0.0;    // Eq. 7
+};
+
+// Fused E-step: one pass over the columns yields posteriors, log-odds
+// and the data log-likelihood together (the separate all_posteriors /
+// all_log_odds / data_log_likelihood calls would each rescan every
+// column). With a pool, columns are processed in fixed assertion chunks
+// and per-column outputs land in index-addressed slots; the
+// log-likelihood is then summed serially in assertion order — so the
+// result is bit-identical to the serial pass for any thread count.
+// pool == nullptr or single-worker pools run serially.
+EStepResult fused_e_step(const LikelihoodTable& table,
+                         ThreadPool* pool = nullptr);
 
 }  // namespace ss

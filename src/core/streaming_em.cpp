@@ -7,6 +7,7 @@
 #include "core/likelihood.h"
 #include "core/posterior.h"
 #include "math/logprob.h"
+#include "util/thread_pool.h"
 
 namespace ss {
 
@@ -63,14 +64,15 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
       }
       double exposed_count = static_cast<double>(
           batch.dependency.exposed_assertions(i).size());
-      for (std::uint32_t j : batch.claims.claims_of(i)) {
-        if (batch.dependency.dependent(i, j)) {
-          dz[i] += posterior[j];
-          dy[i] += 1.0 - posterior[j];
-        } else {
-          bz[i] += posterior[j];
-          by[i] += 1.0 - posterior[j];
-        }
+      // Split claim lists from the partition cache replace the per-claim
+      // dependency search; each accumulator keeps its addition order.
+      for (std::uint32_t j : batch.partition().dependent_claims(i)) {
+        dz[i] += posterior[j];
+        dy[i] += 1.0 - posterior[j];
+      }
+      for (std::uint32_t j : batch.partition().independent_claims(i)) {
+        bz[i] += posterior[j];
+        by[i] += 1.0 - posterior[j];
       }
       da[i] = total_z - exposed_z;
       db[i] = total_y - (exposed_count - exposed_z);
@@ -156,9 +158,10 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
 
   StreamingBatchResult result;
   LikelihoodTable table(batch, params_);
-  result.belief = all_posteriors(table);
-  result.log_odds = all_log_odds(table);
-  result.log_likelihood = table.data_log_likelihood();
+  EStepResult e = fused_e_step(table, &global_pool());
+  result.belief = std::move(e.posterior);
+  result.log_odds = std::move(e.log_odds);
+  result.log_likelihood = e.log_likelihood;
   return result;
 }
 

@@ -1,0 +1,70 @@
+#include "data/claim_partition.h"
+
+#include <stdexcept>
+
+namespace ss {
+namespace {
+
+// Splits `ids` (ascending) into members / non-members of `marks`
+// (ascending) with one two-pointer sweep, appending to flat CSR arrays.
+// Returns the aligned membership flags.
+void split_sorted(const std::vector<std::uint32_t>& ids,
+                  const std::vector<std::uint32_t>& marks,
+                  std::vector<std::uint32_t>& in_out,
+                  std::vector<std::uint32_t>& out_out,
+                  std::vector<char>* flags_out) {
+  std::size_t k = 0;
+  for (std::uint32_t id : ids) {
+    while (k < marks.size() && marks[k] < id) ++k;
+    bool marked = k < marks.size() && marks[k] == id;
+    if (marked) {
+      in_out.push_back(id);
+    } else {
+      out_out.push_back(id);
+    }
+    if (flags_out) flags_out->push_back(marked ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+ClaimPartition ClaimPartition::build(const SourceClaimMatrix& sc,
+                                     const DependencyIndicators& dep) {
+  if (dep.source_count() != sc.source_count() ||
+      dep.assertion_count() != sc.assertion_count()) {
+    throw std::invalid_argument(
+        "ClaimPartition::build: dependency/matrix shape mismatch");
+  }
+  std::size_t n = sc.source_count();
+  std::size_t m = sc.assertion_count();
+
+  ClaimPartition part;
+  part.flag_off_.reserve(m + 1);
+  part.a_dep_off_.reserve(m + 1);
+  part.a_indep_off_.reserve(m + 1);
+  part.flags_.reserve(sc.claim_count());
+  part.flag_off_.push_back(0);
+  part.a_dep_off_.push_back(0);
+  part.a_indep_off_.push_back(0);
+  for (std::size_t j = 0; j < m; ++j) {
+    split_sorted(sc.claimants_of(j), dep.exposed_sources(j), part.a_dep_,
+                 part.a_indep_, &part.flags_);
+    part.flag_off_.push_back(part.flags_.size());
+    part.a_dep_off_.push_back(part.a_dep_.size());
+    part.a_indep_off_.push_back(part.a_indep_.size());
+  }
+
+  part.s_dep_off_.reserve(n + 1);
+  part.s_indep_off_.reserve(n + 1);
+  part.s_dep_off_.push_back(0);
+  part.s_indep_off_.push_back(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    split_sorted(sc.claims_of(i), dep.exposed_assertions(i), part.s_dep_,
+                 part.s_indep_, nullptr);
+    part.s_dep_off_.push_back(part.s_dep_.size());
+    part.s_indep_off_.push_back(part.s_indep_.size());
+  }
+  return part;
+}
+
+}  // namespace ss

@@ -1,0 +1,84 @@
+// Immutable claim/dependency partition cache.
+//
+// The hot loops of EM-Ext touch, for every claim cell, the predicate
+// D_ij ("was this claim dependent?"). DependencyIndicators answers it
+// with an O(log deg) binary search — paid per claimant, per column, per
+// EM iteration in the E-step, and again per claim in the M-step.
+// ClaimPartition evaluates every claim's indicator exactly once per
+// dataset (a linear two-pointer merge of the sorted claim and exposure
+// lists) and stores the answers in flat CSR arrays:
+//
+//  * per assertion j, a char flag per claimant *aligned with
+//    SourceClaimMatrix::claimants_of(j)* — the E-step walks claimants in
+//    the same order as before, so log-likelihoods stay bit-identical;
+//  * per assertion j and per source i, the claimants/claims split into
+//    dependent and independent id lists (each ascending) — the M-step's
+//    separate accumulators consume these directly.
+//
+// Build once via Dataset::partition(); the object is immutable and safe
+// to read from any number of threads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dependency.h"
+#include "data/source_claim_matrix.h"
+
+namespace ss {
+
+class ClaimPartition {
+ public:
+  ClaimPartition() = default;
+
+  // Evaluates D_ij for every claim of `sc` against `dep`. Shapes must
+  // agree (throws std::invalid_argument otherwise).
+  static ClaimPartition build(const SourceClaimMatrix& sc,
+                              const DependencyIndicators& dep);
+
+  std::size_t source_count() const { return s_dep_off_.size() - 1; }
+  std::size_t assertion_count() const { return flag_off_.size() - 1; }
+  // Number of claims with D_ij == 1.
+  std::size_t dependent_claim_count() const { return a_dep_.size(); }
+
+  // Flags aligned with claimants_of(assertion): nonzero iff D_ij == 1.
+  std::span<const char> claimant_dependent(std::size_t assertion) const {
+    return {flags_.data() + flag_off_[assertion],
+            flag_off_[assertion + 1] - flag_off_[assertion]};
+  }
+  // Claimants of `assertion` with D_ij == 1 / == 0, ascending.
+  std::span<const std::uint32_t> dependent_claimants(
+      std::size_t assertion) const {
+    return {a_dep_.data() + a_dep_off_[assertion],
+            a_dep_off_[assertion + 1] - a_dep_off_[assertion]};
+  }
+  std::span<const std::uint32_t> independent_claimants(
+      std::size_t assertion) const {
+    return {a_indep_.data() + a_indep_off_[assertion],
+            a_indep_off_[assertion + 1] - a_indep_off_[assertion]};
+  }
+  // Assertions `source` claimed with D_ij == 1 / == 0, ascending.
+  std::span<const std::uint32_t> dependent_claims(
+      std::size_t source) const {
+    return {s_dep_.data() + s_dep_off_[source],
+            s_dep_off_[source + 1] - s_dep_off_[source]};
+  }
+  std::span<const std::uint32_t> independent_claims(
+      std::size_t source) const {
+    return {s_indep_.data() + s_indep_off_[source],
+            s_indep_off_[source + 1] - s_indep_off_[source]};
+  }
+
+ private:
+  // CSR layouts: offsets have size (rows + 1); values are flat.
+  std::vector<std::size_t> flag_off_;  // by assertion, into flags_
+  std::vector<char> flags_;
+  std::vector<std::size_t> a_dep_off_, a_indep_off_;  // by assertion
+  std::vector<std::uint32_t> a_dep_, a_indep_;
+  std::vector<std::size_t> s_dep_off_, s_indep_off_;  // by source
+  std::vector<std::uint32_t> s_dep_, s_indep_;
+};
+
+}  // namespace ss

@@ -1,0 +1,260 @@
+// Correctness of the parallel inference engine: bit-identical results
+// for any worker count, ClaimPartition agreement with the dependency
+// indicators, and multi-chain Gibbs pooling. These tests carry the
+// `parallel` ctest label so a TSan build can target them
+// (`ctest -L parallel`, see SS_SANITIZE in the top-level CMakeLists).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "bounds/column_model.h"
+#include "bounds/gibbs_bound.h"
+#include "core/em_ext.h"
+#include "core/likelihood.h"
+#include "core/posterior.h"
+#include "data/claim_partition.h"
+#include "simgen/parametric_gen.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace ss;
+
+// EXPECT_EQ on doubles is exact (bitwise up to -0.0 vs 0.0, which never
+// arises here); these helpers make the intent explicit.
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t ba, bb;
+    std::memcpy(&ba, &a[i], 8);
+    std::memcpy(&bb, &b[i], 8);
+    EXPECT_EQ(ba, bb) << what << "[" << i << "]";
+  }
+}
+
+Dataset make_dataset(std::uint64_t seed, std::size_t n, std::size_t m) {
+  Rng rng(seed);
+  SimKnobs knobs = SimKnobs::paper_defaults(n, m);
+  return generate_parametric(knobs, rng).dataset;
+}
+
+TEST(ClaimPartition, MatchesDependencyIndicatorsOnRandomDatasets) {
+  for (std::uint64_t seed : {1u, 7u, 42u}) {
+    Dataset d = make_dataset(seed, 60, 120);
+    const ClaimPartition& part = d.partition();
+    ASSERT_EQ(part.source_count(), d.source_count());
+    ASSERT_EQ(part.assertion_count(), d.assertion_count());
+
+    std::size_t dep_claims = 0;
+    for (std::size_t j = 0; j < d.assertion_count(); ++j) {
+      const auto& claimants = d.claims.claimants_of(j);
+      auto flags = part.claimant_dependent(j);
+      ASSERT_EQ(flags.size(), claimants.size());
+      std::vector<std::uint32_t> dep_ids, indep_ids;
+      for (std::size_t k = 0; k < claimants.size(); ++k) {
+        bool expect_dep = d.dependency.dependent(claimants[k], j);
+        EXPECT_EQ(flags[k] != 0, expect_dep)
+            << "assertion " << j << " claimant " << claimants[k];
+        (expect_dep ? dep_ids : indep_ids).push_back(claimants[k]);
+        dep_claims += expect_dep ? 1 : 0;
+      }
+      auto dep_span = part.dependent_claimants(j);
+      auto indep_span = part.independent_claimants(j);
+      EXPECT_TRUE(std::equal(dep_span.begin(), dep_span.end(),
+                             dep_ids.begin(), dep_ids.end()));
+      EXPECT_TRUE(std::equal(indep_span.begin(), indep_span.end(),
+                             indep_ids.begin(), indep_ids.end()));
+    }
+    EXPECT_EQ(part.dependent_claim_count(), dep_claims);
+
+    for (std::size_t i = 0; i < d.source_count(); ++i) {
+      std::vector<std::uint32_t> dep_ids, indep_ids;
+      for (std::uint32_t j : d.claims.claims_of(i)) {
+        (d.dependency.dependent(i, j) ? dep_ids : indep_ids).push_back(j);
+      }
+      auto dep_span = part.dependent_claims(i);
+      auto indep_span = part.independent_claims(i);
+      EXPECT_TRUE(std::equal(dep_span.begin(), dep_span.end(),
+                             dep_ids.begin(), dep_ids.end()));
+      EXPECT_TRUE(std::equal(indep_span.begin(), indep_span.end(),
+                             indep_ids.begin(), indep_ids.end()));
+    }
+  }
+}
+
+TEST(ClaimPartition, CopyDropsCacheAndRebuilds) {
+  Dataset d = make_dataset(3, 30, 50);
+  const ClaimPartition& part = d.partition();
+  Dataset copy = d;
+  // The copy derives its own partition (mutating a copy must not see the
+  // original's cache).
+  const ClaimPartition& copy_part = copy.partition();
+  EXPECT_NE(&part, &copy_part);
+  EXPECT_EQ(part.dependent_claim_count(),
+            copy_part.dependent_claim_count());
+}
+
+TEST(ParallelEngine, EmExtBitwiseEqualAcrossThreadCounts) {
+  Dataset d = make_dataset(11, 150, 400);
+  ThreadPool pool1(1), pool2(2), pool8(8);
+
+  EmExtConfig config;
+  config.pool = &pool1;
+  EmExtResult ref = EmExtEstimator(config).run_detailed(d, 5);
+
+  for (ThreadPool* pool : {&pool2, &pool8}) {
+    EmExtConfig c;
+    c.pool = pool;
+    EmExtResult got = EmExtEstimator(c).run_detailed(d, 5);
+    expect_bitwise_equal(ref.estimate.belief, got.estimate.belief,
+                         "belief");
+    expect_bitwise_equal(ref.estimate.log_odds, got.estimate.log_odds,
+                         "log_odds");
+    expect_bitwise_equal(ref.likelihood_trace, got.likelihood_trace,
+                         "trace");
+    EXPECT_EQ(ref.log_likelihood, got.log_likelihood);
+    EXPECT_EQ(ref.params.z, got.params.z);
+    ASSERT_EQ(ref.params.source.size(), got.params.source.size());
+    for (std::size_t i = 0; i < ref.params.source.size(); ++i) {
+      EXPECT_EQ(ref.params.source[i].a, got.params.source[i].a);
+      EXPECT_EQ(ref.params.source[i].b, got.params.source[i].b);
+      EXPECT_EQ(ref.params.source[i].f, got.params.source[i].f);
+      EXPECT_EQ(ref.params.source[i].g, got.params.source[i].g);
+    }
+  }
+}
+
+TEST(ParallelEngine, RandomRestartsBitwiseEqualAcrossThreadCounts) {
+  Dataset d = make_dataset(13, 80, 150);
+  ThreadPool pool1(1), pool8(8);
+
+  EmExtConfig base;
+  base.init_kind = EmInit::kRandom;
+  base.restarts = 4;
+
+  EmExtConfig c1 = base;
+  c1.pool = &pool1;
+  EmExtResult ref = EmExtEstimator(c1).run_detailed(d, 9);
+
+  EmExtConfig c8 = base;
+  c8.pool = &pool8;
+  EmExtResult got = EmExtEstimator(c8).run_detailed(d, 9);
+
+  expect_bitwise_equal(ref.estimate.belief, got.estimate.belief,
+                       "belief");
+  expect_bitwise_equal(ref.likelihood_trace, got.likelihood_trace,
+                       "trace");
+  EXPECT_EQ(ref.log_likelihood, got.log_likelihood);
+}
+
+TEST(ParallelEngine, FusedEStepMatchesSeparatePasses) {
+  Dataset d = make_dataset(17, 100, 700);
+  ModelParams params;
+  params.source.assign(d.source_count(), SourceParams{});
+  params.z = 0.4;
+  LikelihoodTable table(d, params);
+  ThreadPool pool(4);
+
+  EStepResult fused = fused_e_step(table, &pool);
+  expect_bitwise_equal(all_posteriors(table), fused.posterior,
+                       "posterior");
+  expect_bitwise_equal(all_log_odds(table), fused.log_odds, "log_odds");
+  EXPECT_EQ(table.data_log_likelihood(), fused.log_likelihood);
+}
+
+TEST(ParallelEngine, GibbsMultiChainBitwiseEqualAcrossThreadCounts) {
+  Dataset d = make_dataset(19, 40, 60);
+  ModelParams params;
+  params.source.assign(d.source_count(), SourceParams{});
+  params.z = 0.5;
+  ColumnModel model = make_column_model(params, d.dependency, 2);
+
+  GibbsBoundConfig config;
+  config.max_sweeps = 1500;
+  config.chains = 4;
+  ThreadPool pool1(1), pool2(2), pool8(8);
+
+  config.pool = &pool1;
+  GibbsBoundResult ref = gibbs_bound(model, 3, config);
+  for (ThreadPool* pool : {&pool2, &pool8}) {
+    config.pool = pool;
+    GibbsBoundResult got = gibbs_bound(model, 3, config);
+    EXPECT_EQ(ref.bound.false_positive, got.bound.false_positive);
+    EXPECT_EQ(ref.bound.false_negative, got.bound.false_negative);
+    EXPECT_EQ(ref.bound.error, got.bound.error);
+    EXPECT_EQ(ref.effective_sample_size, got.effective_sample_size);
+    EXPECT_EQ(ref.autocorr_lag1, got.autocorr_lag1);
+    EXPECT_EQ(ref.r_hat, got.r_hat);
+    EXPECT_EQ(ref.sweeps, got.sweeps);
+    EXPECT_EQ(ref.converged, got.converged);
+  }
+}
+
+TEST(ParallelEngine, GibbsMultiChainPoolsSamplesAndReportsRHat) {
+  Dataset d = make_dataset(23, 30, 40);
+  ModelParams params;
+  params.source.assign(d.source_count(), SourceParams{});
+  params.z = 0.5;
+  ColumnModel model = make_column_model(params, d.dependency, 1);
+
+  GibbsBoundConfig single;
+  single.max_sweeps = 1200;
+  GibbsBoundResult one = gibbs_bound(model, 5, single);
+  EXPECT_EQ(one.chains, 1u);
+  EXPECT_EQ(one.r_hat, 1.0);  // not computable from one chain
+
+  GibbsBoundConfig multi = single;
+  multi.chains = 4;
+  GibbsBoundResult four = gibbs_bound(model, 5, multi);
+  EXPECT_EQ(four.chains, 4u);
+  EXPECT_GT(four.sweeps, one.sweeps);
+  // Identically-distributed well-mixed chains: R-hat should sit near 1.
+  EXPECT_GT(four.r_hat, 0.8);
+  EXPECT_LT(four.r_hat, 1.2);
+  // The pooled estimate stays a valid probability pair.
+  EXPECT_GE(four.bound.false_positive, 0.0);
+  EXPECT_GE(four.bound.false_negative, 0.0);
+  EXPECT_LE(four.bound.error, 1.0);
+  // And agrees with the single chain to Monte-Carlo noise.
+  EXPECT_NEAR(four.bound.error, one.bound.error, 0.05);
+}
+
+TEST(ParallelEngine, GibbsSingleChainUnaffectedByPoolChoice) {
+  Dataset d = make_dataset(29, 25, 30);
+  ModelParams params;
+  params.source.assign(d.source_count(), SourceParams{});
+  params.z = 0.3;
+  ColumnModel model = make_column_model(params, d.dependency, 0);
+
+  GibbsBoundConfig config;
+  config.max_sweeps = 800;
+  GibbsBoundResult ref = gibbs_bound(model, 7, config);
+  ThreadPool pool8(8);
+  config.pool = &pool8;
+  GibbsBoundResult got = gibbs_bound(model, 7, config);
+  EXPECT_EQ(ref.bound.error, got.bound.error);
+  EXPECT_EQ(ref.sweeps, got.sweeps);
+}
+
+TEST(ParallelEngine, StressRepeatedParallelRunsAreStable) {
+  // Exercises the pool scheduling paths repeatedly (the TSan target).
+  Dataset d = make_dataset(31, 120, 500);
+  ThreadPool pool(8);
+  EmExtConfig config;
+  config.pool = &pool;
+  config.max_iters = 5;
+  config.warmup_iters = 2;
+  EmExtResult ref = EmExtEstimator(config).run_detailed(d, 1);
+  for (int rep = 0; rep < 3; ++rep) {
+    EmExtResult got = EmExtEstimator(config).run_detailed(d, 1);
+    expect_bitwise_equal(ref.estimate.belief, got.estimate.belief,
+                         "belief");
+  }
+}
+
+}  // namespace

@@ -4,8 +4,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "util/cli.h"
 #include "util/env.h"
@@ -341,6 +344,126 @@ TEST(ThreadPool, ParallelForPropagatesException) {
                                    }
                                  }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, ChunkCountMatchesCeilDivision) {
+  EXPECT_EQ(ThreadPool::chunk_count(0, 16), 0u);
+  EXPECT_EQ(ThreadPool::chunk_count(1, 16), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(16, 16), 1u);
+  EXPECT_EQ(ThreadPool::chunk_count(17, 16), 2u);
+  EXPECT_EQ(ThreadPool::chunk_count(100, 7), 15u);
+  EXPECT_EQ(ThreadPool::chunk_count(5, 0), 5u);  // grain 0 behaves as 1
+}
+
+TEST(ThreadPool, ParallelForChunksCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(103);
+  std::atomic<std::size_t> chunks_seen{0};
+  pool.parallel_for_chunks(
+      103, 16, [&](std::size_t, std::size_t begin, std::size_t end) {
+        ++chunks_seen;
+        EXPECT_LE(end - begin, 16u);
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+      });
+  EXPECT_EQ(chunks_seen.load(), ThreadPool::chunk_count(103, 16));
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksEmptyAndSingleItem) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for_chunks(
+      0, 8, [&](std::size_t, std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  pool.parallel_for_chunks(
+      1, 8, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ++calls;
+        EXPECT_EQ(chunk, 0u);
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 1u);
+      });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksPropagatesLowestChunkError) {
+  ThreadPool pool(4);
+  // All chunks still run; the lowest-indexed failure is rethrown.
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for_chunks(
+        64, 8, [&](std::size_t chunk, std::size_t, std::size_t) {
+          ++ran;
+          if (chunk == 2 || chunk == 5) {
+            throw std::runtime_error("chunk " + std::to_string(chunk));
+          }
+        });
+    FAIL() << "expected exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 2");
+  }
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, ParallelForChunksNestedDoesNotDeadlock) {
+  // A pool task that itself issues parallel_for_chunks on the same pool
+  // must not deadlock: the caller participates in draining chunks.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for_chunks(
+      4, 1, [&](std::size_t, std::size_t, std::size_t) {
+        pool.parallel_for_chunks(
+            8, 2, [&](std::size_t, std::size_t begin, std::size_t end) {
+              inner_total += static_cast<int>(end - begin);
+            });
+      });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+}
+
+TEST(ThreadPool, OrderedReduceIsThreadCountInvariant) {
+  // A deliberately non-associative-safe reduction: summing doubles of
+  // very different magnitudes. The ordered fold must give bitwise the
+  // same answer for every pool size.
+  std::vector<double> values(1000);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = (i % 3 == 0 ? 1e16 : 1.0) / static_cast<double>(i + 1);
+  }
+  auto run = [&](std::size_t threads) {
+    ThreadPool pool(threads);
+    return pool.ordered_reduce(
+        values.size(), 64, 0.0,
+        [&](std::size_t begin, std::size_t end) {
+          double s = 0.0;
+          for (std::size_t i = begin; i < end; ++i) s += values[i];
+          return s;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+  double ref = run(1);
+  EXPECT_EQ(ref, run(2));
+  EXPECT_EQ(ref, run(8));
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv) {
+  // global_pool() is already constructed, so mutating SS_THREADS here
+  // only affects default_thread_count(), which reads it per call.
+  const char* saved = std::getenv("SS_THREADS");
+  std::string saved_value = saved ? saved : "";
+  setenv("SS_THREADS", "3", 1);
+  EXPECT_EQ(default_thread_count(), 3u);
+  setenv("SS_THREADS", "0", 1);  // invalid -> hardware fallback
+  EXPECT_GE(default_thread_count(), 1u);
+  if (saved) {
+    setenv("SS_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("SS_THREADS");
+  }
 }
 
 TEST(Log, LevelRoundtripAndThreshold) {
