@@ -14,6 +14,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -24,8 +26,12 @@
 #include "core/em_ext.h"
 #include "core/likelihood.h"
 #include "core/posterior.h"
+#include "data/io.h"
 #include "simgen/parametric_gen.h"
 #include "twitter/builder.h"
+#include "twitter/tweet_io.h"
+#include "util/fault_inject.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -180,6 +186,135 @@ void run_thread_sweep() {
   ss::bench::write_result("perf_scaling", doc);
 }
 
+// ---- Ingestion robustness axis ------------------------------------
+//
+// The fault-tolerant loaders promise that the strict/permissive guard
+// machinery costs <5% on the clean path, and that a 1%-byte-corrupted
+// corpus still loads (skipping the damaged records) at comparable
+// speed. Measured here, recorded to <results_dir>/ingestion_robustness
+// .json, and locked functionally by tests/test_faults.cpp.
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void run_ingestion_sweep() {
+  const int reps = env_int("SS_FAST", 0) != 0 ? 3 : 7;
+  namespace fs = std::filesystem;
+  fs::path root = fs::temp_directory_path() / "ss_bench_ingest";
+  fs::remove_all(root);
+  fs::create_directories(root);
+
+  // Corpus: a 200x2000 parametric dataset and a Kirkuk-scale tweet
+  // stream, saved to disk and then byte-corrupted at 1% into a copy.
+  // meta.csv stays intact — its dimensions gate all index validation
+  // and damaging them is fatal in every mode by design.
+  Rng rng(9);
+  SimInstance inst =
+      generate_parametric(SimKnobs::paper_defaults(200, 2000), rng);
+  std::string clean_dir = (root / "dataset_clean").string();
+  std::string corrupt_dir = (root / "dataset_corrupt").string();
+  save_dataset(inst.dataset, clean_dir);
+  fs::create_directories(corrupt_dir);
+  fs::copy_file(clean_dir + "/meta.csv", corrupt_dir + "/meta.csv");
+  for (const char* file : {"claims.csv", "exposure.csv", "truth.csv"}) {
+    spit_file(corrupt_dir + "/" + file,
+              fault::corrupt_bytes(slurp_file(clean_dir + "/" + file),
+                                   0.01, 1234));
+  }
+
+  TwitterSimulation sim =
+      simulate_twitter(scenario_by_name("Kirkuk").scaled(0.5), 42);
+  std::string clean_tweets = (root / "tweets_clean.jsonl").string();
+  std::string corrupt_tweets = (root / "tweets_corrupt.jsonl").string();
+  save_tweets(sim.tweets, clean_tweets);
+  spit_file(corrupt_tweets,
+            fault::corrupt_bytes(slurp_file(clean_tweets), 0.01, 1234));
+
+  IngestOptions strict;
+  strict.mode = IngestMode::kStrict;
+  IngestOptions permissive;
+  permissive.mode = IngestMode::kPermissive;
+
+  double ds_strict_ms = min_wall_ms(reps, [&] {
+    benchmark::DoNotOptimize(load_dataset(clean_dir, strict));
+  });
+  double ds_perm_ms = min_wall_ms(reps, [&] {
+    benchmark::DoNotOptimize(load_dataset(clean_dir, permissive));
+  });
+  IngestReport ds_report;
+  double ds_corrupt_ms = min_wall_ms(reps, [&] {
+    ds_report = IngestReport();
+    benchmark::DoNotOptimize(
+        try_load_dataset(corrupt_dir, permissive, &ds_report));
+  });
+
+  double tw_strict_ms = min_wall_ms(reps, [&] {
+    benchmark::DoNotOptimize(load_tweets(clean_tweets, strict));
+  });
+  double tw_perm_ms = min_wall_ms(reps, [&] {
+    benchmark::DoNotOptimize(load_tweets(clean_tweets, permissive));
+  });
+  IngestReport tw_report;
+  double tw_corrupt_ms = min_wall_ms(reps, [&] {
+    tw_report = IngestReport();
+    benchmark::DoNotOptimize(
+        try_load_tweets(corrupt_tweets, permissive, &tw_report));
+  });
+
+  auto pct = [](double strict_ms, double perm_ms) {
+    return 100.0 * (perm_ms - strict_ms) / strict_ms;
+  };
+  double ds_overhead = pct(ds_strict_ms, ds_perm_ms);
+  double tw_overhead = pct(tw_strict_ms, tw_perm_ms);
+
+  std::printf("\nIngestion robustness (min of %d reps, wall ms)\n",
+              reps);
+  std::printf("%10s %12s %16s %18s %14s\n", "corpus", "strict",
+              "permissive", "permissive@1pct", "overhead%");
+  std::printf("%10s %12.3f %16.3f %18.3f %13.2f%%\n", "dataset",
+              ds_strict_ms, ds_perm_ms, ds_corrupt_ms, ds_overhead);
+  std::printf("%10s %12.3f %16.3f %18.3f %13.2f%%\n", "tweets",
+              tw_strict_ms, tw_perm_ms, tw_corrupt_ms, tw_overhead);
+  std::printf("  dataset@1pct: %s\n", ds_report.summary().c_str());
+  std::printf("  tweets@1pct:  %s\n", tw_report.summary().c_str());
+
+  JsonValue doc = JsonValue::object();
+  doc["bench"] = "ingestion_robustness";
+  doc["reps"] = static_cast<std::size_t>(reps);
+  doc["corrupt_byte_rate"] = 0.01;
+  doc["note"] =
+      "permissive-mode guard overhead on the clean path (target <5%) "
+      "and throughput on a 1%-byte-corrupted corpus; corrupted records "
+      "are skipped-and-counted, never fatal";
+  JsonValue ds = JsonValue::object();
+  ds["strict_clean_ms"] = ds_strict_ms;
+  ds["permissive_clean_ms"] = ds_perm_ms;
+  ds["permissive_corrupt_ms"] = ds_corrupt_ms;
+  ds["clean_overhead_pct"] = ds_overhead;
+  ds["corrupt_rows_total"] = ds_report.rows_total;
+  ds["corrupt_rows_skipped"] = ds_report.rows_skipped;
+  doc["dataset_200x2000"] = std::move(ds);
+  JsonValue tw = JsonValue::object();
+  tw["strict_clean_ms"] = tw_strict_ms;
+  tw["permissive_clean_ms"] = tw_perm_ms;
+  tw["permissive_corrupt_ms"] = tw_corrupt_ms;
+  tw["clean_overhead_pct"] = tw_overhead;
+  tw["corrupt_rows_total"] = tw_report.rows_total;
+  tw["corrupt_rows_skipped"] = tw_report.rows_skipped;
+  doc["tweets_kirkuk50"] = std::move(tw);
+  ss::bench::write_result("ingestion_robustness", doc);
+
+  fs::remove_all(root);
+}
+
 }  // namespace
 
 BENCHMARK(BM_LikelihoodColumns)->Arg(50)->Arg(200)->Arg(800)->Unit(
@@ -201,5 +336,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_thread_sweep();
+  run_ingestion_sweep();
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "apollo/live.h"
 
 #include <algorithm>
+#include <string>
+
+#include "util/status.h"
 
 namespace ss {
 
@@ -11,6 +14,17 @@ LiveApollo::LiveApollo(Digraph follows, LiveApolloConfig config)
       em_(follows_.node_count(), config.em) {}
 
 std::uint32_t LiveApollo::ingest(const Tweet& tweet) {
+  if (tweet.user >= follows_.node_count()) {
+    if (!config_.drop_unknown_users) {
+      throw TaxonomyError(
+          ErrorCode::kIndexOutOfRange,
+          "LiveApollo::ingest: user " + std::to_string(tweet.user) +
+              " outside follower graph of " +
+              std::to_string(follows_.node_count()) + " nodes");
+    }
+    ++dropped_tweets_;
+    return kDroppedTweet;
+  }
   std::uint32_t cluster = clusterer_.add(tweet);
   auto [it, inserted] = claims_of_cluster_.emplace(
       cluster, std::vector<Claim>{});

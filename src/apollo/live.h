@@ -23,6 +23,12 @@ namespace ss {
 struct LiveApolloConfig {
   ClusteringConfig clustering;
   StreamingEmConfig em;
+  // A tweet from a user id outside the follower graph has no dependency
+  // information and previously blew up deep inside refresh() (matrix
+  // construction rejects the out-of-range source). Default: drop it at
+  // ingest, count it, and return LiveApollo::kDroppedTweet. Set false
+  // to throw TaxonomyError(kIndexOutOfRange) at ingest instead.
+  bool drop_unknown_users = true;
 };
 
 struct LiveRefreshResult {
@@ -35,11 +41,17 @@ struct LiveRefreshResult {
 
 class LiveApollo {
  public:
+  // Returned by ingest() for a tweet dropped because its user is not a
+  // node of the follower graph.
+  static constexpr std::uint32_t kDroppedTweet = 0xffffffffu;
+
   // `follows` must cover all user ids that will ever tweet (edge u -> v
   // means u follows v); it drives the dependency indicators.
   LiveApollo(Digraph follows, LiveApolloConfig config = {});
 
-  // Feeds one tweet (arrival order). Returns its cluster id.
+  // Feeds one tweet (arrival order). Returns its cluster id, or
+  // kDroppedTweet when the tweet's user is outside the follower graph
+  // (see LiveApolloConfig::drop_unknown_users).
   std::uint32_t ingest(const Tweet& tweet);
 
   // Folds the buffered window into the streaming estimator and clears
@@ -56,6 +68,8 @@ class LiveApollo {
   const ModelParams& params() const { return em_.params(); }
   std::size_t clusters_seen() const { return clusterer_.cluster_count(); }
   std::size_t refreshes() const { return em_.batches_seen(); }
+  // Tweets dropped at ingest because their user was unknown.
+  std::size_t dropped_tweets() const { return dropped_tweets_; }
 
  private:
   LiveApolloConfig config_;
@@ -70,6 +84,7 @@ class LiveApollo {
       claims_of_cluster_;
   std::vector<std::uint32_t> active_;  // clusters touched this window
   std::size_t window_claims_ = 0;
+  std::size_t dropped_tweets_ = 0;
   std::unordered_map<std::uint32_t, double> belief_of_cluster_;
   std::unordered_map<std::uint32_t, double> log_odds_of_cluster_;
 };

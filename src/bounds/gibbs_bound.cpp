@@ -2,15 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "math/convergence.h"
 #include "math/logprob.h"
+#include "util/checkpoint.h"
+#include "util/fault_inject.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ss {
 namespace {
+
+// CheckpointStore kind tag for Gibbs chains.
+constexpr std::uint64_t kGibbsCheckpointKind = 2;
+// Entry clamp for degenerate model probabilities. p in {0,1} makes the
+// leave-one-out conditionals NaN (-inf minus -inf); pulling such
+// entries this far inside (0,1) leaves every non-degenerate model
+// bit-identical while making the chain arithmetic finite.
+constexpr double kProbEps = 1e-12;
 
 // Chain state: the claim bits plus the two log-likelihood sums
 //   L1 = log P(s | C=1), L0 = log P(s | C=0)
@@ -37,7 +49,54 @@ struct ChainRun {
   std::vector<double> min_posterior_series;
   double ess = 0.0;
   double lag1 = 0.0;
+  std::size_t nonfinite_sweeps = 0;
+  bool resumed = false;  // replayed from a checkpoint, not recomputed
 };
+
+// A finished chain, serialized bit-exact for CheckpointStore; resuming
+// from these records reproduces the uninterrupted run exactly.
+std::string encode_chain(const ChainRun& r) {
+  BinWriter w;
+  w.f64(r.err_part);
+  w.f64(r.total);
+  w.f64(r.fp_part);
+  w.f64(r.fn_part);
+  w.f64(r.err_mc);
+  w.f64(r.fp_mc);
+  w.f64(r.fn_mc);
+  w.u64(r.samples);
+  w.u8(r.converged ? 1 : 0);
+  w.vec_f64(r.min_posterior_series);
+  w.f64(r.ess);
+  w.f64(r.lag1);
+  w.u64(r.nonfinite_sweeps);
+  return w.take();
+}
+
+// Throws std::runtime_error on any malformed payload; the caller treats
+// that as "record absent" and recomputes the chain.
+ChainRun decode_chain(const std::string& bytes) {
+  BinReader rd(bytes);
+  ChainRun r;
+  r.err_part = rd.f64();
+  r.total = rd.f64();
+  r.fp_part = rd.f64();
+  r.fn_part = rd.f64();
+  r.err_mc = rd.f64();
+  r.fp_mc = rd.f64();
+  r.fn_mc = rd.f64();
+  r.samples = static_cast<std::size_t>(rd.u64());
+  r.converged = rd.u8() != 0;
+  r.min_posterior_series = rd.vec_f64();
+  r.ess = rd.f64();
+  r.lag1 = rd.f64();
+  r.nonfinite_sweeps = static_cast<std::size_t>(rd.u64());
+  r.resumed = true;
+  if (!rd.done()) {
+    throw std::runtime_error("checkpoint: trailing bytes");
+  }
+  return r;
+}
 
 // Initial-monotone-sequence style ESS estimate over a scalar series.
 // Autocorrelations are summed up to the first non-positive lag (capped),
@@ -174,6 +233,21 @@ ChainRun run_chain(const ColumnModel& model, Rng rng,
       state.log_true = rest_true + (bit ? log_t1 : log_t1n);
       state.log_false = rest_false + (bit ? log_f1 : log_f1n);
     }
+    if (!std::isfinite(state.log_true) ||
+        !std::isfinite(state.log_false)) {
+      // Degenerate state escaped the entry clamp (injected fault or
+      // extreme model): re-draw the bits from the prior marginals and
+      // keep the chain running; this sweep yields no sample.
+      ++run.nonfinite_sweeps;
+      for (std::size_t i = 0; i < n; ++i) {
+        double marginal = model.z * model.p_claim_true[i] +
+                          (1.0 - model.z) * model.p_claim_false[i];
+        state.bits[i] = rng.bernoulli(marginal) ? 1 : 0;
+      }
+      refresh_logs(model, state);
+      if (sweep >= config.max_sweeps) done = true;
+      continue;
+    }
     if (sweep <= config.burn_in_sweeps) continue;
 
     // One post-burn-in sample per sweep.
@@ -222,12 +296,68 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
   std::size_t chains = std::max<std::size_t>(1, config.chains);
   std::vector<ChainRun> runs(chains);
 
+  // Entry clamp: p in {0,1} (or NaN) would make the leave-one-out
+  // conditionals non-finite; identity on non-degenerate models.
+  ColumnModel clamped = model;
+  std::size_t clamps = 0;
+  auto clamp_entry = [&clamps](double& p) {
+    if (!(p >= kProbEps)) {  // also catches NaN
+      p = kProbEps;
+      ++clamps;
+    } else if (p > 1.0 - kProbEps) {
+      p = 1.0 - kProbEps;
+      ++clamps;
+    }
+  };
+  for (double& p : clamped.p_claim_true) clamp_entry(p);
+  for (double& p : clamped.p_claim_false) clamp_entry(p);
+  clamp_entry(clamped.z);
+
+  // Checkpoint store bound to everything that determines a chain's
+  // output; a stale file (different model, seed or config) is ignored.
+  std::unique_ptr<CheckpointStore> ckpt;
+  if (!config.checkpoint_path.empty()) {
+    std::uint64_t fp = fingerprint_combine(0x47424253ull, seed);
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(clamped.source_count()));
+    fp = fingerprint_combine(fp, clamped.z);
+    for (double p : clamped.p_claim_true) fp = fingerprint_combine(fp, p);
+    for (double p : clamped.p_claim_false) {
+      fp = fingerprint_combine(fp, p);
+    }
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config.burn_in_sweeps));
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config.max_sweeps));
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config.min_sweeps));
+    fp = fingerprint_combine(fp, config.tol);
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config.patience));
+    fp = fingerprint_combine(fp, static_cast<std::uint64_t>(config.kind));
+    ckpt = std::make_unique<CheckpointStore>(
+        config.checkpoint_path, kGibbsCheckpointKind, fp, chains);
+  }
+
   // Chain 0 keeps the historical RNG stream so `chains = 1` reproduces
   // the single-chain results bit-for-bit; extra chains draw from split
   // streams keyed only by the chain index.
   auto launch = [&](std::size_t c) {
+    if (ckpt != nullptr && ckpt->has(c)) {
+      try {
+        runs[c] = decode_chain(ckpt->payload(c));
+        return;
+      } catch (const std::exception&) {
+        // Undecodable record: recompute. A checkpoint can only save
+        // work, never poison a run.
+      }
+    }
     Rng base(seed, /*stream=*/0x61bb5);
-    runs[c] = run_chain(model, c == 0 ? base : base.split(c), config);
+    runs[c] = run_chain(clamped, c == 0 ? base : base.split(c), config);
+    if (ckpt != nullptr) {
+      ckpt->commit(c, encode_chain(runs[c]));
+      fault::unit_committed();  // kill-after-commit injection point
+    }
   };
   if (chains > 1) {
     ThreadPool* pool =
@@ -245,6 +375,7 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
   GibbsBoundResult out;
   out.chains = chains;
   out.converged = true;
+  out.clamped_probabilities = clamps;
   double err_part = 0.0, total = 0.0, fp_part = 0.0, fn_part = 0.0;
   double fp_mc = 0.0, fn_mc = 0.0, lag1_sum = 0.0;
   std::size_t samples = 0;
@@ -259,6 +390,8 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
     out.converged = out.converged && run.converged;
     out.effective_sample_size += run.ess;
     lag1_sum += run.lag1;
+    out.nonfinite_sweeps += run.nonfinite_sweeps;
+    if (run.resumed) ++out.resumed_chains;
   }
   out.sweeps = samples;
   out.autocorr_lag1 = lag1_sum / static_cast<double>(chains);
@@ -273,6 +406,7 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
   }
   out.bound.error = out.bound.false_positive + out.bound.false_negative;
   out.r_hat = cross_chain_r_hat(runs);
+  if (ckpt != nullptr && !config.keep_checkpoint) ckpt->remove_file();
   return out;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "bounds/column_model.h"
 #include "bounds/exact_bound.h"
@@ -51,6 +52,14 @@ struct GibbsBoundConfig {
   // reduction order are fixed, so results are bit-identical for any
   // pool size.
   ThreadPool* pool = nullptr;
+  // Checkpoint/resume (docs/MODEL.md §9). Empty disables. One binary
+  // record per completed chain; a killed run re-invoked with the same
+  // path replays finished chains and recomputes only the rest,
+  // reproducing the uninterrupted run bit-for-bit. Bound to a
+  // fingerprint of (seed, model, config); mismatch or corruption is
+  // ignored. Removed after a successful run unless keep_checkpoint.
+  std::string checkpoint_path;
+  bool keep_checkpoint = false;
 };
 
 struct GibbsBoundResult {
@@ -70,6 +79,16 @@ struct GibbsBoundResult {
   // flag chains that disagree about the stationary distribution.
   double r_hat = 1.0;
   std::size_t chains = 1;  // chains actually run
+  // Fault-tolerance accounting (docs/MODEL.md §9); zero on healthy runs.
+  // Model probabilities in {0, 1} make the leave-one-out conditionals
+  // NaN (-inf minus -inf); they are clamped into (0, 1) on entry —
+  // identity on non-degenerate models — and counted here.
+  std::size_t clamped_probabilities = 0;
+  // Sweeps whose chain state went non-finite anyway and was re-drawn
+  // from the marginals instead of aborting the run.
+  std::size_t nonfinite_sweeps = 0;
+  // Chains replayed from a checkpoint instead of recomputed.
+  std::size_t resumed_chains = 0;
 };
 
 GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,

@@ -2,16 +2,119 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <stdexcept>
 
 #include "core/likelihood.h"
 #include "core/posterior.h"
 #include "math/convergence.h"
 #include "math/logprob.h"
+#include "util/checkpoint.h"
+#include "util/fault_inject.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ss {
 namespace {
+
+// CheckpointStore kind tag for EM restart attempts.
+constexpr std::uint64_t kEmExtCheckpointKind = 1;
+// Split-key base for divergence-recovery re-seeds; offset past any
+// plausible attempt index so retry streams never collide with the
+// attempts' own init streams.
+constexpr std::uint64_t kReseedKeyBase = 0x52450000ull;
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// Replaces non-finite parameter estimates with their previous values.
+// A non-finite rate cannot come from clean data — every M-step ratio is
+// clamped — so keep-previous is the only update that cannot make things
+// worse. Returns the number of replacements.
+std::size_t sanitize_params(ModelParams& next, const ModelParams& prev) {
+  std::size_t fixed = 0;
+  auto fix = [&fixed](double& value, double fallback) {
+    if (!std::isfinite(value)) {
+      value = fallback;
+      ++fixed;
+    }
+  };
+  for (std::size_t i = 0; i < next.source.size(); ++i) {
+    fix(next.source[i].a, prev.source[i].a);
+    fix(next.source[i].b, prev.source[i].b);
+    fix(next.source[i].f, prev.source[i].f);
+    fix(next.source[i].g, prev.source[i].g);
+  }
+  fix(next.z, prev.z);
+  return fixed;
+}
+
+// One completed restart attempt, serialized bit-exact for
+// CheckpointStore — everything the winner selection and the final
+// result need, so a resumed run is indistinguishable from an
+// uninterrupted one.
+std::string encode_attempt(const EmExtResult& r) {
+  BinWriter w;
+  w.vec_f64(r.estimate.belief);
+  w.vec_f64(r.estimate.log_odds);
+  w.u64(r.estimate.iterations);
+  w.u8(r.estimate.converged ? 1 : 0);
+  w.vec_f64(r.likelihood_trace);
+  w.f64(r.log_likelihood);
+  w.f64(r.params.z);
+  w.u64(r.params.source.size());
+  for (const SourceParams& s : r.params.source) {
+    w.f64(s.a);
+    w.f64(s.b);
+    w.f64(s.f);
+    w.f64(s.g);
+  }
+  w.u64(r.health.nonfinite_events);
+  w.u64(r.health.reseeded_attempts);
+  w.u64(r.health.failed_attempts);
+  w.u64(r.health.sanitized_params);
+  return w.take();
+}
+
+// Throws std::runtime_error on any malformed payload; the caller treats
+// that as "record absent" and recomputes the attempt.
+EmExtResult decode_attempt(const std::string& bytes) {
+  BinReader rd(bytes);
+  EmExtResult r;
+  r.estimate.belief = rd.vec_f64();
+  r.estimate.log_odds = rd.vec_f64();
+  r.estimate.iterations = static_cast<std::size_t>(rd.u64());
+  r.estimate.converged = rd.u8() != 0;
+  r.estimate.probabilistic = true;
+  r.likelihood_trace = rd.vec_f64();
+  r.log_likelihood = rd.f64();
+  r.params.z = rd.f64();
+  std::uint64_t n = rd.u64();
+  if (n > bytes.size()) {  // 32 bytes per source; reject garbage counts
+    throw std::runtime_error("checkpoint: truncated payload");
+  }
+  r.params.source.resize(static_cast<std::size_t>(n));
+  for (SourceParams& s : r.params.source) {
+    s.a = rd.f64();
+    s.b = rd.f64();
+    s.f = rd.f64();
+    s.g = rd.f64();
+  }
+  r.health.nonfinite_events = static_cast<std::size_t>(rd.u64());
+  r.health.reseeded_attempts = static_cast<std::size_t>(rd.u64());
+  r.health.failed_attempts = static_cast<std::size_t>(rd.u64());
+  r.health.sanitized_params = static_cast<std::size_t>(rd.u64());
+  r.health.resumed_attempts = 1;
+  if (!rd.done()) {
+    throw std::runtime_error("checkpoint: trailing bytes");
+  }
+  return r;
+}
 
 // Sources per parallel chunk of the M-step statistics pass. Fixed so
 // slot writes are identical for any worker count.
@@ -190,6 +293,7 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
     empty.params.source.assign(n, SourceParams{});
     return empty;
   }
+  std::size_t m = dataset.assertion_count();
   ThreadPool* pool = config_.pool != nullptr ? config_.pool : &global_pool();
   Rng rng(seed, /*stream=*/0x37);
 
@@ -198,9 +302,19 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
   std::size_t restarts =
       random_init ? std::max<std::size_t>(1, config_.restarts) : 1;
 
-  auto run_attempt = [&](std::size_t attempt) -> EmExtResult {
+  // One guarded EM run. Returns nullopt when an E-step went non-finite
+  // (injected fault or pathological input) — the caller re-seeds and
+  // retries rather than letting a NaN reach winner selection. retry > 0
+  // always draws fresh random parameters: replaying a deterministic
+  // initialization that already diverged would diverge again.
+  auto run_attempt_once = [&](std::size_t attempt, std::size_t retry,
+                              EmHealth& health)
+      -> std::optional<EmExtResult> {
     ModelParams params;
-    if (config_.init.has_value()) {
+    if (retry > 0) {
+      Rng retry_rng = rng.split(kReseedKeyBase + attempt * 64 + retry);
+      params = random_init_params(n, retry_rng);
+    } else if (config_.init.has_value()) {
       params = *config_.init;
     } else if (random_init) {
       Rng attempt_rng = rng.split(attempt);
@@ -235,10 +349,16 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
       while (!warm_done) {
         LikelihoodTable table(dataset, params);
         EStepResult e = fused_e_step(table, pool);
+        fault::maybe_corrupt_posterior(e.posterior);
+        if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
+          ++health.nonfinite_events;
+          return std::nullopt;
+        }
         result.likelihood_trace.push_back(e.log_likelihood);
         ModelParams next =
             m_step(dataset, e.posterior, params, config_.clamp_eps,
                    config_.shrinkage, config_.z_floor, pool);
+        health.sanitized_params += sanitize_params(next, params);
         for (auto& s : next.source) {
           double tied = 0.5 * (s.f + s.g);
           s.f = tied;
@@ -258,12 +378,18 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
       // E-step (Eq. 9).
       LikelihoodTable table(dataset, params);
       EStepResult e = fused_e_step(table, pool);
+      fault::maybe_corrupt_posterior(e.posterior);
+      if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
+        ++health.nonfinite_events;
+        return std::nullopt;
+      }
       result.likelihood_trace.push_back(e.log_likelihood);
 
       // M-step (Eq. 10-14).
       ModelParams next =
           m_step(dataset, e.posterior, params, config_.clamp_eps,
                  config_.shrinkage, config_.z_floor, pool);
+      health.sanitized_params += sanitize_params(next, params);
       double delta = next.max_abs_diff(params);
       params = std::move(next);
       done = monitor.update_delta(delta);
@@ -274,6 +400,11 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
     // (previously three separate full column scans).
     LikelihoodTable table(dataset, params);
     EStepResult e = fused_e_step(table, pool);
+    fault::maybe_corrupt_posterior(e.posterior);
+    if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
+      ++health.nonfinite_events;
+      return std::nullopt;
+    }
     result.estimate.belief = std::move(e.posterior);
     result.estimate.log_odds = std::move(e.log_odds);
     result.estimate.probabilistic = true;
@@ -284,6 +415,84 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
     return result;
   };
 
+  // Retry wrapper: re-seed a diverged attempt up to
+  // max_divergence_retries times; after that, fall back to the
+  // data-driven vote prior with -inf likelihood, which can win only
+  // when every attempt diverged — and even then the returned beliefs
+  // are finite.
+  auto run_attempt = [&](std::size_t attempt) -> EmExtResult {
+    EmHealth health;
+    for (std::size_t retry = 0;
+         retry <= config_.max_divergence_retries; ++retry) {
+      if (retry > 0) ++health.reseeded_attempts;
+      std::optional<EmExtResult> r =
+          run_attempt_once(attempt, retry, health);
+      if (r.has_value()) {
+        r->health = health;
+        return *std::move(r);
+      }
+    }
+    ++health.failed_attempts;
+    EmExtResult r;
+    r.estimate.belief = vote_prior_posterior(dataset);
+    r.estimate.log_odds.resize(m);
+    for (std::size_t j = 0; j < m; ++j) {
+      double b = r.estimate.belief[j];  // clamped to [0.05, 0.95]
+      r.estimate.log_odds[j] = std::log(b) - std::log1p(-b);
+    }
+    r.estimate.probabilistic = true;
+    r.estimate.converged = false;
+    r.params.source.assign(n, SourceParams{});
+    clamp_params(r.params, config_.clamp_eps);
+    r.log_likelihood = -std::numeric_limits<double>::infinity();
+    r.health = health;
+    return r;
+  };
+
+  // Checkpoint store bound to everything that determines an attempt's
+  // output; a stale file (different data, seed or config) is ignored.
+  std::unique_ptr<CheckpointStore> ckpt;
+  if (!config_.checkpoint_path.empty()) {
+    std::uint64_t fp = fingerprint_combine(0x454d4558ull, seed);
+    fp = fingerprint_combine(fp, static_cast<std::uint64_t>(n));
+    fp = fingerprint_combine(fp, static_cast<std::uint64_t>(m));
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(dataset.claims.claim_count()));
+    fp = fingerprint_combine(fp, config_.tol);
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config_.max_iters));
+    fp = fingerprint_combine(fp, config_.clamp_eps);
+    fp = fingerprint_combine(fp, config_.shrinkage);
+    fp = fingerprint_combine(fp, config_.z_floor);
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config_.warmup_iters));
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config_.init_kind));
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config_.max_divergence_retries));
+    fp = fingerprint_combine(
+        fp, static_cast<std::uint64_t>(config_.init.has_value()));
+    ckpt = std::make_unique<CheckpointStore>(
+        config_.checkpoint_path, kEmExtCheckpointKind, fp, restarts);
+  }
+
+  auto run_or_resume = [&](std::size_t attempt) -> EmExtResult {
+    if (ckpt != nullptr && ckpt->has(attempt)) {
+      try {
+        return decode_attempt(ckpt->payload(attempt));
+      } catch (const std::exception&) {
+        // Undecodable record: recompute. A checkpoint can only save
+        // work, never poison a run.
+      }
+    }
+    EmExtResult r = run_attempt(attempt);
+    if (ckpt != nullptr) {
+      ckpt->commit(attempt, encode_attempt(r));
+      fault::unit_committed();  // kill-after-commit injection point
+    }
+    return r;
+  };
+
   std::vector<EmExtResult> attempts(restarts);
   if (restarts > 1) {
     // Random restarts are independent; run them across the pool (grain
@@ -292,23 +501,38 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
     pool->parallel_for_chunks(
         restarts, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
           for (std::size_t a = begin; a < end; ++a) {
-            attempts[a] = run_attempt(a);
+            attempts[a] = run_or_resume(a);
           }
         });
   } else {
-    attempts[0] = run_attempt(0);
+    attempts[0] = run_or_resume(0);
   }
 
   // Winner selection in attempt order (first best wins ties), identical
-  // to the sequential loop it replaces.
+  // to the sequential loop it replaces. Health aggregates over every
+  // attempt, not just the winner.
   EmExtResult best;
   bool have_best = false;
+  EmHealth total;
   for (EmExtResult& result : attempts) {
+    total.nonfinite_events += result.health.nonfinite_events;
+    total.reseeded_attempts += result.health.reseeded_attempts;
+    total.failed_attempts += result.health.failed_attempts;
+    total.sanitized_params += result.health.sanitized_params;
+    total.resumed_attempts += result.health.resumed_attempts;
     if (!have_best || result.log_likelihood > best.log_likelihood) {
       best = std::move(result);
       have_best = true;
     }
   }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (dataset.claims.claims_of(i).empty() &&
+        dataset.dependency.exposed_assertions(i).empty()) {
+      ++total.degenerate_sources;
+    }
+  }
+  best.health = total;
+  if (ckpt != nullptr && !config_.keep_checkpoint) ckpt->remove_file();
   return best;
 }
 

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
 #include "core/estimator.h"
 #include "core/params.h"
@@ -85,6 +86,38 @@ struct EmExtConfig {
   // including 1 — parallel slots are index-addressed and every
   // floating-point reduction runs serially in canonical order.
   ThreadPool* pool = nullptr;
+  // Fault tolerance (docs/MODEL.md §9). An attempt whose E-step goes
+  // non-finite (injected fault, pathological input) is re-seeded from a
+  // fresh random initialization up to this many times; an attempt that
+  // exhausts its retries falls back to the vote-prior posterior with
+  // log-likelihood -inf, so it never poisons the winner selection (it
+  // wins only if every attempt diverged — and even then the returned
+  // beliefs are finite).
+  std::size_t max_divergence_retries = 2;
+  // Checkpoint/resume. Empty disables. The file stores one binary
+  // record per completed restart attempt (util/checkpoint.h); a killed
+  // run re-invoked with the same path replays completed attempts and
+  // recomputes only the rest, reproducing the uninterrupted run
+  // bit-for-bit. The file is bound to a fingerprint of (seed, dataset
+  // shape, config); on mismatch or corruption it is ignored and the
+  // run starts clean. Removed after a successful run unless
+  // keep_checkpoint is set.
+  std::string checkpoint_path;
+  bool keep_checkpoint = false;
+};
+
+// Fault-tolerance accounting of one run (zero everywhere on a healthy
+// run; the guards themselves never perturb finite results).
+struct EmHealth {
+  std::size_t nonfinite_events = 0;    // E-step outputs caught non-finite
+  std::size_t reseeded_attempts = 0;   // divergence recoveries via re-seed
+  std::size_t failed_attempts = 0;     // attempts that fell back to the prior
+  std::size_t sanitized_params = 0;    // M-step params replaced (non-finite)
+  std::size_t resumed_attempts = 0;    // attempts replayed from checkpoint
+  // Sources with neither claims nor exposed cells: their rates carry no
+  // evidence and are pinned by shrinkage/keep-previous (reported, not an
+  // error).
+  std::size_t degenerate_sources = 0;
 };
 
 struct EmExtResult {
@@ -94,6 +127,8 @@ struct EmExtResult {
   // Data log-likelihood after every iteration of the winning run, for
   // monotonicity checks and convergence diagnostics.
   std::vector<double> likelihood_trace;
+  // Aggregated over every attempt of the run (not just the winner).
+  EmHealth health;
 };
 
 class EmExtEstimator : public Estimator {

@@ -1,15 +1,27 @@
 #include "core/streaming_em.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/em_ext.h"
 #include "core/likelihood.h"
 #include "core/posterior.h"
 #include "math/logprob.h"
+#include "util/fault_inject.h"
 #include "util/thread_pool.h"
 
 namespace ss {
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 StreamingEmExt::StreamingEmExt(std::size_t sources,
                                StreamingEmConfig config)
@@ -46,10 +58,19 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
   }
 
   std::vector<double> posterior(m, 0.5);
+  bool poisoned = false;
   for (std::size_t inner = 0; inner < config_.iters_per_batch; ++inner) {
     // E-step on this batch under the current theta.
     LikelihoodTable table(batch, params_);
     posterior = all_posteriors(table);
+    fault::maybe_corrupt_posterior(posterior);
+    if (!all_finite(posterior)) {
+      // Poisoned E-step: stop refining and withhold this batch's
+      // statistics — a NaN folded into the decayed history would
+      // corrupt every later batch.
+      poisoned = true;
+      break;
+    }
 
     // Batch sufficient statistics.
     std::vector<double> bz(n, 0.0), by(n, 0.0), dz(n, 0.0), dy(n, 0.0);
@@ -154,14 +175,28 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
       stats_z_den_ = lambda * stats_z_den_ + static_cast<double>(m);
     }
   }
+  if (poisoned) ++skipped_batches_;
   ++batches_;
 
   StreamingBatchResult result;
+  result.stats_committed = !poisoned;
   LikelihoodTable table(batch, params_);
   EStepResult e = fused_e_step(table, &global_pool());
+  fault::maybe_corrupt_posterior(e.posterior);
   result.belief = std::move(e.posterior);
   result.log_odds = std::move(e.log_odds);
   result.log_likelihood = e.log_likelihood;
+  // The caller owns these beliefs (ranking, dashboards): non-finite
+  // entries come back neutral, never NaN.
+  for (std::size_t j = 0; j < result.belief.size(); ++j) {
+    if (!std::isfinite(result.belief[j]) ||
+        !std::isfinite(result.log_odds[j])) {
+      result.belief[j] = 0.5;
+      result.log_odds[j] = 0.0;
+      ++result.sanitized_beliefs;
+    }
+  }
+  if (!std::isfinite(result.log_likelihood)) result.log_likelihood = 0.0;
   return result;
 }
 

@@ -44,6 +44,14 @@ struct StreamingBatchResult {
   std::vector<double> belief;
   std::vector<double> log_odds;
   double log_likelihood = 0.0;
+  // Fault-tolerance accounting (docs/MODEL.md §9); healthy batches have
+  // stats_committed = true and sanitized_beliefs = 0. A batch whose
+  // E-step went non-finite is not folded into the running statistics —
+  // a poisoned posterior must not contaminate the decayed history — and
+  // any non-finite final belief comes back as the neutral 0.5 (log-odds
+  // 0) instead of NaN.
+  bool stats_committed = true;
+  std::size_t sanitized_beliefs = 0;
 };
 
 class StreamingEmExt {
@@ -59,11 +67,15 @@ class StreamingEmExt {
   const ModelParams& params() const { return params_; }
   std::size_t source_count() const { return stats_claim_indep_z_.size(); }
   std::size_t batches_seen() const { return batches_; }
+  // Batches whose statistics were withheld because an E-step produced a
+  // non-finite posterior (see StreamingBatchResult::stats_committed).
+  std::size_t skipped_batches() const { return skipped_batches_; }
 
  private:
   StreamingEmConfig config_;
   ModelParams params_;
   std::size_t batches_ = 0;
+  std::size_t skipped_batches_ = 0;
   // Running (decayed) sufficient statistics per source.
   std::vector<double> stats_claim_indep_z_;
   std::vector<double> stats_claim_indep_y_;

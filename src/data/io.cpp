@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -15,18 +16,254 @@ std::ofstream open_out(const std::string& path) {
   return out;
 }
 
-std::ifstream open_in(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open for read: " + path);
-  return in;
+bool parse_label(const std::string& s, Label* out) {
+  if (s == "True") *out = Label::kTrue;
+  else if (s == "False") *out = Label::kFalse;
+  else if (s == "Opinion") *out = Label::kOpinion;
+  else if (s == "Unknown") *out = Label::kUnknown;
+  else return false;
+  return true;
 }
 
-Label parse_label(const std::string& s) {
-  if (s == "True") return Label::kTrue;
-  if (s == "False") return Label::kFalse;
-  if (s == "Opinion") return Label::kOpinion;
-  if (s == "Unknown") return Label::kUnknown;
-  throw std::runtime_error("bad label: " + s);
+// Shared state of one load: options, the report sink (caller's or a
+// local one so counting never branches on null), and the first error
+// for strict mode.
+struct LoadContext {
+  IngestOptions options;
+  IngestReport* report;
+  IngestReport local;
+
+  IngestReport& rep() { return report != nullptr ? *report : local; }
+
+  // Classifies one defective row. Returns true when the row may be
+  // *kept* (repair mode and the caller has a fix); false when it must
+  // be skipped. Throws in strict mode.
+  bool defect(ErrorCode code, const std::string& file, std::size_t line,
+              std::string detail, bool repairable) {
+    IngestReport& r = rep();
+    r.note(code, file, line, detail, options.max_recorded_errors);
+    if (options.mode == IngestMode::kStrict) {
+      throw TaxonomyError(
+          code, RecordError{code, file, line, std::move(detail)}
+                    .to_string());
+    }
+    if (options.mode == IngestMode::kRepair && repairable) {
+      ++r.rows_repaired;
+      return true;
+    }
+    ++r.rows_skipped;
+    return false;
+  }
+};
+
+// Iterates the data rows of one CSV file (header skipped, blank lines
+// ignored), handing each parsed field list to `row(line_no, fields)`.
+// Returns false (or throws, per mode) when the file cannot be opened.
+template <typename RowFn>
+bool for_each_csv_row(const std::string& path, LoadContext& ctx,
+                      const RowFn& row) {
+  std::ifstream in(path);
+  if (!in) return false;  // the caller notes the kIoError once
+  std::string line;
+  std::size_t line_no = 1;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (trim(line).empty()) continue;
+    ++ctx.rep().rows_total;
+    row(line_no, csv_parse_line(line));
+  }
+  return true;
+}
+
+Expected<Dataset> load_dataset_impl(const std::string& directory,
+                                    LoadContext& ctx) {
+  auto fail = [&](ErrorCode code, const std::string& file,
+                  std::size_t line,
+                  const std::string& detail) -> Error {
+    ctx.rep().note(code, file, line, detail,
+                   ctx.options.max_recorded_errors);
+    return Error{code,
+                 RecordError{code, file, line, detail}.to_string()};
+  };
+
+  // meta.csv: fatal in every mode — the dimensions gate all validation.
+  std::string name;
+  std::uint64_t sources = 0;
+  std::uint64_t assertions = 0;
+  {
+    std::string path = directory + "/meta.csv";
+    std::ifstream in(path);
+    if (!in) return fail(ErrorCode::kIoError, path, 0, "cannot open");
+    std::string line;
+    std::getline(in, line);  // header
+    if (!std::getline(in, line)) {
+      return fail(ErrorCode::kBadRow, path, 2, "missing data row");
+    }
+    auto fields = csv_parse_line(line);
+    if (fields.size() != 3) {
+      return fail(ErrorCode::kBadRow, path, 2,
+                  strprintf("expected 3 fields, got %zu",
+                            fields.size()));
+    }
+    name = fields[0];
+    if (!try_parse_u64(fields[1], &sources) ||
+        !try_parse_u64(fields[2], &assertions)) {
+      return fail(ErrorCode::kBadNumber, path, 2,
+                  "unparseable dimensions: " + fields[1] + "," +
+                      fields[2]);
+    }
+  }
+
+  std::vector<Claim> claims;
+  {
+    std::string path = directory + "/claims.csv";
+    bool opened = for_each_csv_row(
+        path, ctx,
+        [&](std::size_t line_no, const std::vector<std::string>& f) {
+          if (f.size() != 3) {
+            ctx.defect(ErrorCode::kBadRow, path, line_no,
+                       strprintf("expected 3 fields, got %zu", f.size()),
+                       /*repairable=*/false);
+            return;
+          }
+          Claim c;
+          if (!try_parse_u32(f[0], &c.source) ||
+              !try_parse_u32(f[1], &c.assertion)) {
+            ctx.defect(ErrorCode::kBadNumber, path, line_no,
+                       "unparseable index: " + f[0] + "," + f[1],
+                       /*repairable=*/false);
+            return;
+          }
+          if (c.source >= sources || c.assertion >= assertions) {
+            ctx.defect(
+                ErrorCode::kIndexOutOfRange, path, line_no,
+                strprintf("claim (%u,%u) outside declared %llu x %llu",
+                          c.source, c.assertion,
+                          static_cast<unsigned long long>(sources),
+                          static_cast<unsigned long long>(assertions)),
+                /*repairable=*/false);
+            return;
+          }
+          if (!try_parse_f64(f[2], &c.time)) {
+            ctx.defect(ErrorCode::kBadNumber, path, line_no,
+                       "unparseable time: " + f[2],
+                       /*repairable=*/false);
+            return;
+          }
+          if (!std::isfinite(c.time)) {
+            if (!ctx.defect(ErrorCode::kNonFinite, path, line_no,
+                            "non-finite time: " + f[2],
+                            /*repairable=*/true)) {
+              return;
+            }
+            c.time = 0.0;  // repair: order-neutral sentinel time
+          } else {
+            ++ctx.rep().rows_ok;
+          }
+          claims.push_back(c);
+        });
+    if (!opened) {
+      return fail(ErrorCode::kIoError, path, 0, "cannot open");
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> exposed;
+  {
+    std::string path = directory + "/exposure.csv";
+    bool opened = for_each_csv_row(
+        path, ctx,
+        [&](std::size_t line_no, const std::vector<std::string>& f) {
+          if (f.size() != 2) {
+            ctx.defect(ErrorCode::kBadRow, path, line_no,
+                       strprintf("expected 2 fields, got %zu", f.size()),
+                       /*repairable=*/false);
+            return;
+          }
+          std::uint32_t s = 0, a = 0;
+          if (!try_parse_u32(f[0], &s) || !try_parse_u32(f[1], &a)) {
+            ctx.defect(ErrorCode::kBadNumber, path, line_no,
+                       "unparseable index: " + f[0] + "," + f[1],
+                       /*repairable=*/false);
+            return;
+          }
+          if (s >= sources || a >= assertions) {
+            ctx.defect(
+                ErrorCode::kIndexOutOfRange, path, line_no,
+                strprintf("cell (%u,%u) outside declared %llu x %llu",
+                          s, a,
+                          static_cast<unsigned long long>(sources),
+                          static_cast<unsigned long long>(assertions)),
+                /*repairable=*/false);
+            return;
+          }
+          ++ctx.rep().rows_ok;
+          exposed.emplace_back(s, a);
+        });
+    if (!opened) {
+      return fail(ErrorCode::kIoError, path, 0, "cannot open");
+    }
+  }
+
+  std::vector<Label> truth;
+  {
+    std::string path = directory + "/truth.csv";
+    bool opened = for_each_csv_row(
+        path, ctx,
+        [&](std::size_t line_no, const std::vector<std::string>& f) {
+          if (f.size() != 2) {
+            ctx.defect(ErrorCode::kBadRow, path, line_no,
+                       strprintf("expected 2 fields, got %zu", f.size()),
+                       /*repairable=*/false);
+            return;
+          }
+          std::uint64_t j = 0;
+          if (!try_parse_u64(f[0], &j)) {
+            ctx.defect(ErrorCode::kBadNumber, path, line_no,
+                       "unparseable assertion id: " + f[0],
+                       /*repairable=*/false);
+            return;
+          }
+          // Previously a row with j >= assertions silently grew the
+          // vector and was truncated again later; now it is a
+          // classified per-row defect.
+          if (j >= assertions) {
+            ctx.defect(
+                ErrorCode::kIndexOutOfRange, path, line_no,
+                strprintf("assertion %llu outside declared %llu",
+                          static_cast<unsigned long long>(j),
+                          static_cast<unsigned long long>(assertions)),
+                /*repairable=*/false);
+            return;
+          }
+          Label label = Label::kUnknown;
+          if (!parse_label(f[1], &label)) {
+            if (!ctx.defect(ErrorCode::kBadLabel, path, line_no,
+                            "bad label: " + f[1],
+                            /*repairable=*/true)) {
+              return;
+            }
+            label = Label::kUnknown;  // repair: grade as ungraded
+          } else {
+            ++ctx.rep().rows_ok;
+          }
+          if (truth.size() <= j) truth.resize(j + 1, Label::kUnknown);
+          truth[j] = label;
+        });
+    if (!opened) {
+      return fail(ErrorCode::kIoError, path, 0, "cannot open");
+    }
+  }
+  if (!truth.empty()) truth.resize(assertions, Label::kUnknown);
+
+  Dataset dataset;
+  dataset.name = name;
+  dataset.claims = SourceClaimMatrix(sources, assertions, claims);
+  dataset.dependency =
+      DependencyIndicators::from_cells(sources, assertions, exposed);
+  dataset.truth = std::move(truth);
+  dataset.validate();
+  return dataset;
 }
 
 }  // namespace
@@ -68,83 +305,30 @@ void save_dataset(const Dataset& dataset, const std::string& directory) {
 }
 
 Dataset load_dataset(const std::string& directory) {
-  std::string name;
-  std::size_t sources = 0;
-  std::size_t assertions = 0;
-  {
-    auto in = open_in(directory + "/meta.csv");
-    std::string line;
-    std::getline(in, line);  // header
-    if (!std::getline(in, line)) {
-      throw std::runtime_error("meta.csv: missing data row");
-    }
-    auto fields = csv_parse_line(line);
-    if (fields.size() != 3) throw std::runtime_error("meta.csv: bad row");
-    name = fields[0];
-    sources = std::stoull(fields[1]);
-    assertions = std::stoull(fields[2]);
-  }
+  return load_dataset(directory, IngestOptions{});
+}
 
-  std::vector<Claim> claims;
-  {
-    auto in = open_in(directory + "/claims.csv");
-    std::string line;
-    std::getline(in, line);
-    while (std::getline(in, line)) {
-      if (trim(line).empty()) continue;
-      auto fields = csv_parse_line(line);
-      if (fields.size() != 3) {
-        throw std::runtime_error("claims.csv: bad row: " + line);
-      }
-      claims.push_back({static_cast<std::uint32_t>(std::stoul(fields[0])),
-                        static_cast<std::uint32_t>(std::stoul(fields[1])),
-                        std::stod(fields[2])});
-    }
-  }
+Dataset load_dataset(const std::string& directory,
+                     const IngestOptions& options, IngestReport* report) {
+  Expected<Dataset> loaded = try_load_dataset(directory, options, report);
+  if (!loaded.ok()) throw std::runtime_error(loaded.error().message);
+  return std::move(loaded).value();
+}
 
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> exposed;
-  {
-    auto in = open_in(directory + "/exposure.csv");
-    std::string line;
-    std::getline(in, line);
-    while (std::getline(in, line)) {
-      if (trim(line).empty()) continue;
-      auto fields = csv_parse_line(line);
-      if (fields.size() != 2) {
-        throw std::runtime_error("exposure.csv: bad row: " + line);
-      }
-      exposed.emplace_back(
-          static_cast<std::uint32_t>(std::stoul(fields[0])),
-          static_cast<std::uint32_t>(std::stoul(fields[1])));
-    }
+Expected<Dataset> try_load_dataset(const std::string& directory,
+                                   const IngestOptions& options,
+                                   IngestReport* report) {
+  LoadContext ctx;
+  ctx.options = options;
+  ctx.report = report;
+  try {
+    return load_dataset_impl(directory, ctx);
+  } catch (const TaxonomyError& e) {
+    return Error{e.code(), e.what()};  // strict-mode row defect
+  } catch (const std::exception& e) {
+    // Shape error surfaced by validate() or matrix construction.
+    return Error{ErrorCode::kBadRow, e.what()};
   }
-
-  std::vector<Label> truth;
-  {
-    auto in = open_in(directory + "/truth.csv");
-    std::string line;
-    std::getline(in, line);
-    while (std::getline(in, line)) {
-      if (trim(line).empty()) continue;
-      auto fields = csv_parse_line(line);
-      if (fields.size() != 2) {
-        throw std::runtime_error("truth.csv: bad row: " + line);
-      }
-      std::size_t j = std::stoull(fields[0]);
-      if (truth.size() <= j) truth.resize(j + 1, Label::kUnknown);
-      truth[j] = parse_label(fields[1]);
-    }
-  }
-  if (!truth.empty()) truth.resize(assertions, Label::kUnknown);
-
-  Dataset dataset;
-  dataset.name = name;
-  dataset.claims = SourceClaimMatrix(sources, assertions, claims);
-  dataset.dependency =
-      DependencyIndicators::from_cells(sources, assertions, exposed);
-  dataset.truth = std::move(truth);
-  dataset.validate();
-  return dataset;
 }
 
 }  // namespace ss

@@ -7,11 +7,23 @@
 // plus meta.csv carrying name and matrix dimensions. The format is
 // intentionally line-oriented and diff-able so collected or generated
 // datasets can be inspected and versioned.
+//
+// Loading is fault-tolerant (util/status.h): every data row is
+// validated individually — field count, numeric parses, source and
+// assertion indices against the meta.csv dimensions, timestamp
+// finiteness, label vocabulary. IngestMode decides what a defective
+// row does: kStrict throws with file:line and taxonomy code (the
+// legacy behaviour, and the default), kPermissive skips and counts it,
+// kRepair additionally fixes rows with an unambiguous repair
+// (non-finite time -> 0, unknown label -> Unknown). meta.csv defects
+// are fatal in every mode — without dimensions nothing can be
+// validated.
 #pragma once
 
 #include <string>
 
 #include "data/dataset.h"
+#include "util/status.h"
 
 namespace ss {
 
@@ -20,7 +32,21 @@ namespace ss {
 void save_dataset(const Dataset& dataset, const std::string& directory);
 
 // Reads a dataset written by save_dataset. Throws std::runtime_error on
-// missing files or parse errors.
+// missing files or parse errors (strict mode).
 Dataset load_dataset(const std::string& directory);
+
+// Mode-aware load. Per-row accounting lands in `report` when non-null
+// (the report is also filled on the throwing paths). In permissive and
+// repair modes only unusable *rows* are dropped; IO-level failures
+// (missing directory, unreadable meta.csv) still throw.
+Dataset load_dataset(const std::string& directory,
+                     const IngestOptions& options,
+                     IngestReport* report = nullptr);
+
+// Non-throwing variant: IO-level and strict-mode failures come back as
+// a classified Error instead of an exception.
+Expected<Dataset> try_load_dataset(const std::string& directory,
+                                   const IngestOptions& options = {},
+                                   IngestReport* report = nullptr);
 
 }  // namespace ss

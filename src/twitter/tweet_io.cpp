@@ -1,5 +1,6 @@
 #include "twitter/tweet_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <stdexcept>
 
@@ -62,35 +63,138 @@ void save_tweets(const std::vector<Tweet>& tweets,
 }
 
 std::vector<Tweet> load_tweets(const std::string& path) {
+  return load_tweets(path, IngestOptions{});
+}
+
+std::vector<Tweet> load_tweets(const std::string& path,
+                               const IngestOptions& options,
+                               IngestReport* report) {
+  Expected<std::vector<Tweet>> loaded =
+      try_load_tweets(path, options, report);
+  if (!loaded.ok()) throw std::runtime_error(loaded.error().message);
+  return std::move(loaded).value();
+}
+
+Expected<std::vector<Tweet>> try_load_tweets(
+    const std::string& path, const IngestOptions& options,
+    IngestReport* report) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_tweets: cannot read " + path);
+  if (!in) {
+    Error error{ErrorCode::kIoError,
+                "load_tweets: cannot read " + path};
+    if (report != nullptr) {
+      report->note(ErrorCode::kIoError, path, 0, "cannot open for read",
+                   options.max_recorded_errors);
+    }
+    return error;
+  }
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+
   std::vector<Tweet> tweets;
   std::string line;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (trim(line).empty()) continue;
-    Tweet t;
-    std::string field;
-    auto require = [&](const char* key) {
-      if (!extract_field(line, key, field)) {
-        throw std::runtime_error(
-            strprintf("load_tweets: %s:%zu missing field \"%s\"",
-                      path.c_str(), line_no, key));
-      }
-    };
-    require("id");
-    t.id = static_cast<std::uint32_t>(std::stoul(field));
-    require("user");
-    t.user = static_cast<std::uint32_t>(std::stoul(field));
-    require("time");
-    t.time = std::stod(field);
-    require("text");
-    t.text = field;
-    if (extract_field(line, "parent", field)) {
-      t.parent = static_cast<std::uint32_t>(std::stoul(field));
+  // Per-record defect handling; returns true when the record may be
+  // kept after repair, false when it must be skipped. Throws (with the
+  // taxonomy code) in strict mode. Row-level ok/repaired/skipped
+  // accounting stays with the caller so a record with several repaired
+  // fields still counts as one repaired row.
+  auto defect = [&](ErrorCode code, std::string detail,
+                    bool repairable) {
+    rep.note(code, path, line_no, detail, options.max_recorded_errors);
+    if (options.mode == IngestMode::kStrict) {
+      throw TaxonomyError(
+          code,
+          RecordError{code, path, line_no, std::move(detail)}
+              .to_string());
     }
-    tweets.push_back(std::move(t));
+    return options.mode == IngestMode::kRepair && repairable;
+  };
+
+  try {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (trim(line).empty()) continue;
+      ++rep.rows_total;
+      Tweet t;
+      std::string field;
+
+      // Identity fields: never repairable.
+      if (!extract_field(line, "id", field)) {
+        defect(ErrorCode::kMissingField, "missing field \"id\"", false);
+        ++rep.rows_skipped;
+        continue;
+      }
+      if (!try_parse_u32(field, &t.id)) {
+        defect(ErrorCode::kBadNumber, "bad id: " + field, false);
+        ++rep.rows_skipped;
+        continue;
+      }
+      if (!extract_field(line, "user", field)) {
+        defect(ErrorCode::kMissingField, "missing field \"user\"",
+               false);
+        ++rep.rows_skipped;
+        continue;
+      }
+      if (!try_parse_u32(field, &t.user)) {
+        defect(ErrorCode::kBadNumber, "bad user: " + field, false);
+        ++rep.rows_skipped;
+        continue;
+      }
+
+      bool repaired = false;
+      // Payload fields: each has an unambiguous repair.
+      if (!extract_field(line, "time", field)) {
+        if (!defect(ErrorCode::kMissingField, "missing field \"time\"",
+                    true)) {
+          ++rep.rows_skipped;
+          continue;
+        }
+        t.time = 0.0;
+        repaired = true;
+      } else if (!try_parse_f64(field, &t.time)) {
+        if (!defect(ErrorCode::kBadNumber, "bad time: " + field, true)) {
+          ++rep.rows_skipped;
+          continue;
+        }
+        t.time = 0.0;
+        repaired = true;
+      } else if (!std::isfinite(t.time)) {
+        if (!defect(ErrorCode::kNonFinite, "non-finite time: " + field,
+                    true)) {
+          ++rep.rows_skipped;
+          continue;
+        }
+        t.time = 0.0;
+        repaired = true;
+      }
+      if (!extract_field(line, "text", field)) {
+        if (!defect(ErrorCode::kMissingField, "missing field \"text\"",
+                    true)) {
+          ++rep.rows_skipped;
+          continue;
+        }
+        field.clear();
+        repaired = true;
+      }
+      t.text = field;
+      if (extract_field(line, "parent", field)) {
+        if (!try_parse_u32(field, &t.parent)) {
+          if (!defect(ErrorCode::kBadNumber, "bad parent: " + field,
+                      true)) {
+            ++rep.rows_skipped;
+            continue;
+          }
+          t.parent = Tweet::kNoParent;  // repair: treat as original
+          repaired = true;
+        }
+      }
+      if (repaired) ++rep.rows_repaired;
+      else ++rep.rows_ok;
+      tweets.push_back(std::move(t));
+    }
+  } catch (const TaxonomyError& e) {
+    return Error{e.code(), e.what()};
   }
   return tweets;
 }

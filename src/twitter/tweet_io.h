@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "twitter/simulator.h"
+#include "util/status.h"
 
 namespace ss {
 
@@ -23,8 +24,25 @@ void save_tweets(const std::vector<Tweet>& tweets,
                  const std::string& path);
 
 // Reads a JSONL tweet stream written by save_tweets (hidden fields come
-// back as kUnknown / 0). Throws std::runtime_error on parse errors.
+// back as kUnknown / 0). Throws std::runtime_error on parse errors
+// (strict mode).
 std::vector<Tweet> load_tweets(const std::string& path);
+
+// Mode-aware load (util/status.h). Crawled streams carry truncated and
+// mangled lines; kPermissive skips and counts them per line, kRepair
+// additionally keeps records whose only defect has an unambiguous fix:
+// non-finite or unparseable time -> 0.0, missing text -> "", bad
+// "parent" value -> original (no parent). Records without a usable id
+// or user are always skipped — identity cannot be invented.
+std::vector<Tweet> load_tweets(const std::string& path,
+                               const IngestOptions& options,
+                               IngestReport* report = nullptr);
+
+// Non-throwing variant: IO-level and strict-mode failures come back as
+// a classified Error instead of an exception.
+Expected<std::vector<Tweet>> try_load_tweets(
+    const std::string& path, const IngestOptions& options = {},
+    IngestReport* report = nullptr);
 
 // Sidecar grading labels: "assertion_id,label" CSV.
 void save_assertion_labels(const std::vector<Label>& labels,

@@ -1,0 +1,205 @@
+#include "util/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ss {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x53534b50'54313000ULL;  // "SSKPT10\0"
+
+}  // namespace
+
+void BinWriter::u64(std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  buf_.append(bytes, 8);
+}
+
+void BinWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void BinWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  for (double x : v) f64(x);
+}
+
+void BinWriter::str(const std::string& s) {
+  u64(s.size());
+  buf_.append(s);
+}
+
+void BinReader::require(std::size_t n) const {
+  // n comes from untrusted length prefixes; guard the addition itself.
+  if (n > bytes_.size() || pos_ > bytes_.size() - n) {
+    throw std::runtime_error("checkpoint: truncated payload");
+  }
+}
+
+std::uint8_t BinReader::u8() {
+  require(1);
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint64_t BinReader::u64() {
+  require(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double BinReader::f64() {
+  std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::vector<double> BinReader::vec_f64() {
+  std::uint64_t n = u64();
+  if (n > bytes_.size()) {  // rejects absurd length prefixes pre-alloc
+    throw std::runtime_error("checkpoint: truncated payload");
+  }
+  require(n * 8);
+  std::vector<double> v(n);
+  for (std::uint64_t i = 0; i < n; ++i) v[i] = f64();
+  return v;
+}
+
+std::string BinReader::str() {
+  std::uint64_t n = u64();
+  require(n);
+  std::string s = bytes_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::string& bytes) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot write " + tmp);
+    }
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      throw std::runtime_error("checkpoint: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw std::runtime_error("checkpoint: rename failed for " + path +
+                             ": " + ec.message());
+  }
+}
+
+CheckpointStore::CheckpointStore(std::string path, std::uint64_t kind,
+                                 std::uint64_t fingerprint,
+                                 std::uint64_t units)
+    : path_(std::move(path)),
+      kind_(kind),
+      fingerprint_(fingerprint),
+      units_(units) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  if (!std::filesystem::exists(path_, ec)) return;
+  try {
+    if (!load_locked()) {
+      recovered_corrupt_ = true;
+      payloads_.clear();
+    }
+  } catch (const std::exception&) {
+    recovered_corrupt_ = true;
+    payloads_.clear();
+  }
+}
+
+bool CheckpointStore::load_locked() {
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return false;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  BinReader reader(bytes);
+  if (reader.u64() != kMagic) return false;
+  if (reader.u64() != kind_) return false;
+  if (reader.u64() != fingerprint_) return false;
+  if (reader.u64() != units_) return false;
+  std::uint64_t records = reader.u64();
+  if (records > units_) return false;
+  for (std::uint64_t r = 0; r < records; ++r) {
+    std::uint64_t unit = reader.u64();
+    if (unit >= units_) return false;
+    payloads_[unit] = reader.str();
+  }
+  return true;
+}
+
+bool CheckpointStore::has(std::uint64_t unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payloads_.count(unit) != 0;
+}
+
+const std::string& CheckpointStore::payload(std::uint64_t unit) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payloads_.at(unit);
+}
+
+void CheckpointStore::commit(std::uint64_t unit, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  payloads_[unit] = std::move(payload);
+  BinWriter writer;
+  writer.u64(kMagic);
+  writer.u64(kind_);
+  writer.u64(fingerprint_);
+  writer.u64(units_);
+  writer.u64(payloads_.size());
+  for (const auto& [u, p] : payloads_) {
+    writer.u64(u);
+    writer.str(p);
+  }
+  try {
+    atomic_write_file(path_, writer.bytes());
+  } catch (const std::exception&) {
+    // Durability lost for this commit; the run itself must continue.
+  }
+}
+
+std::size_t CheckpointStore::completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return payloads_.size();
+}
+
+void CheckpointStore::remove_file() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+}
+
+std::uint64_t fingerprint_combine(std::uint64_t acc,
+                                  std::uint64_t value) {
+  return splitmix64(acc ^ (value + 0x9e3779b97f4a7c15ULL));
+}
+
+std::uint64_t fingerprint_combine(std::uint64_t acc, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return fingerprint_combine(acc, bits);
+}
+
+}  // namespace ss

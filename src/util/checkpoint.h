@@ -1,0 +1,112 @@
+// Binary checkpoint/resume for long-running computations.
+//
+// The unit of checkpointing is a *deterministic work unit*: an EM
+// restart attempt or a Gibbs chain, each fully determined by (seed,
+// unit index, config). A CheckpointStore holds one opaque payload per
+// completed unit and rewrites the whole file atomically (temp + rename)
+// on every commit, so a killed process finds either the previous or the
+// new file — never a torn one. Resuming replays completed units from
+// their stored payloads and recomputes only the rest; because units are
+// deterministic, a resumed run reproduces the uninterrupted run
+// bit-for-bit (tests/test_faults.cpp locks this down).
+//
+// A store is bound to a (kind, fingerprint, unit count) triple; a file
+// whose header disagrees — or that fails any bounds check while being
+// read — is treated as absent, so a corrupt or stale checkpoint can
+// only cost recomputation, never poison a run.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ss {
+
+// Little-endian binary encoder for checkpoint payloads. Doubles are
+// written bit-exact (memcpy through u64), so decoded values reproduce
+// the originals exactly.
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u64(std::uint64_t v);
+  void f64(double v);
+  void vec_f64(const std::vector<double>& v);
+  void str(const std::string& s);
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+// Matching decoder. Any read past the end or oversized length prefix
+// throws std::runtime_error("checkpoint: truncated payload") — callers
+// treat that as a corrupt checkpoint, not a fatal error.
+class BinReader {
+ public:
+  explicit BinReader(const std::string& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint64_t u64();
+  double f64();
+  std::vector<double> vec_f64();
+  std::string str();
+
+  bool done() const { return pos_ == bytes_.size(); }
+
+ private:
+  void require(std::size_t n) const;
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+// Writes `bytes` to `path` atomically (path + ".tmp", then rename).
+// Throws std::runtime_error on IO failure.
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
+class CheckpointStore {
+ public:
+  // Opens (or prepares to create) the store at `path`. An existing file
+  // is loaded only when kind, fingerprint and unit count all match;
+  // otherwise the store starts empty and `recovered_corrupt()` reports
+  // whether a file was present but unusable.
+  CheckpointStore(std::string path, std::uint64_t kind,
+                  std::uint64_t fingerprint, std::uint64_t units);
+
+  bool has(std::uint64_t unit) const;
+  // Requires has(unit).
+  const std::string& payload(std::uint64_t unit) const;
+
+  // Stores the unit's payload and rewrites the file. Thread-safe (EM
+  // restarts commit from pool workers). IO failures are swallowed after
+  // updating the in-memory map: losing durability degrades resume, it
+  // must not kill the computation.
+  void commit(std::uint64_t unit, std::string payload);
+
+  std::size_t completed() const;
+  bool recovered_corrupt() const { return recovered_corrupt_; }
+
+  // Removes the checkpoint file (call after the run completed).
+  void remove_file();
+
+ private:
+  bool load_locked();
+  std::string path_;
+  std::uint64_t kind_;
+  std::uint64_t fingerprint_;
+  std::uint64_t units_;
+  bool recovered_corrupt_ = false;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::string> payloads_;
+};
+
+// Order-insensitive-free fingerprint helper: fold `value` into `acc`
+// (splitmix-style) so configs/shapes hash to a stable id.
+std::uint64_t fingerprint_combine(std::uint64_t acc, std::uint64_t value);
+std::uint64_t fingerprint_combine(std::uint64_t acc, double value);
+
+}  // namespace ss

@@ -1,0 +1,158 @@
+#include "util/fault_inject.h"
+
+#include <atomic>
+#include <limits>
+#include <mutex>
+
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace ss {
+namespace fault {
+namespace {
+
+// Split keys, one per site, so sites draw independent streams.
+constexpr std::uint64_t kSitePosterior = 0xFA01;
+constexpr std::uint64_t kSiteTaskDrop = 0xFA02;
+
+struct Injector {
+  FaultConfig config;
+  Rng posterior_rng{1};
+  Rng task_rng{1};
+  std::uint64_t injected = 0;
+  std::uint64_t committed = 0;
+};
+
+std::mutex g_mu;
+Injector g_injector;
+std::atomic<bool> g_armed{false};
+std::once_flag g_env_once;
+
+void arm_locked(const FaultConfig& config) {
+  g_injector.config = config;
+  Rng base(config.seed, /*stream=*/0xFA0175);
+  g_injector.posterior_rng = base.split(kSitePosterior);
+  g_injector.task_rng = base.split(kSiteTaskDrop);
+  g_injector.injected = 0;
+  g_injector.committed = 0;
+  g_armed.store(config.seed != 0, std::memory_order_release);
+}
+
+void init_from_env() {
+  std::call_once(g_env_once, [] {
+    std::uint64_t seed =
+        static_cast<std::uint64_t>(env_int("SS_FAULT_SEED", 0));
+    if (seed == 0) return;
+    FaultConfig config;
+    config.seed = seed;
+    config.posterior_nan_rate = env_double("SS_FAULT_NAN_RATE", 0.02);
+    config.task_drop_rate = env_double("SS_FAULT_DROP_RATE", 0.0);
+    config.kill_after_units = env_int("SS_FAULT_KILL_AFTER", -1);
+    std::lock_guard<std::mutex> lock(g_mu);
+    arm_locked(config);
+  });
+}
+
+// True when the injection budget allows one more fault; consumes it.
+bool take_injection_budget() {
+  if (g_injector.config.max_injections >= 0 &&
+      g_injector.injected >=
+          static_cast<std::uint64_t>(g_injector.config.max_injections)) {
+    return false;
+  }
+  ++g_injector.injected;
+  return true;
+}
+
+}  // namespace
+
+bool armed() {
+  init_from_env();
+  return g_armed.load(std::memory_order_acquire);
+}
+
+void arm(const FaultConfig& config) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  arm_locked(config);
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_injector.config = FaultConfig{};
+  g_armed.store(false, std::memory_order_release);
+}
+
+std::uint64_t injected_count() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_injector.injected;
+}
+
+std::uint64_t committed_units() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  return g_injector.committed;
+}
+
+void maybe_corrupt_posterior(std::vector<double>& posterior) {
+  if (!armed() || posterior.empty()) return;
+  std::lock_guard<std::mutex> lock(g_mu);
+  double rate = g_injector.config.posterior_nan_rate;
+  if (rate <= 0.0 || !g_injector.posterior_rng.bernoulli(rate)) return;
+  if (!take_injection_budget()) return;
+  std::size_t at = g_injector.posterior_rng.uniform_u32(
+      static_cast<std::uint32_t>(posterior.size()));
+  posterior[at] = std::numeric_limits<double>::quiet_NaN();
+}
+
+void maybe_drop_task() {
+  if (!armed()) return;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    double rate = g_injector.config.task_drop_rate;
+    if (rate <= 0.0 || !g_injector.task_rng.bernoulli(rate)) return;
+    if (!take_injection_budget()) return;
+  }
+  throw FaultInjectedError("fault-injected: thread-pool task dropped");
+}
+
+void unit_committed() {
+  if (!armed()) return;
+  {
+    std::lock_guard<std::mutex> lock(g_mu);
+    ++g_injector.committed;
+    long long kill_after = g_injector.config.kill_after_units;
+    if (kill_after < 0 ||
+        g_injector.committed < static_cast<std::uint64_t>(kill_after)) {
+      return;
+    }
+  }
+  throw FaultInjectedError(
+      "fault-injected: killed after checkpoint commit");
+}
+
+std::string corrupt_bytes(std::string text, double rate,
+                          std::uint64_t seed) {
+  Rng rng(seed, /*stream=*/0xC0B7);
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\n' || !rng.bernoulli(rate)) {
+      out += c;
+      continue;
+    }
+    switch (rng.uniform_u32(3)) {
+      case 0:  // flip to a random printable byte
+        out += static_cast<char>(' ' + rng.uniform_u32(95));
+        break;
+      case 1:  // delete
+        break;
+      default:  // insert garbage before the byte
+        out += static_cast<char>(' ' + rng.uniform_u32(95));
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fault
+}  // namespace ss

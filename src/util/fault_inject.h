@@ -1,0 +1,107 @@
+// Deterministic fault-injection harness (tests/test_faults.cpp).
+//
+// Production social sensing must survive corrupt bytes on the wire,
+// NaNs escaping a numerical kernel, and processes killed mid-run. This
+// module injects exactly those faults, deterministically, so the
+// recovery paths in the ingestion and inference layers are exercised by
+// ordinary unit tests instead of waiting for production to find them.
+//
+// Arming. Faults are injected only while the process-wide injector is
+// armed. Tests arm it programmatically with ScopedFaultInjection; for
+// whole-binary experiments the environment arms it at first use:
+//   SS_FAULT_SEED=<u64>       arm with this seed (0 keeps it disarmed)
+//   SS_FAULT_NAN_RATE=<p>     per-E-step posterior NaN probability
+//                             (default 0.02 when armed via env)
+//   SS_FAULT_DROP_RATE=<p>    per-chunk thread-pool task drop
+//                             probability (default 0)
+//   SS_FAULT_KILL_AFTER=<n>   abort (throw) after n checkpoint unit
+//                             commits (default: never)
+//
+// Sites. Each site draws from its own split of the armed seed, so the
+// fault sequence of one site does not depend on how often the others
+// fire. When disarmed every site is a single relaxed atomic load — the
+// clean path stays bit-identical and effectively free.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ss {
+namespace fault {
+
+struct FaultConfig {
+  std::uint64_t seed = 0;  // 0 = disarmed
+  // Probability that one entry of a posterior vector passed to
+  // maybe_corrupt_posterior becomes NaN.
+  double posterior_nan_rate = 0.0;
+  // Probability that a thread-pool chunk throws FaultInjectedError
+  // instead of running.
+  double task_drop_rate = 0.0;
+  // unit_committed() throws once this many units have committed;
+  // negative = never. Simulates a process killed between checkpoint
+  // commits.
+  long long kill_after_units = -1;
+  // Hard cap on injected faults (NaN + drops); negative = unlimited.
+  // Lets a test inject exactly one fault and watch the recovery.
+  long long max_injections = -1;
+};
+
+// Thrown by injected faults so tests can tell synthetic failures from
+// real ones.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+// True when the injector is armed (cheap; safe from any thread). The
+// first call consults the SS_FAULT_* environment.
+bool armed();
+
+// Programmatic arming; resets all counters and RNG streams.
+void arm(const FaultConfig& config);
+void disarm();
+
+// Total faults injected since the last arm().
+std::uint64_t injected_count();
+// Checkpoint units committed since the last arm().
+std::uint64_t committed_units();
+
+// RAII arming for tests.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultConfig& config) {
+    arm(config);
+  }
+  ~ScopedFaultInjection() { disarm(); }
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+// --- Sites -----------------------------------------------------------
+
+// E-step site: with probability posterior_nan_rate, sets one entry of
+// `posterior` (position drawn uniformly) to NaN.
+void maybe_corrupt_posterior(std::vector<double>& posterior);
+
+// Thread-pool site: with probability task_drop_rate, throws
+// FaultInjectedError instead of letting the chunk run.
+void maybe_drop_task();
+
+// Checkpoint site: called after each durable unit commit; throws
+// FaultInjectedError once kill_after_units commits have happened.
+void unit_committed();
+
+// --- Fixture helper --------------------------------------------------
+
+// Flips, deletes or inserts bytes of `text` with per-byte probability
+// `rate`, deterministically from `seed`. Newlines are preserved so
+// corruption stays line-local — the shape real truncated/mangled CSV
+// and JSONL records take. Pure function; needs no arming.
+std::string corrupt_bytes(std::string text, double rate,
+                          std::uint64_t seed);
+
+}  // namespace fault
+}  // namespace ss

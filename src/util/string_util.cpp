@@ -1,8 +1,10 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace ss {
 
@@ -142,6 +144,38 @@ std::vector<std::string> csv_parse_line(std::string_view line) {
   }
   fields.push_back(std::move(cur));
   return fields;
+}
+
+bool try_parse_u64(std::string_view field, std::uint64_t* out) {
+  std::string s = trim(field);
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno == ERANGE || end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool try_parse_u32(std::string_view field, std::uint32_t* out) {
+  std::uint64_t v = 0;
+  if (!try_parse_u64(field, &v) || v > 0xffffffffULL) return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool try_parse_f64(std::string_view field, double* out) {
+  std::string s = trim(field);
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace ss

@@ -1,6 +1,7 @@
 // Small string helpers shared across IO, CLI and table printing.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,5 +37,15 @@ std::string json_escape(std::string_view s);
 // Escapes/unescapes one CSV field (RFC-4180 quoting).
 std::string csv_escape(std::string_view field);
 std::vector<std::string> csv_parse_line(std::string_view line);
+
+// Non-throwing numeric parses for untrusted record fields. The whole
+// (trimmed) field must parse; leftover characters, empty fields, signs
+// on the unsigned parse, and range overflow all return false. Unlike
+// std::stoul, "12abc" and "-1" are rejected instead of accepted.
+bool try_parse_u32(std::string_view field, std::uint32_t* out);
+bool try_parse_u64(std::string_view field, std::uint64_t* out);
+// Accepts anything strtod does, including "nan"/"inf" — finiteness is
+// the caller's policy decision, not a parse failure.
+bool try_parse_f64(std::string_view field, double* out);
 
 }  // namespace ss

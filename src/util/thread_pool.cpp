@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "util/env.h"
+#include "util/fault_inject.h"
 
 namespace ss {
 
@@ -79,6 +80,10 @@ struct ChunkJob {
       std::size_t begin = c * grain;
       std::size_t end = std::min(count, begin + grain);
       try {
+        // Fault-injection site: a "dropped" chunk surfaces as the
+        // call's exception instead of running its body — the pool must
+        // neither deadlock nor lose the remaining chunks.
+        fault::maybe_drop_task();
         (*body)(c, begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mu);

@@ -262,5 +262,77 @@ TEST(Labels, Names) {
   EXPECT_STREQ(label_name(Label::kUnknown), "Unknown");
 }
 
+// Golden corrupted dataset (tests/fixtures/corrupt/README.md lists the
+// defect on every line). The exact per-code counts are asserted so any
+// change to classification or repair semantics shows up here.
+constexpr char kCorruptDataset[] = SS_FIXTURE_DIR "/corrupt/dataset";
+
+TEST(DatasetIngest, StrictThrowsOnFirstDefectWithTaxonomyCode) {
+  EXPECT_THROW(load_dataset(kCorruptDataset), std::runtime_error);
+  IngestReport report;
+  Expected<Dataset> r =
+      try_load_dataset(kCorruptDataset, IngestOptions{}, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kBadRow);  // claims.csv line 4
+  EXPECT_NE(r.error().message.find("claims.csv:4"), std::string::npos);
+}
+
+TEST(DatasetIngest, PermissiveSkipsAndCountsEveryTaxonomyCode) {
+  IngestOptions opt;
+  opt.mode = IngestMode::kPermissive;
+  IngestReport report;
+  Dataset d = load_dataset(kCorruptDataset, opt, &report);
+  EXPECT_EQ(report.rows_total, 19u);
+  EXPECT_EQ(report.rows_ok, 8u);
+  EXPECT_EQ(report.rows_repaired, 0u);
+  EXPECT_EQ(report.rows_skipped, 11u);
+  EXPECT_EQ(report.count(ErrorCode::kBadRow), 2u);
+  EXPECT_EQ(report.count(ErrorCode::kBadNumber), 3u);
+  EXPECT_EQ(report.count(ErrorCode::kIndexOutOfRange), 4u);
+  EXPECT_EQ(report.count(ErrorCode::kNonFinite), 1u);
+  EXPECT_EQ(report.count(ErrorCode::kBadLabel), 1u);
+  EXPECT_FALSE(report.clean());
+  EXPECT_FALSE(report.errors.empty());
+  // Everything that parsed survives with the declared shape intact.
+  EXPECT_EQ(d.source_count(), 3u);
+  EXPECT_EQ(d.assertion_count(), 4u);
+  EXPECT_EQ(d.claims.claim_count(), 3u);
+  ASSERT_EQ(d.truth.size(), 4u);
+  EXPECT_EQ(d.truth[0], Label::kTrue);
+  EXPECT_EQ(d.truth[1], Label::kFalse);
+  EXPECT_EQ(d.truth[2], Label::kUnknown);  // bad label was skipped
+  EXPECT_EQ(d.truth[3], Label::kOpinion);
+}
+
+TEST(DatasetIngest, RepairFixesUnambiguousDefects) {
+  IngestOptions opt;
+  opt.mode = IngestMode::kRepair;
+  IngestReport report;
+  Dataset d = load_dataset(kCorruptDataset, opt, &report);
+  EXPECT_EQ(report.rows_repaired, 2u);  // inf time, unknown label
+  EXPECT_EQ(report.rows_skipped, 9u);
+  EXPECT_EQ(d.claims.claim_count(), 4u);
+  EXPECT_TRUE(d.claims.has_claim(2, 2));
+  EXPECT_DOUBLE_EQ(d.claims.claim_time(2, 2), 0.0);  // inf -> 0
+  EXPECT_EQ(d.truth[2], Label::kUnknown);            // Maybe -> Unknown
+}
+
+TEST(DatasetIngest, MissingDirectoryIsClassifiedIoError) {
+  Expected<Dataset> r =
+      try_load_dataset("/tmp/ss_definitely_missing_dir_42");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kIoError);
+}
+
+TEST(DatasetIngest, ReportSummaryIsHumanReadable) {
+  IngestOptions opt;
+  opt.mode = IngestMode::kPermissive;
+  IngestReport report;
+  load_dataset(kCorruptDataset, opt, &report);
+  std::string s = report.summary();
+  EXPECT_NE(s.find("19 rows"), std::string::npos);
+  EXPECT_NE(s.find("index-out-of-range:4"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace ss

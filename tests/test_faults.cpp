@@ -1,0 +1,431 @@
+// Fault-injection suite (ctest label `faults`): every fault class the
+// harness can produce — corrupt bytes, NaNs escaping an E-step, dropped
+// thread-pool tasks, processes killed between checkpoint commits — must
+// be repaired, skipped-and-reported, or resumed. Never an abort, never
+// a NaN belief, and resumed runs must reproduce uninterrupted runs
+// bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bounds/column_model.h"
+#include "bounds/gibbs_bound.h"
+#include "core/em_ext.h"
+#include "core/streaming_em.h"
+#include "data/dataset.h"
+#include "data/io.h"
+#include "twitter/tweet_io.h"
+#include "util/checkpoint.h"
+#include "util/fault_inject.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ss {
+namespace {
+
+std::string temp_dir(const std::string& name) {
+  std::string dir = "/tmp/ss_faults_" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// 5 sources x 4 assertions; source 4 neither claims nor is exposed to
+// anything (degenerate), sources 1 and 2 each have one dependent claim.
+Dataset tiny_dataset() {
+  Dataset d;
+  d.name = "faults-tiny";
+  std::vector<Claim> claims = {
+      {0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 3.0}, {1, 2, 1.0},
+      {2, 1, 2.0}, {2, 3, 1.0}, {3, 2, 2.0}, {3, 3, 3.0},
+  };
+  d.claims = SourceClaimMatrix(5, 4, claims);
+  d.dependency = DependencyIndicators::from_cells(5, 4, {{1, 0}, {2, 1}});
+  d.truth = {Label::kTrue, Label::kFalse, Label::kTrue, Label::kFalse};
+  return d;
+}
+
+// --- corrupt bytes ---------------------------------------------------
+
+TEST(CorruptBytes, DeterministicAndLineLocal) {
+  std::string text = "alpha,1,2.5\nbeta,2,3.5\ngamma,3,4.5\n";
+  std::string a = fault::corrupt_bytes(text, 0.2, 99);
+  std::string b = fault::corrupt_bytes(text, 0.2, 99);
+  EXPECT_EQ(a, b);  // same seed, same damage
+  EXPECT_NE(a, fault::corrupt_bytes(text, 0.2, 100));
+  // Newlines survive, so corruption never merges records.
+  auto lines = [](const std::string& s) {
+    std::size_t n = 0;
+    for (char c : s) n += c == '\n';
+    return n;
+  };
+  EXPECT_EQ(lines(a), lines(text));
+  EXPECT_EQ(fault::corrupt_bytes(text, 0.0, 99), text);  // rate 0 = identity
+}
+
+TEST(CorruptBytes, PermissiveIngestSurvivesCorruptedDataset) {
+  std::string dir = temp_dir("corrupt_dataset");
+  save_dataset(tiny_dataset(), dir);
+  // Mangle every data file (meta.csv stays intact: its dimensions gate
+  // all validation and are fatal in every mode by design).
+  for (const char* file : {"claims.csv", "exposure.csv", "truth.csv"}) {
+    std::string path = dir + "/" + file;
+    std::string original = slurp(path);
+    std::string damaged = fault::corrupt_bytes(original, 0.05, 4242);
+    EXPECT_NE(damaged, original);
+    spit(path, damaged);
+  }
+  IngestOptions opt;
+  opt.mode = IngestMode::kPermissive;
+  IngestReport report;
+  Expected<Dataset> r = try_load_dataset(dir, opt, &report);
+  ASSERT_TRUE(r.ok()) << (r.ok() ? "" : r.error().message);
+  EXPECT_NO_THROW(r.value().validate());
+  EXPECT_GT(report.rows_total, 0u);
+  EXPECT_EQ(report.rows_ok + report.rows_repaired + report.rows_skipped,
+            report.rows_total);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CorruptBytes, PermissiveIngestSurvivesCorruptedTweetStream) {
+  std::string dir = temp_dir("corrupt_tweets");
+  std::string path = dir + "/stream.jsonl";
+  std::vector<Tweet> tweets;
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    Tweet t;
+    t.id = i;
+    t.user = i % 7;
+    t.time = 0.1 * i;
+    t.text = "tweet number " + std::to_string(i);
+    if (i % 5 == 4) t.parent = i - 1;
+    tweets.push_back(t);
+  }
+  save_tweets(tweets, path);
+  spit(path, fault::corrupt_bytes(slurp(path), 0.02, 777));
+  IngestOptions opt;
+  opt.mode = IngestMode::kRepair;
+  IngestReport report;
+  Expected<std::vector<Tweet>> r = try_load_tweets(path, opt, &report);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(report.rows_ok + report.rows_repaired + report.rows_skipped,
+            report.rows_total);
+  for (const Tweet& t : r.value()) {
+    EXPECT_TRUE(std::isfinite(t.time));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// --- NaN injection into E-steps --------------------------------------
+
+TEST(NanInjection, EmExtReseedsDivergedAttemptAndRecovers) {
+  Dataset d = tiny_dataset();
+  EmExtResult clean = EmExtEstimator(EmExtConfig{}).run_detailed(d, 5);
+  ASSERT_TRUE(all_finite(clean.estimate.belief));
+  EXPECT_EQ(clean.health.nonfinite_events, 0u);
+  EXPECT_EQ(clean.health.degenerate_sources, 1u);  // source 4
+
+  fault::FaultConfig fc;
+  fc.seed = 21;
+  fc.posterior_nan_rate = 1.0;
+  fc.max_injections = 1;  // exactly one NaN, then clean
+  fault::ScopedFaultInjection inj(fc);
+  EmExtResult r = EmExtEstimator(EmExtConfig{}).run_detailed(d, 5);
+  EXPECT_EQ(fault::injected_count(), 1u);
+  EXPECT_EQ(r.health.nonfinite_events, 1u);
+  EXPECT_EQ(r.health.reseeded_attempts, 1u);
+  EXPECT_EQ(r.health.failed_attempts, 0u);
+  ASSERT_TRUE(all_finite(r.estimate.belief));
+  ASSERT_TRUE(all_finite(r.estimate.log_odds));
+  EXPECT_TRUE(std::isfinite(r.log_likelihood));
+}
+
+TEST(NanInjection, EmExtExhaustedRetriesFallBackToFinitePrior) {
+  Dataset d = tiny_dataset();
+  fault::FaultConfig fc;
+  fc.seed = 22;
+  fc.posterior_nan_rate = 1.0;  // every E-step poisoned, forever
+  fault::ScopedFaultInjection inj(fc);
+  EmExtResult r = EmExtEstimator(EmExtConfig{}).run_detailed(d, 5);
+  EXPECT_GE(r.health.failed_attempts, 1u);
+  EXPECT_FALSE(r.estimate.converged);
+  EXPECT_EQ(r.log_likelihood,
+            -std::numeric_limits<double>::infinity());
+  // The vote-prior fallback still ranks assertions by support — and
+  // above all, nothing is NaN.
+  ASSERT_TRUE(all_finite(r.estimate.belief));
+  ASSERT_TRUE(all_finite(r.estimate.log_odds));
+  for (double b : r.estimate.belief) {
+    EXPECT_GE(b, 0.05);
+    EXPECT_LE(b, 0.95);
+  }
+}
+
+TEST(NanInjection, StreamingEmWithholdsPoisonedBatchStatistics) {
+  Dataset batch = tiny_dataset();
+  StreamingEmExt em(batch.source_count());
+  StreamingBatchResult first = em.observe(batch);
+  EXPECT_TRUE(first.stats_committed);
+  EXPECT_EQ(first.sanitized_beliefs, 0u);
+  double z_before = em.params().z;
+
+  {
+    fault::FaultConfig fc;
+    fc.seed = 23;
+    fc.posterior_nan_rate = 1.0;
+    fault::ScopedFaultInjection inj(fc);
+    StreamingBatchResult poisoned = em.observe(batch);
+    EXPECT_FALSE(poisoned.stats_committed);
+    EXPECT_GE(poisoned.sanitized_beliefs, 1u);
+    ASSERT_TRUE(all_finite(poisoned.belief));
+    ASSERT_TRUE(all_finite(poisoned.log_odds));
+    EXPECT_TRUE(std::isfinite(poisoned.log_likelihood));
+    // The first inner E-step was poisoned, so theta never moved.
+    EXPECT_EQ(em.params().z, z_before);
+    EXPECT_EQ(em.skipped_batches(), 1u);
+  }
+
+  StreamingBatchResult healthy = em.observe(batch);
+  EXPECT_TRUE(healthy.stats_committed);
+  EXPECT_EQ(healthy.sanitized_beliefs, 0u);
+  EXPECT_EQ(em.skipped_batches(), 1u);
+  EXPECT_EQ(em.batches_seen(), 3u);
+}
+
+// --- degenerate Gibbs models -----------------------------------------
+
+TEST(GibbsGuards, DegenerateProbabilitiesClampedNotNaN) {
+  ColumnModel model;
+  model.p_claim_true = {1.0, 0.6, 0.0};  // would make rest = -inf - -inf
+  model.p_claim_false = {0.0, 0.3, 0.5};
+  model.z = 0.4;
+  GibbsBoundConfig config;
+  config.burn_in_sweeps = 10;
+  config.min_sweeps = 50;
+  config.max_sweeps = 500;
+  GibbsBoundResult r = gibbs_bound(model, 3, config);
+  EXPECT_EQ(r.clamped_probabilities, 3u);
+  EXPECT_TRUE(std::isfinite(r.bound.error));
+  EXPECT_GE(r.bound.error, 0.0);
+  EXPECT_LE(r.bound.error, 1.0);
+  EXPECT_EQ(r.nonfinite_sweeps, 0u);  // the entry clamp was enough
+}
+
+TEST(GibbsGuards, CleanModelIsNotPerturbed) {
+  ColumnModel model;
+  model.p_claim_true = {0.8, 0.6, 0.7};
+  model.p_claim_false = {0.2, 0.3, 0.25};
+  model.z = 0.5;
+  GibbsBoundConfig config;
+  config.burn_in_sweeps = 10;
+  config.min_sweeps = 50;
+  config.max_sweeps = 500;
+  GibbsBoundResult r = gibbs_bound(model, 3, config);
+  EXPECT_EQ(r.clamped_probabilities, 0u);
+  EXPECT_EQ(r.nonfinite_sweeps, 0u);
+}
+
+// --- dropped thread-pool tasks ---------------------------------------
+
+TEST(TaskDrop, SurfacesAsFaultInjectedErrorAndPoolSurvives) {
+  ThreadPool pool(4);
+  std::vector<double> out(1000, 0.0);
+  auto body = [&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      out[i] = static_cast<double>(i);
+    }
+  };
+  {
+    fault::FaultConfig fc;
+    fc.seed = 31;
+    fc.task_drop_rate = 1.0;
+    fc.max_injections = 1;
+    fault::ScopedFaultInjection inj(fc);
+    EXPECT_THROW(pool.parallel_for_chunks(out.size(), 64, body),
+                 fault::FaultInjectedError);
+  }
+  // Disarmed, the same pool still works and no chunk is lost.
+  std::fill(out.begin(), out.end(), 0.0);
+  pool.parallel_for_chunks(out.size(), 64, body);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], static_cast<double>(i));
+  }
+}
+
+// --- checkpoint/resume ------------------------------------------------
+
+TEST(Checkpoint, BinRoundtripIsBitExact) {
+  BinWriter w;
+  w.u8(7);
+  w.u64(0xdeadbeefcafe1234ull);
+  w.f64(-0.0);
+  w.vec_f64({1.5, -2.25, 1e-300});
+  w.str("payload");
+  std::string bytes = w.take();
+  BinReader rd(bytes);
+  EXPECT_EQ(rd.u8(), 7u);
+  EXPECT_EQ(rd.u64(), 0xdeadbeefcafe1234ull);
+  double neg_zero = rd.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(rd.vec_f64(), (std::vector<double>{1.5, -2.25, 1e-300}));
+  EXPECT_EQ(rd.str(), "payload");
+  EXPECT_TRUE(rd.done());
+}
+
+TEST(Checkpoint, StoreIgnoresMismatchedOrCorruptFiles) {
+  std::string dir = temp_dir("store");
+  std::string path = dir + "/store.ckpt";
+  {
+    CheckpointStore store(path, 7, 42, 3);
+    EXPECT_FALSE(store.recovered_corrupt());
+    store.commit(0, "alpha");
+    store.commit(2, "gamma");
+    EXPECT_EQ(store.completed(), 2u);
+  }
+  {
+    CheckpointStore again(path, 7, 42, 3);
+    EXPECT_FALSE(again.recovered_corrupt());
+    EXPECT_EQ(again.completed(), 2u);
+    ASSERT_TRUE(again.has(2));
+    EXPECT_EQ(again.payload(2), "gamma");
+    EXPECT_FALSE(again.has(1));
+  }
+  {
+    // Fingerprint mismatch: stale checkpoint from a different run.
+    CheckpointStore stale(path, 7, 43, 3);
+    EXPECT_TRUE(stale.recovered_corrupt());
+    EXPECT_EQ(stale.completed(), 0u);
+  }
+  {
+    // Truncated file: torn write or disk damage.
+    std::string bytes = slurp(path);
+    spit(path, bytes.substr(0, bytes.size() / 2));
+    CheckpointStore hurt(path, 7, 42, 3);
+    EXPECT_TRUE(hurt.recovered_corrupt());
+    EXPECT_EQ(hurt.completed(), 0u);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, EmExtKilledRunResumesBitIdentical) {
+  Dataset d = tiny_dataset();
+  std::string dir = temp_dir("em_resume");
+  EmExtConfig config;
+  config.init_kind = EmInit::kRandom;
+  config.restarts = 4;
+  config.max_iters = 40;
+  EmExtResult baseline = EmExtEstimator(config).run_detailed(d, 7);
+
+  EmExtConfig ckpt = config;
+  ckpt.checkpoint_path = dir + "/em.ckpt";
+  {
+    fault::FaultConfig fc;
+    fc.seed = 41;
+    fc.kill_after_units = 2;  // die after two attempts committed
+    fault::ScopedFaultInjection inj(fc);
+    EXPECT_THROW(EmExtEstimator(ckpt).run_detailed(d, 7),
+                 fault::FaultInjectedError);
+  }
+  ASSERT_TRUE(std::filesystem::exists(ckpt.checkpoint_path));
+
+  EmExtResult resumed = EmExtEstimator(ckpt).run_detailed(d, 7);
+  EXPECT_GE(resumed.health.resumed_attempts, 1u);
+  EXPECT_EQ(resumed.estimate.belief, baseline.estimate.belief);
+  EXPECT_EQ(resumed.estimate.log_odds, baseline.estimate.log_odds);
+  EXPECT_EQ(resumed.likelihood_trace, baseline.likelihood_trace);
+  EXPECT_EQ(resumed.log_likelihood, baseline.log_likelihood);
+  EXPECT_EQ(resumed.params.z, baseline.params.z);
+  // Successful run cleans up after itself.
+  EXPECT_FALSE(std::filesystem::exists(ckpt.checkpoint_path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, GibbsKilledRunResumesBitIdentical) {
+  ColumnModel model;
+  model.p_claim_true = {0.8, 0.6, 0.7, 0.55, 0.65, 0.75};
+  model.p_claim_false = {0.2, 0.3, 0.25, 0.35, 0.3, 0.2};
+  model.z = 0.5;
+  GibbsBoundConfig config;
+  config.burn_in_sweeps = 20;
+  config.min_sweeps = 50;
+  config.max_sweeps = 400;
+  config.chains = 3;
+  GibbsBoundResult baseline = gibbs_bound(model, 11, config);
+
+  std::string dir = temp_dir("gibbs_resume");
+  GibbsBoundConfig ckpt = config;
+  ckpt.checkpoint_path = dir + "/gibbs.ckpt";
+  {
+    fault::FaultConfig fc;
+    fc.seed = 42;
+    fc.kill_after_units = 1;  // die after one chain committed
+    fault::ScopedFaultInjection inj(fc);
+    EXPECT_THROW(gibbs_bound(model, 11, ckpt),
+                 fault::FaultInjectedError);
+  }
+  ASSERT_TRUE(std::filesystem::exists(ckpt.checkpoint_path));
+
+  GibbsBoundResult resumed = gibbs_bound(model, 11, ckpt);
+  EXPECT_GE(resumed.resumed_chains, 1u);
+  EXPECT_EQ(resumed.bound.error, baseline.bound.error);
+  EXPECT_EQ(resumed.bound.false_positive, baseline.bound.false_positive);
+  EXPECT_EQ(resumed.bound.false_negative, baseline.bound.false_negative);
+  EXPECT_EQ(resumed.sweeps, baseline.sweeps);
+  EXPECT_EQ(resumed.effective_sample_size,
+            baseline.effective_sample_size);
+  EXPECT_EQ(resumed.r_hat, baseline.r_hat);
+  EXPECT_FALSE(std::filesystem::exists(ckpt.checkpoint_path));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, CorruptCheckpointRecomputesInsteadOfPoisoning) {
+  Dataset d = tiny_dataset();
+  std::string dir = temp_dir("em_corrupt_ckpt");
+  EmExtConfig config;
+  config.init_kind = EmInit::kRandom;
+  config.restarts = 2;
+  config.max_iters = 40;
+  EmExtResult baseline = EmExtEstimator(config).run_detailed(d, 9);
+
+  EmExtConfig ckpt = config;
+  ckpt.checkpoint_path = dir + "/em.ckpt";
+  ckpt.keep_checkpoint = true;
+  EmExtResult first = EmExtEstimator(ckpt).run_detailed(d, 9);
+  EXPECT_EQ(first.estimate.belief, baseline.estimate.belief);
+  ASSERT_TRUE(std::filesystem::exists(ckpt.checkpoint_path));
+
+  // Damage the kept checkpoint; the next run must ignore it and still
+  // reproduce the baseline bit-for-bit.
+  std::string bytes = slurp(ckpt.checkpoint_path);
+  spit(ckpt.checkpoint_path,
+       fault::corrupt_bytes(bytes, 0.2, 1234));
+  EmExtResult again = EmExtEstimator(ckpt).run_detailed(d, 9);
+  EXPECT_EQ(again.estimate.belief, baseline.estimate.belief);
+  EXPECT_EQ(again.log_likelihood, baseline.log_likelihood);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ss

@@ -6,6 +6,7 @@
 #include "apollo/live.h"
 #include "apollo/pipeline.h"
 #include "twitter/builder.h"
+#include "util/status.h"
 
 namespace ss {
 namespace {
@@ -32,6 +33,27 @@ TEST(LiveApollo, IngestAssignsStableClusters) {
   }
   EXPECT_GT(live.clusters_seen(), 0u);
   EXPECT_LE(live.clusters_seen(), sim.tweets.size());
+}
+
+TEST(LiveApollo, UnknownUserDroppedAndCounted) {
+  TwitterSimulation sim = small_event(3);
+  LiveApollo live(sim.follows);
+  Tweet alien;
+  alien.id = 999999;
+  alien.user = static_cast<std::uint32_t>(sim.follows.node_count());
+  alien.time = 1.0;
+  alien.text = "from outside the follower graph";
+  EXPECT_EQ(live.ingest(alien), LiveApollo::kDroppedTweet);
+  EXPECT_EQ(live.dropped_tweets(), 1u);
+  // The dropped tweet never reaches the window; refresh stays a no-op.
+  LiveRefreshResult r = live.refresh();
+  EXPECT_EQ(r.window_claims, 0u);
+  EXPECT_TRUE(r.clusters.empty());
+
+  LiveApolloConfig pedantic_config;
+  pedantic_config.drop_unknown_users = false;
+  LiveApollo pedantic(sim.follows, pedantic_config);
+  EXPECT_THROW(pedantic.ingest(alien), TaxonomyError);
 }
 
 TEST(LiveApollo, RefreshProducesBeliefsForActiveClusters) {

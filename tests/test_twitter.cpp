@@ -257,6 +257,58 @@ TEST(TweetIo, LabelSidecars) {
   }
 }
 
+// Golden corrupted stream (tests/fixtures/corrupt/README.md lists the
+// defect on every line).
+constexpr char kCorruptTweets[] = SS_FIXTURE_DIR "/corrupt/tweets.jsonl";
+
+TEST(TweetIo, StrictThrowsOnCorruptStreamWithTaxonomyCode) {
+  EXPECT_THROW(load_tweets(kCorruptTweets), std::runtime_error);
+  IngestReport report;
+  Expected<std::vector<Tweet>> r =
+      try_load_tweets(kCorruptTweets, IngestOptions{}, &report);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kMissingField);  // line 3: no id
+  EXPECT_NE(r.error().message.find("tweets.jsonl:3"), std::string::npos);
+}
+
+TEST(TweetIo, PermissiveSkipsAndCountsEveryDefect) {
+  IngestOptions opt;
+  opt.mode = IngestMode::kPermissive;
+  IngestReport report;
+  std::vector<Tweet> tweets = load_tweets(kCorruptTweets, opt, &report);
+  ASSERT_EQ(tweets.size(), 3u);
+  EXPECT_EQ(tweets[0].id, 1u);
+  EXPECT_EQ(tweets[1].id, 2u);
+  EXPECT_EQ(tweets[2].id, 8u);
+  EXPECT_EQ(report.rows_total, 10u);
+  EXPECT_EQ(report.rows_ok, 3u);
+  EXPECT_EQ(report.rows_repaired, 0u);
+  EXPECT_EQ(report.rows_skipped, 7u);
+  EXPECT_EQ(report.count(ErrorCode::kMissingField), 3u);
+  EXPECT_EQ(report.count(ErrorCode::kBadNumber), 3u);
+  EXPECT_EQ(report.count(ErrorCode::kNonFinite), 1u);
+}
+
+TEST(TweetIo, RepairKeepsRecordsWithUnambiguousFixes) {
+  IngestOptions opt;
+  opt.mode = IngestMode::kRepair;
+  IngestReport report;
+  std::vector<Tweet> tweets = load_tweets(kCorruptTweets, opt, &report);
+  // Identity defects (lines 3-5) stay skipped; payload defects heal.
+  ASSERT_EQ(tweets.size(), 7u);
+  EXPECT_EQ(report.rows_ok, 3u);
+  EXPECT_EQ(report.rows_repaired, 4u);
+  EXPECT_EQ(report.rows_skipped, 3u);
+  EXPECT_EQ(tweets[2].id, 4u);
+  EXPECT_DOUBLE_EQ(tweets[2].time, 0.0);  // nan time -> 0
+  EXPECT_EQ(tweets[3].id, 5u);
+  EXPECT_DOUBLE_EQ(tweets[3].time, 0.0);  // missing time -> 0
+  EXPECT_EQ(tweets[4].id, 6u);
+  EXPECT_EQ(tweets[4].text, "");          // missing text -> ""
+  EXPECT_EQ(tweets[5].id, 7u);
+  EXPECT_FALSE(tweets[5].is_retweet());   // bad parent -> original
+}
+
 TEST(TweetIo, MissingFileThrows) {
   EXPECT_THROW(load_tweets("/tmp/ss_no_such_tweets.jsonl"),
                std::runtime_error);
