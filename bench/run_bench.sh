@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Entry point for the PR-3 kernel perf harness.
+#
+# Builds (if needed) and runs bench_perf_scaling, which
+#   1. asserts the math/kernels.h hot loops are bit-identical to an
+#      in-binary reimplementation of the pre-kernel baseline, then
+#   2. times baseline vs kernel legs and writes the speedup table to
+#      <SS_RESULTS_DIR|bench_results>/BENCH_PR3.json (plus the existing
+#      perf_scaling.json / ingestion_robustness.json records).
+#
+# Usage:
+#   bench/run_bench.sh             # full timed run
+#   SS_FAST=1 bench/run_bench.sh   # reduced reps
+#   SS_PERF_CHECK=1 bench/run_bench.sh   # identity checks only, no timing
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${SS_BUILD_DIR:-"$repo_root/build"}
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S "$repo_root"
+fi
+cmake --build "$build_dir" -j --target bench_perf_scaling
+
+# Results land relative to the CWD unless SS_RESULTS_DIR is absolute;
+# run from the repo root so bench_results/ is predictable.
+cd "$repo_root"
+exec "$build_dir/bench/bench_perf_scaling" "$@"

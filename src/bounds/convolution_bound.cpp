@@ -106,7 +106,7 @@ BoundResult convolution_bound(const ColumnModel& model,
     silent_shift[i] = std::log1p(-p1[i]) - std::log1p(-p0[i]);
   }
   double z = clamp_prob(model.z);
-  double threshold = -(std::log(z) - std::log1p(-z));
+  double threshold = -logit(z);
 
   BoundResult result;
   if (n == 0) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "math/convergence.h"
+#include "math/kernels.h"
 #include "math/logprob.h"
 #include "util/checkpoint.h"
 #include "util/fault_inject.h"
@@ -167,20 +168,25 @@ double cross_chain_r_hat(const std::vector<ChainRun>& runs) {
   return std::sqrt(var_plus / within);
 }
 
-void refresh_logs(const ColumnModel& model, ChainState& state) {
-  state.log_true = 0.0;
-  state.log_false = 0.0;
-  for (std::size_t i = 0; i < model.source_count(); ++i) {
-    double p1 = model.p_claim_true[i];
-    double p0 = model.p_claim_false[i];
-    state.log_true += state.bits[i] ? std::log(p1) : std::log1p(-p1);
-    state.log_false += state.bits[i] ? std::log(p0) : std::log1p(-p0);
-  }
+// Full-state refresh from the hoisted sweep weights: same logs, same
+// source-order summation as the per-source loop it replaces.
+void refresh_logs(const std::vector<kernels::SweepWeights>& weights,
+                  ChainState& state) {
+  kernels::LogPair sums =
+      kernels::sum_state_logs(state.bits, weights.data());
+  state.log_true = sums.t;
+  state.log_false = sums.f;
 }
 
 // One full chain: Algorithm 1's sweep loop with both estimators'
 // accumulators. Exactly the historical single-chain behaviour.
-ChainRun run_chain(const ColumnModel& model, Rng rng,
+// `weights` holds the per-source log claim probabilities and `marginal`
+// the prior-mixture claim marginals — both chain-constant, hoisted once
+// by gibbs_bound() and shared across chains (the pre-kernel sweep paid
+// four transcendentals per source per sweep for the same values).
+ChainRun run_chain(const ColumnModel& model,
+                   const std::vector<kernels::SweepWeights>& weights,
+                   const std::vector<double>& marginal, Rng rng,
                    const GibbsBoundConfig& config) {
   std::size_t n = model.source_count();
   const double log_z = std::log(model.z);
@@ -191,11 +197,9 @@ ChainRun run_chain(const ColumnModel& model, Rng rng,
   // Initialize each bit from its marginal claim probability under the
   // prior mixture — a draw already close to the target distribution.
   for (std::size_t i = 0; i < n; ++i) {
-    double marginal = model.z * model.p_claim_true[i] +
-                      (1.0 - model.z) * model.p_claim_false[i];
-    state.bits[i] = rng.bernoulli(marginal) ? 1 : 0;
+    state.bits[i] = rng.bernoulli(marginal[i]) ? 1 : 0;
   }
-  refresh_logs(model, state);
+  refresh_logs(weights, state);
 
   ChainRun run;
   run.min_posterior_series.reserve(
@@ -208,14 +212,15 @@ ChainRun run_chain(const ColumnModel& model, Rng rng,
 
   while (!done) {
     ++sweep;
-    refresh_logs(model, state);
+    refresh_logs(weights, state);
     for (std::size_t i = 0; i < n; ++i) {
       double p1 = model.p_claim_true[i];
       double p0 = model.p_claim_false[i];
-      double log_t1 = std::log(p1);
-      double log_t1n = std::log1p(-p1);
-      double log_f1 = std::log(p0);
-      double log_f1n = std::log1p(-p0);
+      const kernels::SweepWeights& w = weights[i];
+      double log_t1 = w.log_t1;
+      double log_t1n = w.log_t1n;
+      double log_f1 = w.log_f1;
+      double log_f1n = w.log_f1n;
       // Leave-one-out log likelihoods.
       double rest_true =
           state.log_true - (state.bits[i] ? log_t1 : log_t1n);
@@ -240,11 +245,9 @@ ChainRun run_chain(const ColumnModel& model, Rng rng,
       // keep the chain running; this sweep yields no sample.
       ++run.nonfinite_sweeps;
       for (std::size_t i = 0; i < n; ++i) {
-        double marginal = model.z * model.p_claim_true[i] +
-                          (1.0 - model.z) * model.p_claim_false[i];
-        state.bits[i] = rng.bernoulli(marginal) ? 1 : 0;
+        state.bits[i] = rng.bernoulli(marginal[i]) ? 1 : 0;
       }
-      refresh_logs(model, state);
+      refresh_logs(weights, state);
       if (sweep >= config.max_sweeps) done = true;
       continue;
     }
@@ -313,6 +316,18 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
   for (double& p : clamped.p_claim_false) clamp_entry(p);
   clamp_entry(clamped.z);
 
+  // Chain-constant per-source terms, hoisted once and shared by every
+  // chain: the sweep-loop log weights and the prior-mixture claim
+  // marginals used for initialization and non-finite recovery redraws.
+  std::vector<kernels::SweepWeights> weights;
+  kernels::build_sweep_weights(clamped.p_claim_true,
+                               clamped.p_claim_false, weights);
+  std::vector<double> marginal(clamped.source_count());
+  for (std::size_t i = 0; i < marginal.size(); ++i) {
+    marginal[i] = clamped.z * clamped.p_claim_true[i] +
+                  (1.0 - clamped.z) * clamped.p_claim_false[i];
+  }
+
   // Checkpoint store bound to everything that determines a chain's
   // output; a stale file (different model, seed or config) is ignored.
   std::unique_ptr<CheckpointStore> ckpt;
@@ -353,7 +368,8 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
       }
     }
     Rng base(seed, /*stream=*/0x61bb5);
-    runs[c] = run_chain(clamped, c == 0 ? base : base.split(c), config);
+    runs[c] = run_chain(clamped, weights, marginal,
+                        c == 0 ? base : base.split(c), config);
     if (ckpt != nullptr) {
       ckpt->commit(c, encode_chain(runs[c]));
       fault::unit_committed();  // kill-after-commit injection point

@@ -9,6 +9,7 @@
 #include "core/likelihood.h"
 #include "core/posterior.h"
 #include "math/convergence.h"
+#include "math/kernels.h"
 #include "math/logprob.h"
 #include "util/checkpoint.h"
 #include "util/fault_inject.h"
@@ -150,11 +151,13 @@ struct SourceMStats {
 // The per-source statistics fill runs in parallel source chunks (each
 // source owns its slot); the pooled reduction and the parameter updates
 // stay serial in source order, so the result is bit-identical for any
-// worker count.
+// worker count. `stats` is caller-owned scratch, reused across EM
+// iterations (a fresh vector here would churn the heap every M-step).
 ModelParams m_step(const Dataset& dataset,
                    const std::vector<double>& posterior,
                    const ModelParams& previous, double clamp_eps,
-                   double shrinkage, double z_floor, ThreadPool* pool) {
+                   double shrinkage, double z_floor, ThreadPool* pool,
+                   std::vector<SourceMStats>& stats) {
   std::size_t n = dataset.source_count();
   std::size_t m = dataset.assertion_count();
   const ClaimPartition& part = dataset.partition();
@@ -162,27 +165,26 @@ ModelParams m_step(const Dataset& dataset,
   for (double p : posterior) total_z += p;
   double total_y = static_cast<double>(m) - total_z;
 
-  std::vector<SourceMStats> stats(n);
+  stats.assign(n, SourceMStats{});
   auto fill = [&](std::size_t, std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       SourceMStats& s = stats[i];
-      double exposed_z = 0.0;  // sum of Z_j over exposed cells of i
-      for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
-        exposed_z += posterior[j];
-      }
+      // Sum of Z_j over exposed cells of i.
+      double exposed_z = kernels::gather_sum(
+          dataset.dependency.exposed_assertions(i), posterior.data());
       double exposed_count = static_cast<double>(
           dataset.dependency.exposed_assertions(i).size());
       // The partition's split claim lists are ascending subsequences of
       // claims_of(i), so each accumulator sees the same addition order
       // as the branch-per-claim loop they replace.
-      for (std::uint32_t j : part.dependent_claims(i)) {
-        s.claim_dep_z += posterior[j];
-        s.claim_dep_y += 1.0 - posterior[j];
-      }
-      for (std::uint32_t j : part.independent_claims(i)) {
-        s.claim_indep_z += posterior[j];
-        s.claim_indep_y += 1.0 - posterior[j];
-      }
+      kernels::MassPair dep =
+          kernels::gather_mass(part.dependent_claims(i), posterior.data());
+      kernels::MassPair indep = kernels::gather_mass(
+          part.independent_claims(i), posterior.data());
+      s.claim_dep_z = dep.z;
+      s.claim_dep_y = dep.y;
+      s.claim_indep_z = indep.z;
+      s.claim_indep_y = indep.y;
       s.denom_a = total_z - exposed_z;
       s.denom_b = total_y - (exposed_count - exposed_z);
       s.denom_f = exposed_z;
@@ -310,6 +312,14 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
   auto run_attempt_once = [&](std::size_t attempt, std::size_t retry,
                               EmHealth& health)
       -> std::optional<EmExtResult> {
+    // Per-attempt scratch, reused by every EM iteration below: the
+    // likelihood table is rebuilt in place each M-step (set_params) and
+    // the E-step/M-step buffers keep their capacity, so the iteration
+    // loops run allocation-free.
+    LikelihoodTable table(dataset);
+    EStepResult e;
+    std::vector<double> column_ll;
+    std::vector<SourceMStats> mstats;
     ModelParams params;
     if (retry > 0) {
       Rng retry_rng = rng.split(kReseedKeyBase + attempt * 64 + retry);
@@ -332,7 +342,7 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
                       vote_prior_posterior(dataset,
                                            /*independent_only=*/true),
                       neutral, config_.clamp_eps, config_.shrinkage,
-                      config_.z_floor, pool);
+                      config_.z_floor, pool, mstats);
     }
     clamp_params(params, config_.clamp_eps);
 
@@ -347,8 +357,8 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
       ConvergenceMonitor warm_monitor(config_.tol, warmup);
       bool warm_done = false;
       while (!warm_done) {
-        LikelihoodTable table(dataset, params);
-        EStepResult e = fused_e_step(table, pool);
+        table.set_params(params);
+        fused_e_step(table, pool, e, column_ll);
         fault::maybe_corrupt_posterior(e.posterior);
         if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
           ++health.nonfinite_events;
@@ -357,7 +367,7 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
         result.likelihood_trace.push_back(e.log_likelihood);
         ModelParams next =
             m_step(dataset, e.posterior, params, config_.clamp_eps,
-                   config_.shrinkage, config_.z_floor, pool);
+                   config_.shrinkage, config_.z_floor, pool, mstats);
         health.sanitized_params += sanitize_params(next, params);
         for (auto& s : next.source) {
           double tied = 0.5 * (s.f + s.g);
@@ -376,8 +386,8 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
     bool done = false;
     while (!done) {
       // E-step (Eq. 9).
-      LikelihoodTable table(dataset, params);
-      EStepResult e = fused_e_step(table, pool);
+      table.set_params(params);
+      fused_e_step(table, pool, e, column_ll);
       fault::maybe_corrupt_posterior(e.posterior);
       if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
         ++health.nonfinite_events;
@@ -388,7 +398,7 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
       // M-step (Eq. 10-14).
       ModelParams next =
           m_step(dataset, e.posterior, params, config_.clamp_eps,
-                 config_.shrinkage, config_.z_floor, pool);
+                 config_.shrinkage, config_.z_floor, pool, mstats);
       health.sanitized_params += sanitize_params(next, params);
       double delta = next.max_abs_diff(params);
       params = std::move(next);
@@ -398,8 +408,8 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
     // Final posterior under the converged parameters — one fused pass
     // supplies beliefs, log-odds and the final likelihood together
     // (previously three separate full column scans).
-    LikelihoodTable table(dataset, params);
-    EStepResult e = fused_e_step(table, pool);
+    table.set_params(params);
+    fused_e_step(table, pool, e, column_ll);
     fault::maybe_corrupt_posterior(e.posterior);
     if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
       ++health.nonfinite_events;
@@ -438,7 +448,7 @@ EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
     r.estimate.log_odds.resize(m);
     for (std::size_t j = 0; j < m; ++j) {
       double b = r.estimate.belief[j];  // clamped to [0.05, 0.95]
-      r.estimate.log_odds[j] = std::log(b) - std::log1p(-b);
+      r.estimate.log_odds[j] = logit(b);
     }
     r.estimate.probabilistic = true;
     r.estimate.converged = false;

@@ -1,5 +1,6 @@
 #include "core/likelihood.h"
 
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -13,71 +14,80 @@ double cell_probability(const SourceParams& p, bool claimed, bool truth,
   return claimed ? rate : 1.0 - rate;
 }
 
+LikelihoodTable::LikelihoodTable(const Dataset& dataset)
+    : dataset_(dataset), partition_(&dataset.partition()) {
+  std::size_t m = dataset.assertion_count();
+  exp_off_.resize(m + 1);
+  cl_off_.resize(m + 1);
+  std::size_t exp_total = 0;
+  std::size_t cl_total = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    exp_off_[j] = exp_total;
+    cl_off_[j] = cl_total;
+    exp_total += dataset.dependency.exposed_sources(j).size();
+    cl_total += dataset.claims.claimants_of(j).size();
+  }
+  exp_off_[m] = exp_total;
+  cl_off_[m] = cl_total;
+  exp_idx_.reserve(exp_total);
+  cl_idx_.reserve(cl_total);
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::vector<std::uint32_t>& es = dataset.dependency.exposed_sources(j);
+    exp_idx_.insert(exp_idx_.end(), es.begin(), es.end());
+    const std::vector<std::uint32_t>& cs = dataset.claims.claimants_of(j);
+    cl_idx_.insert(cl_idx_.end(), cs.begin(), cs.end());
+  }
+}
+
 LikelihoodTable::LikelihoodTable(const Dataset& dataset,
                                  const ModelParams& params)
-    : dataset_(dataset), partition_(&dataset.partition()) {
-  std::size_t n = dataset.source_count();
+    : LikelihoodTable(dataset) {
+  set_params(params);
+}
+
+void LikelihoodTable::set_params(const ModelParams& params) {
+  std::size_t n = dataset_.source_count();
   if (params.source.size() != n) {
     throw std::invalid_argument(
         "LikelihoodTable: params/source count mismatch");
   }
-  double z = clamp_prob(params.z);
-  log_z_ = std::log(z);
-  log_1mz_ = std::log1p(-z);
-
-  exposed_silent_true_.resize(n);
-  exposed_silent_false_.resize(n);
-  claim_indep_true_.resize(n);
-  claim_indep_false_.resize(n);
-  claim_dep_true_.resize(n);
-  claim_dep_false_.resize(n);
-
-  for (std::size_t i = 0; i < n; ++i) {
-    double a = clamp_prob(params.source[i].a);
-    double b = clamp_prob(params.source[i].b);
-    double f = clamp_prob(params.source[i].f);
-    double g = clamp_prob(params.source[i].g);
-    double log_na = std::log1p(-a);
-    double log_nb = std::log1p(-b);
-    double log_nf = std::log1p(-f);
-    double log_ng = std::log1p(-g);
-    base_true_ += log_na;
-    base_false_ += log_nb;
-    exposed_silent_true_[i] = log_nf - log_na;
-    exposed_silent_false_[i] = log_ng - log_nb;
-    claim_indep_true_[i] = std::log(a) - log_na;
-    claim_indep_false_[i] = std::log(b) - log_nb;
-    claim_dep_true_[i] = std::log(f) - log_nf;
-    claim_dep_false_[i] = std::log(g) - log_ng;
-  }
+  logs_.build(n, clamp_prob(params.z), [&](std::size_t i) {
+    const SourceParams& s = params.source[i];
+    return std::array<double, 4>{clamp_prob(s.a), clamp_prob(s.b),
+                                 clamp_prob(s.f), clamp_prob(s.g)};
+  });
 }
 
-ColumnLogLikelihood LikelihoodTable::column(std::size_t assertion) const {
-  double lt = base_true_;
-  double lf = base_false_;
-  // Move every exposed source from the unexposed-silent baseline to
-  // exposed-silent...
-  for (std::uint32_t u : dataset_.dependency.exposed_sources(assertion)) {
-    lt += exposed_silent_true_[u];
-    lf += exposed_silent_false_[u];
+void LikelihoodTable::prior_columns(std::size_t begin, std::size_t end,
+                                    double* la, double* lb) const {
+  const kernels::LogPair base = logs_.base();
+  const kernels::LogPair* es = logs_.exposed_silent();
+  const kernels::LogPair* ci = logs_.claim_indep();
+  const kernels::LogPair* cd = logs_.claim_dep();
+  const double log_z = logs_.log_z();
+  const double log_1mz = logs_.log_1mz();
+  std::size_t j = begin;
+  for (; j + 1 < end; j += 2) {
+    kernels::LogPair acc0 = base;
+    kernels::LogPair acc1 = base;
+    kernels::gather_add2(acc0, exposed_csr(j), acc1, exposed_csr(j + 1),
+                         es);
+    acc0 = kernels::gather_add_select(acc0, claimant_csr(j),
+                                      partition_->claimant_dependent(j), ci,
+                                      cd);
+    acc1 = kernels::gather_add_select(acc1, claimant_csr(j + 1),
+                                      partition_->claimant_dependent(j + 1),
+                                      ci, cd);
+    la[j] = acc0.t + log_z;
+    lb[j] = acc0.f + log_1mz;
+    la[j + 1] = acc1.t + log_z;
+    lb[j + 1] = acc1.f + log_1mz;
   }
-  // ...then flip claimants from silent to claiming within their branch.
-  // The partition cache answers D_ij with a flat flag lookup (aligned
-  // with the claimant list, so the summation order — and therefore the
-  // floating-point result — matches the per-claimant search it replaced).
-  const auto& claimants = dataset_.claims.claimants_of(assertion);
-  std::span<const char> dep = partition_->claimant_dependent(assertion);
-  for (std::size_t k = 0; k < claimants.size(); ++k) {
-    std::uint32_t v = claimants[k];
-    if (dep[k]) {
-      lt += claim_dep_true_[v];
-      lf += claim_dep_false_[v];
-    } else {
-      lt += claim_indep_true_[v];
-      lf += claim_indep_false_[v];
-    }
+  for (; j < end; ++j) {
+    ColumnLogLikelihood c = column(j);
+    la[j] = c.log_given_true + log_z;
+    lb[j] = c.log_given_false + log_1mz;
   }
-  return {lt, lf};
 }
 
 std::vector<ColumnLogLikelihood> LikelihoodTable::all_columns() const {
@@ -90,8 +100,8 @@ double LikelihoodTable::data_log_likelihood() const {
   double total = 0.0;
   for (std::size_t j = 0; j < dataset_.assertion_count(); ++j) {
     ColumnLogLikelihood c = column(j);
-    total += logsumexp(c.log_given_true + log_z_,
-                       c.log_given_false + log_1mz_);
+    total += logsumexp(c.log_given_true + logs_.log_z(),
+                       c.log_given_false + logs_.log_1mz());
   }
   return total;
 }

@@ -11,6 +11,14 @@
 // and per-source *correction* terms so each column costs only
 // O(#claimants + #exposed) — the key to running EM on Table-III-scale
 // matrices (tens of thousands of sources) in milliseconds.
+//
+// Since PR 3 the hoisted terms live in a kernels::ExtLogTable
+// (math/kernels.h): correction pairs are stored interleaved by
+// hypothesis and the column walk is the branch-free gather kernels, so
+// a column pays pure adds over contiguous memory — and set_params()
+// rebuilds the table in place, so one LikelihoodTable serves a whole EM
+// run without per-iteration allocation. Results are bit-identical to
+// the pre-kernel six-array walk (see tests/test_kernels.cpp).
 #pragma once
 
 #include <cstddef>
@@ -19,6 +27,7 @@
 
 #include "core/params.h"
 #include "data/dataset.h"
+#include "math/kernels.h"
 
 namespace ss {
 
@@ -33,10 +42,19 @@ struct ColumnLogLikelihood {
 
 class LikelihoodTable {
  public:
-  // Precomputes baselines and correction terms. `params` must have one
-  // entry per source in `dataset`; probabilities are clamped internally so
-  // logs stay finite.
+  // Binds the table to a dataset without parameters; call set_params()
+  // before reading columns. EM loops use this to hoist the table out of
+  // the iteration loop and rebuild it in place each M-step.
+  explicit LikelihoodTable(const Dataset& dataset);
+
+  // Convenience: bind and build in one step (one-shot callers).
   LikelihoodTable(const Dataset& dataset, const ModelParams& params);
+
+  // Recomputes the hoisted log terms from `params`, reusing the
+  // existing buffers. `params` must have one entry per source in the
+  // dataset (throws std::invalid_argument otherwise); probabilities are
+  // clamped internally so logs stay finite.
+  void set_params(const ModelParams& params);
 
   std::size_t assertion_count() const {
     return dataset_.assertion_count();
@@ -44,8 +62,35 @@ class LikelihoodTable {
   const Dataset& dataset() const { return dataset_; }
 
   // Column log-likelihoods for assertion j (Eq. 4/5). Claim cells read
-  // D_ij from the dataset's ClaimPartition cache; thread-safe.
-  ColumnLogLikelihood column(std::size_t assertion) const;
+  // D_ij from the dataset's ClaimPartition cache; thread-safe. Inline:
+  // the fused E-step's column loop compiles down to the gather kernels
+  // with no per-column call.
+  ColumnLogLikelihood column(std::size_t assertion) const {
+    // Move every exposed source from the unexposed-silent baseline to
+    // exposed-silent, then flip claimants from silent to claiming
+    // within their branch (the partition's flag view is aligned with
+    // the claimant list, so the summation order — and therefore the
+    // floating-point result — matches the per-claimant search the
+    // kernels replaced).
+    kernels::LogPair acc = kernels::gather_add(
+        logs_.base(), dataset_.dependency.exposed_sources(assertion),
+        logs_.exposed_silent());
+    acc = kernels::gather_add_select(
+        acc, dataset_.claims.claimants_of(assertion),
+        partition_->claimant_dependent(assertion), logs_.claim_indep(),
+        logs_.claim_dep());
+    return {acc.t, acc.f};
+  }
+
+  // Prior-shifted columns for j in [begin, end):
+  //   la[j] = log P(SC_j | C_j=1) + log z
+  //   lb[j] = log P(SC_j | C_j=0) + log(1-z)
+  // Gathers two columns at a time (kernels::gather_add2) so the
+  // independent accumulator chains of adjacent columns interleave; each
+  // column's own add order is unchanged, so every slot is bit-identical
+  // to column(j) plus the prior. This is the E-step's gather pass.
+  void prior_columns(std::size_t begin, std::size_t end, double* la,
+                     double* lb) const;
 
   // All m columns at once.
   std::vector<ColumnLogLikelihood> all_columns() const;
@@ -54,27 +99,30 @@ class LikelihoodTable {
   // log P(SC_j | C_j) + log P(C_j).
   double data_log_likelihood() const;
 
-  double log_prior_true() const { return log_z_; }
-  double log_prior_false() const { return log_1mz_; }
+  double log_prior_true() const { return logs_.log_z(); }
+  double log_prior_false() const { return logs_.log_1mz(); }
 
  private:
+  std::span<const std::uint32_t> exposed_csr(std::size_t j) const {
+    return {exp_idx_.data() + exp_off_[j], exp_off_[j + 1] - exp_off_[j]};
+  }
+  std::span<const std::uint32_t> claimant_csr(std::size_t j) const {
+    return {cl_idx_.data() + cl_off_[j], cl_off_[j + 1] - cl_off_[j]};
+  }
+
   const Dataset& dataset_;
   const ClaimPartition* partition_;  // owned by dataset_
-  double log_z_;
-  double log_1mz_;
-  double base_true_ = 0.0;   // sum_i log(1 - a_i)
-  double base_false_ = 0.0;  // sum_i log(1 - b_i)
-  // Per-source correction terms, applied on top of the baseline:
-  //   exposed silent:   log(1-f_i) - log(1-a_i)   [true hypothesis]
-  //   claim, D_ij = 0:  log(a_i)   - log(1-a_i)
-  //   claim, D_ij = 1:  log(f_i)   - log(1-f_i)   [after exposure corr.]
-  // and the analogous b/g terms for the false hypothesis.
-  std::vector<double> exposed_silent_true_;
-  std::vector<double> exposed_silent_false_;
-  std::vector<double> claim_indep_true_;
-  std::vector<double> claim_indep_false_;
-  std::vector<double> claim_dep_true_;
-  std::vector<double> claim_dep_false_;
+  kernels::ExtLogTable logs_;        // hoisted per-source log terms
+
+  // Structure-only CSR flattening of the dataset's per-column
+  // exposed-source and claimant lists (same element order), built once
+  // per table and shared by every EM iteration: the scan then streams
+  // one contiguous index array instead of chasing per-column vector
+  // allocations.
+  std::vector<std::uint32_t> exp_idx_;
+  std::vector<std::size_t> exp_off_;
+  std::vector<std::uint32_t> cl_idx_;
+  std::vector<std::size_t> cl_off_;
 };
 
 }  // namespace ss

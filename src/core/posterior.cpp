@@ -1,5 +1,8 @@
 #include "core/posterior.h"
 
+#include <algorithm>
+
+#include "math/kernels.h"
 #include "math/logprob.h"
 #include "util/thread_pool.h"
 
@@ -20,15 +23,23 @@ double assertion_posterior(const LikelihoodTable& table,
                             c.log_given_false + table.log_prior_false());
 }
 
-std::vector<double> all_posteriors(const LikelihoodTable& table) {
+void all_posteriors(const LikelihoodTable& table,
+                    std::vector<double>& out) {
   std::size_t m = table.assertion_count();
-  std::vector<double> out(m);
+  out.resize(m);
+  const double log_z = table.log_prior_true();
+  const double log_1mz = table.log_prior_false();
   for (std::size_t j = 0; j < m; ++j) {
     ColumnLogLikelihood c = table.column(j);
-    out[j] = normalize_log_pair(c.log_given_true + table.log_prior_true(),
-                                c.log_given_false +
-                                    table.log_prior_false());
+    out[j] = kernels::finalize_pair(c.log_given_true + log_z,
+                                    c.log_given_false + log_1mz)
+                 .posterior;
   }
+}
+
+std::vector<double> all_posteriors(const LikelihoodTable& table) {
+  std::vector<double> out;
+  all_posteriors(table, out);
   return out;
 }
 
@@ -49,34 +60,71 @@ std::vector<double> all_log_odds(const LikelihoodTable& table) {
   return out;
 }
 
-EStepResult fused_e_step(const LikelihoodTable& table, ThreadPool* pool) {
+void fused_e_step(const LikelihoodTable& table, ThreadPool* pool,
+                  EStepResult& out,
+                  std::vector<double>& column_ll_scratch) {
   std::size_t m = table.assertion_count();
-  EStepResult out;
   out.posterior.resize(m);
   out.log_odds.resize(m);
-  std::vector<double> column_ll(m);
+  column_ll_scratch.resize(m);
 
-  auto pass = [&](std::size_t, std::size_t begin, std::size_t end) {
+  // Two passes: gather first, transcendental epilogue second. Keeping
+  // the libm calls (exp/log1p) out of the gather loop lets the compiler
+  // hold the accumulators in registers across a whole column, and the
+  // epilogue then streams contiguously. The prior-shifted intermediates
+  // park in the output buffers (log_odds / column_ll slots are
+  // overwritten in place by the epilogue), so no extra scratch is
+  // needed and — since doubles round-trip through memory exactly — the
+  // results stay bit-identical to the single-pass form.
+  double* la_buf = out.log_odds.data();
+  double* lb_buf = column_ll_scratch.data();
+  double* post = out.posterior.data();
+  auto gather_pass = [&](std::size_t, std::size_t begin, std::size_t end) {
+    table.prior_columns(begin, end, la_buf, lb_buf);
+  };
+  // Epilogue over [begin, end), continuing the log-likelihood add chain
+  // from `running` in assertion order (so chunked serial execution sums
+  // exactly like one flat j-loop, and like the parallel slot sum).
+  auto epilogue_pass = [&](std::size_t begin, std::size_t end,
+                           double running) {
     for (std::size_t j = begin; j < end; ++j) {
-      ColumnLogLikelihood c = table.column(j);
-      double lt = c.log_given_true + table.log_prior_true();
-      double lf = c.log_given_false + table.log_prior_false();
-      out.posterior[j] = normalize_log_pair(lt, lf);
-      out.log_odds[j] = lt - lf;
-      column_ll[j] = logsumexp(lt, lf);
+      kernels::ColumnStats s = kernels::finalize_column(la_buf[j], lb_buf[j]);
+      post[j] = s.posterior;
+      la_buf[j] = s.log_odds;
+      lb_buf[j] = s.log_likelihood;
+      running += s.log_likelihood;
     }
+    return running;
   };
   if (pool != nullptr && pool->size() > 1 && m > kColumnGrain) {
-    pool->parallel_for_chunks(m, kColumnGrain, pass);
+    pool->parallel_for_chunks(
+        m, kColumnGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          gather_pass(0, begin, end);
+          epilogue_pass(begin, end, 0.0);
+        });
+    // Canonical assertion-order summation, independent of which thread
+    // produced each term.
+    double total = 0.0;
+    for (double v : column_ll_scratch) total += v;
+    out.log_likelihood = total;
   } else {
-    pass(0, 0, m);
+    // Serial: same chunking, so each block's la/lb intermediates are
+    // still L1-resident when the epilogue rereads them.
+    double total = 0.0;
+    for (std::size_t begin = 0; begin < m; begin += kColumnGrain) {
+      std::size_t end = std::min(begin + kColumnGrain, m);
+      gather_pass(0, begin, end);
+      total = epilogue_pass(begin, end, total);
+    }
+    out.log_likelihood = total;
   }
+}
 
-  // Canonical assertion-order summation, independent of which thread
-  // produced each term.
-  double total = 0.0;
-  for (double v : column_ll) total += v;
-  out.log_likelihood = total;
+EStepResult fused_e_step(const LikelihoodTable& table, ThreadPool* pool) {
+  EStepResult out;
+  std::vector<double> column_ll;
+  fused_e_step(table, pool, out, column_ll);
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "core/em_ext.h"
 #include "core/likelihood.h"
 #include "core/posterior.h"
+#include "math/kernels.h"
 #include "math/logprob.h"
 #include "util/fault_inject.h"
 #include "util/thread_pool.h"
@@ -36,6 +37,14 @@ StreamingEmExt::StreamingEmExt(std::size_t sources,
   stats_denom_b_.assign(sources, 0.0);
   stats_denom_f_.assign(sources, 0.0);
   stats_denom_g_.assign(sources, 0.0);
+  batch_indep_z_.assign(sources, 0.0);
+  batch_indep_y_.assign(sources, 0.0);
+  batch_dep_z_.assign(sources, 0.0);
+  batch_dep_y_.assign(sources, 0.0);
+  batch_denom_a_.assign(sources, 0.0);
+  batch_denom_b_.assign(sources, 0.0);
+  batch_denom_f_.assign(sources, 0.0);
+  batch_denom_g_.assign(sources, 0.0);
 }
 
 StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
@@ -57,12 +66,26 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
     params_ = EmExtEstimator(boot).run_detailed(batch, 1).params;
   }
 
-  std::vector<double> posterior(m, 0.5);
+  // One likelihood table per batch, rebuilt in place each inner
+  // iteration; the batch-statistics vectors are member scratch with
+  // every slot assigned below. The pre-kernel loop constructed a fresh
+  // table and nine fresh vectors per inner iteration.
+  LikelihoodTable table(batch);
+  std::vector<double>& posterior = posterior_;
+  posterior.assign(m, 0.5);
+  std::vector<double>& bz = batch_indep_z_;
+  std::vector<double>& by = batch_indep_y_;
+  std::vector<double>& dz = batch_dep_z_;
+  std::vector<double>& dy = batch_dep_y_;
+  std::vector<double>& da = batch_denom_a_;
+  std::vector<double>& db = batch_denom_b_;
+  std::vector<double>& df = batch_denom_f_;
+  std::vector<double>& dg = batch_denom_g_;
   bool poisoned = false;
   for (std::size_t inner = 0; inner < config_.iters_per_batch; ++inner) {
     // E-step on this batch under the current theta.
-    LikelihoodTable table(batch, params_);
-    posterior = all_posteriors(table);
+    table.set_params(params_);
+    all_posteriors(table, posterior);
     fault::maybe_corrupt_posterior(posterior);
     if (!all_finite(posterior)) {
       // Poisoned E-step: stop refining and withhold this batch's
@@ -73,28 +96,24 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
     }
 
     // Batch sufficient statistics.
-    std::vector<double> bz(n, 0.0), by(n, 0.0), dz(n, 0.0), dy(n, 0.0);
-    std::vector<double> da(n, 0.0), db(n, 0.0), df(n, 0.0), dg(n, 0.0);
     double total_z = 0.0;
     for (double p : posterior) total_z += p;
     double total_y = static_cast<double>(m) - total_z;
     for (std::size_t i = 0; i < n; ++i) {
-      double exposed_z = 0.0;
-      for (std::uint32_t j : batch.dependency.exposed_assertions(i)) {
-        exposed_z += posterior[j];
-      }
+      double exposed_z = kernels::gather_sum(
+          batch.dependency.exposed_assertions(i), posterior.data());
       double exposed_count = static_cast<double>(
           batch.dependency.exposed_assertions(i).size());
       // Split claim lists from the partition cache replace the per-claim
       // dependency search; each accumulator keeps its addition order.
-      for (std::uint32_t j : batch.partition().dependent_claims(i)) {
-        dz[i] += posterior[j];
-        dy[i] += 1.0 - posterior[j];
-      }
-      for (std::uint32_t j : batch.partition().independent_claims(i)) {
-        bz[i] += posterior[j];
-        by[i] += 1.0 - posterior[j];
-      }
+      kernels::MassPair dep = kernels::gather_mass(
+          batch.partition().dependent_claims(i), posterior.data());
+      kernels::MassPair indep = kernels::gather_mass(
+          batch.partition().independent_claims(i), posterior.data());
+      dz[i] = dep.z;
+      dy[i] = dep.y;
+      bz[i] = indep.z;
+      by[i] = indep.y;
       da[i] = total_z - exposed_z;
       db[i] = total_y - (exposed_count - exposed_z);
       df[i] = exposed_z;
@@ -180,7 +199,9 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
 
   StreamingBatchResult result;
   result.stats_committed = !poisoned;
-  LikelihoodTable table(batch, params_);
+  // The result vectors are moved to the caller, so (unlike the scratch
+  // above) there is nothing to reuse here.
+  table.set_params(params_);
   EStepResult e = fused_e_step(table, &global_pool());
   fault::maybe_corrupt_posterior(e.posterior);
   result.belief = std::move(e.posterior);

@@ -87,6 +87,20 @@ class StreamingEmExt {
   std::vector<double> stats_denom_g_;
   double stats_z_num_ = 0.0;
   double stats_z_den_ = 0.0;
+  // Batch-local scratch reused across observe() calls and inner
+  // iterations (the pre-kernel code allocated all nine vectors afresh
+  // once per inner iteration). The batch-statistics vectors are sized
+  // to the fixed source universe at construction; `posterior_` adapts
+  // to each batch's assertion count in place.
+  std::vector<double> posterior_;
+  std::vector<double> batch_indep_z_;
+  std::vector<double> batch_indep_y_;
+  std::vector<double> batch_dep_z_;
+  std::vector<double> batch_dep_y_;
+  std::vector<double> batch_denom_a_;
+  std::vector<double> batch_denom_b_;
+  std::vector<double> batch_denom_f_;
+  std::vector<double> batch_denom_g_;
 };
 
 }  // namespace ss

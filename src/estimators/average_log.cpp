@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "math/kernels.h"
 #include "math/matrix.h"
 
 namespace ss {
@@ -17,13 +18,18 @@ EstimateResult AverageLogEstimator::run(const Dataset& dataset,
   std::vector<double> trust(n, 1.0);
   std::vector<double> belief(m, 0.0);
 
+  // Run-constant per-source log-degree (the claim lists never change),
+  // hoisted out of the iteration loop.
+  std::vector<double> log_deg(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t deg = dataset.claims.claims_of(i).size();
+    if (deg > 0) log_deg[i] = std::log(static_cast<double>(deg));
+  }
+
   for (std::size_t it = 0; it < config_.iterations; ++it) {
     for (std::size_t j = 0; j < m; ++j) {
-      double acc = 0.0;
-      for (std::uint32_t v : dataset.claims.claimants_of(j)) {
-        acc += trust[v];
-      }
-      belief[j] = acc;
+      belief[j] = kernels::gather_sum(dataset.claims.claimants_of(j),
+                                      trust.data());
     }
     if (!normalize_max(belief)) {
       // Degenerate instance (e.g. every source has exactly one claim so
@@ -40,12 +46,9 @@ EstimateResult AverageLogEstimator::run(const Dataset& dataset,
         trust[i] = 0.0;
         continue;
       }
-      double acc = 0.0;
-      for (std::uint32_t j : dataset.claims.claims_of(i)) {
-        acc += belief[j];
-      }
-      trust[i] = std::log(static_cast<double>(deg)) * acc /
-                 static_cast<double>(deg);
+      double acc =
+          kernels::gather_sum(dataset.claims.claims_of(i), belief.data());
+      trust[i] = log_deg[i] * acc / static_cast<double>(deg);
     }
     normalize_max(trust);
   }

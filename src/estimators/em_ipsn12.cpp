@@ -1,10 +1,12 @@
 #include "estimators/em_ipsn12.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "core/em_ext.h"
 #include "math/convergence.h"
+#include "math/kernels.h"
 #include "math/logprob.h"
 
 namespace ss {
@@ -42,53 +44,43 @@ EmIpsn12Result EmIpsn12Estimator::run_detailed(const Dataset& dataset,
     for (double p : posterior) total_z += p;
     double total_y = static_cast<double>(m) - total_z;
     for (std::size_t i = 0; i < n; ++i) {
-      double claim_z = 0.0;
-      double claim_y = 0.0;
-      for (std::uint32_t j : dataset.claims.claims_of(i)) {
-        claim_z += posterior[j];
-        claim_y += 1.0 - posterior[j];
-      }
+      kernels::MassPair claim = kernels::gather_mass(
+          dataset.claims.claims_of(i), posterior.data());
       if (total_z > 0.0) {
-        result.a[i] = clamp_prob(claim_z / total_z, config_.clamp_eps);
+        result.a[i] = clamp_prob(claim.z / total_z, config_.clamp_eps);
       }
       if (total_y > 0.0) {
-        result.b[i] = clamp_prob(claim_y / total_y, config_.clamp_eps);
+        result.b[i] = clamp_prob(claim.y / total_y, config_.clamp_eps);
       }
     }
     result.z =
         clamp_prob(total_z / static_cast<double>(m), config_.clamp_eps);
   }
   std::vector<double> log_odds(m, 0.0);
-  std::vector<double> log_a(n), log_na(n), log_b(n), log_nb(n);
+  // Per-iteration log terms, hoisted into an interleaved table rebuilt
+  // in place each E-step; M-step scratch reused across iterations.
+  kernels::RateLogTable logs;
+  std::vector<double> claim_zs(n), claim_ys(n);
   ConvergenceMonitor monitor(config_.tol, config_.max_iters);
   bool done = false;
 
   while (!done) {
     // E-step. Baseline = everyone silent; claimants corrected in O(deg).
-    double base_true = 0.0;
-    double base_false = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double a = clamp_prob(result.a[i], config_.clamp_eps);
-      double b = clamp_prob(result.b[i], config_.clamp_eps);
-      log_a[i] = std::log(a);
-      log_na[i] = std::log1p(-a);
-      log_b[i] = std::log(b);
-      log_nb[i] = std::log1p(-b);
-      base_true += log_na[i];
-      base_false += log_nb[i];
-    }
+    logs.build(n, [&](std::size_t i) {
+      return std::array<double, 2>{
+          clamp_prob(result.a[i], config_.clamp_eps),
+          clamp_prob(result.b[i], config_.clamp_eps)};
+    });
     double z = clamp_prob(result.z, config_.clamp_eps);
     double log_z = std::log(z);
     double log_1mz = std::log1p(-z);
     for (std::size_t j = 0; j < m; ++j) {
-      double lt = base_true;
-      double lf = base_false;
-      for (std::uint32_t v : dataset.claims.claimants_of(j)) {
-        lt += log_a[v] - log_na[v];
-        lf += log_b[v] - log_nb[v];
-      }
-      posterior[j] = normalize_log_pair(lt + log_z, lf + log_1mz);
-      log_odds[j] = (lt + log_z) - (lf + log_1mz);
+      kernels::LogPair acc = kernels::gather_add(
+          logs.base(), dataset.claims.claimants_of(j), logs.claim());
+      kernels::PairStats s =
+          kernels::finalize_pair(acc.t + log_z, acc.f + log_1mz);
+      posterior[j] = s.posterior;
+      log_odds[j] = s.log_odds;
     }
 
     // M-step with pooled-rate MAP shrinkage (see config).
@@ -96,13 +88,11 @@ EmIpsn12Result EmIpsn12Estimator::run_detailed(const Dataset& dataset,
     for (double p : posterior) total_z += p;
     double total_y = static_cast<double>(m) - total_z;
 
-    std::vector<double> claim_zs(n, 0.0);
-    std::vector<double> claim_ys(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::uint32_t j : dataset.claims.claims_of(i)) {
-        claim_zs[i] += posterior[j];
-        claim_ys[i] += 1.0 - posterior[j];
-      }
+      kernels::MassPair claim = kernels::gather_mass(
+          dataset.claims.claims_of(i), posterior.data());
+      claim_zs[i] = claim.z;
+      claim_ys[i] = claim.y;
     }
     double pooled_z = 0.0;
     double pooled_y = 0.0;

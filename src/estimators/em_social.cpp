@@ -1,10 +1,12 @@
 #include "estimators/em_social.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "core/em_ext.h"
 #include "math/convergence.h"
+#include "math/kernels.h"
 #include "math/logprob.h"
 
 namespace ss {
@@ -28,6 +30,12 @@ EstimateResult EmSocialEstimator::run(const Dataset& dataset,
   std::vector<double> b(n, 0.5);
   double z = 0.5;
 
+  // Independent (D_ij = 0) incidence views from the partition cache:
+  // the split lists are ascending subsequences of the raw CSR lists, so
+  // every kernel gather below sees the same element order as the
+  // skip-dependent branch loops they replace.
+  const ClaimPartition& part = dataset.partition();
+
   // Initial parameters from the support-based vote prior via one M-step
   // over the independent (D_ij = 0) cells this estimator keeps.
   std::vector<double> log_odds(m, 0.0);
@@ -38,32 +46,28 @@ EstimateResult EmSocialEstimator::run(const Dataset& dataset,
     for (double p : posterior) total_z += p;
     double total_y = static_cast<double>(m) - total_z;
     for (std::size_t i = 0; i < n; ++i) {
-      double exposed_z = 0.0;
-      for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
-        exposed_z += posterior[j];
-      }
+      double exposed_z = kernels::gather_sum(
+          dataset.dependency.exposed_assertions(i), posterior.data());
       double exposed_count = static_cast<double>(
           dataset.dependency.exposed_assertions(i).size());
       double exposed_y = exposed_count - exposed_z;
-      double claim_z = 0.0;
-      double claim_y = 0.0;
-      for (std::uint32_t j : dataset.claims.claims_of(i)) {
-        if (dataset.dependency.dependent(i, j)) continue;
-        claim_z += posterior[j];
-        claim_y += 1.0 - posterior[j];
-      }
+      kernels::MassPair claim = kernels::gather_mass(
+          part.independent_claims(i), posterior.data());
       double denom_a = total_z - exposed_z;
       double denom_b = total_y - exposed_y;
       if (denom_a > 0.0) {
-        a[i] = clamp_prob(claim_z / denom_a, config_.clamp_eps);
+        a[i] = clamp_prob(claim.z / denom_a, config_.clamp_eps);
       }
       if (denom_b > 0.0) {
-        b[i] = clamp_prob(claim_y / denom_b, config_.clamp_eps);
+        b[i] = clamp_prob(claim.y / denom_b, config_.clamp_eps);
       }
     }
     z = clamp_prob(total_z / static_cast<double>(m), config_.clamp_eps);
   }
-  std::vector<double> log_a(n), log_na(n), log_b(n), log_nb(n);
+  // Per-iteration log terms, hoisted into an interleaved table rebuilt
+  // in place each E-step; M-step scratch reused across iterations.
+  kernels::RateLogTable logs;
+  std::vector<double> claim_zs(n), claim_ys(n), denom_as(n), denom_bs(n);
   ConvergenceMonitor monitor(config_.tol, config_.max_iters);
   bool done = false;
 
@@ -71,36 +75,24 @@ EstimateResult EmSocialEstimator::run(const Dataset& dataset,
     // E-step over independent cells only. Baseline assumes every source
     // is silent and independent; exposed sources are *removed* (their
     // silent factor subtracted), then independent claimants corrected.
-    double base_true = 0.0;
-    double base_false = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double ca = clamp_prob(a[i], config_.clamp_eps);
-      double cb = clamp_prob(b[i], config_.clamp_eps);
-      log_a[i] = std::log(ca);
-      log_na[i] = std::log1p(-ca);
-      log_b[i] = std::log(cb);
-      log_nb[i] = std::log1p(-cb);
-      base_true += log_na[i];
-      base_false += log_nb[i];
-    }
+    logs.build(n, [&](std::size_t i) {
+      return std::array<double, 2>{clamp_prob(a[i], config_.clamp_eps),
+                                   clamp_prob(b[i], config_.clamp_eps)};
+    });
     double cz = clamp_prob(z, config_.clamp_eps);
     double log_z = std::log(cz);
     double log_1mz = std::log1p(-cz);
 
     for (std::size_t j = 0; j < m; ++j) {
-      double lt = base_true;
-      double lf = base_false;
-      for (std::uint32_t u : dataset.dependency.exposed_sources(j)) {
-        lt -= log_na[u];
-        lf -= log_nb[u];
-      }
-      for (std::uint32_t v : dataset.claims.claimants_of(j)) {
-        if (dataset.dependency.dependent(v, j)) continue;  // deleted cell
-        lt += log_a[v] - log_na[v];
-        lf += log_b[v] - log_nb[v];
-      }
-      posterior[j] = normalize_log_pair(lt + log_z, lf + log_1mz);
-      log_odds[j] = (lt + log_z) - (lf + log_1mz);
+      kernels::LogPair acc = kernels::gather_sub(
+          logs.base(), dataset.dependency.exposed_sources(j),
+          logs.silent());
+      acc = kernels::gather_add(acc, part.independent_claimants(j),
+                                logs.claim());
+      kernels::PairStats s =
+          kernels::finalize_pair(acc.t + log_z, acc.f + log_1mz);
+      posterior[j] = s.posterior;
+      log_odds[j] = s.log_odds;
     }
 
     // M-step over independent cells only, with pooled-rate MAP
@@ -109,23 +101,16 @@ EstimateResult EmSocialEstimator::run(const Dataset& dataset,
     for (double p : posterior) total_z += p;
     double total_y = static_cast<double>(m) - total_z;
 
-    std::vector<double> claim_zs(n, 0.0);
-    std::vector<double> claim_ys(n, 0.0);
-    std::vector<double> denom_as(n, 0.0);
-    std::vector<double> denom_bs(n, 0.0);
     for (std::size_t i = 0; i < n; ++i) {
-      double exposed_z = 0.0;
-      for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
-        exposed_z += posterior[j];
-      }
+      double exposed_z = kernels::gather_sum(
+          dataset.dependency.exposed_assertions(i), posterior.data());
       double exposed_count = static_cast<double>(
           dataset.dependency.exposed_assertions(i).size());
       double exposed_y = exposed_count - exposed_z;
-      for (std::uint32_t j : dataset.claims.claims_of(i)) {
-        if (dataset.dependency.dependent(i, j)) continue;
-        claim_zs[i] += posterior[j];
-        claim_ys[i] += 1.0 - posterior[j];
-      }
+      kernels::MassPair claim = kernels::gather_mass(
+          part.independent_claims(i), posterior.data());
+      claim_zs[i] = claim.z;
+      claim_ys[i] = claim.y;
       denom_as[i] = total_z - exposed_z;
       denom_bs[i] = total_y - exposed_y;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/kernels.h"
 #include "math/logprob.h"
 #include "math/matrix.h"
 
@@ -22,21 +23,25 @@ EstimateResult TruthFinderEstimator::run(const Dataset& dataset,
   std::size_t iters = 0;
   bool converged = false;
   std::vector<double> prev = trust;
+  // Per-source claim weight -ln(1 - tau_i), constant within one
+  // iteration; hoisted here so the confidence loop is a pure gather
+  // (the per-incidence form paid one log1p per claim cell).
+  std::vector<double> weight(n, 0.0);
   while (iters < config_.max_iters && !converged) {
     ++iters;
+    for (std::size_t i = 0; i < n; ++i) {
+      double t = std::min(trust[i], config_.max_trust);
+      weight[i] = -std::log1p(-t);
+    }
     for (std::size_t j = 0; j < m; ++j) {
-      double sigma = 0.0;
-      for (std::uint32_t v : dataset.claims.claimants_of(j)) {
-        double t = std::min(trust[v], config_.max_trust);
-        sigma += -std::log1p(-t);
-      }
+      double sigma = kernels::gather_sum(dataset.claims.claimants_of(j),
+                                         weight.data());
       confidence[j] = sigmoid(config_.gamma * sigma);
     }
     for (std::size_t i = 0; i < n; ++i) {
       const auto& claims = dataset.claims.claims_of(i);
       if (claims.empty()) continue;
-      double acc = 0.0;
-      for (std::uint32_t j : claims) acc += confidence[j];
+      double acc = kernels::gather_sum(claims, confidence.data());
       trust[i] = acc / static_cast<double>(claims.size());
     }
     double cos = cosine_similarity(prev, trust);

@@ -1,0 +1,26 @@
+#include "math/kernels.h"
+
+#include <stdexcept>
+
+namespace ss {
+namespace kernels {
+
+void build_sweep_weights(std::span<const double> p_claim_true,
+                         std::span<const double> p_claim_false,
+                         std::vector<SweepWeights>& out) {
+  if (p_claim_true.size() != p_claim_false.size()) {
+    throw std::invalid_argument(
+        "build_sweep_weights: rate vector size mismatch");
+  }
+  std::size_t n = p_claim_true.size();
+  if (out.size() != n) out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double p1 = p_claim_true[i];
+    double p0 = p_claim_false[i];
+    out[i] = {std::log(p1), std::log1p(-p1), std::log(p0),
+              std::log1p(-p0)};
+  }
+}
+
+}  // namespace kernels
+}  // namespace ss

@@ -1,0 +1,418 @@
+// Hoisted log-parameter kernels for the inference hot loops.
+//
+// Every estimator in this codebase spends its inner loops summing
+// per-source log-likelihood terms over sparse incidence lists (CSR spans
+// from ClaimPartition / SourceClaimMatrix). The terms themselves are
+// iteration-constant: they change only when the parameters change, i.e.
+// once per EM iteration or once per Gibbs run — never per incidence.
+// This header is the one place where those terms are hoisted into
+// contiguous structure-of-arrays buffers and where the per-incidence
+// work is reduced to pure adds:
+//
+//  * LogPair / ExtLogTable / RateLogTable — per-source log terms for the
+//    true and false hypotheses, stored *interleaved* so one cache line
+//    feeds both accumulators of a gather (the pre-kernel code kept six
+//    parallel arrays and paid two cache misses per incidence);
+//  * gather_add / gather_sub / gather_add_select — the branch-free
+//    incidence loops (select replaces the per-claim D_ij branch with an
+//    index into a two-pointer table);
+//  * finalize_column / finalize_pair — the per-column epilogue with the
+//    shared exp: sigmoid(d) and logsumexp(lt, lf) both reduce to
+//    exp(-|d|), so one transcendental yields posterior, log-odds and
+//    the column log-likelihood (the pre-kernel path paid two);
+//  * SweepWeights — the Gibbs sampler's per-source log weights, hoisted
+//    out of the sweep loop (the pre-kernel sampler recomputed four
+//    transcendentals per source per sweep);
+//  * gather_sum / gather_mass — the M-step's posterior-mass gathers.
+//
+// Bit-identity contract: every kernel performs exactly the additions of
+// the per-element loop it replaces, in the same order, on the same
+// values — hoisting moves computations, it never reorders floating
+// point. The *_reference functions are the pre-kernel loops kept as the
+// executable specification; tests/test_kernels.cpp asserts optimized ==
+// reference bitwise (ctest label `kernels`), and the perf harness
+// (`bench_perf_scaling`, ctest label `perf-smoke`) times one against the
+// other. The one sanctioned identity beyond "same expression" is IEEE
+// antisymmetry of subtraction under round-to-nearest, fl(b - a) ==
+// -fl(a - b), which lets finalize_* feed sigmoid and logsumexp from a
+// single difference; the reference comparison locks it in.
+//
+// To add a new estimator on the kernel layer: hoist its per-source log
+// terms into a table rebuilt once per iteration (reuse the buffers —
+// build() only allocates when the source count grows), express the
+// inner loops as gathers over the incidence spans, and keep one
+// accumulator per term of the original loop so the addition order is
+// preserved. See docs/MODEL.md §10.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "math/logprob.h"
+
+namespace ss {
+namespace kernels {
+
+// One per-source log term under both hypotheses, interleaved so a
+// single gather touches one cache line instead of two.
+struct LogPair {
+  double t = 0.0;  // true-hypothesis term
+  double f = 0.0;  // false-hypothesis term
+};
+
+// ---------------------------------------------------------------------
+// Gather kernels: pure adds over incidence spans.
+// ---------------------------------------------------------------------
+
+// acc += sum_{u in idx} terms[u], both hypotheses per element.
+inline LogPair gather_add(LogPair acc, std::span<const std::uint32_t> idx,
+                          const LogPair* terms) {
+  double at = acc.t;
+  double af = acc.f;
+  for (std::uint32_t u : idx) {
+    const LogPair& p = terms[u];
+    at += p.t;
+    af += p.f;
+  }
+  return {at, af};
+}
+
+// Two gather_add chains advanced in lockstep: acc0 over idx0 and acc1
+// over idx1, same `terms` table. The chains belong to different
+// columns, so interleaving them doubles the FP-add ILP the column scan
+// exposes — each chain's own element order is untouched, so both
+// results are bit-identical to two gather_add calls. (This is the
+// allowed form of "unrolling": more *independent* accumulator chains,
+// never extra partial accumulators within one chain.)
+inline void gather_add2(LogPair& acc0, std::span<const std::uint32_t> idx0,
+                        LogPair& acc1, std::span<const std::uint32_t> idx1,
+                        const LogPair* terms) {
+  double a0t = acc0.t, a0f = acc0.f;
+  double a1t = acc1.t, a1f = acc1.f;
+  const std::size_t n0 = idx0.size();
+  const std::size_t n1 = idx1.size();
+  const std::size_t shared = n0 < n1 ? n0 : n1;
+  std::size_t k = 0;
+  for (; k < shared; ++k) {
+    const LogPair& p0 = terms[idx0[k]];
+    const LogPair& p1 = terms[idx1[k]];
+    a0t += p0.t;
+    a0f += p0.f;
+    a1t += p1.t;
+    a1f += p1.f;
+  }
+  for (; k < n0; ++k) {
+    const LogPair& p = terms[idx0[k]];
+    a0t += p.t;
+    a0f += p.f;
+  }
+  for (; k < n1; ++k) {
+    const LogPair& p = terms[idx1[k]];
+    a1t += p.t;
+    a1f += p.f;
+  }
+  acc0 = {a0t, a0f};
+  acc1 = {a1t, a1f};
+}
+
+// acc -= sum_{u in idx} terms[u] (EM-Social removes exposed sources
+// from its silent baseline instead of correcting them).
+inline LogPair gather_sub(LogPair acc, std::span<const std::uint32_t> idx,
+                          const LogPair* terms) {
+  double at = acc.t;
+  double af = acc.f;
+  for (std::uint32_t u : idx) {
+    const LogPair& p = terms[u];
+    at -= p.t;
+    af -= p.f;
+  }
+  return {at, af};
+}
+
+// acc += sum_k table(flags[k])[idx[k]] where table(0) = indep and
+// table(1) = dep. `flags` is aligned with `idx` (ClaimPartition's
+// claimant_dependent view). The two-pointer select compiles to a
+// conditional move — the per-claim D_ij branch of the pre-kernel loop
+// is gone, but the element order (and therefore the floating-point
+// result) is exactly the branchy loop's.
+inline LogPair gather_add_select(LogPair acc,
+                                 std::span<const std::uint32_t> idx,
+                                 std::span<const char> flags,
+                                 const LogPair* indep,
+                                 const LogPair* dep) {
+  const LogPair* const sel[2] = {indep, dep};
+  double at = acc.t;
+  double af = acc.f;
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const LogPair& p = sel[flags[k] != 0][idx[k]];
+    at += p.t;
+    af += p.f;
+  }
+  return {at, af};
+}
+
+// sum_{j in idx} values[j] (TruthFinder's claim-weight sums,
+// Average.Log's belief/trust sums, the M-step's exposed-mass sums).
+inline double gather_sum(std::span<const std::uint32_t> idx,
+                         const double* values) {
+  double acc = 0.0;
+  for (std::uint32_t j : idx) acc += values[j];
+  return acc;
+}
+
+// Posterior mass pair over a claim list: z += Z_j, y += 1 - Z_j, in
+// list order with one accumulator each — exactly the M-step loop it
+// replaces.
+struct MassPair {
+  double z = 0.0;
+  double y = 0.0;
+};
+
+inline MassPair gather_mass(std::span<const std::uint32_t> idx,
+                            const double* posterior) {
+  MassPair acc;
+  for (std::uint32_t j : idx) {
+    acc.z += posterior[j];
+    acc.y += 1.0 - posterior[j];
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------
+// Column epilogues: one exp instead of two.
+// ---------------------------------------------------------------------
+
+// Everything the fused E-step needs from one column, given the two
+// prior-weighted log-likelihoods la = lt + log z, lb = lf + log(1-z).
+struct ColumnStats {
+  double posterior = 0.5;        // Eq. 9
+  double log_odds = 0.0;         // la - lb (unsaturated ranking score)
+  double log_likelihood = 0.0;   // logsumexp(la, lb) (Eq. 7 summand)
+};
+
+// Bit-identical fusion of {normalize_log_pair(la, lb), la - lb,
+// logsumexp(la, lb)}: with d = la - lb, sigmoid needs exp(-|d|) and
+// logsumexp needs exp(lo - hi) == exp(-|d|) (IEEE subtraction is
+// antisymmetric under round-to-nearest), so one exp serves both.
+// -inf inputs delegate to the reference forms to keep their exact
+// degenerate-case semantics.
+inline ColumnStats finalize_column(double la, double lb) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  double d = la - lb;
+  if (la == kNegInf || lb == kNegInf) {
+    return {normalize_log_pair(la, lb), d, logsumexp(la, lb)};
+  }
+  if (d >= 0.0) {
+    double e = std::exp(-d);
+    return {1.0 / (1.0 + e), d, la + std::log1p(e)};
+  }
+  double e = std::exp(d);
+  return {e / (1.0 + e), d, lb + std::log1p(e)};
+}
+
+// Posterior + log-odds only (estimators that do not track the data
+// log-likelihood); same fusion, one exp, one subtraction.
+struct PairStats {
+  double posterior = 0.5;
+  double log_odds = 0.0;
+};
+
+inline PairStats finalize_pair(double la, double lb) {
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  double d = la - lb;
+  if (la == kNegInf || lb == kNegInf) {
+    return {normalize_log_pair(la, lb), d};
+  }
+  if (d >= 0.0) {
+    double e = std::exp(-d);
+    return {1.0 / (1.0 + e), d};
+  }
+  double e = std::exp(d);
+  return {e / (1.0 + e), d};
+}
+
+// ---------------------------------------------------------------------
+// Log-parameter tables: per-source terms hoisted once per iteration.
+// ---------------------------------------------------------------------
+
+// Four-rate table for the dependency-aware model (Table II): baseline
+// "everyone silent and unexposed" sums plus the three correction pairs
+// LikelihoodTable applies per column. `rates(i)` must return the
+// already-clamped {a, b, f, g} for source i; build() performs exactly
+// the eight transcendentals per source of the pre-kernel constructor,
+// in the same order, and reallocates only when the source count grows.
+class ExtLogTable {
+ public:
+  template <typename Rates>
+  void build(std::size_t n, double z, Rates&& rates) {
+    resize(n);
+    log_z_ = std::log(z);
+    log_1mz_ = std::log1p(-z);
+    double base_t = 0.0;
+    double base_f = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto r = rates(i);  // {a, b, f, g}, clamped by the caller
+      double log_na = std::log1p(-r[0]);
+      double log_nb = std::log1p(-r[1]);
+      double log_nf = std::log1p(-r[2]);
+      double log_ng = std::log1p(-r[3]);
+      base_t += log_na;
+      base_f += log_nb;
+      exposed_silent_[i] = {log_nf - log_na, log_ng - log_nb};
+      claim_indep_[i] = {std::log(r[0]) - log_na, std::log(r[1]) - log_nb};
+      claim_dep_[i] = {std::log(r[2]) - log_nf, std::log(r[3]) - log_ng};
+    }
+    base_ = {base_t, base_f};
+  }
+
+  std::size_t source_count() const { return exposed_silent_.size(); }
+  LogPair base() const { return base_; }
+  double log_z() const { return log_z_; }
+  double log_1mz() const { return log_1mz_; }
+  // Correction term arrays, indexed by source:
+  //   exposed_silent: log(1-f)-log(1-a) | log(1-g)-log(1-b)
+  //   claim_indep:    log(a)-log(1-a)   | log(b)-log(1-b)
+  //   claim_dep:      log(f)-log(1-f)   | log(g)-log(1-g)
+  const LogPair* exposed_silent() const { return exposed_silent_.data(); }
+  const LogPair* claim_indep() const { return claim_indep_.data(); }
+  const LogPair* claim_dep() const { return claim_dep_.data(); }
+
+ private:
+  void resize(std::size_t n) {
+    if (exposed_silent_.size() != n) {
+      exposed_silent_.resize(n);
+      claim_indep_.resize(n);
+      claim_dep_.resize(n);
+    }
+  }
+
+  std::vector<LogPair> exposed_silent_;
+  std::vector<LogPair> claim_indep_;
+  std::vector<LogPair> claim_dep_;
+  LogPair base_;
+  double log_z_ = 0.0;
+  double log_1mz_ = 0.0;
+};
+
+// Two-rate table for the independent-cell baselines (EM-Social,
+// EM-IPSN12): silent pairs {log(1-p_t), log(1-p_f)} for baseline /
+// exposure removal, claim correction pairs {log p - log(1-p)}, and the
+// all-silent baseline sums. `rates(i)` returns clamped {p_true,
+// p_false} for source i.
+class RateLogTable {
+ public:
+  template <typename Rates>
+  void build(std::size_t n, Rates&& rates) {
+    if (silent_.size() != n) {
+      silent_.resize(n);
+      claim_.resize(n);
+    }
+    double base_t = 0.0;
+    double base_f = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto r = rates(i);  // {p_true, p_false}, clamped
+      double log_pt = std::log(r[0]);
+      double log_nt = std::log1p(-r[0]);
+      double log_pf = std::log(r[1]);
+      double log_nf = std::log1p(-r[1]);
+      silent_[i] = {log_nt, log_nf};
+      claim_[i] = {log_pt - log_nt, log_pf - log_nf};
+      base_t += log_nt;
+      base_f += log_nf;
+    }
+    base_ = {base_t, base_f};
+  }
+
+  std::size_t source_count() const { return silent_.size(); }
+  LogPair base() const { return base_; }
+  const LogPair* silent() const { return silent_.data(); }
+  const LogPair* claim() const { return claim_.data(); }
+
+ private:
+  std::vector<LogPair> silent_;
+  std::vector<LogPair> claim_;
+  LogPair base_;
+};
+
+// ---------------------------------------------------------------------
+// Gibbs sweep weights.
+// ---------------------------------------------------------------------
+
+// The Gibbs sampler's per-source log weights — constant over an entire
+// chain, recomputed four-transcendentals-per-source-per-sweep by the
+// pre-kernel sampler. One contiguous record per source keeps the sweep
+// loop a sequential walk.
+struct SweepWeights {
+  double log_t1 = 0.0;   // log p(claim | C=1)
+  double log_t1n = 0.0;  // log(1 - p(claim | C=1))
+  double log_f1 = 0.0;   // log p(claim | C=0)
+  double log_f1n = 0.0;  // log(1 - p(claim | C=0))
+};
+
+// Fills `out` (resized to match) from the clamped claim probabilities.
+void build_sweep_weights(std::span<const double> p_claim_true,
+                         std::span<const double> p_claim_false,
+                         std::vector<SweepWeights>& out);
+
+// Full-state log-likelihood refresh: sum over sources of the selected
+// weight per bit, in source order (the drift-cancelling resync the
+// sampler runs once per sweep).
+inline LogPair sum_state_logs(std::span<const char> bits,
+                              const SweepWeights* w) {
+  double lt = 0.0;
+  double lf = 0.0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    lt += bits[i] ? w[i].log_t1 : w[i].log_t1n;
+    lf += bits[i] ? w[i].log_f1 : w[i].log_f1n;
+  }
+  return {lt, lf};
+}
+
+// ---------------------------------------------------------------------
+// Reference kernels: the pre-kernel per-element loops, kept as the
+// executable specification for the property tests and as the baseline
+// leg of the perf harness. Deliberately structured like the code they
+// replaced — separate per-hypothesis arrays, a branch per claim, two
+// transcendentals per column epilogue.
+// ---------------------------------------------------------------------
+
+inline void gather_add_reference(double& lt, double& lf,
+                                 std::span<const std::uint32_t> idx,
+                                 const double* t_terms,
+                                 const double* f_terms) {
+  for (std::uint32_t u : idx) {
+    lt += t_terms[u];
+    lf += f_terms[u];
+  }
+}
+
+inline void gather_add_select_reference(
+    double& lt, double& lf, std::span<const std::uint32_t> idx,
+    std::span<const char> flags, const double* indep_t,
+    const double* indep_f, const double* dep_t, const double* dep_f) {
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    std::uint32_t v = idx[k];
+    if (flags[k]) {
+      lt += dep_t[v];
+      lf += dep_f[v];
+    } else {
+      lt += indep_t[v];
+      lf += indep_f[v];
+    }
+  }
+}
+
+inline ColumnStats finalize_column_reference(double la, double lb) {
+  return {normalize_log_pair(la, lb), la - lb, logsumexp(la, lb)};
+}
+
+inline PairStats finalize_pair_reference(double la, double lb) {
+  return {normalize_log_pair(la, lb), la - lb};
+}
+
+}  // namespace kernels
+}  // namespace ss

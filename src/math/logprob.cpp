@@ -1,25 +1,6 @@
 #include "math/logprob.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
-#include <limits>
-
 namespace ss {
-
-double safe_log(double p) {
-  assert(p >= 0.0);
-  if (p == 0.0) return -std::numeric_limits<double>::infinity();
-  return std::log(p);
-}
-
-double logsumexp(double a, double b) {
-  if (a == -std::numeric_limits<double>::infinity()) return b;
-  if (b == -std::numeric_limits<double>::infinity()) return a;
-  double hi = std::max(a, b);
-  double lo = std::min(a, b);
-  return hi + std::log1p(std::exp(lo - hi));
-}
 
 double logsumexp(const std::vector<double>& v) {
   double acc = -std::numeric_limits<double>::infinity();
@@ -30,33 +11,6 @@ double logsumexp(const std::vector<double>& v) {
   for (double x : v) sum += std::exp(x - hi);
   acc = hi + std::log(sum);
   return acc;
-}
-
-double logit(double p) {
-  assert(p > 0.0 && p < 1.0);
-  return std::log(p) - std::log1p(-p);
-}
-
-double sigmoid(double x) {
-  if (x >= 0.0) {
-    double e = std::exp(-x);
-    return 1.0 / (1.0 + e);
-  }
-  double e = std::exp(x);
-  return e / (1.0 + e);
-}
-
-double normalize_log_pair(double la, double lb) {
-  const double ninf = -std::numeric_limits<double>::infinity();
-  if (la == ninf && lb == ninf) return 0.5;
-  if (la == ninf) return 0.0;
-  if (lb == ninf) return 1.0;
-  // sigmoid(la - lb) == exp(la) / (exp(la) + exp(lb))
-  return sigmoid(la - lb);
-}
-
-double clamp_prob(double p, double eps) {
-  return std::clamp(p, eps, 1.0 - eps);
 }
 
 }  // namespace ss

@@ -6,36 +6,75 @@
 // source likelihoods therefore works with natural-log probabilities and
 // converts back only at the final normalization, where logsumexp keeps the
 // result exact to double rounding.
+//
+// These are the *scalar* primitives, defined inline so the kernel layer
+// (math/kernels.h) and the estimator hot loops pay no cross-TU call for
+// them. They are the single home for this arithmetic — estimators must
+// not open-code log(p) - log1p(-p) style variants (several used to; the
+// kernel migration deleted them).
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 namespace ss {
 
 // Natural log of p with p == 0 mapped to -infinity (well-defined in IEEE
 // arithmetic and handled by logsumexp/log1p downstream).
-double safe_log(double p);
+inline double safe_log(double p) {
+  assert(p >= 0.0);
+  if (p == 0.0) return -std::numeric_limits<double>::infinity();
+  return std::log(p);
+}
 
 // log(exp(a) + exp(b)) without overflow/underflow.
-double logsumexp(double a, double b);
+inline double logsumexp(double a, double b) {
+  if (a == -std::numeric_limits<double>::infinity()) return b;
+  if (b == -std::numeric_limits<double>::infinity()) return a;
+  double hi = std::max(a, b);
+  double lo = std::min(a, b);
+  return hi + std::log1p(std::exp(lo - hi));
+}
 
 // log(sum_i exp(v_i)); returns -infinity for an empty input.
 double logsumexp(const std::vector<double>& v);
 
 // log(p / (1-p)); p must be in (0, 1).
-double logit(double p);
+inline double logit(double p) {
+  assert(p > 0.0 && p < 1.0);
+  return std::log(p) - std::log1p(-p);
+}
 
 // 1 / (1 + exp(-x)).
-double sigmoid(double x);
+inline double sigmoid(double x) {
+  if (x >= 0.0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
 
 // Given log-numerators la = log(w1) and lb = log(w0), returns
 // w1 / (w1 + w0) computed stably. Handles the all--inf case by returning
 // 0.5 (uninformative).
-double normalize_log_pair(double la, double lb);
+inline double normalize_log_pair(double la, double lb) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  if (la == ninf && lb == ninf) return 0.5;
+  if (la == ninf) return 0.0;
+  if (lb == ninf) return 1.0;
+  // sigmoid(la - lb) == exp(la) / (exp(la) + exp(lb))
+  return sigmoid(la - lb);
+}
 
 // Clamps a probability into [eps, 1-eps]; EM parameter updates use this to
 // keep likelihood terms finite (a source with an empirical rate of exactly
 // 0 or 1 would otherwise veto every other source's evidence).
-double clamp_prob(double p, double eps = 1e-9);
+inline double clamp_prob(double p, double eps = 1e-9) {
+  return std::clamp(p, eps, 1.0 - eps);
+}
 
 }  // namespace ss
