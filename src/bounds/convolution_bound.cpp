@@ -102,8 +102,8 @@ BoundResult convolution_bound(const ColumnModel& model,
   for (std::size_t i = 0; i < n; ++i) {
     p1[i] = clamp_prob(model.p_claim_true[i]);
     p0[i] = clamp_prob(model.p_claim_false[i]);
-    claim_shift[i] = std::log(p1[i]) - std::log(p0[i]);
-    silent_shift[i] = std::log1p(-p1[i]) - std::log1p(-p0[i]);
+    claim_shift[i] = safe_log(p1[i]) - safe_log(p0[i]);
+    silent_shift[i] = safe_log1m(p1[i]) - safe_log1m(p0[i]);
   }
   double z = clamp_prob(model.z);
   double threshold = -logit(z);

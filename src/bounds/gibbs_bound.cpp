@@ -189,8 +189,8 @@ ChainRun run_chain(const ColumnModel& model,
                    const std::vector<double>& marginal, Rng rng,
                    const GibbsBoundConfig& config) {
   std::size_t n = model.source_count();
-  const double log_z = std::log(model.z);
-  const double log_1mz = std::log1p(-model.z);
+  const double log_z = safe_log(model.z);
+  const double log_1mz = safe_log1m(model.z);
 
   ChainState state;
   state.bits.resize(n);
@@ -257,8 +257,8 @@ ChainRun run_chain(const ColumnModel& model,
     ++run.samples;
     double lm1 = log_z + state.log_true;      // log(z P1)
     double lm0 = log_1mz + state.log_false;   // log((1-z) P0)
-    double m1 = std::exp(lm1);
-    double m0 = std::exp(lm0);
+    double m1 = from_log(lm1);
+    double m0 = from_log(lm0);
     bool decide_true = lm1 >= lm0;
     run.err_part += decide_true ? m0 : m1;
     run.total += m1 + m0;

@@ -23,6 +23,7 @@ EstimateResult AverageLogEstimator::run(const Dataset& dataset,
   std::vector<double> log_deg(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     std::size_t deg = dataset.claims.claims_of(i).size();
+    // ss-lint: allow(raw-log-exp): log of a claim *count* (AverageLog's degree weight), not a probability
     if (deg > 0) log_deg[i] = std::log(static_cast<double>(deg));
   }
 

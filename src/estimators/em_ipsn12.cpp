@@ -72,8 +72,8 @@ EmIpsn12Result EmIpsn12Estimator::run_detailed(const Dataset& dataset,
           clamp_prob(result.b[i], config_.clamp_eps)};
     });
     double z = clamp_prob(result.z, config_.clamp_eps);
-    double log_z = std::log(z);
-    double log_1mz = std::log1p(-z);
+    double log_z = safe_log(z);
+    double log_1mz = safe_log1m(z);
     for (std::size_t j = 0; j < m; ++j) {
       kernels::LogPair acc = kernels::gather_add(
           logs.base(), dataset.claims.claimants_of(j), logs.claim());

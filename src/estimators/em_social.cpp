@@ -80,8 +80,8 @@ EstimateResult EmSocialEstimator::run(const Dataset& dataset,
                                    clamp_prob(b[i], config_.clamp_eps)};
     });
     double cz = clamp_prob(z, config_.clamp_eps);
-    double log_z = std::log(cz);
-    double log_1mz = std::log1p(-cz);
+    double log_z = safe_log(cz);
+    double log_1mz = safe_log1m(cz);
 
     for (std::size_t j = 0; j < m; ++j) {
       kernels::LogPair acc = kernels::gather_sub(

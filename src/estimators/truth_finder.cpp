@@ -31,7 +31,7 @@ EstimateResult TruthFinderEstimator::run(const Dataset& dataset,
     ++iters;
     for (std::size_t i = 0; i < n; ++i) {
       double t = std::min(trust[i], config_.max_trust);
-      weight[i] = -std::log1p(-t);
+      weight[i] = -safe_log1m(t);
     }
     for (std::size_t j = 0; j < m; ++j) {
       double sigma = kernels::gather_sum(dataset.claims.claimants_of(j),

@@ -1,9 +1,9 @@
 #include "eval/table.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <stdexcept>
 
+#include "util/log.h"
 #include "util/string_util.h"
 
 namespace ss {
@@ -53,10 +53,13 @@ std::string TablePrinter::to_string() const {
   return out;
 }
 
-void TablePrinter::print() const { std::fputs(to_string().c_str(), stdout); }
+// Tables and banners are the product on stdout (bench output is parsed
+// downstream); they go through the sanctioned raw sink, not the leveled
+// diagnostic log, so the byte format is unchanged.
+void TablePrinter::print() const { write_stdout(to_string()); }
 
 void print_banner(const std::string& title) {
-  std::printf("\n== %s ==\n", title.c_str());
+  write_stdout(strprintf("\n== %s ==\n", title.c_str()));
 }
 
 }  // namespace ss

@@ -21,14 +21,47 @@
 #include <vector>
 
 namespace ss {
+namespace math {
+
+// Exact IEEE comparison against zero. Floating-point ==/!= is banned in
+// library code (lint rule R4, float-equality) because it silently turns
+// into "compare a rounded result to a constant". The few comparisons
+// that *should* be exact — a sum that is zero only when no term was ever
+// added (cosine_similarity, pearson), a probability that is the literal
+// sentinel 0 rather than a small number (safe_log) — go through this
+// helper so the intent is visible and the linter can tell the sanctioned
+// cases from accidents.
+inline bool exactly_zero(double x) {
+  // ss-lint: allow(float-equality): this helper IS the sanctioned exact-zero compare
+  return x == 0.0;
+}
+
+}  // namespace math
 
 // Natural log of p with p == 0 mapped to -infinity (well-defined in IEEE
 // arithmetic and handled by logsumexp/log1p downstream).
 inline double safe_log(double p) {
   assert(p >= 0.0);
-  if (p == 0.0) return -std::numeric_limits<double>::infinity();
+  if (math::exactly_zero(p)) {
+    return -std::numeric_limits<double>::infinity();
+  }
   return std::log(p);
 }
+
+// log(1 - p) computed as log1p(-p), the cancellation-free form for small
+// p; p == 1 maps to -infinity (IEEE log1p(-1)). The complement-side twin
+// of safe_log: estimator code takes logs of probabilities only through
+// these two entry points (lint rule R1).
+inline double safe_log1m(double p) {
+  assert(p <= 1.0);
+  return std::log1p(-p);
+}
+
+// exp() of a log-space value: the sanctioned conversion from log scale
+// back to linear (lint rule R1 keeps raw std::exp out of estimator
+// code). The caller asserts nothing about the argument — -infinity maps
+// to 0 and large values to +infinity, both well-defined in IEEE.
+inline double from_log(double lx) { return std::exp(lx); }
 
 // log(exp(a) + exp(b)) without overflow/underflow.
 inline double logsumexp(double a, double b) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "math/logprob.h"
+
 namespace ss {
 
 double Matrix::row_sum(std::size_t r) const {
@@ -75,7 +77,10 @@ double cosine_similarity(const std::vector<double>& a,
     aa += a[i] * a[i];
     bb += b[i] * b[i];
   }
-  if (aa == 0.0 || bb == 0.0) return 1.0;
+  // Exact zero is structural here: a sum of squares is 0.0 only when
+  // every entry was exactly 0.0, i.e. the vector has no direction at
+  // all. Tolerance would misclassify genuinely tiny vectors.
+  if (math::exactly_zero(aa) || math::exactly_zero(bb)) return 1.0;
   return ab / std::sqrt(aa * bb);
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "math/logprob.h"
+
 namespace ss {
 
 void StreamingStats::add(double x) {
@@ -91,7 +93,10 @@ double pearson(const std::vector<double>& x, const std::vector<double>& y) {
     sxx += (x[i] - mx) * (x[i] - mx);
     syy += (y[i] - my) * (y[i] - my);
   }
-  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  // Exact zero is structural: a centered sum of squares is 0.0 only
+  // when the series is perfectly constant, where the correlation is
+  // undefined and 0.0 is the conventional answer.
+  if (math::exactly_zero(sxx) || math::exactly_zero(syy)) return 0.0;
   return sxy / std::sqrt(sxx * syy);
 }
 

@@ -1,0 +1,101 @@
+// Clang thread-safety annotations, plus the annotated mutex types the
+// analysis needs to see.
+//
+// Clang's -Wthread-safety verifies lock discipline at compile time: a
+// field marked SS_GUARDED_BY(mu) may only be touched while `mu` is held,
+// a function marked SS_REQUIRES(mu) may only be called with `mu` held,
+// and violations are hard errors under -DSS_THREAD_SAFETY=ON (see the
+// top-level CMakeLists). On GCC — and on clang builds that don't enable
+// the warning — every macro expands to nothing and ss::Mutex/MutexLock
+// compile down to the std types they wrap, so annotated code costs
+// nothing anywhere.
+//
+// Why a Mutex wrapper at all: the analysis only tracks capabilities
+// whose type carries the `capability` attribute. libstdc++'s std::mutex
+// does not, so std::lock_guard<std::mutex> is invisible to the checker.
+// ss::Mutex is a zero-overhead std::mutex with the attribute, and
+// ss::MutexLock is the annotated scoped lock (holding a
+// std::unique_lock so condition-variable waits still work — see
+// native()).
+//
+// Condition-variable waits: std::condition_variable::wait(lock) is not
+// annotated, which is exactly right — it returns with the lock held
+// again, so the capability state on either side of the call is "held".
+// Write wait loops manually (`while (!pred()) cv.wait(lock.native());`)
+// rather than with a predicate lambda: the analysis checks a lambda
+// body as its own function and cannot see that the wait holds the lock
+// while evaluating the predicate.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define SS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SS_THREAD_ANNOTATION_(x)
+#endif
+
+// Type attribute: this class is a capability (lockable).
+#define SS_CAPABILITY(x) SS_THREAD_ANNOTATION_(capability(x))
+// Type attribute: RAII object that holds a capability for its lifetime.
+#define SS_SCOPED_CAPABILITY SS_THREAD_ANNOTATION_(scoped_lockable)
+// Field attribute: reads/writes require holding the given capability.
+#define SS_GUARDED_BY(x) SS_THREAD_ANNOTATION_(guarded_by(x))
+// Field attribute: the *pointee* is guarded, the pointer itself is not.
+#define SS_PT_GUARDED_BY(x) SS_THREAD_ANNOTATION_(pt_guarded_by(x))
+// Function attribute: caller must hold the capabilities on entry.
+#define SS_REQUIRES(...) \
+  SS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+// Function attributes: the function acquires/releases the capabilities.
+#define SS_ACQUIRE(...) \
+  SS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define SS_RELEASE(...) \
+  SS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define SS_TRY_ACQUIRE(...) \
+  SS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+// Function attribute: caller must NOT hold the capabilities (deadlock
+// guard for functions that take the lock themselves).
+#define SS_EXCLUDES(...) SS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// Escape hatch; every use needs a comment saying why.
+#define SS_NO_THREAD_SAFETY_ANALYSIS \
+  SS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace ss {
+
+// std::mutex with the capability attribute, so SS_GUARDED_BY(mu_) and
+// friends can reference it. Same size, same cost.
+class SS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SS_ACQUIRE() { mu_.lock(); }
+  void unlock() SS_RELEASE() { mu_.unlock(); }
+  bool try_lock() SS_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // For APIs that need the raw std::mutex (condition variables).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+// Annotated scoped lock (the std::lock_guard replacement the analysis
+// can follow). Backed by std::unique_lock so a condition variable can
+// wait on it via native(); the wait re-acquires before returning, which
+// keeps the "held for the whole scope" annotation truthful.
+class SS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SS_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() SS_RELEASE() {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace ss

@@ -116,7 +116,7 @@ CheckpointStore::CheckpointStore(std::string path, std::uint64_t kind,
       kind_(kind),
       fingerprint_(fingerprint),
       units_(units) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::error_code ec;
   if (!std::filesystem::exists(path_, ec)) return;
   try {
@@ -151,17 +151,17 @@ bool CheckpointStore::load_locked() {
 }
 
 bool CheckpointStore::has(std::uint64_t unit) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return payloads_.count(unit) != 0;
 }
 
 const std::string& CheckpointStore::payload(std::uint64_t unit) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return payloads_.at(unit);
 }
 
 void CheckpointStore::commit(std::uint64_t unit, std::string payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   payloads_[unit] = std::move(payload);
   BinWriter writer;
   writer.u64(kMagic);
@@ -181,12 +181,12 @@ void CheckpointStore::commit(std::uint64_t unit, std::string payload) {
 }
 
 std::size_t CheckpointStore::completed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return payloads_.size();
 }
 
 void CheckpointStore::remove_file() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::error_code ec;
   std::filesystem::remove(path_, ec);
 }

@@ -19,9 +19,10 @@
 #include <cstdint>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace ss {
 
@@ -77,31 +78,37 @@ class CheckpointStore {
   CheckpointStore(std::string path, std::uint64_t kind,
                   std::uint64_t fingerprint, std::uint64_t units);
 
-  bool has(std::uint64_t unit) const;
-  // Requires has(unit).
-  const std::string& payload(std::uint64_t unit) const;
+  bool has(std::uint64_t unit) const SS_EXCLUDES(mu_);
+  // Requires has(unit). The returned reference stays valid because
+  // payloads are only ever added, never erased or overwritten by a
+  // concurrent committer of a *different* unit (units are distinct work
+  // items), and std::map never invalidates references on insert.
+  const std::string& payload(std::uint64_t unit) const SS_EXCLUDES(mu_);
 
   // Stores the unit's payload and rewrites the file. Thread-safe (EM
   // restarts commit from pool workers). IO failures are swallowed after
   // updating the in-memory map: losing durability degrades resume, it
   // must not kill the computation.
-  void commit(std::uint64_t unit, std::string payload);
+  void commit(std::uint64_t unit, std::string payload) SS_EXCLUDES(mu_);
 
-  std::size_t completed() const;
+  std::size_t completed() const SS_EXCLUDES(mu_);
   bool recovered_corrupt() const { return recovered_corrupt_; }
 
   // Removes the checkpoint file (call after the run completed).
-  void remove_file();
+  void remove_file() SS_EXCLUDES(mu_);
 
  private:
-  bool load_locked();
+  bool load_locked() SS_REQUIRES(mu_);
   std::string path_;
   std::uint64_t kind_;
   std::uint64_t fingerprint_;
   std::uint64_t units_;
+  // Written only inside the constructor (under mu_, before the object
+  // escapes), read-only afterwards — deliberately not guarded so the
+  // accessor stays lock-free.
   bool recovered_corrupt_ = false;
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, std::string> payloads_;
+  mutable Mutex mu_;
+  std::map<std::uint64_t, std::string> payloads_ SS_GUARDED_BY(mu_);
 };
 
 // Order-insensitive-free fingerprint helper: fold `value` into `acc`

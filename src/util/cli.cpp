@@ -1,8 +1,8 @@
 #include "util/cli.h"
 
-#include <cstdio>
 #include <cstdlib>
 
+#include "util/log.h"
 #include "util/string_util.h"
 
 namespace ss {
@@ -128,13 +128,13 @@ void Cli::parse(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      std::fputs(usage().c_str(), stdout);
+      write_stdout(usage());
       std::exit(0);
     }
   }
   std::string error;
   if (!try_parse(argc, argv, &error)) {
-    std::fprintf(stderr, "%s\n%s", error.c_str(), usage().c_str());
+    write_stderr(error + "\n" + usage());
     std::exit(2);
   }
 }

@@ -4,6 +4,7 @@
 #include <limits>
 #include <mutex>
 
+#include "util/annotations.h"
 #include "util/env.h"
 #include "util/rng.h"
 
@@ -23,12 +24,12 @@ struct Injector {
   std::uint64_t committed = 0;
 };
 
-std::mutex g_mu;
-Injector g_injector;
+Mutex g_mu;
+Injector g_injector SS_GUARDED_BY(g_mu);
 std::atomic<bool> g_armed{false};
 std::once_flag g_env_once;
 
-void arm_locked(const FaultConfig& config) {
+void arm_locked(const FaultConfig& config) SS_REQUIRES(g_mu) {
   g_injector.config = config;
   Rng base(config.seed, /*stream=*/0xFA0175);
   g_injector.posterior_rng = base.split(kSitePosterior);
@@ -48,13 +49,13 @@ void init_from_env() {
     config.posterior_nan_rate = env_double("SS_FAULT_NAN_RATE", 0.02);
     config.task_drop_rate = env_double("SS_FAULT_DROP_RATE", 0.0);
     config.kill_after_units = env_int("SS_FAULT_KILL_AFTER", -1);
-    std::lock_guard<std::mutex> lock(g_mu);
+    MutexLock lock(g_mu);
     arm_locked(config);
   });
 }
 
 // True when the injection budget allows one more fault; consumes it.
-bool take_injection_budget() {
+bool take_injection_budget() SS_REQUIRES(g_mu) {
   if (g_injector.config.max_injections >= 0 &&
       g_injector.injected >=
           static_cast<std::uint64_t>(g_injector.config.max_injections)) {
@@ -72,29 +73,29 @@ bool armed() {
 }
 
 void arm(const FaultConfig& config) {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   arm_locked(config);
 }
 
 void disarm() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   g_injector.config = FaultConfig{};
   g_armed.store(false, std::memory_order_release);
 }
 
 std::uint64_t injected_count() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   return g_injector.injected;
 }
 
 std::uint64_t committed_units() {
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   return g_injector.committed;
 }
 
 void maybe_corrupt_posterior(std::vector<double>& posterior) {
   if (!armed() || posterior.empty()) return;
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   double rate = g_injector.config.posterior_nan_rate;
   if (rate <= 0.0 || !g_injector.posterior_rng.bernoulli(rate)) return;
   if (!take_injection_budget()) return;
@@ -106,7 +107,7 @@ void maybe_corrupt_posterior(std::vector<double>& posterior) {
 void maybe_drop_task() {
   if (!armed()) return;
   {
-    std::lock_guard<std::mutex> lock(g_mu);
+    MutexLock lock(g_mu);
     double rate = g_injector.config.task_drop_rate;
     if (rate <= 0.0 || !g_injector.task_rng.bernoulli(rate)) return;
     if (!take_injection_budget()) return;
@@ -117,7 +118,7 @@ void maybe_drop_task() {
 void unit_committed() {
   if (!armed()) return;
   {
-    std::lock_guard<std::mutex> lock(g_mu);
+    MutexLock lock(g_mu);
     ++g_injector.committed;
     long long kill_after = g_injector.config.kill_after_units;
     if (kill_after < 0 ||

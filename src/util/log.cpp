@@ -5,7 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/annotations.h"
 
 namespace ss {
 namespace {
@@ -42,14 +43,24 @@ void set_log_level(LogLevel level) {
   level_storage().store(level, std::memory_order_relaxed);
 }
 
+void write_stdout(const std::string& text) {
+  std::fwrite(text.data(), 1, text.size(), stdout);
+}
+
+void write_stderr(const std::string& text) {
+  std::fwrite(text.data(), 1, text.size(), stderr);
+}
+
 void log_emit(LogLevel level, const std::string& message) {
-  static std::mutex mu;
+  // Serializes writers so concurrent log lines never interleave; the
+  // guarded resource is the stderr stream itself.
+  static Mutex mu;
   using clock = std::chrono::system_clock;
   auto now = clock::now();
   auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                 now.time_since_epoch())
                 .count();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   std::fprintf(stderr, "[%lld.%03lld %s] %s\n",
                static_cast<long long>(ms / 1000),
                static_cast<long long>(ms % 1000), tag(level),

@@ -18,6 +18,17 @@ void set_log_level(LogLevel level);
 // Internal: emits one formatted line (timestamp, level tag, message).
 void log_emit(LogLevel level, const std::string& message);
 
+// Product-output sinks: exactly the bytes given, no timestamp or level
+// decoration. Bench tables and CLI usage text go to the user through
+// these instead of touching stdio directly (lint rule R3 keeps
+// stdout/stderr writes out of library code), so this file stays the one
+// place that owns the process's output streams. write_stdout is for
+// output that IS the product (tables, reports); write_stderr for
+// user-facing prose that must not pollute machine-parsed stdout (usage
+// errors).
+void write_stdout(const std::string& text);
+void write_stderr(const std::string& text);
+
 namespace detail {
 
 class LogLine {

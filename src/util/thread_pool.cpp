@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push(std::move(task));
   }
   cv_.notify_one();
@@ -41,8 +41,12 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Manual wait loop: the thread-safety analysis checks a predicate
+      // lambda as its own (lock-free) function, while cv_.wait holds
+      // mu_ around this loop body the same way the predicate overload
+      // would.
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock.native());
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -59,10 +63,11 @@ namespace {
 struct ChunkJob {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable cv;
-  std::exception_ptr error;
-  std::size_t error_chunk = std::numeric_limits<std::size_t>::max();
+  std::exception_ptr error SS_GUARDED_BY(mu);
+  std::size_t error_chunk SS_GUARDED_BY(mu) =
+      std::numeric_limits<std::size_t>::max();
   const std::function<void(std::size_t, std::size_t, std::size_t)>* body =
       nullptr;
   std::size_t count = 0;
@@ -86,14 +91,14 @@ struct ChunkJob {
         fault::maybe_drop_task();
         (*body)(c, begin, end);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (c < error_chunk) {
           error_chunk = c;
           error = std::current_exception();
         }
       }
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == chunks) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         cv.notify_all();
       }
     }
@@ -129,13 +134,15 @@ void ThreadPool::parallel_for_chunks(
   }
   job->drain();
 
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(job->mu);
-    job->cv.wait(lock, [&] {
-      return job->done.load(std::memory_order_acquire) >= job->chunks;
-    });
+    MutexLock lock(job->mu);
+    while (job->done.load(std::memory_order_acquire) < job->chunks) {
+      job->cv.wait(lock.native());
+    }
+    error = job->error;
   }
-  if (job->error) std::rethrow_exception(job->error);
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::parallel_for(

@@ -18,11 +18,12 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace ss {
 
@@ -98,13 +99,13 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void enqueue(std::function<void()> task);
+  void enqueue(std::function<void()> task) SS_EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
+  Mutex mu_;
+  std::queue<std::function<void()>> queue_ SS_GUARDED_BY(mu_);
   std::condition_variable cv_;
-  bool stop_ = false;
+  bool stop_ SS_GUARDED_BY(mu_) = false;
 };
 
 // Number of worker threads benches should use: SS_THREADS env override,

@@ -1,0 +1,8 @@
+// Lint fixture: must fire raw-log-exp (R1) on line 6 and nothing else.
+#include <cmath>
+
+namespace demo {
+
+inline double log_likelihood(double p) { return std::log(p); }
+
+}  // namespace demo

@@ -1,0 +1,11 @@
+// Lint fixture: must fire rng-engine (R2) on line 7 and nothing else.
+#include <random>
+
+namespace demo {
+
+inline unsigned draw() {
+  std::mt19937 gen(42u);
+  return gen();
+}
+
+}  // namespace demo

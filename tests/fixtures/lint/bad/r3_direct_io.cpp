@@ -1,0 +1,10 @@
+// Lint fixture: must fire direct-io (R3) on line 7 and nothing else.
+#include <cstdio>
+
+namespace demo {
+
+inline void emit(double v) {
+  std::printf("%f\n", v);
+}
+
+}  // namespace demo

@@ -1,0 +1,8 @@
+// Lint fixture: must fire float-equality (R4) on line 5 and nothing else.
+namespace demo {
+
+inline bool converged(double delta) {
+  return delta == 0.0;
+}
+
+}  // namespace demo

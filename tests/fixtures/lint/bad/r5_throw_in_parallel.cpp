@@ -1,0 +1,10 @@
+// Lint fixture: must fire throw-in-parallel (R5) on line 8 and nothing
+// else. Only linted, never compiled, so the free parallel_for is fine.
+#include <cstddef>
+#include <stdexcept>
+
+inline void run(int n) {
+  parallel_for(n, [&](std::size_t i) {
+    if (i == 3u) throw std::runtime_error("boom inside worker");
+  });
+}

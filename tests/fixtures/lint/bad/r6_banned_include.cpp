@@ -1,0 +1,8 @@
+// Lint fixture: must fire banned-include (R6) on lines 3 and 4.
+// Both the static-init-fiasco header and a C-compat header are seeded.
+#include <iostream>
+#include <math.h>
+
+namespace demo {
+inline void noop() {}
+}  // namespace demo

@@ -1,0 +1,9 @@
+// Lint fixture: must fire todo-owner (R6) on lines 4 and 6 only — the
+// owned forms on lines 5 and 7 are fine.
+namespace demo {
+// TODO: assign this cleanup to someone
+// TODO(alice): this one has an owner and must not fire
+// FIXME sharpen the tolerance here
+// FIXME(bob-2): owners may carry digits and dashes
+inline void noop() {}
+}  // namespace demo

@@ -1,0 +1,18 @@
+// Lint fixture: clean under raw-log-exp. Probability math goes through
+// the sanctioned math/logprob.h wrappers, and "std::log(p)" may appear
+// freely in comments and string literals (the scanner scrubs both).
+#include "math/logprob.h"
+
+namespace demo {
+
+inline double log_odds(double p) {
+  const char* note = "std::log(p) here is prose, not a call";
+  (void)note;
+  return ss::safe_log(p) - ss::safe_log1m(p);
+}
+
+/* Even a block comment spanning lines may say std::exp(x)
+   without tripping the rule. */
+inline double back(double lx) { return ss::from_log(lx); }
+
+}  // namespace demo

@@ -1,0 +1,14 @@
+// Lint fixture: clean under rng-engine. All randomness is drawn from
+// the splittable ss::Rng; the word mt19937 in this comment is scrubbed.
+#include "util/rng.h"
+
+namespace demo {
+
+inline double draw(ss::Rng& rng) { return rng.uniform(); }
+
+inline double draw_split(const ss::Rng& rng) {
+  ss::Rng child = rng.split(7);
+  return child.normal();
+}
+
+}  // namespace demo

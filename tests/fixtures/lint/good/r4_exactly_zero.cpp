@@ -1,0 +1,14 @@
+// Lint fixture: clean under float-equality. Exact-zero tests go through
+// math::exactly_zero(); comparing two variables (no literal) and
+// comparing integers are both outside the rule.
+#include "math/logprob.h"
+
+namespace demo {
+
+inline bool is_zero(double x) { return ss::math::exactly_zero(x); }
+
+inline bool same(double a, double b) { return a == b; }
+
+inline bool is_first(int k) { return k == 0; }
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Lint fixture: clean under throw-in-parallel. Worker lambdas report
+// failure through captured status; the throw sits AFTER the dispatch
+// region closes, which the brace tracking must recognise.
+#include <cstddef>
+#include <stdexcept>
+
+inline void run(int n) {
+  bool failed = false;
+  parallel_for(n, [&](std::size_t i) {
+    if (i == 3u) failed = true;
+  });
+  if (failed) {
+    throw std::runtime_error("worker failed");
+  }
+}

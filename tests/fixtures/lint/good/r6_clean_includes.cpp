@@ -1,0 +1,13 @@
+// Lint fixture: clean under banned-include and todo-owner. The <c*>
+// forms of the C headers are fine, and every work marker has an owner.
+// TODO(alice): grow this file as the banned-header catalogue grows.
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace demo {
+inline void noop() {}
+}  // namespace demo

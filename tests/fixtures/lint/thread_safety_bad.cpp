@@ -1,0 +1,27 @@
+// Negative control for the -Wthread-safety gate: writes the guarded
+// field WITHOUT holding the mutex. clang -Wthread-safety
+// -Werror=thread-safety must reject this TU — the try_compile check in
+// tests/CMakeLists.txt fails the configure if it compiles, and the
+// lint_thread_safety_bad ctest is marked WILL_FAIL.
+#include "util/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment_unlocked() {
+    ++value_;  // unguarded write: must be a -Wthread-safety error
+  }
+
+ private:
+  ss::Mutex mu_;
+  int value_ SS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment_unlocked();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Positive control for the -Wthread-safety gate (analysis leg 2; see
+// docs/MODEL.md §11). Every access to the guarded field holds the
+// mutex, so this TU must compile warning-free under
+// clang -Wthread-safety -Werror=thread-safety. Compiled by the
+// try_compile check in tests/CMakeLists.txt and by the
+// lint_thread_safety_good ctest when clang++ is on PATH.
+#include "util/annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void increment() {
+    ss::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value() {
+    ss::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  ss::Mutex mu_;
+  int value_ SS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.increment();
+  return c.value() == 1 ? 0 : 1;
+}

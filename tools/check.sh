@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Static-analysis gate: one entry point for all three legs
+# (docs/MODEL.md §11).
+#
+#   leg 1  ss_lint       project-rule linter over src/
+#   leg 2  -Wthread-safety  clang lock-discipline build (SS_THREAD_SAFETY)
+#   leg 3  clang-tidy    curated .clang-tidy over compile_commands.json
+#
+# Usage: tools/check.sh [build-dir]        (default: ./build)
+#
+# Exit 0 only when every *runnable* leg passes. Legs that need tools the
+# host lacks (clang, clang-tidy) are reported as SKIP — the CI analysis
+# job installs both, so a skip can only happen on a dev box.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+FAIL=0
+
+note() { printf '== %s\n' "$*"; }
+
+# --- leg 1: ss_lint ---------------------------------------------------
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
+  note "configuring $BUILD"
+  cmake -S "$ROOT" -B "$BUILD" >/dev/null || exit 2
+fi
+note "building ss_lint"
+cmake --build "$BUILD" --target ss_lint -j >/dev/null || exit 2
+
+note "leg 1/3: ss_lint over src/"
+if "$BUILD/tools/ss_lint" "$ROOT/src"; then
+  note "ss_lint: PASS"
+else
+  note "ss_lint: FAIL"
+  FAIL=1
+fi
+
+# --- leg 2: clang thread-safety analysis ------------------------------
+note "leg 2/3: clang -Wthread-safety (SS_THREAD_SAFETY=ON)"
+CLANGXX="$(command -v clang++ || true)"
+if [ -n "$CLANGXX" ]; then
+  TSA_BUILD="$BUILD-threadsafety"
+  if cmake -S "$ROOT" -B "$TSA_BUILD" \
+        -DCMAKE_CXX_COMPILER="$CLANGXX" \
+        -DSS_THREAD_SAFETY=ON >/dev/null &&
+     cmake --build "$TSA_BUILD" --target ss_util -j >/dev/null; then
+    note "thread-safety: PASS"
+  else
+    note "thread-safety: FAIL"
+    FAIL=1
+  fi
+else
+  note "thread-safety: SKIP (clang++ not found; CI runs this leg)"
+fi
+
+# --- leg 3: clang-tidy ------------------------------------------------
+note "leg 3/3: clang-tidy (.clang-tidy over compile_commands.json)"
+if command -v clang-tidy >/dev/null; then
+  if [ ! -f "$BUILD/compile_commands.json" ]; then
+    note "clang-tidy: FAIL (no compile_commands.json in $BUILD)"
+    FAIL=1
+  else
+    # Library sources only: bench/ and examples/ are exempt by project
+    # policy, tests live outside the rule set too.
+    if find "$ROOT/src" -name '*.cpp' -print0 |
+        xargs -0 clang-tidy -p "$BUILD" -quiet \
+            -warnings-as-errors='*'; then
+      note "clang-tidy: PASS"
+    else
+      note "clang-tidy: FAIL"
+      FAIL=1
+    fi
+  fi
+else
+  note "clang-tidy: SKIP (not installed; CI runs this leg)"
+fi
+
+if [ "$FAIL" -eq 0 ]; then
+  note "analysis gate: PASS"
+else
+  note "analysis gate: FAIL"
+fi
+exit "$FAIL"

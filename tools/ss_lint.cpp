@@ -1,0 +1,608 @@
+// ss_lint — project-rule linter for the social-sensing library code.
+//
+// Enforces the invariants the engine's correctness rests on but the
+// compiler cannot see (docs/MODEL.md §11 has the full rationale):
+//
+//   raw-log-exp        (R1) no raw std::log/std::exp/std::log1p family
+//                      calls outside src/math/ — probabilities go
+//                      through math/logprob.h / math/kernels.h, which
+//                      own clamping and the log-space conventions.
+//   rng-engine         (R2) no std RNG engines or C rand()/srand()
+//                      outside src/util/rng.* — everything draws from
+//                      the splittable ss::Rng so parallel streams stay
+//                      independent and runs stay reproducible.
+//   direct-io          (R3) no std::cout/std::cerr/printf-family writes
+//                      in library code — diagnostics go through
+//                      util/log.h, product bytes through its
+//                      write_stdout/write_stderr sinks (src/util/log.*
+//                      is the one exempt home).
+//   float-equality     (R4) no ==/!= against floating-point literals —
+//                      the sanctioned exact compares use
+//                      math::exactly_zero().
+//   throw-in-parallel  (R5) no `throw` lexically inside a lambda passed
+//                      to parallel_for / parallel_for_chunks /
+//                      ordered_reduce — a throwing chunk surfaces as
+//                      the *call's* exception; workers report failure
+//                      via Expected<T>/captured status instead.
+//   banned-include     (R6) no <iostream> (static-init fiasco, heavy
+//                      TU cost; the library formats via strprintf), no
+//                      deprecated <strstream>, no C-compat headers
+//                      (<stdio.h> et al — use the <c*> forms).
+//   todo-owner         (R6) no TODO/FIXME/XXX without an owner:
+//                      `TODO(name): ...`.
+//
+// Suppression: append `// ss-lint: allow(<rule>[,<rule>...]): <reason>`
+// to the offending line, or put it alone on the line above. The reason
+// is mandatory — an allow without one is itself a diagnostic
+// (bad-suppression), which is how "every suppression carries a written
+// reason" is enforced rather than hoped for.
+//
+// The scanner is token-level, not a C++ parser: each line is scrubbed
+// of comments and string/char literals (block comments tracked across
+// lines) before the rule patterns run, so banned tokens in prose or
+// test strings don't fire. Raw string literals are treated as ordinary
+// strings — good enough for this codebase, which has none.
+//
+// Usage: ss_lint [--json] [--list-rules] <file-or-dir>...
+// Exit:  0 clean, 1 diagnostics emitted, 2 usage/IO error.
+//
+// Built as C++17 on purpose: the linter must stay buildable by older
+// toolchains in CI images that predate the library's C++20 requirement.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  const char* id;
+  const char* legacy;  // issue-tracker shorthand (R1..R6)
+  const char* summary;
+};
+
+const RuleInfo kRules[] = {
+    {"raw-log-exp", "R1",
+     "raw std::log/exp family outside src/math/; use math/logprob.h"},
+    {"rng-engine", "R2",
+     "std RNG engine or rand() outside src/util/rng.*; use ss::Rng"},
+    {"direct-io", "R3",
+     "direct stdout/stderr write in library code; use util/log.h sinks"},
+    {"float-equality", "R4",
+     "==/!= against a float literal; use math::exactly_zero()"},
+    {"throw-in-parallel", "R5",
+     "throw inside a parallel worker lambda; use captured-status"},
+    {"banned-include", "R6",
+     "banned header (<iostream>, <strstream>, C-compat <*.h>)"},
+    {"todo-owner", "R6",
+     "TODO/FIXME/XXX without an owner: write TODO(name): ..."},
+    {"bad-suppression", "-",
+     "malformed ss-lint comment (unknown rule or missing reason)"},
+};
+
+bool known_rule(const std::string& id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------
+// Line scrubbing: blank out comments and string/char literals so rule
+// patterns only ever see code tokens. Removed characters become spaces
+// (token boundaries survive, columns are irrelevant to the output).
+
+struct ScrubState {
+  bool in_block_comment = false;
+};
+
+std::string scrub_line(const std::string& line, ScrubState& state) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (state.in_block_comment) {
+      if (line.compare(i, 2, "*/") == 0) {
+        state.in_block_comment = false;
+        out += "  ";
+        i += 2;
+      } else {
+        out += ' ';
+        ++i;
+      }
+      continue;
+    }
+    char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      // Line comment: nothing after it is code.
+      out.append(line.size() - i, ' ');
+      break;
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      state.in_block_comment = true;
+      out += "  ";
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      out += ' ';
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          out += "  ";
+          i += 2;
+          continue;
+        }
+        bool closing = line[i] == quote;
+        out += ' ';
+        ++i;
+        if (closing) break;
+      }
+      continue;
+    }
+    out += c;
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Suppressions.
+
+struct Suppression {
+  std::set<std::string> rules;
+  bool valid = true;
+  std::string error;
+};
+
+// Parses `ss-lint: allow(a,b): reason` out of a raw line, if present.
+// Returns true when the marker exists (even malformed — the caller
+// reports malformed markers as bad-suppression diagnostics).
+bool parse_suppression(const std::string& raw, Suppression& out) {
+  const std::string marker = "ss-lint:";
+  std::size_t at = raw.find(marker);
+  if (at == std::string::npos) return false;
+  std::size_t p = at + marker.size();
+  while (p < raw.size() && raw[p] == ' ') ++p;
+  const std::string verb = "allow(";
+  if (raw.compare(p, verb.size(), verb) != 0) {
+    out.valid = false;
+    out.error = "expected `allow(<rule>[,<rule>...]): <reason>`";
+    return true;
+  }
+  p += verb.size();
+  std::size_t close = raw.find(')', p);
+  if (close == std::string::npos) {
+    out.valid = false;
+    out.error = "unterminated allow(...)";
+    return true;
+  }
+  std::string list = raw.substr(p, close - p);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    std::string id = list.substr(
+        start, comma == std::string::npos ? std::string::npos
+                                          : comma - start);
+    // Trim.
+    while (!id.empty() && id.front() == ' ') id.erase(id.begin());
+    while (!id.empty() && id.back() == ' ') id.pop_back();
+    if (id.empty()) {
+      out.valid = false;
+      out.error = "empty rule id in allow(...)";
+      return true;
+    }
+    if (!known_rule(id) || id == "bad-suppression") {
+      out.valid = false;
+      out.error = "unknown rule `" + id + "` in allow(...)";
+      return true;
+    }
+    out.rules.insert(id);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  // The reason is mandatory: `): <non-empty text>`.
+  std::size_t after = close + 1;
+  while (after < raw.size() && raw[after] == ' ') ++after;
+  if (after >= raw.size() || raw[after] != ':') {
+    out.valid = false;
+    out.error = "missing `: <reason>` after allow(...)";
+    return true;
+  }
+  ++after;
+  while (after < raw.size() && raw[after] == ' ') ++after;
+  if (after >= raw.size()) {
+    out.valid = false;
+    out.error = "empty suppression reason — say why the rule is wrong here";
+    return true;
+  }
+  return true;
+}
+
+// True when the raw line holds nothing but the comment (so the
+// suppression targets the *next* line).
+bool comment_only_line(const std::string& raw) {
+  std::size_t i = 0;
+  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+  return raw.compare(i, 2, "//") == 0;
+}
+
+// ---------------------------------------------------------------------
+// Path scoping.
+
+std::string normalize(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+bool in_dir(const std::string& path, const char* dir) {
+  // Matches "<...>/<dir>/..." or a path that starts with "<dir>/".
+  std::string needle = std::string("/") + dir + "/";
+  if (path.find(needle) != std::string::npos) return true;
+  return path.rfind(std::string(dir) + "/", 0) == 0;
+}
+
+bool file_is(const std::string& path, const char* stem) {
+  // Matches "<...>/<stem>.<ext>" for any extension.
+  std::size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  std::string prefix = std::string(stem) + ".";
+  return base.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------
+// The scanner.
+
+class FileScanner {
+ public:
+  FileScanner(std::string path, std::vector<Diagnostic>& sink)
+      : path_(normalize(std::move(path))),
+        sink_(sink),
+        exempt_math_(in_dir(path_, "math")),
+        exempt_rng_(file_is(path_, "rng") && in_dir(path_, "util")),
+        exempt_log_(file_is(path_, "log") && in_dir(path_, "util")) {}
+
+  bool scan() {
+    std::ifstream in(path_);
+    if (!in) return false;
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(in, raw)) {
+      ++lineno;
+      step(raw, lineno);
+    }
+    return true;
+  }
+
+ private:
+  void diag(std::size_t line, const char* rule, std::string message) {
+    if (pending_.count(std::string(rule)) &&
+        pending_line_ == line) {
+      return;  // suppressed for this line
+    }
+    sink_.push_back({path_, line, rule, std::move(message)});
+  }
+
+  void step(const std::string& raw, std::size_t lineno) {
+    // Suppressions first: they live in comments, which scrubbing eats.
+    Suppression sup;
+    if (parse_suppression(raw, sup)) {
+      if (!sup.valid) {
+        sink_.push_back({path_, lineno, "bad-suppression", sup.error});
+      } else if (comment_only_line(raw)) {
+        pending_ = sup.rules;
+        pending_line_ = lineno + 1;
+      } else {
+        pending_ = sup.rules;
+        pending_line_ = lineno;
+      }
+    } else if (pending_line_ < lineno) {
+      pending_.clear();
+    }
+
+    check_todo(raw, lineno);
+    check_banned_include(raw, lineno);
+
+    std::string code = scrub_line(raw, scrub_);
+    check_raw_log_exp(code, lineno);
+    check_rng_engine(code, lineno);
+    check_direct_io(code, lineno);
+    check_float_equality(code, lineno);
+    check_throw_in_parallel(code, lineno);
+  }
+
+  void check_todo(const std::string& raw, std::size_t lineno) {
+    static const std::regex re(
+        R"(\b(TODO|FIXME|XXX)\b(\s*\(\s*[A-Za-z0-9_.\- ]+\s*\))?)");
+    for (auto it = std::sregex_iterator(raw.begin(), raw.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      if ((*it)[2].matched) continue;  // has an owner
+      diag(lineno, "todo-owner",
+           (*it)[1].str() + " without an owner; write " +
+               (*it)[1].str() + "(name): ...");
+    }
+  }
+
+  void check_banned_include(const std::string& raw, std::size_t lineno) {
+    static const std::regex re(
+        R"(^\s*#\s*include\s*<(iostream|strstream|stdio\.h|stdlib\.h|string\.h|math\.h|assert\.h|time\.h)>)");
+    std::smatch m;
+    if (!std::regex_search(raw, m, re)) return;
+    std::string header = m[1].str();
+    std::string why =
+        header == "iostream"
+            ? "library code formats via strprintf and util/log.h"
+        : header == "strstream"
+            ? "deprecated since C++98"
+            : "use the <c" + header.substr(0, header.size() - 2) +
+                  "> form";
+    diag(lineno, "banned-include",
+         "banned header <" + header + ">: " + why);
+  }
+
+  void check_raw_log_exp(const std::string& code, std::size_t lineno) {
+    if (exempt_math_) return;
+    static const std::regex re(
+        R"(\bstd::(log|log1p|log2|log10|exp|expm1)\s*\()");
+    std::smatch m;
+    if (!std::regex_search(code, m, re)) return;
+    diag(lineno, "raw-log-exp",
+         "raw std::" + m[1].str() +
+             " outside src/math/; probabilities go through "
+             "math/logprob.h (safe_log/safe_log1m/from_log) or the "
+             "kernel tables");
+  }
+
+  void check_rng_engine(const std::string& code, std::size_t lineno) {
+    if (exempt_rng_) return;
+    static const std::regex re(
+        R"(\bstd::(mt19937(_64)?|minstd_rand0?|default_random_engine|random_device|ranlux(24|48)(_base)?|knuth_b|mersenne_twister_engine|linear_congruential_engine|subtract_with_carry_engine)\b)");
+    static const std::regex c_re(R"((^|[^A-Za-z0-9_])s?rand\s*\()");
+    std::smatch m;
+    if (std::regex_search(code, m, re)) {
+      diag(lineno, "rng-engine",
+           "std::" + m[1].str() +
+               " outside src/util/rng.*; draw from the splittable "
+               "ss::Rng so parallel streams stay reproducible");
+      return;
+    }
+    if (std::regex_search(code, m, c_re)) {
+      diag(lineno, "rng-engine",
+           "C rand()/srand() outside src/util/rng.*; draw from ss::Rng");
+    }
+  }
+
+  void check_direct_io(const std::string& code, std::size_t lineno) {
+    if (exempt_log_) return;
+    static const std::regex stream_re(R"(\bstd::(cout|cerr|clog)\b)");
+    // `:` is allowed before the name so std::printf is caught; strprintf
+    // and vsnprintf stay invisible because their match candidate is
+    // preceded by an identifier character.
+    static const std::regex stdio_re(
+        R"((^|[^A-Za-z0-9_])(printf|fprintf|vfprintf|fputs|fputc|fwrite|puts|putchar|perror)\s*\()");
+    std::smatch m;
+    if (std::regex_search(code, m, stream_re)) {
+      diag(lineno, "direct-io",
+           "std::" + m[1].str() +
+               " in library code; route diagnostics through util/log.h "
+               "(SS_INFO et al) and product bytes through "
+               "write_stdout/write_stderr");
+      return;
+    }
+    if (std::regex_search(code, m, stdio_re)) {
+      diag(lineno, "direct-io",
+           m[2].str() +
+               "() in library code; route diagnostics through "
+               "util/log.h and product bytes through "
+               "write_stdout/write_stderr");
+    }
+  }
+
+  void check_float_equality(const std::string& code, std::size_t lineno) {
+    // A float literal on either side of ==/!=: 0.0, 1., .5, 1e-9, 2.5f.
+    static const std::regex re(
+        R"((==|!=)\s*[+-]?(\d+\.\d*|\.\d+|\d+[eE][+-]?\d+)|([^A-Za-z0-9_.]|^)(\d+\.\d*|\.\d+|\d+[eE][+-]?\d+)[fFlL]?\s*(==|!=))");
+    if (!std::regex_search(code, re)) return;
+    diag(lineno, "float-equality",
+         "==/!= against a float literal; if the exact compare is "
+         "intended, say so with math::exactly_zero()");
+  }
+
+  void check_throw_in_parallel(const std::string& code,
+                               std::size_t lineno) {
+    // Lexical tracking of the brace extent that follows a parallel
+    // dispatch call. Any `throw` in that extent escapes as the
+    // *dispatch call's* exception (the pool reruns every chunk and
+    // rethrows the lowest failing one) — worker bodies must capture
+    // status instead.
+    static const std::regex call_re(
+        R"(\b(parallel_for_chunks|parallel_for|ordered_reduce)\s*\()");
+    static const std::regex throw_re(R"(\bthrow\b)");
+
+    bool inside_body_this_line =
+        depth_ > 0;  // carried over from previous lines
+    std::size_t scan_from = 0;
+    if (depth_ == 0 && !armed_) {
+      std::smatch m;
+      if (std::regex_search(code, m, call_re)) {
+        armed_ = true;
+        scan_from = static_cast<std::size_t>(m.position(0));
+      }
+    }
+    if (armed_ || depth_ > 0) {
+      for (std::size_t i = scan_from; i < code.size(); ++i) {
+        if (code[i] == '{') {
+          ++depth_;
+          armed_ = false;
+          inside_body_this_line = true;
+        } else if (code[i] == '}') {
+          if (depth_ > 0 && --depth_ == 0) {
+            // Region closed; the rest of the line is outside.
+            break;
+          }
+        }
+      }
+      // A dispatch whose statement ended without any brace (e.g. a
+      // function pointer argument) never opened a region.
+      if (armed_ && code.find(';') != std::string::npos) armed_ = false;
+    }
+    if (inside_body_this_line && std::regex_search(code, throw_re)) {
+      diag(lineno, "throw-in-parallel",
+           "throw inside a parallel worker lambda; it escapes as the "
+           "dispatch call's exception — capture an Expected<T>/status "
+           "per chunk instead");
+    }
+  }
+
+  std::string path_;
+  std::vector<Diagnostic>& sink_;
+  bool exempt_math_;
+  bool exempt_rng_;
+  bool exempt_log_;
+  ScrubState scrub_;
+  std::set<std::string> pending_;
+  std::size_t pending_line_ = 0;
+  // throw-in-parallel state.
+  bool armed_ = false;   // saw the call, waiting for the first `{`
+  int depth_ = 0;        // brace depth inside the worker-lambda extent
+};
+
+// ---------------------------------------------------------------------
+
+bool lintable(const std::filesystem::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+int usage() {
+  std::fputs(
+      "usage: ss_lint [--json] [--list-rules] <file-or-dir>...\n"
+      "exit codes: 0 clean, 1 diagnostics, 2 usage/IO error\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool list_rules = false;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      list_rules = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ss_lint: unknown flag %s\n", arg.c_str());
+      return usage();
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+  if (list_rules) {
+    for (const RuleInfo& r : kRules) {
+      std::printf("%-18s %-3s %s\n", r.id, r.legacy, r.summary);
+    }
+    return 0;
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<std::string> files;
+  for (const std::string& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (auto it = std::filesystem::recursive_directory_iterator(
+               input, ec);
+           !ec && it != std::filesystem::recursive_directory_iterator();
+           ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path().string());
+        }
+      }
+    } else if (std::filesystem::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::fprintf(stderr, "ss_lint: no such file or directory: %s\n",
+                   input.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> diags;
+  for (const std::string& file : files) {
+    FileScanner scanner(file, diags);
+    if (!scanner.scan()) {
+      std::fprintf(stderr, "ss_lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+  }
+
+  if (json) {
+    std::string out = "{\"files_scanned\":" +
+                      std::to_string(files.size()) +
+                      ",\"diagnostics\":[";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+      const Diagnostic& d = diags[i];
+      if (i > 0) out += ',';
+      out += "{\"file\":\"" + json_escape(d.file) + "\",\"line\":" +
+             std::to_string(d.line) + ",\"rule\":\"" +
+             json_escape(d.rule) + "\",\"message\":\"" +
+             json_escape(d.message) + "\"}";
+    }
+    out += "]}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    for (const Diagnostic& d : diags) {
+      std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
+                  d.rule.c_str(), d.message.c_str());
+    }
+    if (!diags.empty()) {
+      std::printf("ss_lint: %zu diagnostic%s in %zu file%s scanned\n",
+                  diags.size(), diags.size() == 1 ? "" : "s",
+                  files.size(), files.size() == 1 ? "" : "s");
+    }
+  }
+  return diags.empty() ? 0 : 1;
+}
