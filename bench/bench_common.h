@@ -24,7 +24,15 @@ inline std::string results_dir() {
   return env_string("SS_RESULTS_DIR", "bench_results");
 }
 
+// Provenance block stamped into every record write_result emits: CPU
+// model + feature flags, compiler, and the active kernel backend
+// (docs/MODEL.md §12). Timings are meaningless without the host and
+// backend they were taken on, so the stamp is automatic, not opt-in.
+JsonValue host_metadata();
+
 // Writes `doc` as <results_dir>/<name>.json, creating the directory.
+// A "host" metadata block is added (unless the doc already carries
+// one, so callers can override when replaying foreign results).
 void write_result(const std::string& name, const JsonValue& doc);
 
 // Formats "mean +- ci" cells.

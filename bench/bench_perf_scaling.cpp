@@ -13,11 +13,15 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <thread>
 #include <vector>
 
@@ -30,6 +34,7 @@
 #include "data/io.h"
 #include "math/kernels.h"
 #include "math/logprob.h"
+#include "math/simd/dispatch.h"
 #include "simgen/parametric_gen.h"
 #include "twitter/builder.h"
 #include "twitter/tweet_io.h"
@@ -285,6 +290,13 @@ BaselineEStep baseline_e_step(const Dataset& d, const BaselineLogs& t) {
   return out;
 }
 
+// Restores whatever backend was active when the sweep started, on
+// every exit path.
+struct BackendRestore {
+  simd::Backend prev = simd::active_backend();
+  ~BackendRestore() { simd::force_backend(prev); }
+};
+
 bool bits_equal(const std::vector<double>& a,
                 const std::vector<double>& b) {
   return a.size() == b.size() &&
@@ -406,6 +418,13 @@ KernelRow run_gibbs_weights_workload(std::size_t n, std::size_t sweeps,
 bool run_kernel_sweep(bool check_only) {
   const int reps = env_int("SS_FAST", 0) != 0 ? 5 : 15;
 
+  // This sweep's contract is bitwise identity against the pre-kernel
+  // (PR 3) scalar engine, so both legs run pinned to the scalar
+  // backend regardless of what dispatch would pick; the AVX2-vs-scalar
+  // comparison lives in run_backend_sweep under its ULP contract.
+  BackendRestore restore;
+  simd::force_backend(simd::Backend::kScalar);
+
   // Kirkuk-scale sparse matrix (the acceptance workload) and the dense
   // 200x2000 parametric instance.
   TwitterScenario scenario = scenario_by_name("Kirkuk");
@@ -504,6 +523,426 @@ bool run_kernel_sweep(bool check_only) {
   em_row["provenance"] = "seed commit 98a7192, same container";
   doc["em_ext_full_kirkuk25"] = std::move(em_row);
   ss::bench::write_result("BENCH_PR3", doc);
+  return true;
+}
+
+// ---- Backend axis (PR 6) ------------------------------------------
+//
+// Scalar vs AVX2 through the SAME kernel API (math/kernels.h +
+// math/simd/dispatch.h): each workload runs once pinned to each
+// backend, the outputs are compared under the AVX2 ULP contract
+// (docs/MODEL.md §12) BEFORE any timing, and the speedups + the full
+// ULP ablation land in <results_dir>/BENCH_PR6.json. SS_PERF_CHECK=1
+// runs the agreement checks only — that is the `perf-smoke` leg for
+// this axis. On a host without AVX2+FMA the sweep degrades to a
+// skip-with-note (there is nothing to compare).
+
+struct UlpStats {
+  std::uint64_t max = 0;
+  std::uint64_t p99 = 0;
+  double max_abs_diff = 0.0;
+};
+
+UlpStats ulp_stats(const std::vector<double>& ref,
+                   const std::vector<double>& got) {
+  UlpStats s;
+  std::vector<std::uint64_t> d(ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    d[i] = kernels::ulp_distance(ref[i], got[i]);
+    s.max_abs_diff = std::max(s.max_abs_diff, std::abs(ref[i] - got[i]));
+  }
+  if (d.empty()) return s;
+  std::sort(d.begin(), d.end());
+  s.max = d.back();
+  s.p99 = d[(d.size() * 99) / 100];
+  return s;
+}
+
+JsonValue ulp_json(const UlpStats& s) {
+  JsonValue v = JsonValue::object();
+  v["ulp_max"] = static_cast<std::size_t>(s.max);
+  v["ulp_p99"] = static_cast<std::size_t>(s.p99);
+  v["max_abs_diff"] = s.max_abs_diff;
+  return v;
+}
+
+// Overlap of the top-k index sets when ranking by score descending.
+std::size_t topk_overlap(const std::vector<double>& a,
+                         const std::vector<double>& b, std::size_t k) {
+  auto top = [&](const std::vector<double>& v) {
+    std::vector<std::size_t> idx(v.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    std::partial_sort(idx.begin(), idx.begin() + std::min(k, idx.size()),
+                      idx.end(), [&](std::size_t x, std::size_t y) {
+                        return v[x] > v[y];
+                      });
+    idx.resize(std::min(k, idx.size()));
+    std::sort(idx.begin(), idx.end());
+    return idx;
+  };
+  std::vector<std::size_t> ta = top(a), tb = top(b);
+  std::vector<std::size_t> both;
+  std::set_intersection(ta.begin(), ta.end(), tb.begin(), tb.end(),
+                        std::back_inserter(both));
+  return both.size();
+}
+
+struct BackendRow {
+  const char* workload;
+  double scalar_ms = 0.0;
+  double avx2_ms = 0.0;
+  UlpStats ulp;       // primary output array (posterior / weights)
+  UlpStats ulp_ll;    // column log-likelihood terms, when applicable
+  bool has_ll = false;
+};
+
+// One fused E-step per backend on the same dataset+params; the table
+// build runs under the same backend (it is part of the contract being
+// ablated) but is hoisted out of the timed region, as the estimators
+// do per iteration.
+BackendRow backend_e_step_workload(const char* name, const Dataset& d,
+                                   const ModelParams& params, int reps,
+                                   bool check_only, bool& agree) {
+  BackendRow row;
+  row.workload = name;
+  row.has_ll = true;
+  d.partition();
+
+  EStepResult scalar_e, avx2_e;
+  std::vector<double> scalar_ll, avx2_ll;
+
+  simd::force_backend(simd::Backend::kScalar);
+  LikelihoodTable scalar_table(d, params);
+  fused_e_step(scalar_table, nullptr, scalar_e, scalar_ll);
+
+  simd::force_backend(simd::Backend::kAvx2);
+  LikelihoodTable avx2_table(d, params);
+  fused_e_step(avx2_table, nullptr, avx2_e, avx2_ll);
+
+  row.ulp = ulp_stats(scalar_e.posterior, avx2_e.posterior);
+  row.ulp_ll = ulp_stats(scalar_ll, avx2_ll);
+
+  // Agreement gate (the ULP contract, not bit identity): posteriors
+  // are probabilities, so an absolute tolerance is the meaningful
+  // bound; ranking must be preserved at the decision end.
+  std::size_t k = std::min<std::size_t>(50, scalar_e.posterior.size());
+  std::size_t overlap = topk_overlap(scalar_e.log_odds, avx2_e.log_odds, k);
+  bool ok = row.ulp.max_abs_diff < 1e-9 && overlap + 2 >= k;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "FATAL: %s scalar-vs-avx2 disagreement: posterior "
+                 "max|diff|=%.3e top-%zu overlap=%zu\n",
+                 name, row.ulp.max_abs_diff, k, overlap);
+    agree = false;
+    return row;
+  }
+  if (check_only) return row;
+
+  constexpr int kInner = 16;
+  EStepResult e;
+  std::vector<double> col_ll;
+  simd::force_backend(simd::Backend::kScalar);
+  row.scalar_ms = min_wall_ms(reps, [&] {
+    for (int i = 0; i < kInner; ++i) {
+      fused_e_step(scalar_table, nullptr, e, col_ll);
+      benchmark::DoNotOptimize(e.log_likelihood);
+    }
+  }) / kInner;
+  simd::force_backend(simd::Backend::kAvx2);
+  row.avx2_ms = min_wall_ms(reps, [&] {
+    for (int i = 0; i < kInner; ++i) {
+      fused_e_step(avx2_table, nullptr, e, col_ll);
+      benchmark::DoNotOptimize(e.log_likelihood);
+    }
+  }) / kInner;
+  return row;
+}
+
+// The Gibbs hot pair under each backend: one weight build + `sweeps`
+// full-state refreshes (same shape as run_gibbs_weights_workload's
+// kernel leg).
+BackendRow backend_gibbs_workload(std::size_t n, std::size_t sweeps,
+                                  int reps, bool check_only, bool& agree) {
+  BackendRow row;
+  row.workload = "gibbs_state_refresh";
+  Rng rng(21);
+  std::vector<double> p1(n), p0(n);
+  std::vector<char> bits(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p1[i] = std::clamp(rng.uniform(0.0, 1.0), 1e-12, 1.0 - 1e-12);
+    p0[i] = std::clamp(rng.uniform(0.0, 1.0), 1e-12, 1.0 - 1e-12);
+    bits[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  auto run_leg = [&]() {
+    double acc = 0.0;
+    kernels::SweepWeightsTable w;
+    w.build(p1, p0);
+    std::vector<char> state = bits;
+    for (std::size_t s = 0; s < sweeps; ++s) {
+      state[s % n] ^= 1;
+      kernels::LogPair lp = w.sum_state_logs(state);
+      acc += lp.t - lp.f;
+    }
+    return acc;
+  };
+
+  simd::force_backend(simd::Backend::kScalar);
+  double scalar_acc = run_leg();
+  std::vector<kernels::SweepWeights> scalar_w;
+  kernels::build_sweep_weights(p1, p0, scalar_w);
+
+  simd::force_backend(simd::Backend::kAvx2);
+  double avx2_acc = run_leg();
+  std::vector<kernels::SweepWeights> avx2_w;
+  kernels::build_sweep_weights(p1, p0, avx2_w);
+
+  auto flat = [](const std::vector<kernels::SweepWeights>& w) {
+    std::vector<double> out;
+    out.reserve(w.size() * 4);
+    for (const kernels::SweepWeights& s : w) {
+      out.push_back(s.log_t1);
+      out.push_back(s.log_t1n);
+      out.push_back(s.log_f1);
+      out.push_back(s.log_f1n);
+    }
+    return out;
+  };
+  row.ulp = ulp_stats(flat(scalar_w), flat(avx2_w));
+  // The accumulated sweep statistic: `sweeps` reassociated sums of n
+  // log weights each. Relative agreement is the meaningful check.
+  double denom = std::max(1.0, std::abs(scalar_acc));
+  if (std::abs(scalar_acc - avx2_acc) / denom > 1e-9) {
+    std::fprintf(stderr,
+                 "FATAL: gibbs refresh scalar-vs-avx2 disagreement: "
+                 "%.17g vs %.17g\n",
+                 scalar_acc, avx2_acc);
+    agree = false;
+    return row;
+  }
+  if (check_only) return row;
+
+  simd::force_backend(simd::Backend::kScalar);
+  row.scalar_ms = min_wall_ms(reps, [&] {
+    benchmark::DoNotOptimize(run_leg());
+  });
+  simd::force_backend(simd::Backend::kAvx2);
+  row.avx2_ms = min_wall_ms(reps, [&] {
+    benchmark::DoNotOptimize(run_leg());
+  });
+  return row;
+}
+
+// Batched ExtLogTable build (the once-per-EM-iteration transcendental
+// block) under each backend.
+BackendRow backend_table_workload(const ModelParams& params, int reps,
+                                  bool check_only, bool& agree) {
+  BackendRow row;
+  row.workload = "ext_table_build";
+  const std::size_t n = params.source.size();
+  auto rates = [&](std::size_t i) {
+    const SourceParams& s = params.source[i];
+    return std::array<double, 4>{clamp_prob(s.a), clamp_prob(s.b),
+                                 clamp_prob(s.f), clamp_prob(s.g)};
+  };
+  auto flat = [n](const kernels::ExtLogTable& t) {
+    std::vector<double> out;
+    out.reserve(6 * n + 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(t.exposed_silent()[i].t);
+      out.push_back(t.exposed_silent()[i].f);
+      out.push_back(t.claim_indep()[i].t);
+      out.push_back(t.claim_indep()[i].f);
+      out.push_back(t.claim_dep()[i].t);
+      out.push_back(t.claim_dep()[i].f);
+    }
+    out.push_back(t.base().t);
+    out.push_back(t.base().f);
+    return out;
+  };
+
+  kernels::ExtLogTable table;
+  simd::force_backend(simd::Backend::kScalar);
+  table.build(n, 0.5, rates);
+  std::vector<double> scalar_flat = flat(table);
+  simd::force_backend(simd::Backend::kAvx2);
+  table.build(n, 0.5, rates);
+  std::vector<double> avx2_flat = flat(table);
+  row.ulp = ulp_stats(scalar_flat, avx2_flat);
+  if (row.ulp.max_abs_diff > 1e-9) {
+    std::fprintf(stderr,
+                 "FATAL: ext table build scalar-vs-avx2 disagreement: "
+                 "max|diff|=%.3e\n",
+                 row.ulp.max_abs_diff);
+    agree = false;
+    return row;
+  }
+  if (check_only) return row;
+
+  constexpr int kInner = 8;
+  simd::force_backend(simd::Backend::kScalar);
+  row.scalar_ms = min_wall_ms(reps, [&] {
+    for (int i = 0; i < kInner; ++i) {
+      table.build(n, 0.5, rates);
+      benchmark::DoNotOptimize(table.base());
+    }
+  }) / kInner;
+  simd::force_backend(simd::Backend::kAvx2);
+  row.avx2_ms = min_wall_ms(reps, [&] {
+    for (int i = 0; i < kInner; ++i) {
+      table.build(n, 0.5, rates);
+      benchmark::DoNotOptimize(table.base());
+    }
+  }) / kInner;
+  return row;
+}
+
+bool run_backend_sweep(bool check_only) {
+  if (!simd::avx2_runtime_supported()) {
+    std::printf("\nBackend sweep skipped: AVX2+FMA not usable on this "
+                "build/host (scalar backend is the only leg).\n");
+    return true;
+  }
+  const int reps = env_int("SS_FAST", 0) != 0 ? 5 : 15;
+  BackendRestore restore;
+
+  TwitterScenario scenario = scenario_by_name("Kirkuk");
+  BuiltDataset kirkuk = make_twitter_dataset(scenario, 42);
+  Rng prng(23);
+  ModelParams kirkuk_params =
+      random_init_params(kirkuk.dataset.source_count(), prng);
+  Rng rng(8);
+  SimInstance dense =
+      generate_parametric(SimKnobs::paper_defaults(200, 2000), rng);
+
+  bool agree = true;
+  std::vector<BackendRow> rows;
+  rows.push_back(backend_e_step_workload("e_step_kirkuk", kirkuk.dataset,
+                                         kirkuk_params, reps, check_only,
+                                         agree));
+  rows.push_back(backend_e_step_workload("e_step_dense_200x2000",
+                                         dense.dataset, dense.true_params,
+                                         reps, check_only, agree));
+  rows.push_back(backend_gibbs_workload(200, check_only ? 64 : 2000, reps,
+                                        check_only, agree));
+  rows.push_back(
+      backend_table_workload(kirkuk_params, reps, check_only, agree));
+
+  std::printf("\nScalar vs AVX2 backend (%s)\n",
+              check_only ? "ULP agreement check only"
+                         : "min-of-reps wall ms, serial");
+  std::printf("%26s %12s %10s %9s %8s %8s\n", "workload", "scalar_ms",
+              "avx2_ms", "speedup", "ulp_max", "ulp_p99");
+  for (const BackendRow& row : rows) {
+    double speedup =
+        row.avx2_ms > 0.0 ? row.scalar_ms / row.avx2_ms : 0.0;
+    std::printf("%26s %12.4f %10.4f %8.2fx %8llu %8llu\n", row.workload,
+                row.scalar_ms, row.avx2_ms, speedup,
+                static_cast<unsigned long long>(row.ulp.max),
+                static_cast<unsigned long long>(row.ulp.p99));
+  }
+  if (!agree) {
+    std::fprintf(stderr, "FATAL: AVX2 backend broke the ULP/agreement "
+                         "contract; see diagnostics above\n");
+    return false;
+  }
+
+  // End-to-end estimator agreement: full EM-Ext on Kirkuk@0.25 under
+  // each backend. The backends follow different optimization paths, so
+  // the check is decision-level: beliefs, ranking and the learned
+  // source reliabilities must agree to far below any threshold the
+  // evaluation uses.
+  TwitterScenario quarter = scenario_by_name("Kirkuk").scaled(0.25);
+  BuiltDataset built25 = make_twitter_dataset(quarter, 42);
+  built25.dataset.partition();
+  simd::force_backend(simd::Backend::kScalar);
+  EmExtResult scalar_em = EmExtEstimator().run_detailed(built25.dataset, 1);
+  simd::force_backend(simd::Backend::kAvx2);
+  EmExtResult avx2_em = EmExtEstimator().run_detailed(built25.dataset, 1);
+
+  UlpStats belief_ulp =
+      ulp_stats(scalar_em.estimate.belief, avx2_em.estimate.belief);
+  std::size_t k =
+      std::min<std::size_t>(30, scalar_em.estimate.belief.size());
+  std::size_t overlap = topk_overlap(scalar_em.estimate.log_odds,
+                                     avx2_em.estimate.log_odds, k);
+  double reliability_diff = 0.0;
+  for (std::size_t i = 0; i < scalar_em.params.source.size(); ++i) {
+    reliability_diff = std::max(
+        reliability_diff, std::abs(scalar_em.params.source[i].a -
+                                   avx2_em.params.source[i].a));
+    reliability_diff = std::max(
+        reliability_diff, std::abs(scalar_em.params.source[i].b -
+                                   avx2_em.params.source[i].b));
+  }
+  std::printf("%26s belief max|diff|=%.3e top-%zu overlap=%zu "
+              "reliability max|diff|=%.3e\n",
+              "em_ext_kirkuk25_e2e", belief_ulp.max_abs_diff, k, overlap,
+              reliability_diff);
+  if (belief_ulp.max_abs_diff > 1e-6 || overlap + 1 < k ||
+      reliability_diff > 1e-6) {
+    std::fprintf(stderr, "FATAL: end-to-end EM-Ext scalar-vs-avx2 "
+                         "disagreement exceeds tolerance\n");
+    return false;
+  }
+  if (check_only) {
+    std::printf("backend outputs agree within the ULP contract; timing "
+                "skipped (SS_PERF_CHECK=1)\n");
+    return true;
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc["bench"] = "BENCH_PR6";
+  doc["reps"] = static_cast<std::size_t>(reps);
+  doc["note"] =
+      "AVX2 backend vs scalar backend through the same kernel API "
+      "(runtime dispatch, SS_KERNEL_BACKEND override). Scalar leg is "
+      "bit-identical to the PR 3 kernels (run_kernel_sweep asserts "
+      "that separately); the AVX2 leg is held to a ULP contract — "
+      "partial-sum chains in the gathers/refresh, polynomial "
+      "exp/log/log1p in the epilogues and table builds. ULP columns "
+      "are measured against the scalar outputs of the same workload. "
+      "Targets: >= 2x on e_step_dense_200x2000 and "
+      "gibbs_state_refresh.";
+  doc["target_workloads"] = [] {
+    JsonValue a = JsonValue::array();
+    a.push_back("e_step_dense_200x2000");
+    a.push_back("gibbs_state_refresh");
+    return a;
+  }();
+  doc["target_min_speedup"] = 2.0;
+  doc["kirkuk_sources"] =
+      static_cast<std::size_t>(kirkuk.dataset.source_count());
+  doc["kirkuk_claims"] =
+      static_cast<std::size_t>(kirkuk.dataset.claims.claim_count());
+  JsonValue out_rows = JsonValue::array();
+  for (const BackendRow& row : rows) {
+    JsonValue r = JsonValue::object();
+    r["workload"] = row.workload;
+    r["scalar_ms"] = row.scalar_ms;
+    r["avx2_ms"] = row.avx2_ms;
+    r["speedup"] =
+        row.avx2_ms > 0.0 ? row.scalar_ms / row.avx2_ms : 0.0;
+    r["ulp"] = ulp_json(row.ulp);
+    if (row.has_ll) r["ulp_column_ll"] = ulp_json(row.ulp_ll);
+    out_rows.push_back(std::move(r));
+  }
+  doc["rows"] = std::move(out_rows);
+  JsonValue e2e = JsonValue::object();
+  e2e["workload"] = "em_ext_full_kirkuk25";
+  e2e["belief_max_abs_diff"] = belief_ulp.max_abs_diff;
+  e2e["belief_ulp_max"] = static_cast<std::size_t>(belief_ulp.max);
+  e2e["top_k"] = k;
+  e2e["top_k_overlap"] = overlap;
+  e2e["reliability_max_abs_diff"] = reliability_diff;
+  e2e["tolerances"] = [] {
+    JsonValue t = JsonValue::object();
+    t["belief_max_abs_diff"] = 1e-6;
+    t["reliability_max_abs_diff"] = 1e-6;
+    t["top_k_overlap_slack"] = static_cast<std::size_t>(1);
+    return t;
+  }();
+  doc["em_ext_e2e"] = std::move(e2e);
+  ss::bench::write_result("BENCH_PR6", doc);
   return true;
 }
 
@@ -653,9 +1092,12 @@ int main(int argc, char** argv) {
   // timing, no JSON. This is what the `perf-smoke` ctest label runs.
   if (env_int("SS_PERF_CHECK", 0) != 0) {
     std::printf("==============================================\n");
-    std::printf("Kernel identity check (SS_PERF_CHECK=1)\n");
+    std::printf("Kernel identity + backend agreement check "
+                "(SS_PERF_CHECK=1)\n");
     std::printf("==============================================\n");
-    return run_kernel_sweep(/*check_only=*/true) ? 0 : 1;
+    bool ok = run_kernel_sweep(/*check_only=*/true);
+    ok = run_backend_sweep(/*check_only=*/true) && ok;
+    return ok ? 0 : 1;
   }
   std::printf("==============================================\n");
   std::printf("Performance scaling — likelihood columns, EM-Ext\n");
@@ -665,6 +1107,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (!run_kernel_sweep(/*check_only=*/false)) return 1;
+  if (!run_backend_sweep(/*check_only=*/false)) return 1;
   run_thread_sweep();
   run_ingestion_sweep();
   return 0;

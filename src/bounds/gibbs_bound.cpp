@@ -169,11 +169,12 @@ double cross_chain_r_hat(const std::vector<ChainRun>& runs) {
 }
 
 // Full-state refresh from the hoisted sweep weights: same logs, same
-// source-order summation as the per-source loop it replaces.
-void refresh_logs(const std::vector<kernels::SweepWeights>& weights,
+// source-order summation as the per-source loop it replaces (on the
+// scalar backend; the AVX2 backend runs the table's packed refresh
+// under its ULP contract).
+void refresh_logs(const kernels::SweepWeightsTable& weights,
                   ChainState& state) {
-  kernels::LogPair sums =
-      kernels::sum_state_logs(state.bits, weights.data());
+  kernels::LogPair sums = weights.sum_state_logs(state.bits);
   state.log_true = sums.t;
   state.log_false = sums.f;
 }
@@ -185,7 +186,7 @@ void refresh_logs(const std::vector<kernels::SweepWeights>& weights,
 // by gibbs_bound() and shared across chains (the pre-kernel sweep paid
 // four transcendentals per source per sweep for the same values).
 ChainRun run_chain(const ColumnModel& model,
-                   const std::vector<kernels::SweepWeights>& weights,
+                   const kernels::SweepWeightsTable& weights,
                    const std::vector<double>& marginal, Rng rng,
                    const GibbsBoundConfig& config) {
   std::size_t n = model.source_count();
@@ -319,9 +320,8 @@ GibbsBoundResult gibbs_bound(const ColumnModel& model, std::uint64_t seed,
   // Chain-constant per-source terms, hoisted once and shared by every
   // chain: the sweep-loop log weights and the prior-mixture claim
   // marginals used for initialization and non-finite recovery redraws.
-  std::vector<kernels::SweepWeights> weights;
-  kernels::build_sweep_weights(clamped.p_claim_true,
-                               clamped.p_claim_false, weights);
+  kernels::SweepWeightsTable weights;
+  weights.build(clamped.p_claim_true, clamped.p_claim_false);
   std::vector<double> marginal(clamped.source_count());
   for (std::size_t i = 0; i < marginal.size(); ++i) {
     marginal[i] = clamped.z * clamped.p_claim_true[i] +

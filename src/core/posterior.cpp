@@ -82,43 +82,41 @@ void fused_e_step(const LikelihoodTable& table, ThreadPool* pool,
   auto gather_pass = [&](std::size_t, std::size_t begin, std::size_t end) {
     table.prior_columns(begin, end, la_buf, lb_buf);
   };
-  // Epilogue over [begin, end), continuing the log-likelihood add chain
-  // from `running` in assertion order (so chunked serial execution sums
-  // exactly like one flat j-loop, and like the parallel slot sum).
-  auto epilogue_pass = [&](std::size_t begin, std::size_t end,
-                           double running) {
-    for (std::size_t j = begin; j < end; ++j) {
-      kernels::ColumnStats s = kernels::finalize_column(la_buf[j], lb_buf[j]);
-      post[j] = s.posterior;
-      la_buf[j] = s.log_odds;
-      lb_buf[j] = s.log_likelihood;
-      running += s.log_likelihood;
-    }
-    return running;
+  // Epilogue over [begin, end): the dispatched batch kernel writes
+  // posterior / log_odds / column_ll in place (note the sanctioned
+  // elementwise aliasing — log_odds == la_buf, column_ll == lb_buf;
+  // kernels::finalize_columns documents it). The block log-likelihoods
+  // stay parked in column_ll_scratch and are summed once, flat, in
+  // assertion order below — the same addition sequence the old
+  // running-accumulator epilogue performed, so the serial scalar path
+  // is bit-identical, and serial/parallel/backends all share one
+  // canonical reduction.
+  auto epilogue_pass = [&](std::size_t begin, std::size_t end) {
+    kernels::finalize_columns(la_buf + begin, lb_buf + begin, end - begin,
+                              post + begin, la_buf + begin,
+                              lb_buf + begin);
   };
   if (pool != nullptr && pool->size() > 1 && m > kColumnGrain) {
     pool->parallel_for_chunks(
         m, kColumnGrain,
         [&](std::size_t, std::size_t begin, std::size_t end) {
           gather_pass(0, begin, end);
-          epilogue_pass(begin, end, 0.0);
+          epilogue_pass(begin, end);
         });
-    // Canonical assertion-order summation, independent of which thread
-    // produced each term.
-    double total = 0.0;
-    for (double v : column_ll_scratch) total += v;
-    out.log_likelihood = total;
   } else {
     // Serial: same chunking, so each block's la/lb intermediates are
     // still L1-resident when the epilogue rereads them.
-    double total = 0.0;
     for (std::size_t begin = 0; begin < m; begin += kColumnGrain) {
       std::size_t end = std::min(begin + kColumnGrain, m);
       gather_pass(0, begin, end);
-      total = epilogue_pass(begin, end, total);
+      epilogue_pass(begin, end);
     }
-    out.log_likelihood = total;
   }
+  // Canonical assertion-order summation, independent of which thread
+  // (or backend lane) produced each term.
+  double total = 0.0;
+  for (double v : column_ll_scratch) total += v;
+  out.log_likelihood = total;
 }
 
 EStepResult fused_e_step(const LikelihoodTable& table, ThreadPool* pool) {

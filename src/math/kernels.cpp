@@ -14,11 +14,71 @@ void build_sweep_weights(std::span<const double> p_claim_true,
   }
   std::size_t n = p_claim_true.size();
   if (out.size() != n) out.resize(n);
+  if (n >= 4 && simd::avx2_active()) {
+    simd::sweep_weights_avx2(n, p_claim_true.data(), p_claim_false.data(),
+                             out.data());
+    return;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     double p1 = p_claim_true[i];
     double p0 = p_claim_false[i];
     out[i] = {std::log(p1), std::log1p(-p1), std::log(p0),
               std::log1p(-p0)};
+  }
+}
+
+void SweepWeightsTable::build(std::span<const double> p_claim_true,
+                              std::span<const double> p_claim_false) {
+  build_sweep_weights(p_claim_true, p_claim_false, records_);
+  // The packed companion only pays off when the masked-sum kernel can
+  // run, so it is built exactly when that kernel would be picked.
+  packed_ = records_.size() >= 8 && simd::avx2_active();
+  if (!packed_) {
+    delta_t_.clear();
+    delta_f_.clear();
+    silent_base_ = {0.0, 0.0};
+    return;
+  }
+  std::size_t n = records_.size();
+  delta_t_.resize(n);
+  delta_f_.resize(n);
+  double base_t = 0.0;
+  double base_f = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SweepWeights& w = records_[i];
+    delta_t_[i] = w.log_t1 - w.log_t1n;
+    delta_f_[i] = w.log_f1 - w.log_f1n;
+    base_t += w.log_t1n;
+    base_f += w.log_f1n;
+  }
+  silent_base_ = {base_t, base_f};
+}
+
+void finalize_columns(const double* la, const double* lb, std::size_t n,
+                      double* posterior, double* log_odds,
+                      double* column_ll) {
+  if (n >= 4 && simd::avx2_active()) {
+    simd::finalize_columns_avx2(la, lb, n, posterior, log_odds, column_ll);
+    return;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    ColumnStats s = finalize_column(la[j], lb[j]);
+    posterior[j] = s.posterior;
+    log_odds[j] = s.log_odds;
+    column_ll[j] = s.log_likelihood;
+  }
+}
+
+void finalize_pairs(const double* la, const double* lb, std::size_t n,
+                    double* posterior, double* log_odds) {
+  if (n >= 4 && simd::avx2_active()) {
+    simd::finalize_pairs_avx2(la, lb, n, posterior, log_odds);
+    return;
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    PairStats s = finalize_pair(la[j], lb[j]);
+    posterior[j] = s.posterior;
+    log_odds[j] = s.log_odds;
   }
 }
 

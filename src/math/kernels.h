@@ -25,37 +25,58 @@
 //    transcendentals per source per sweep);
 //  * gather_sum / gather_mass — the M-step's posterior-mass gathers.
 //
-// Bit-identity contract: every kernel performs exactly the additions of
-// the per-element loop it replaces, in the same order, on the same
-// values — hoisting moves computations, it never reorders floating
-// point. The *_reference functions are the pre-kernel loops kept as the
-// executable specification; tests/test_kernels.cpp asserts optimized ==
-// reference bitwise (ctest label `kernels`), and the perf harness
-// (`bench_perf_scaling`, ctest label `perf-smoke`) times one against the
-// other. The one sanctioned identity beyond "same expression" is IEEE
-// antisymmetry of subtraction under round-to-nearest, fl(b - a) ==
-// -fl(a - b), which lets finalize_* feed sigmoid and logsumexp from a
-// single difference; the reference comparison locks it in.
+// Backends. Each entry point below resolves at runtime to one of two
+// implementations (docs/MODEL.md §12):
+//
+//  * scalar — the loops written inline here. Bit-identity contract:
+//    every scalar kernel performs exactly the additions of the
+//    per-element loop it replaces, in the same order, on the same
+//    values — hoisting moves computations, it never reorders floating
+//    point. The *_reference functions are the pre-kernel loops kept as
+//    the executable specification; tests/test_kernels.cpp asserts
+//    scalar == reference bitwise (ctest label `kernels`) and golden
+//    FNV-1a hashes lock all seven estimators to the pre-kernel bits.
+//    The one sanctioned identity beyond "same expression" is IEEE
+//    antisymmetry of subtraction under round-to-nearest, fl(b - a) ==
+//    -fl(a - b), which lets finalize_* feed sigmoid and logsumexp from
+//    a single difference; the reference comparison locks it in.
+//  * avx2 — vectorized implementations in simd/kernels_avx2.cpp
+//    (AVX2+FMA, selected by CPUID dispatch or SS_KERNEL_BACKEND; see
+//    math/simd/dispatch.h). These ARE allowed to break partial sums
+//    into independent lanes and to evaluate exp/log/log1p by
+//    polynomial, so their results differ from scalar at the ULP level.
+//    The contract is accuracy, not identity: tests/test_simd.cpp
+//    bounds the per-kernel ULP distance against the scalar reference
+//    (ctest label `simd`) and bench_perf_scaling's backend sweep
+//    records the full ULP ablation plus an end-to-end estimator
+//    agreement check in bench_results/.
 //
 // To add a new estimator on the kernel layer: hoist its per-source log
 // terms into a table rebuilt once per iteration (reuse the buffers —
 // build() only allocates when the source count grows), express the
 // inner loops as gathers over the incidence spans, and keep one
 // accumulator per term of the original loop so the addition order is
-// preserved. See docs/MODEL.md §10.
+// preserved. See docs/MODEL.md §10 and — before adding an AVX2
+// counterpart — §12.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <span>
 #include <vector>
 
 #include "math/logprob.h"
+#include "math/simd/dispatch.h"
 
 namespace ss {
 namespace kernels {
+
+// ---------------------------------------------------------------------
+// Value types shared by both backends.
+// ---------------------------------------------------------------------
 
 // One per-source log term under both hypotheses, interleaved so a
 // single gather touches one cache line instead of two.
@@ -64,6 +85,141 @@ struct LogPair {
   double f = 0.0;  // false-hypothesis term
 };
 
+// Posterior mass pair over a claim list (M-step accumulators).
+struct MassPair {
+  double z = 0.0;
+  double y = 0.0;
+};
+
+// Everything the fused E-step needs from one column, given the two
+// prior-weighted log-likelihoods la = lt + log z, lb = lf + log(1-z).
+struct ColumnStats {
+  double posterior = 0.5;       // Eq. 9
+  double log_odds = 0.0;        // la - lb (unsaturated ranking score)
+  double log_likelihood = 0.0;  // logsumexp(la, lb) (Eq. 7 summand)
+};
+
+// Posterior + log-odds only (estimators that do not track the data
+// log-likelihood).
+struct PairStats {
+  double posterior = 0.5;
+  double log_odds = 0.0;
+};
+
+// The Gibbs sampler's per-source log weights — constant over an entire
+// chain, recomputed four-transcendentals-per-source-per-sweep by the
+// pre-kernel sampler. One contiguous record per source keeps the sweep
+// loop a sequential walk (and hands the AVX2 refresh one full 32-byte
+// register per source).
+struct SweepWeights {
+  double log_t1 = 0.0;   // log p(claim | C=1)
+  double log_t1n = 0.0;  // log(1 - p(claim | C=1))
+  double log_f1 = 0.0;   // log p(claim | C=0)
+  double log_f1n = 0.0;  // log(1 - p(claim | C=0))
+};
+
+}  // namespace kernels
+
+// ---------------------------------------------------------------------
+// AVX2 backend entry points, implemented in simd/kernels_avx2.cpp
+// (the only translation unit built with -mavx2 -mfma, and the only
+// place intrinsics are allowed — lint rule R7). The signatures are
+// intrinsic-free on purpose so including this header never drags in
+// <immintrin.h>. Callers never use these directly: the kernels::
+// wrappers below dispatch to them when the avx2 backend is active.
+// ---------------------------------------------------------------------
+namespace simd {
+
+kernels::LogPair gather_add_avx2(kernels::LogPair acc,
+                                 std::span<const std::uint32_t> idx,
+                                 const kernels::LogPair* terms);
+void gather_add2_avx2(kernels::LogPair& acc0,
+                      std::span<const std::uint32_t> idx0,
+                      kernels::LogPair& acc1,
+                      std::span<const std::uint32_t> idx1,
+                      const kernels::LogPair* terms);
+// Precompiled column-pair gather schedule (see LikelihoodTable, which
+// builds these from the dataset structure): `pair_offs` interleaves
+// [col0, col1] byte offsets of 32-byte two-row granules (two adjacent
+// LogPair rows summed into one 256-bit add), `single_offs` of 16-byte
+// one-row granules, both into a caller-concatenated value table whose
+// sentinel rows are zero (so padded slots are no-ops). Sums are
+// grouped per accumulator chain (ULP contract only).
+void gather_schedule_avx2(kernels::LogPair& acc0, kernels::LogPair& acc1,
+                          std::span<const std::uint32_t> pair_offs,
+                          std::span<const std::uint32_t> single_offs,
+                          const double* table);
+kernels::LogPair gather_add_select_avx2(kernels::LogPair acc,
+                                        std::span<const std::uint32_t> idx,
+                                        std::span<const char> flags,
+                                        const kernels::LogPair* indep,
+                                        const kernels::LogPair* dep);
+double gather_sum_avx2(std::span<const std::uint32_t> idx,
+                       const double* values);
+kernels::MassPair gather_mass_avx2(std::span<const std::uint32_t> idx,
+                                   const double* posterior);
+// Batch epilogues; aliasing contract documented on the kernels::
+// wrappers below.
+void finalize_columns_avx2(const double* la, const double* lb,
+                           std::size_t n, double* posterior,
+                           double* log_odds, double* column_ll);
+void finalize_pairs_avx2(const double* la, const double* lb, std::size_t n,
+                         double* posterior, double* log_odds);
+// Table builds over a caller-packed rate scratch: `rates` holds
+// {a, b, f, g} (ext) or {p_true, p_false} (rate) per source,
+// contiguously. `base` is overwritten with the all-silent sums,
+// accumulated in source order.
+void ext_table_rows_avx2(std::size_t n, const double* rates,
+                         kernels::LogPair* exposed_silent,
+                         kernels::LogPair* claim_indep,
+                         kernels::LogPair* claim_dep,
+                         kernels::LogPair* base);
+void rate_table_rows_avx2(std::size_t n, const double* rates,
+                          kernels::LogPair* silent, kernels::LogPair* claim,
+                          kernels::LogPair* base);
+void sweep_weights_avx2(std::size_t n, const double* p_claim_true,
+                        const double* p_claim_false,
+                        kernels::SweepWeights* out);
+kernels::LogPair sum_state_logs_avx2(std::span<const char> bits,
+                                     const kernels::SweepWeights* w);
+// Masked contiguous sums over the packed (SoA) sweep-weight layout:
+// returns { sum_{bits[i]} delta_t[i], sum_{bits[i]} delta_f[i] } — the
+// caller adds the all-silent base sums (see SweepWeightsTable).
+kernels::LogPair sum_packed_state_logs_avx2(std::span<const char> bits,
+                                            const double* delta_t,
+                                            const double* delta_f);
+
+}  // namespace simd
+
+namespace kernels {
+
+// ---------------------------------------------------------------------
+// Backend validation helper: ordered-integer ULP distance. 0 for
+// bitwise-equal values (and for +0.0 vs -0.0, which are adjacent in
+// the ordering but equal as reals — callers that care about the sign
+// of zero should compare bits directly). NaN against anything is
+// "infinitely far". Used by tests/test_simd.cpp and the bench ULP
+// ablation; not a hot-path function.
+// ---------------------------------------------------------------------
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return (std::isnan(a) && std::isnan(b))
+               ? 0
+               : std::numeric_limits<std::uint64_t>::max();
+  }
+  auto ordered = [](double x) {
+    std::int64_t bits;
+    std::memcpy(&bits, &x, sizeof bits);
+    if (bits < 0) bits = std::numeric_limits<std::int64_t>::min() - bits;
+    // Shift the sign-symmetric ordering into unsigned space so the
+    // distance below cannot overflow.
+    return static_cast<std::uint64_t>(bits) + 0x8000000000000000ull;
+  };
+  std::uint64_t ua = ordered(a);
+  std::uint64_t ub = ordered(b);
+  return ua > ub ? ua - ub : ub - ua;
+}
+
 // ---------------------------------------------------------------------
 // Gather kernels: pure adds over incidence spans.
 // ---------------------------------------------------------------------
@@ -71,6 +227,9 @@ struct LogPair {
 // acc += sum_{u in idx} terms[u], both hypotheses per element.
 inline LogPair gather_add(LogPair acc, std::span<const std::uint32_t> idx,
                           const LogPair* terms) {
+  if (idx.size() >= 4 && simd::avx2_active()) {
+    return simd::gather_add_avx2(acc, idx, terms);
+  }
   double at = acc.t;
   double af = acc.f;
   for (std::uint32_t u : idx) {
@@ -86,11 +245,15 @@ inline LogPair gather_add(LogPair acc, std::span<const std::uint32_t> idx,
 // columns, so interleaving them doubles the FP-add ILP the column scan
 // exposes — each chain's own element order is untouched, so both
 // results are bit-identical to two gather_add calls. (This is the
-// allowed form of "unrolling": more *independent* accumulator chains,
-// never extra partial accumulators within one chain.)
+// allowed form of scalar "unrolling": more *independent* accumulator
+// chains, never extra partial accumulators within one chain.)
 inline void gather_add2(LogPair& acc0, std::span<const std::uint32_t> idx0,
                         LogPair& acc1, std::span<const std::uint32_t> idx1,
                         const LogPair* terms) {
+  if (idx0.size() + idx1.size() >= 8 && simd::avx2_active()) {
+    simd::gather_add2_avx2(acc0, idx0, acc1, idx1, terms);
+    return;
+  }
   double a0t = acc0.t, a0f = acc0.f;
   double a1t = acc1.t, a1f = acc1.f;
   const std::size_t n0 = idx0.size();
@@ -119,8 +282,47 @@ inline void gather_add2(LogPair& acc0, std::span<const std::uint32_t> idx0,
   acc1 = {a1t, a1f};
 }
 
+// Executes a precompiled column-pair gather schedule (built by
+// LikelihoodTable from dataset structure): adjacent table rows are
+// fetched as one 32-byte granule, remaining rows as 16-byte granules,
+// all addressed by byte offset into one concatenated value table.
+// Schedules only exist on datasets where the AVX2 column fold applies,
+// so the scalar walk here is a reference implementation for tests, not
+// a production path; it uses the same per-granule grouping as the
+// vector kernel's tail-free layout.
+inline void gather_schedule(LogPair& acc0, LogPair& acc1,
+                            std::span<const std::uint32_t> pair_offs,
+                            std::span<const std::uint32_t> single_offs,
+                            const double* table) {
+  if (simd::avx2_active()) {
+    simd::gather_schedule_avx2(acc0, acc1, pair_offs, single_offs, table);
+    return;
+  }
+  auto row = [table](std::uint32_t off) {
+    return table + off / sizeof(double);
+  };
+  for (std::size_t k = 0; k + 2 <= pair_offs.size(); k += 2) {
+    const double* p0 = row(pair_offs[k]);
+    const double* p1 = row(pair_offs[k + 1]);
+    acc0.t += p0[0] + p0[2];
+    acc0.f += p0[1] + p0[3];
+    acc1.t += p1[0] + p1[2];
+    acc1.f += p1[1] + p1[3];
+  }
+  for (std::size_t k = 0; k + 2 <= single_offs.size(); k += 2) {
+    const double* p0 = row(single_offs[k]);
+    const double* p1 = row(single_offs[k + 1]);
+    acc0.t += p0[0];
+    acc0.f += p0[1];
+    acc1.t += p1[0];
+    acc1.f += p1[1];
+  }
+}
+
 // acc -= sum_{u in idx} terms[u] (EM-Social removes exposed sources
-// from its silent baseline instead of correcting them).
+// from its silent baseline instead of correcting them). Scalar-only:
+// the exposure lists this walks are short and the kernel is off the
+// critical path, so a vector backend would be dead weight.
 inline LogPair gather_sub(LogPair acc, std::span<const std::uint32_t> idx,
                           const LogPair* terms) {
   double at = acc.t;
@@ -144,6 +346,9 @@ inline LogPair gather_add_select(LogPair acc,
                                  std::span<const char> flags,
                                  const LogPair* indep,
                                  const LogPair* dep) {
+  if (idx.size() >= 4 && simd::avx2_active()) {
+    return simd::gather_add_select_avx2(acc, idx, flags, indep, dep);
+  }
   const LogPair* const sel[2] = {indep, dep};
   double at = acc.t;
   double af = acc.f;
@@ -159,6 +364,9 @@ inline LogPair gather_add_select(LogPair acc,
 // Average.Log's belief/trust sums, the M-step's exposed-mass sums).
 inline double gather_sum(std::span<const std::uint32_t> idx,
                          const double* values) {
+  if (idx.size() >= 8 && simd::avx2_active()) {
+    return simd::gather_sum_avx2(idx, values);
+  }
   double acc = 0.0;
   for (std::uint32_t j : idx) acc += values[j];
   return acc;
@@ -167,13 +375,11 @@ inline double gather_sum(std::span<const std::uint32_t> idx,
 // Posterior mass pair over a claim list: z += Z_j, y += 1 - Z_j, in
 // list order with one accumulator each — exactly the M-step loop it
 // replaces.
-struct MassPair {
-  double z = 0.0;
-  double y = 0.0;
-};
-
 inline MassPair gather_mass(std::span<const std::uint32_t> idx,
                             const double* posterior) {
+  if (idx.size() >= 8 && simd::avx2_active()) {
+    return simd::gather_mass_avx2(idx, posterior);
+  }
   MassPair acc;
   for (std::uint32_t j : idx) {
     acc.z += posterior[j];
@@ -186,20 +392,13 @@ inline MassPair gather_mass(std::span<const std::uint32_t> idx,
 // Column epilogues: one exp instead of two.
 // ---------------------------------------------------------------------
 
-// Everything the fused E-step needs from one column, given the two
-// prior-weighted log-likelihoods la = lt + log z, lb = lf + log(1-z).
-struct ColumnStats {
-  double posterior = 0.5;        // Eq. 9
-  double log_odds = 0.0;         // la - lb (unsaturated ranking score)
-  double log_likelihood = 0.0;   // logsumexp(la, lb) (Eq. 7 summand)
-};
-
 // Bit-identical fusion of {normalize_log_pair(la, lb), la - lb,
 // logsumexp(la, lb)}: with d = la - lb, sigmoid needs exp(-|d|) and
 // logsumexp needs exp(lo - hi) == exp(-|d|) (IEEE subtraction is
 // antisymmetric under round-to-nearest), so one exp serves both.
 // -inf inputs delegate to the reference forms to keep their exact
-// degenerate-case semantics.
+// degenerate-case semantics. Always scalar: single-column callers are
+// not worth a dispatch; the batch form below is the vectorized shape.
 inline ColumnStats finalize_column(double la, double lb) {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
   double d = la - lb;
@@ -213,13 +412,6 @@ inline ColumnStats finalize_column(double la, double lb) {
   double e = std::exp(d);
   return {e / (1.0 + e), d, lb + std::log1p(e)};
 }
-
-// Posterior + log-odds only (estimators that do not track the data
-// log-likelihood); same fusion, one exp, one subtraction.
-struct PairStats {
-  double posterior = 0.5;
-  double log_odds = 0.0;
-};
 
 inline PairStats finalize_pair(double la, double lb) {
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
@@ -235,6 +427,24 @@ inline PairStats finalize_pair(double la, double lb) {
   return {e / (1.0 + e), d};
 }
 
+// Batch epilogues over n columns — the dispatched form the fused
+// E-step uses. Scalar backend: exactly finalize_column/finalize_pair
+// per column, ascending j. AVX2 backend: four columns per iteration
+// with polynomial exp/log1p (±inf/NaN lanes fall back to the scalar
+// form for exact degenerate semantics).
+//
+// Aliasing contract: the output arrays may alias the inputs
+// elementwise — posterior.cpp passes log_odds == la and column_ll ==
+// lb (the E-step parks its intermediates in the output buffers). Any
+// backend must therefore read la[j]/lb[j] (or the whole vector block)
+// before writing the corresponding outputs. Beyond elementwise
+// aliasing the arrays must not overlap.
+void finalize_columns(const double* la, const double* lb, std::size_t n,
+                      double* posterior, double* log_odds,
+                      double* column_ll);
+void finalize_pairs(const double* la, const double* lb, std::size_t n,
+                    double* posterior, double* log_odds);
+
 // ---------------------------------------------------------------------
 // Log-parameter tables: per-source terms hoisted once per iteration.
 // ---------------------------------------------------------------------
@@ -242,9 +452,14 @@ inline PairStats finalize_pair(double la, double lb) {
 // Four-rate table for the dependency-aware model (Table II): baseline
 // "everyone silent and unexposed" sums plus the three correction pairs
 // LikelihoodTable applies per column. `rates(i)` must return the
-// already-clamped {a, b, f, g} for source i; build() performs exactly
-// the eight transcendentals per source of the pre-kernel constructor,
-// in the same order, and reallocates only when the source count grows.
+// already-clamped {a, b, f, g} for source i; the scalar build performs
+// exactly the eight transcendentals per source of the pre-kernel
+// constructor, in the same order, and reallocates only when the source
+// count grows. The avx2 build packs the rates into a scratch row and
+// evaluates all four log/log1p pairs of a source as one vector
+// (simd::ext_table_rows_avx2); the base sums still accumulate in
+// source order, so the only divergence from scalar is the polynomial
+// transcendental itself.
 class ExtLogTable {
  public:
   template <typename Rates>
@@ -252,6 +467,20 @@ class ExtLogTable {
     resize(n);
     log_z_ = std::log(z);
     log_1mz_ = std::log1p(-z);
+    if (n > 0 && simd::avx2_active()) {
+      if (rate_scratch_.size() < 4 * n) rate_scratch_.resize(4 * n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto r = rates(i);  // {a, b, f, g}, clamped by the caller
+        rate_scratch_[4 * i + 0] = r[0];
+        rate_scratch_[4 * i + 1] = r[1];
+        rate_scratch_[4 * i + 2] = r[2];
+        rate_scratch_[4 * i + 3] = r[3];
+      }
+      simd::ext_table_rows_avx2(n, rate_scratch_.data(),
+                                exposed_silent_.data(), claim_indep_.data(),
+                                claim_dep_.data(), &base_);
+      return;
+    }
     double base_t = 0.0;
     double base_f = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
@@ -293,6 +522,7 @@ class ExtLogTable {
   std::vector<LogPair> exposed_silent_;
   std::vector<LogPair> claim_indep_;
   std::vector<LogPair> claim_dep_;
+  std::vector<double> rate_scratch_;  // avx2 build input, {a,b,f,g} rows
   LogPair base_;
   double log_z_ = 0.0;
   double log_1mz_ = 0.0;
@@ -302,7 +532,7 @@ class ExtLogTable {
 // EM-IPSN12): silent pairs {log(1-p_t), log(1-p_f)} for baseline /
 // exposure removal, claim correction pairs {log p - log(1-p)}, and the
 // all-silent baseline sums. `rates(i)` returns clamped {p_true,
-// p_false} for source i.
+// p_false} for source i. Backend split mirrors ExtLogTable.
 class RateLogTable {
  public:
   template <typename Rates>
@@ -310,6 +540,17 @@ class RateLogTable {
     if (silent_.size() != n) {
       silent_.resize(n);
       claim_.resize(n);
+    }
+    if (n > 0 && simd::avx2_active()) {
+      if (rate_scratch_.size() < 2 * n) rate_scratch_.resize(2 * n);
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto r = rates(i);  // {p_true, p_false}, clamped
+        rate_scratch_[2 * i + 0] = r[0];
+        rate_scratch_[2 * i + 1] = r[1];
+      }
+      simd::rate_table_rows_avx2(n, rate_scratch_.data(), silent_.data(),
+                                 claim_.data(), &base_);
+      return;
     }
     double base_t = 0.0;
     double base_f = 0.0;
@@ -335,23 +576,13 @@ class RateLogTable {
  private:
   std::vector<LogPair> silent_;
   std::vector<LogPair> claim_;
+  std::vector<double> rate_scratch_;  // avx2 build input, {pt,pf} rows
   LogPair base_;
 };
 
 // ---------------------------------------------------------------------
 // Gibbs sweep weights.
 // ---------------------------------------------------------------------
-
-// The Gibbs sampler's per-source log weights — constant over an entire
-// chain, recomputed four-transcendentals-per-source-per-sweep by the
-// pre-kernel sampler. One contiguous record per source keeps the sweep
-// loop a sequential walk.
-struct SweepWeights {
-  double log_t1 = 0.0;   // log p(claim | C=1)
-  double log_t1n = 0.0;  // log(1 - p(claim | C=1))
-  double log_f1 = 0.0;   // log p(claim | C=0)
-  double log_f1n = 0.0;  // log(1 - p(claim | C=0))
-};
 
 // Fills `out` (resized to match) from the clamped claim probabilities.
 void build_sweep_weights(std::span<const double> p_claim_true,
@@ -363,6 +594,9 @@ void build_sweep_weights(std::span<const double> p_claim_true,
 // sampler runs once per sweep).
 inline LogPair sum_state_logs(std::span<const char> bits,
                               const SweepWeights* w) {
+  if (bits.size() >= 8 && simd::avx2_active()) {
+    return simd::sum_state_logs_avx2(bits, w);
+  }
   double lt = 0.0;
   double lf = 0.0;
   for (std::size_t i = 0; i < bits.size(); ++i) {
@@ -371,6 +605,53 @@ inline LogPair sum_state_logs(std::span<const char> bits,
   }
   return {lt, lf};
 }
+
+// Chain-constant sweep weights with a backend-matched refresh layout.
+//
+// The AoS records are the scalar contract: sum_state_logs() over them
+// reproduces the pre-kernel sampler bit-for-bit, and the per-flip
+// leave-one-out updates read them directly. When the AVX2 backend is
+// active at build() time the table additionally packs a delta/base
+// (SoA) companion — delta_t[i] = log_t1 - log_t1n, delta_f[i] =
+// log_f1 - log_f1n, plus the all-silent base sums (source order) —
+// which turns the full-state refresh into two masked contiguous sums
+//   lt = base_t + sum_{bits[i]} delta_t[i]
+// at half the memory traffic of the AoS walk, with no per-lane
+// shuffles. Each delta rounds once and the sum reassociates, so the
+// packed refresh lives under the AVX2 ULP contract; the scalar backend
+// never uses it.
+class SweepWeightsTable {
+ public:
+  // Rebuilds from clamped claim probabilities (the records come from
+  // build_sweep_weights; the packed companion is derived from the
+  // records, so both layouts always describe the same table).
+  void build(std::span<const double> p_claim_true,
+             std::span<const double> p_claim_false);
+
+  std::size_t size() const { return records_.size(); }
+  const SweepWeights* data() const { return records_.data(); }
+  const SweepWeights& operator[](std::size_t i) const {
+    return records_[i];
+  }
+
+  // Full-state refresh: the packed AVX2 sum when the companion exists
+  // and the backend is active, the AoS kernel otherwise (scalar order
+  // on the scalar backend).
+  LogPair sum_state_logs(std::span<const char> bits) const {
+    if (packed_ && bits.size() >= 8 && simd::avx2_active()) {
+      LogPair d = simd::sum_packed_state_logs_avx2(
+          bits, delta_t_.data(), delta_f_.data());
+      return {silent_base_.t + d.t, silent_base_.f + d.f};
+    }
+    return kernels::sum_state_logs(bits, records_.data());
+  }
+
+ private:
+  std::vector<SweepWeights> records_;
+  std::vector<double> delta_t_, delta_f_;  // avx2 companion
+  LogPair silent_base_;
+  bool packed_ = false;
+};
 
 // ---------------------------------------------------------------------
 // Reference kernels: the pre-kernel per-element loops, kept as the

@@ -1,0 +1,81 @@
+#include "math/simd/dispatch.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+#include "util/cpu.h"
+#include "util/env.h"
+#include "util/log.h"
+
+namespace ss::simd {
+
+namespace detail {
+
+std::atomic<int> g_backend{-1};
+
+int resolve_backend() {
+  std::string value = env_string("SS_KERNEL_BACKEND", "auto");
+  std::transform(value.begin(), value.end(), value.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+
+  Backend chosen = Backend::kScalar;
+  if (value == "scalar") {
+    chosen = Backend::kScalar;
+  } else if (value == "avx2") {
+    if (avx2_runtime_supported()) {
+      chosen = Backend::kAvx2;
+    } else {
+      SS_WARN << "SS_KERNEL_BACKEND=avx2 requested but "
+              << (avx2_compiled() ? "the host CPU/OS lacks AVX2+FMA"
+                                  : "this build carries no AVX2 code")
+              << "; falling back to the scalar backend";
+    }
+  } else {
+    if (value != "auto") {
+      SS_WARN << "unknown SS_KERNEL_BACKEND value \"" << value
+              << "\" (expected auto|scalar|avx2); treating as auto";
+    }
+    if (avx2_runtime_supported()) chosen = Backend::kAvx2;
+  }
+
+  int as_int = static_cast<int>(chosen);
+  g_backend.store(as_int, std::memory_order_relaxed);
+  SS_DEBUG << "kernel backend resolved to " << backend_name(chosen);
+  return as_int;
+}
+
+}  // namespace detail
+
+bool avx2_runtime_supported() {
+  const CpuFeatures& f = cpu_features();
+  return avx2_compiled() && f.avx2 && f.fma;
+}
+
+bool force_backend(Backend backend) {
+  if (backend == Backend::kAvx2 && !avx2_runtime_supported()) return false;
+  detail::g_backend.store(static_cast<int>(backend),
+                          std::memory_order_relaxed);
+  return true;
+}
+
+void reset_backend() {
+  detail::g_backend.store(-1, std::memory_order_relaxed);
+}
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const char* active_backend_name() {
+  return backend_name(active_backend());
+}
+
+}  // namespace ss::simd

@@ -1,0 +1,69 @@
+// Runtime backend selection for the kernel layer (docs/MODEL.md §12).
+//
+// Every kernels:: entry point that has a vectorized implementation
+// branches on avx2_active() — a relaxed atomic load plus a perfectly
+// predicted compare once the backend is resolved — so estimators keep
+// calling the same API and never mention a backend. Resolution order:
+//
+//   1. SS_KERNEL_BACKEND env var: "scalar" | "avx2" | "auto" (default).
+//   2. "avx2" (or "auto" on a capable host) requires BOTH that this
+//      binary carries the AVX2 translation unit (the compiler accepted
+//      -mavx2 -mfma at build time) and that CPUID + the OS report
+//      AVX2/FMA usable. Requesting "avx2" on an unusable host warns
+//      once and falls back to scalar.
+//   3. Tests and benches may pin the backend programmatically with
+//      force_backend(); the env var is only read at first resolution.
+//
+// The scalar backend is the executable reference: it is bit-identical
+// to the pre-SIMD kernels and the golden FNV-1a hashes in
+// tests/test_kernels.cpp are recorded against it. The AVX2 backend is
+// held to a ULP contract instead (see §12 and tests/test_simd.cpp).
+#pragma once
+
+#include <atomic>
+
+namespace ss::simd {
+
+enum class Backend : int { kScalar = 0, kAvx2 = 1 };
+
+namespace detail {
+
+// -1 = unresolved; otherwise a Backend value. Exposed only so
+// avx2_active() can stay a header inline on the hot path.
+extern std::atomic<int> g_backend;
+
+// Reads SS_KERNEL_BACKEND, validates against host support, caches the
+// result and returns it. Concurrent first calls are benign: every
+// racer computes the same value.
+int resolve_backend();
+
+}  // namespace detail
+
+inline Backend active_backend() {
+  int b = detail::g_backend.load(std::memory_order_relaxed);
+  if (b < 0) b = detail::resolve_backend();
+  return static_cast<Backend>(b);
+}
+
+// The one check the dispatched kernels perform.
+inline bool avx2_active() { return active_backend() == Backend::kAvx2; }
+
+// True when the AVX2 translation unit was actually compiled with
+// -mavx2 -mfma (false if the toolchain rejected the flags).
+bool avx2_compiled();
+
+// avx2_compiled() plus CPUID/OS support on the running host.
+bool avx2_runtime_supported();
+
+// Pins the backend, overriding the environment. Returns false (and
+// leaves the selection unchanged) when the request cannot be honored
+// on this build/host. force_backend(kScalar) always succeeds.
+bool force_backend(Backend backend);
+
+// Drops any pin and re-resolves from the environment on next use.
+void reset_backend();
+
+const char* backend_name(Backend backend);
+const char* active_backend_name();
+
+}  // namespace ss::simd

@@ -1,0 +1,682 @@
+// AVX2+FMA backend for the kernel layer (docs/MODEL.md §12).
+//
+// This is the only translation unit in the tree compiled with
+// -mavx2 -mfma, and — with vecmath_avx2.h — the only place intrinsics
+// are allowed (lint rule R7). When the toolchain cannot build AVX2
+// code the stubs at the bottom take over: avx2_compiled() reports
+// false, dispatch never selects the backend, and the entry points
+// abort if reached anyway.
+//
+// Numerical contract (vs the scalar backend, which is the bit-exact
+// reference): these implementations may split one accumulation chain
+// into independent partial sums (the whole point — the scalar chains
+// are FP-add-latency-bound) and may evaluate exp/log/log1p by
+// polynomial. Each kernel documents its summation order; the ULP
+// budget is enforced by tests/test_simd.cpp and measured end-to-end by
+// bench_perf_scaling's backend sweep.
+
+#include "math/kernels.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+#include "math/simd/vecmath_avx2.h"
+
+namespace ss::simd {
+
+using kernels::LogPair;
+using kernels::MassPair;
+using kernels::SweepWeights;
+
+bool avx2_compiled() { return true; }
+
+namespace {
+
+// [p.t, p.f] of one LogPair as a 128-bit lane pair.
+inline __m128d load_pair(const LogPair* terms, std::uint32_t u) {
+  return _mm_loadu_pd(reinterpret_cast<const double*>(terms + u));
+}
+
+// Two LogPairs side by side: [lo.t, lo.f, hi.t, hi.f].
+inline __m256d join_pairs(__m128d lo, __m128d hi) {
+  return _mm256_insertf128_pd(_mm256_castpd128_pd256(lo), hi, 1);
+}
+
+// True (all-ones lane mask) in lanes {0,2} for b0 and {1,3} for b1.
+inline __m256d byte_mask2(char b0, char b1) {
+  __m128i m = _mm_cmpgt_epi64(
+      _mm_set_epi64x(b1 != 0, b0 != 0), _mm_setzero_si128());
+  return _mm256_castsi256_pd(_mm256_set_m128i(m, m));
+}
+
+}  // namespace
+
+// Summation order: two 256-bit partial chains over elements
+// {k, k+1 | k ≡ 0 mod 4} and {k+2, k+3}, lane-reduced low-half +
+// high-half, then seed + tail in element order.
+LogPair gather_add_avx2(LogPair acc, std::span<const std::uint32_t> idx,
+                        const LogPair* terms) {
+  const std::size_t n = idx.size();
+  const std::uint32_t* ix = idx.data();
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc0 = _mm256_add_pd(
+        acc0, join_pairs(load_pair(terms, ix[k]),
+                         load_pair(terms, ix[k + 1])));
+    acc1 = _mm256_add_pd(
+        acc1, join_pairs(load_pair(terms, ix[k + 2]),
+                         load_pair(terms, ix[k + 3])));
+  }
+  __m256d s = _mm256_add_pd(acc0, acc1);
+  __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(s),
+                            _mm256_extractf128_pd(s, 1));
+  double at = acc.t + _mm_cvtsd_f64(pair);
+  double af = acc.f + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (; k < n; ++k) {
+    const LogPair& p = terms[ix[k]];
+    at += p.t;
+    af += p.f;
+  }
+  return {at, af};
+}
+
+// Summation order: per column, two partial chains over even/odd shared
+// ks; the leftover of the longer column continues through
+// gather_add_avx2's order.
+void gather_add2_avx2(LogPair& acc0, std::span<const std::uint32_t> idx0,
+                      LogPair& acc1, std::span<const std::uint32_t> idx1,
+                      const LogPair* terms) {
+  const std::size_t n0 = idx0.size();
+  const std::size_t n1 = idx1.size();
+  const std::size_t shared = n0 < n1 ? n0 : n1;
+  const std::uint32_t* i0 = idx0.data();
+  const std::uint32_t* i1 = idx1.data();
+  __m256d accA = _mm256_setzero_pd();  // lanes [c0.t, c0.f, c1.t, c1.f]
+  __m256d accB = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 2 <= shared; k += 2) {
+    accA = _mm256_add_pd(
+        accA, join_pairs(load_pair(terms, i0[k]),
+                         load_pair(terms, i1[k])));
+    accB = _mm256_add_pd(
+        accB, join_pairs(load_pair(terms, i0[k + 1]),
+                         load_pair(terms, i1[k + 1])));
+  }
+  __m256d s = _mm256_add_pd(accA, accB);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, s);
+  LogPair r0{acc0.t + lanes[0], acc0.f + lanes[1]};
+  LogPair r1{acc1.t + lanes[2], acc1.f + lanes[3]};
+  for (; k < shared; ++k) {
+    const LogPair& p0 = terms[i0[k]];
+    const LogPair& p1 = terms[i1[k]];
+    r0.t += p0.t;
+    r0.f += p0.f;
+    r1.t += p1.t;
+    r1.f += p1.f;
+  }
+  if (k < n0) r0 = gather_add_avx2(r0, idx0.subspan(k), terms);
+  if (k < n1) r1 = gather_add_avx2(r1, idx1.subspan(k), terms);
+  acc0 = r0;
+  acc1 = r1;
+}
+
+// Precompiled-schedule executor, the fused E-step column-pair walk.
+// The offset streams interleave [col 2p, col 2p+1] slots, so one
+// 8-byte load yields both columns' byte offsets and the loop body is
+// branch-free: 32-byte granules (two adjacent table rows) feed 256-bit
+// chains whose lanes are [t, f, t', f'] — folding low and high halves
+// at the end finishes the row-pair sums — and 16-byte granules feed
+// 128-bit chains. Sentinel-padded slots read the table's zero rows and
+// add 0.0, so no per-column length tests survive into the loop.
+// Summation is grouped per chain (ULP contract only; the scalar
+// wrapper in kernels.h walks granules in stream order).
+void gather_schedule_avx2(LogPair& acc0, LogPair& acc1,
+                          std::span<const std::uint32_t> pair_offs,
+                          std::span<const std::uint32_t> single_offs,
+                          const double* table) {
+  const char* sb = reinterpret_cast<const char*>(table);
+  auto row2 = [sb](std::uint32_t off) {
+    return _mm256_loadu_pd(reinterpret_cast<const double*>(sb + off));
+  };
+  auto row1 = [sb](std::uint32_t off) {
+    return _mm_loadu_pd(reinterpret_cast<const double*>(sb + off));
+  };
+  auto two_offs = [](const std::uint32_t* p) {
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  };
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d b0 = _mm256_setzero_pd();
+  __m256d b1 = _mm256_setzero_pd();
+  const std::uint32_t* po = pair_offs.data();
+  const std::size_t np = pair_offs.size() / 2;
+  std::size_t k = 0;
+  for (; k + 2 <= np; k += 2) {
+    std::uint64_t v = two_offs(po + 2 * k);
+    std::uint64_t w = two_offs(po + 2 * k + 2);
+    a0 = _mm256_add_pd(a0, row2(static_cast<std::uint32_t>(v)));
+    a1 = _mm256_add_pd(a1, row2(static_cast<std::uint32_t>(v >> 32)));
+    b0 = _mm256_add_pd(b0, row2(static_cast<std::uint32_t>(w)));
+    b1 = _mm256_add_pd(b1, row2(static_cast<std::uint32_t>(w >> 32)));
+  }
+  for (; k < np; ++k) {
+    a0 = _mm256_add_pd(a0, row2(po[2 * k]));
+    a1 = _mm256_add_pd(a1, row2(po[2 * k + 1]));
+  }
+  __m128d x0 = _mm_setzero_pd();
+  __m128d x1 = _mm_setzero_pd();
+  __m128d y0 = _mm_setzero_pd();
+  __m128d y1 = _mm_setzero_pd();
+  const std::uint32_t* so = single_offs.data();
+  const std::size_t ns = single_offs.size() / 2;
+  std::size_t q = 0;
+  for (; q + 2 <= ns; q += 2) {
+    std::uint64_t v = two_offs(so + 2 * q);
+    std::uint64_t w = two_offs(so + 2 * q + 2);
+    x0 = _mm_add_pd(x0, row1(static_cast<std::uint32_t>(v)));
+    x1 = _mm_add_pd(x1, row1(static_cast<std::uint32_t>(v >> 32)));
+    y0 = _mm_add_pd(y0, row1(static_cast<std::uint32_t>(w)));
+    y1 = _mm_add_pd(y1, row1(static_cast<std::uint32_t>(w >> 32)));
+  }
+  for (; q < ns; ++q) {
+    x0 = _mm_add_pd(x0, row1(so[2 * q]));
+    x1 = _mm_add_pd(x1, row1(so[2 * q + 1]));
+  }
+  __m256d t0 = _mm256_add_pd(a0, b0);
+  __m256d t1 = _mm256_add_pd(a1, b1);
+  __m128d r0 = _mm_add_pd(_mm_add_pd(_mm256_castpd256_pd128(t0),
+                                     _mm256_extractf128_pd(t0, 1)),
+                          _mm_add_pd(x0, y0));
+  __m128d r1 = _mm_add_pd(_mm_add_pd(_mm256_castpd256_pd128(t1),
+                                     _mm256_extractf128_pd(t1, 1)),
+                          _mm_add_pd(x1, y1));
+  acc0.t += _mm_cvtsd_f64(r0);
+  acc0.f += _mm_cvtsd_f64(_mm_unpackhi_pd(r0, r0));
+  acc1.t += _mm_cvtsd_f64(r1);
+  acc1.f += _mm_cvtsd_f64(_mm_unpackhi_pd(r1, r1));
+}
+
+// The per-element table select stays a scalar conditional move on the
+// row pointer (exactly the scalar kernel's trick); only the
+// accumulation is vectorized, with the same partial-chain order as
+// gather_add_avx2.
+LogPair gather_add_select_avx2(LogPair acc,
+                               std::span<const std::uint32_t> idx,
+                               std::span<const char> flags,
+                               const LogPair* indep, const LogPair* dep) {
+  const std::size_t n = idx.size();
+  const std::uint32_t* ix = idx.data();
+  const char* fl = flags.data();
+  const LogPair* const sel[2] = {indep, dep};
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    acc0 = _mm256_add_pd(
+        acc0, join_pairs(load_pair(sel[fl[k] != 0], ix[k]),
+                         load_pair(sel[fl[k + 1] != 0], ix[k + 1])));
+    acc1 = _mm256_add_pd(
+        acc1, join_pairs(load_pair(sel[fl[k + 2] != 0], ix[k + 2]),
+                         load_pair(sel[fl[k + 3] != 0], ix[k + 3])));
+  }
+  __m256d s = _mm256_add_pd(acc0, acc1);
+  __m128d pair = _mm_add_pd(_mm256_castpd256_pd128(s),
+                            _mm256_extractf128_pd(s, 1));
+  double at = acc.t + _mm_cvtsd_f64(pair);
+  double af = acc.f + _mm_cvtsd_f64(_mm_unpackhi_pd(pair, pair));
+  for (; k < n; ++k) {
+    const LogPair& p = sel[fl[k] != 0][ix[k]];
+    at += p.t;
+    af += p.f;
+  }
+  return {at, af};
+}
+
+// Summation order: two 4-lane hardware-gather chains (elements k mod 8
+// in {0..3} vs {4..7}), reduced (lo+hi per chain pair) then lane 0 +
+// lane 1, then the tail in element order.
+double gather_sum_avx2(std::span<const std::uint32_t> idx,
+                       const double* values) {
+  const std::size_t n = idx.size();
+  const std::uint32_t* ix = idx.data();
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ix + k));
+    __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ix + k + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_i32gather_pd(values, v0, 8));
+    acc1 = _mm256_add_pd(acc1, _mm256_i32gather_pd(values, v1, 8));
+  }
+  __m256d s = _mm256_add_pd(acc0, acc1);
+  __m128d r = _mm_add_pd(_mm256_castpd256_pd128(s),
+                         _mm256_extractf128_pd(s, 1));
+  double sum =
+      _mm_cvtsd_f64(r) + _mm_cvtsd_f64(_mm_unpackhi_pd(r, r));
+  for (; k < n; ++k) sum += values[ix[k]];
+  return sum;
+}
+
+// Same chain layout as gather_sum_avx2, for both the z and the 1-z
+// accumulators.
+MassPair gather_mass_avx2(std::span<const std::uint32_t> idx,
+                          const double* posterior) {
+  const std::size_t n = idx.size();
+  const std::uint32_t* ix = idx.data();
+  const __m256d one = _mm256_set1_pd(1.0);
+  __m256d z0 = _mm256_setzero_pd(), z1 = _mm256_setzero_pd();
+  __m256d y0 = _mm256_setzero_pd(), y1 = _mm256_setzero_pd();
+  std::size_t k = 0;
+  for (; k + 8 <= n; k += 8) {
+    __m128i v0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(ix + k));
+    __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ix + k + 4));
+    __m256d p0 = _mm256_i32gather_pd(posterior, v0, 8);
+    __m256d p1 = _mm256_i32gather_pd(posterior, v1, 8);
+    z0 = _mm256_add_pd(z0, p0);
+    z1 = _mm256_add_pd(z1, p1);
+    y0 = _mm256_add_pd(y0, _mm256_sub_pd(one, p0));
+    y1 = _mm256_add_pd(y1, _mm256_sub_pd(one, p1));
+  }
+  __m256d zs = _mm256_add_pd(z0, z1);
+  __m256d ys = _mm256_add_pd(y0, y1);
+  __m128d zr = _mm_add_pd(_mm256_castpd256_pd128(zs),
+                          _mm256_extractf128_pd(zs, 1));
+  __m128d yr = _mm_add_pd(_mm256_castpd256_pd128(ys),
+                          _mm256_extractf128_pd(ys, 1));
+  MassPair acc;
+  acc.z = _mm_cvtsd_f64(zr) + _mm_cvtsd_f64(_mm_unpackhi_pd(zr, zr));
+  acc.y = _mm_cvtsd_f64(yr) + _mm_cvtsd_f64(_mm_unpackhi_pd(yr, yr));
+  for (; k < n; ++k) {
+    acc.z += posterior[ix[k]];
+    acc.y += 1.0 - posterior[ix[k]];
+  }
+  return acc;
+}
+
+// Four columns per iteration with polynomial exp/log1p; lanes holding
+// ±inf/NaN inputs delegate to the scalar finalize_column for exact
+// degenerate semantics. Reads the whole 4-lane block before storing,
+// so the elementwise aliasing contract (log_odds == la, column_ll ==
+// lb) holds.
+void finalize_columns_avx2(const double* la, const double* lb,
+                           std::size_t n, double* posterior,
+                           double* log_odds, double* column_ll) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d inf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d a = _mm256_loadu_pd(la + j);
+    __m256d b = _mm256_loadu_pd(lb + j);
+    __m256d mag = _mm256_max_pd(_mm256_andnot_pd(sign, a),
+                                _mm256_andnot_pd(sign, b));
+    // NaN lanes fail the `< inf` compare and take the scalar path too.
+    if (_mm256_movemask_pd(_mm256_cmp_pd(mag, inf, _CMP_LT_OQ)) != 0xF) {
+      for (std::size_t l = j; l < j + 4; ++l) {
+        kernels::ColumnStats s = kernels::finalize_column(la[l], lb[l]);
+        posterior[l] = s.posterior;
+        log_odds[l] = s.log_odds;
+        column_ll[l] = s.log_likelihood;
+      }
+      continue;
+    }
+    __m256d d = _mm256_sub_pd(a, b);
+    __m256d e = vec::exp_pd(vec::negate_pd(_mm256_andnot_pd(sign, d)));
+    __m256d inv = _mm256_div_pd(one, _mm256_add_pd(one, e));
+    __m256d dge = _mm256_cmp_pd(d, _mm256_setzero_pd(), _CMP_GE_OQ);
+    __m256d pos = _mm256_blendv_pd(_mm256_mul_pd(e, inv), inv, dge);
+    __m256d hi = _mm256_blendv_pd(b, a, dge);
+    __m256d ll = _mm256_add_pd(hi, vec::log1p_pd(e));
+    _mm256_storeu_pd(posterior + j, pos);
+    _mm256_storeu_pd(log_odds + j, d);
+    _mm256_storeu_pd(column_ll + j, ll);
+  }
+  for (; j < n; ++j) {
+    kernels::ColumnStats s = kernels::finalize_column(la[j], lb[j]);
+    posterior[j] = s.posterior;
+    log_odds[j] = s.log_odds;
+    column_ll[j] = s.log_likelihood;
+  }
+}
+
+void finalize_pairs_avx2(const double* la, const double* lb, std::size_t n,
+                         double* posterior, double* log_odds) {
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d sign = _mm256_set1_pd(-0.0);
+  const __m256d inf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d a = _mm256_loadu_pd(la + j);
+    __m256d b = _mm256_loadu_pd(lb + j);
+    __m256d mag = _mm256_max_pd(_mm256_andnot_pd(sign, a),
+                                _mm256_andnot_pd(sign, b));
+    if (_mm256_movemask_pd(_mm256_cmp_pd(mag, inf, _CMP_LT_OQ)) != 0xF) {
+      for (std::size_t l = j; l < j + 4; ++l) {
+        kernels::PairStats s = kernels::finalize_pair(la[l], lb[l]);
+        posterior[l] = s.posterior;
+        log_odds[l] = s.log_odds;
+      }
+      continue;
+    }
+    __m256d d = _mm256_sub_pd(a, b);
+    __m256d e = vec::exp_pd(vec::negate_pd(_mm256_andnot_pd(sign, d)));
+    __m256d inv = _mm256_div_pd(one, _mm256_add_pd(one, e));
+    __m256d dge = _mm256_cmp_pd(d, _mm256_setzero_pd(), _CMP_GE_OQ);
+    __m256d pos = _mm256_blendv_pd(_mm256_mul_pd(e, inv), inv, dge);
+    _mm256_storeu_pd(posterior + j, pos);
+    _mm256_storeu_pd(log_odds + j, d);
+  }
+  for (; j < n; ++j) {
+    kernels::PairStats s = kernels::finalize_pair(la[j], lb[j]);
+    posterior[j] = s.posterior;
+    log_odds[j] = s.log_odds;
+  }
+}
+
+namespace {
+
+// True when any lane of r lies outside the open interval (0, 1) — the
+// clamped-rate domain the polynomial log paths assume. NaN lanes trip
+// the unordered compares and count as degenerate.
+inline bool any_degenerate_rate(__m256d r) {
+  __m256d bad = _mm256_or_pd(
+      _mm256_cmp_pd(r, _mm256_setzero_pd(), _CMP_NGT_UQ),
+      _mm256_cmp_pd(r, _mm256_set1_pd(1.0), _CMP_NLT_UQ));
+  return _mm256_movemask_pd(bad) != 0;
+}
+
+}  // namespace
+
+// One source per iteration: its four rates occupy the four lanes, so
+// the eight scalar transcendentals become one log1p_pd and one log_pd.
+// The base sums accumulate in source order, exactly like scalar — the
+// only divergence is the polynomial evaluation itself. Degenerate
+// (unclamped) rates fall back to the scalar row.
+void ext_table_rows_avx2(std::size_t n, const double* rates,
+                         LogPair* exposed_silent, LogPair* claim_indep,
+                         LogPair* claim_dep, LogPair* base) {
+  __m128d base_acc = _mm_setzero_pd();
+  for (std::size_t i = 0; i < n; ++i) {
+    __m256d r = _mm256_loadu_pd(rates + 4 * i);  // [a, b, f, g]
+    if (any_degenerate_rate(r)) {
+      double a = rates[4 * i], b = rates[4 * i + 1];
+      double f = rates[4 * i + 2], g = rates[4 * i + 3];
+      double log_na = std::log1p(-a);
+      double log_nb = std::log1p(-b);
+      double log_nf = std::log1p(-f);
+      double log_ng = std::log1p(-g);
+      base_acc = _mm_add_pd(base_acc, _mm_setr_pd(log_na, log_nb));
+      exposed_silent[i] = {log_nf - log_na, log_ng - log_nb};
+      claim_indep[i] = {std::log(a) - log_na, std::log(b) - log_nb};
+      claim_dep[i] = {std::log(f) - log_nf, std::log(g) - log_ng};
+      continue;
+    }
+    __m256d ln = vec::log1p_pd(vec::negate_pd(r));  // log(1-rate) lanes
+    __m256d lp = vec::log_pd(r);                  // log(rate) lanes
+    __m256d diff = _mm256_sub_pd(lp, ln);
+    __m128d ln_lo = _mm256_castpd256_pd128(ln);   // [log_na, log_nb]
+    __m128d ln_hi = _mm256_extractf128_pd(ln, 1); // [log_nf, log_ng]
+    base_acc = _mm_add_pd(base_acc, ln_lo);
+    _mm_storeu_pd(&exposed_silent[i].t, _mm_sub_pd(ln_hi, ln_lo));
+    _mm_storeu_pd(&claim_indep[i].t, _mm256_castpd256_pd128(diff));
+    _mm_storeu_pd(&claim_dep[i].t, _mm256_extractf128_pd(diff, 1));
+  }
+  _mm_storeu_pd(&base->t, base_acc);
+}
+
+// Two sources per iteration ([pt0, pf0, pt1, pf1] lanes); base sums
+// accumulate source-ordered (lane pair i before i+1).
+void rate_table_rows_avx2(std::size_t n, const double* rates,
+                          LogPair* silent, LogPair* claim, LogPair* base) {
+  __m128d base_acc = _mm_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    __m256d r = _mm256_loadu_pd(rates + 2 * i);
+    if (any_degenerate_rate(r)) {
+      for (std::size_t l = i; l < i + 2; ++l) {
+        double pt = rates[2 * l], pf = rates[2 * l + 1];
+        double log_nt = std::log1p(-pt);
+        double log_nf = std::log1p(-pf);
+        silent[l] = {log_nt, log_nf};
+        claim[l] = {std::log(pt) - log_nt, std::log(pf) - log_nf};
+        base_acc = _mm_add_pd(base_acc, _mm_setr_pd(log_nt, log_nf));
+      }
+      continue;
+    }
+    __m256d ln = vec::log1p_pd(vec::negate_pd(r));
+    __m256d lp = vec::log_pd(r);
+    __m256d diff = _mm256_sub_pd(lp, ln);
+    __m128d ln_lo = _mm256_castpd256_pd128(ln);
+    __m128d ln_hi = _mm256_extractf128_pd(ln, 1);
+    _mm_storeu_pd(&silent[i].t, ln_lo);
+    _mm_storeu_pd(&silent[i + 1].t, ln_hi);
+    _mm_storeu_pd(&claim[i].t, _mm256_castpd256_pd128(diff));
+    _mm_storeu_pd(&claim[i + 1].t, _mm256_extractf128_pd(diff, 1));
+    base_acc = _mm_add_pd(base_acc, ln_lo);
+    base_acc = _mm_add_pd(base_acc, ln_hi);
+  }
+  for (; i < n; ++i) {
+    double pt = rates[2 * i], pf = rates[2 * i + 1];
+    double log_nt = std::log1p(-pt);
+    double log_nf = std::log1p(-pf);
+    silent[i] = {log_nt, log_nf};
+    claim[i] = {std::log(pt) - log_nt, std::log(pf) - log_nf};
+    base_acc = _mm_add_pd(base_acc, _mm_setr_pd(log_nt, log_nf));
+  }
+  _mm_storeu_pd(&base->t, base_acc);
+}
+
+// Four sources per iteration: the four log vectors are built
+// lane-parallel, then 4×4-transposed into the AoS SweepWeights
+// records. Degenerate probabilities fall back to the scalar rows.
+void sweep_weights_avx2(std::size_t n, const double* p_claim_true,
+                        const double* p_claim_false, SweepWeights* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d p1 = _mm256_loadu_pd(p_claim_true + i);
+    __m256d p0 = _mm256_loadu_pd(p_claim_false + i);
+    if (any_degenerate_rate(p1) || any_degenerate_rate(p0)) {
+      for (std::size_t l = i; l < i + 4; ++l) {
+        out[l] = {std::log(p_claim_true[l]), std::log1p(-p_claim_true[l]),
+                  std::log(p_claim_false[l]),
+                  std::log1p(-p_claim_false[l])};
+      }
+      continue;
+    }
+    __m256d l1 = vec::log_pd(p1);
+    __m256d l1n = vec::log1p_pd(vec::negate_pd(p1));
+    __m256d l0 = vec::log_pd(p0);
+    __m256d l0n = vec::log1p_pd(vec::negate_pd(p0));
+    __m256d t0 = _mm256_unpacklo_pd(l1, l1n);  // [s0: t1,t1n | s2: t1,t1n]
+    __m256d t1 = _mm256_unpackhi_pd(l1, l1n);  // [s1 | s3]
+    __m256d t2 = _mm256_unpacklo_pd(l0, l0n);  // [s0: f1,f1n | s2: ...]
+    __m256d t3 = _mm256_unpackhi_pd(l0, l0n);
+    _mm256_storeu_pd(&out[i].log_t1, _mm256_permute2f128_pd(t0, t2, 0x20));
+    _mm256_storeu_pd(&out[i + 1].log_t1,
+                     _mm256_permute2f128_pd(t1, t3, 0x20));
+    _mm256_storeu_pd(&out[i + 2].log_t1,
+                     _mm256_permute2f128_pd(t0, t2, 0x31));
+    _mm256_storeu_pd(&out[i + 3].log_t1,
+                     _mm256_permute2f128_pd(t1, t3, 0x31));
+  }
+  for (; i < n; ++i) {
+    out[i] = {std::log(p_claim_true[i]), std::log1p(-p_claim_true[i]),
+              std::log(p_claim_false[i]), std::log1p(-p_claim_false[i])};
+  }
+}
+
+// Two sources per unpack step, four per iteration across two partial
+// chains; the selected weights themselves are exact table values (a
+// lane blend, not arithmetic), so the only divergence from scalar is
+// the partial-sum order. Reduction: (chainA + chainB) lanewise, then
+// per-hypothesis lane pairs low-to-high, then the tail in source
+// order.
+LogPair sum_state_logs_avx2(std::span<const char> bits,
+                            const SweepWeights* w) {
+  const std::size_t n = bits.size();
+  const char* bp = bits.data();
+  const double* base = &w[0].log_t1;
+  __m256d accA = _mm256_setzero_pd();
+  __m256d accB = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d w0 = _mm256_loadu_pd(base + 4 * i);
+    __m256d w1 = _mm256_loadu_pd(base + 4 * (i + 1));
+    __m256d w2 = _mm256_loadu_pd(base + 4 * (i + 2));
+    __m256d w3 = _mm256_loadu_pd(base + 4 * (i + 3));
+    // unpacklo = claim weights [t1_i, t1_i1, f1_i, f1_i1], unpackhi =
+    // the silent counterparts; blend picks per-source by its bit.
+    __m256d claim01 = _mm256_unpacklo_pd(w0, w1);
+    __m256d silent01 = _mm256_unpackhi_pd(w0, w1);
+    __m256d claim23 = _mm256_unpacklo_pd(w2, w3);
+    __m256d silent23 = _mm256_unpackhi_pd(w2, w3);
+    accA = _mm256_add_pd(
+        accA,
+        _mm256_blendv_pd(silent01, claim01, byte_mask2(bp[i], bp[i + 1])));
+    accB = _mm256_add_pd(
+        accB, _mm256_blendv_pd(silent23, claim23,
+                               byte_mask2(bp[i + 2], bp[i + 3])));
+  }
+  __m256d s = _mm256_add_pd(accA, accB);
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, s);
+  double lt = lanes[0] + lanes[1];
+  double lf = lanes[2] + lanes[3];
+  for (; i < n; ++i) {
+    lt += bp[i] ? w[i].log_t1 : w[i].log_t1n;
+    lf += bp[i] ? w[i].log_f1 : w[i].log_f1n;
+  }
+  return {lt, lf};
+}
+
+// Masked contiguous sums over the SoA delta layout: eight sources per
+// iteration across two chains per hypothesis. The 0/1 state bytes
+// widen to 64-bit lanes and negate into full and-masks, so a silent
+// source contributes an exact +0.0 — no blends, no per-lane shuffles
+// beyond the byte widening, and 16 data bytes per source instead of
+// the AoS walk's 32. Reduction: (chain0 + chain1) lanewise, low half +
+// high half, lane 0 + lane 1, then the tail in source order.
+LogPair sum_packed_state_logs_avx2(std::span<const char> bits,
+                                   const double* delta_t,
+                                   const double* delta_f) {
+  const std::size_t n = bits.size();
+  const char* bp = bits.data();
+  const __m256i zero = _mm256_setzero_si256();
+  __m256d t0 = _mm256_setzero_pd(), t1 = _mm256_setzero_pd();
+  __m256d f0 = _mm256_setzero_pd(), f1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i b8 =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bp + i));
+    __m256i m0 = _mm256_cvtepi8_epi64(b8);
+    __m256i m1 = _mm256_cvtepi8_epi64(_mm_srli_epi64(b8, 32));
+    __m256d k0 = _mm256_castsi256_pd(_mm256_sub_epi64(zero, m0));
+    __m256d k1 = _mm256_castsi256_pd(_mm256_sub_epi64(zero, m1));
+    t0 = _mm256_add_pd(t0, _mm256_and_pd(k0, _mm256_loadu_pd(delta_t + i)));
+    t1 = _mm256_add_pd(
+        t1, _mm256_and_pd(k1, _mm256_loadu_pd(delta_t + i + 4)));
+    f0 = _mm256_add_pd(f0, _mm256_and_pd(k0, _mm256_loadu_pd(delta_f + i)));
+    f1 = _mm256_add_pd(
+        f1, _mm256_and_pd(k1, _mm256_loadu_pd(delta_f + i + 4)));
+  }
+  __m256d ts = _mm256_add_pd(t0, t1);
+  __m256d fs = _mm256_add_pd(f0, f1);
+  __m128d tr = _mm_add_pd(_mm256_castpd256_pd128(ts),
+                          _mm256_extractf128_pd(ts, 1));
+  __m128d fr = _mm_add_pd(_mm256_castpd256_pd128(fs),
+                          _mm256_extractf128_pd(fs, 1));
+  double dt = _mm_cvtsd_f64(tr) + _mm_cvtsd_f64(_mm_unpackhi_pd(tr, tr));
+  double df = _mm_cvtsd_f64(fr) + _mm_cvtsd_f64(_mm_unpackhi_pd(fr, fr));
+  for (; i < n; ++i) {
+    if (bp[i]) {
+      dt += delta_t[i];
+      df += delta_f[i];
+    }
+  }
+  return {dt, df};
+}
+
+}  // namespace ss::simd
+
+#else  // !(__AVX2__ && __FMA__)
+
+#include <cstdlib>
+
+// Portable stub build: the dispatcher sees avx2_compiled() == false
+// and never routes here; the aborts are a belt-and-braces guard
+// against calling the entry points directly on a non-AVX2 build.
+namespace ss::simd {
+
+using kernels::LogPair;
+using kernels::MassPair;
+using kernels::SweepWeights;
+
+bool avx2_compiled() { return false; }
+
+LogPair gather_add_avx2(LogPair, std::span<const std::uint32_t>,
+                        const LogPair*) {
+  std::abort();
+}
+void gather_add2_avx2(LogPair&, std::span<const std::uint32_t>, LogPair&,
+                      std::span<const std::uint32_t>, const LogPair*) {
+  std::abort();
+}
+void gather_schedule_avx2(LogPair&, LogPair&,
+                          std::span<const std::uint32_t>,
+                          std::span<const std::uint32_t>, const double*) {
+  std::abort();
+}
+LogPair gather_add_select_avx2(LogPair, std::span<const std::uint32_t>,
+                               std::span<const char>, const LogPair*,
+                               const LogPair*) {
+  std::abort();
+}
+double gather_sum_avx2(std::span<const std::uint32_t>, const double*) {
+  std::abort();
+}
+MassPair gather_mass_avx2(std::span<const std::uint32_t>, const double*) {
+  std::abort();
+}
+void finalize_columns_avx2(const double*, const double*, std::size_t,
+                           double*, double*, double*) {
+  std::abort();
+}
+void finalize_pairs_avx2(const double*, const double*, std::size_t,
+                         double*, double*) {
+  std::abort();
+}
+void ext_table_rows_avx2(std::size_t, const double*, LogPair*, LogPair*,
+                         LogPair*, LogPair*) {
+  std::abort();
+}
+void rate_table_rows_avx2(std::size_t, const double*, LogPair*, LogPair*,
+                          LogPair*) {
+  std::abort();
+}
+void sweep_weights_avx2(std::size_t, const double*, const double*,
+                        SweepWeights*) {
+  std::abort();
+}
+LogPair sum_state_logs_avx2(std::span<const char>, const SweepWeights*) {
+  std::abort();
+}
+LogPair sum_packed_state_logs_avx2(std::span<const char>, const double*,
+                                   const double*) {
+  std::abort();
+}
+
+}  // namespace ss::simd
+
+#endif  // __AVX2__ && __FMA__

@@ -1,0 +1,144 @@
+// Polynomial exp/log/log1p over __m256d lanes, for the AVX2 kernel
+// backend only (docs/MODEL.md §12). Cephes-style argument reduction
+// and minimax rationals; measured accuracy is ~1-2 ULP against libm
+// over the kernels' input domains, and the bench backend sweep records
+// the realized ULP histograms in bench_results/.
+//
+// Domain contracts (callers in kernels_avx2.cpp pre-screen lanes and
+// fall back to scalar libm on violations):
+//  * log_pd:   x positive, finite, normal.
+//  * log1p_pd: 1 + x positive, finite, normal (x > -1 away from -1).
+//  * exp_pd:   any finite/infinite x; saturates to 0 below -708 and to
+//    +inf above 708 instead of producing subnormals, which is exact
+//    enough for the epilogues' exp(-|d|) uses.
+//
+// This header may only be included from translation units compiled
+// with -mavx2 -mfma (the #error below enforces it).
+#pragma once
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "vecmath_avx2.h requires -mavx2 -mfma"
+#endif
+
+#include <immintrin.h>
+
+#include <limits>
+
+namespace ss::simd::vec {
+
+inline __m256d negate_pd(__m256d x) {
+  return _mm256_xor_pd(x, _mm256_set1_pd(-0.0));
+}
+
+// e^x per lane. Reduction: n = round(x * log2(e)), r = x - n*ln2 with
+// ln2 split in two parts, e^r by the Cephes expansion
+// 1 + 2r·P(r²)/(Q(r²) − r·P(r²)), then scale by 2^n through the
+// exponent field.
+inline __m256d exp_pd(__m256d x) {
+  const __m256d kMax = _mm256_set1_pd(708.0);
+  const __m256d kMin = _mm256_set1_pd(-708.0);
+  __m256d xc = _mm256_min_pd(_mm256_max_pd(x, kMin), kMax);
+
+  const __m256d kLog2e = _mm256_set1_pd(1.4426950408889634073599);
+  __m256d n = _mm256_round_pd(
+      _mm256_mul_pd(xc, kLog2e),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  // r = x - n*ln2, two-part reduction keeps r exact to ~2^-60.
+  __m256d r = _mm256_fnmadd_pd(n, _mm256_set1_pd(6.93145751953125e-1), xc);
+  r = _mm256_fnmadd_pd(n, _mm256_set1_pd(1.42860682030941723212e-6), r);
+  __m256d rr = _mm256_mul_pd(r, r);
+
+  __m256d p = _mm256_set1_pd(1.26177193074810590878e-4);
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(3.02994407707441961300e-2));
+  p = _mm256_fmadd_pd(p, rr, _mm256_set1_pd(9.99999999999999999910e-1));
+  p = _mm256_mul_pd(p, r);
+
+  __m256d q = _mm256_set1_pd(3.00198505138664455042e-6);
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.52448340349684104192e-3));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.27265548208155028766e-1));
+  q = _mm256_fmadd_pd(q, rr, _mm256_set1_pd(2.00000000000000000005e0));
+
+  __m256d y = _mm256_div_pd(p, _mm256_sub_pd(q, p));
+  y = _mm256_fmadd_pd(y, _mm256_set1_pd(2.0), _mm256_set1_pd(1.0));
+
+  // ldexp(y, n): n is integral in [-1022, 1022] after the clamp.
+  __m128i n32 = _mm256_cvtpd_epi32(n);
+  __m256i n64 = _mm256_cvtepi32_epi64(n32);
+  __m256i pow2 = _mm256_slli_epi64(
+      _mm256_add_epi64(n64, _mm256_set1_epi64x(1023)), 52);
+  y = _mm256_mul_pd(y, _mm256_castsi256_pd(pow2));
+
+  // Saturate lanes the clamp touched (the true result is subnormal or
+  // overflowing there).
+  y = _mm256_blendv_pd(y, _mm256_setzero_pd(),
+                       _mm256_cmp_pd(x, kMin, _CMP_LT_OQ));
+  y = _mm256_blendv_pd(
+      y, _mm256_set1_pd(std::numeric_limits<double>::infinity()),
+      _mm256_cmp_pd(x, kMax, _CMP_GT_OQ));
+  return y;
+}
+
+// ln(x) per lane, x normal-positive. Splits mantissa/exponent so the
+// mantissa lands in [√½, √2), then the Cephes log rational in
+// t = mantissa - 1 with the usual -t²/2 correction and a two-part ln2
+// recombination of the exponent.
+inline __m256d log_pd(__m256d x) {
+  __m256i xi = _mm256_castpd_si256(x);
+  __m256d m = _mm256_castsi256_pd(_mm256_or_si256(
+      _mm256_and_si256(xi, _mm256_set1_epi64x(0x000FFFFFFFFFFFFFll)),
+      _mm256_set1_epi64x(0x3FE0000000000000ll)));  // mantissa in [0.5, 1)
+  // Exponent as a double via the 1.5·2^52 bit trick (x > 0, so the
+  // shifted sign bit is zero and the biased exponent fits in 11 bits).
+  __m256i e64 = _mm256_sub_epi64(_mm256_srli_epi64(xi, 52),
+                                 _mm256_set1_epi64x(1022));
+  __m256d e = _mm256_sub_pd(
+      _mm256_castsi256_pd(_mm256_add_epi64(
+          e64, _mm256_set1_epi64x(0x4338000000000000ll))),
+      _mm256_set1_pd(6755399441055744.0));
+
+  // If m < √½: halve the exponent's claim on it (e -= 1, m *= 2) so
+  // t = m - 1 stays in [√½ - 1, √2 - 1).
+  __m256d low = _mm256_cmp_pd(
+      m, _mm256_set1_pd(0.70710678118654752440), _CMP_LT_OQ);
+  e = _mm256_sub_pd(e, _mm256_and_pd(low, _mm256_set1_pd(1.0)));
+  m = _mm256_add_pd(m, _mm256_and_pd(low, m));
+  __m256d t = _mm256_sub_pd(m, _mm256_set1_pd(1.0));
+  __m256d z = _mm256_mul_pd(t, t);
+
+  __m256d p = _mm256_set1_pd(1.01875663804580931796e-4);
+  p = _mm256_fmadd_pd(p, t, _mm256_set1_pd(4.97494994976747001425e-1));
+  p = _mm256_fmadd_pd(p, t, _mm256_set1_pd(4.70579119878881725854e0));
+  p = _mm256_fmadd_pd(p, t, _mm256_set1_pd(1.44989225341610930846e1));
+  p = _mm256_fmadd_pd(p, t, _mm256_set1_pd(1.79368678507819816313e1));
+  p = _mm256_fmadd_pd(p, t, _mm256_set1_pd(7.70838733755885391666e0));
+
+  __m256d q = _mm256_add_pd(t, _mm256_set1_pd(1.12873587189167450590e1));
+  q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(4.52279145837532221105e1));
+  q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(8.29875266912776603211e1));
+  q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(7.11544750618563894466e1));
+  q = _mm256_fmadd_pd(q, t, _mm256_set1_pd(2.31251620126765340583e1));
+
+  __m256d y = _mm256_div_pd(
+      _mm256_mul_pd(_mm256_mul_pd(t, z), p), q);
+  y = _mm256_fnmadd_pd(e, _mm256_set1_pd(2.121944400546905827679e-4), y);
+  y = _mm256_fnmadd_pd(_mm256_set1_pd(0.5), z, y);
+  __m256d res = _mm256_add_pd(t, y);
+  return _mm256_fmadd_pd(e, _mm256_set1_pd(0.693359375), res);
+}
+
+// ln(1+x) per lane via the exact-correction trick: with u = fl(1+x),
+// log1p(x) ≈ log(u) · x / (u − 1) — the factor x/(u−1) undoes the
+// rounding of 1+x. Lanes where u == 1 return x (correct to within the
+// neglected x²/2 < ulp there).
+inline __m256d log1p_pd(__m256d x) {
+  const __m256d kOne = _mm256_set1_pd(1.0);
+  __m256d u = _mm256_add_pd(kOne, x);
+  __m256d lg = log_pd(u);
+  __m256d d = _mm256_sub_pd(u, kOne);
+  __m256d tiny = _mm256_cmp_pd(d, _mm256_setzero_pd(), _CMP_EQ_OQ);
+  __m256d safe_d = _mm256_blendv_pd(d, kOne, tiny);
+  __m256d res = _mm256_mul_pd(lg, _mm256_div_pd(x, safe_d));
+  return _mm256_blendv_pd(res, x, tiny);
+}
+
+}  // namespace ss::simd::vec

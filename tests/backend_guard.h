@@ -1,0 +1,27 @@
+// RAII kernel-backend pin for tests whose contract is specific to one
+// backend (docs/MODEL.md §12). Bit-identity suites pin kScalar — the
+// scalar backend is the executable reference the golden hashes were
+// recorded against — while tolerance/statistical suites run under
+// whatever dispatch selects, which exercises the AVX2 path on capable
+// hosts.
+#pragma once
+
+#include "math/simd/dispatch.h"
+
+namespace ss::test_support {
+
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(simd::Backend backend)
+      : previous_(simd::active_backend()) {
+    simd::force_backend(backend);
+  }
+  ~ScopedBackend() { simd::force_backend(previous_); }
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  simd::Backend previous_;
+};
+
+}  // namespace ss::test_support

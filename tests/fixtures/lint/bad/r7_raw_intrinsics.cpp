@@ -1,0 +1,10 @@
+// Lint fixture: must fire raw-intrinsics (R7) on line 3 (the header)
+// and line 7 (a vector-type token in real code).
+#include <immintrin.h>
+
+namespace demo {
+inline double sum2(const double* p) {
+  __m128d v = _mm_loadu_pd(p);
+  return _mm_cvtsd_f64(_mm_add_pd(v, _mm_unpackhi_pd(v, v)));
+}
+}  // namespace demo

@@ -9,6 +9,11 @@
 //  2. Golden tests: every migrated estimator reproduces the hash of its
 //     pre-kernel output (recorded at commit cbc8d85, see
 //     kernel_golden.h) — at one worker and at several.
+//
+// Both guarantees are contracts of the SCALAR backend (it is the
+// executable reference; docs/MODEL.md §12), so this whole binary pins
+// dispatch to kScalar. The AVX2 backend's ULP contract is covered by
+// tests/test_simd.cpp.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -23,11 +28,22 @@
 #include "kernel_golden.h"
 #include "math/kernels.h"
 #include "math/logprob.h"
+#include "math/simd/dispatch.h"
 #include "util/rng.h"
 
 namespace {
 
 using namespace ss;
+
+class ScalarBackendEnvironment : public ::testing::Environment {
+ public:
+  void SetUp() override {
+    ASSERT_TRUE(simd::force_backend(simd::Backend::kScalar));
+  }
+};
+
+const ::testing::Environment* const kPinScalar =
+    ::testing::AddGlobalTestEnvironment(new ScalarBackendEnvironment);
 
 constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 

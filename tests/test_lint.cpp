@@ -74,6 +74,7 @@ TEST(LintBadFixtures, EachRuleFiresAtItsSeededLine) {
       {"bad/r5_throw_in_parallel.cpp", "throw-in-parallel", 8},
       {"bad/r6_banned_include.cpp", "banned-include", 3},
       {"bad/r6_todo_owner.cpp", "todo-owner", 4},
+      {"bad/r7_raw_intrinsics.cpp", "raw-intrinsics", 3},
   };
   for (const BadCase& c : cases) {
     SCOPED_TRACE(c.file);
@@ -104,6 +105,12 @@ TEST(LintBadFixtures, SecondarySitesAlsoFire) {
       << run.output;
   EXPECT_EQ(run.output.find("r6_todo_owner.cpp:7:"), std::string::npos)
       << run.output;
+  // r7_raw_intrinsics seeds a __m128d token after the <immintrin.h>
+  // include; both sites must be reported.
+  run = run_lint(fixture("bad/r7_raw_intrinsics.cpp"));
+  EXPECT_NE(run.output.find("r7_raw_intrinsics.cpp:7:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("__m128d"), std::string::npos) << run.output;
 }
 
 TEST(LintGoodFixtures, WholeCorpusScansClean) {
@@ -179,7 +186,7 @@ TEST(LintCli, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"raw-log-exp", "rng-engine", "direct-io", "float-equality",
         "throw-in-parallel", "banned-include", "todo-owner",
-        "bad-suppression"}) {
+        "raw-intrinsics", "bad-suppression"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <vector>
 
+#include "backend_guard.h"
 #include "bounds/column_model.h"
 #include "bounds/gibbs_bound.h"
 #include "core/em_ext.h"
@@ -153,6 +154,14 @@ TEST(ParallelEngine, RandomRestartsBitwiseEqualAcrossThreadCounts) {
 }
 
 TEST(ParallelEngine, FusedEStepMatchesSeparatePasses) {
+  // Fused-vs-separate bit identity is a scalar-backend contract: the
+  // fused path batches gathers/epilogues that the per-column path runs
+  // singly, which only coincides bitwise when both resolve to the
+  // scalar kernels. (Thread-count invariance, the property this suite
+  // exists for, is asserted under the default backend by the tests
+  // around this one.) AVX2 fused-vs-separate agreement is covered at
+  // ULP tolerance in test_simd.cpp.
+  test_support::ScopedBackend pin(simd::Backend::kScalar);
   Dataset d = make_dataset(17, 100, 700);
   ModelParams params;
   params.source.assign(d.source_count(), SourceParams{});

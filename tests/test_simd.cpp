@@ -1,0 +1,676 @@
+// ULP contract of the AVX2 kernel backend (docs/MODEL.md §12, ctest
+// label `simd`).
+//
+// The scalar backend is the bit-exact reference (locked by
+// tests/test_kernels.cpp); the AVX2 backend is allowed to split
+// accumulation chains into partial sums and to evaluate exp/log/log1p
+// by polynomial, so these tests bound its divergence instead of
+// demanding identity:
+//
+//  * every vector kernel is called DIRECTLY (simd::*_avx2) across tail
+//    lengths 0–7 and longer spans, against a freshly written-out copy
+//    of the scalar loop it replaces;
+//  * degenerate inputs (-inf columns, NaN, rates outside (0,1)) must
+//    take the documented scalar-fallback path and match bitwise;
+//  * the kernels:: wrappers are checked to actually dispatch on the
+//    pinned backend, and the elementwise-aliasing contract of the
+//    batch epilogues is exercised exactly as posterior.cpp uses it;
+//  * forcing the scalar backend on an AVX2 host must reproduce the
+//    pre-SIMD golden hashes (the dispatch override is load-bearing);
+//  * one end-to-end check: EM-Ext under scalar vs AVX2 agrees on
+//    beliefs to estimator-level tolerance.
+//
+// Tolerances: pure-add kernels see only reassociation error, bounded
+// in ULPs unless cancellation shrinks the result (then an absolute
+// floor applies — the inputs are O(10) log terms, so surviving error
+// is O(n * eps * 10)). Transcendental kernels add the polynomial's
+// ~1-2 ULP per evaluation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "backend_guard.h"
+#include "core/likelihood.h"
+#include "kernel_golden.h"
+#include "math/kernels.h"
+#include "math/simd/dispatch.h"
+#include "util/rng.h"
+
+#define SKIP_WITHOUT_AVX2()                                        \
+  if (!ss::simd::avx2_runtime_supported())                         \
+  GTEST_SKIP() << "AVX2+FMA not usable on this build/host; "       \
+                  "scalar-only coverage lives in test_kernels"
+
+namespace {
+
+using namespace ss;
+using kernels::LogPair;
+using kernels::MassPair;
+using kernels::SweepWeights;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Reassociated sums of the same terms: partial-chain splitting.
+constexpr std::uint64_t kGatherUlp = 256;
+// One polynomial exp + one polynomial log1p per column.
+constexpr std::uint64_t kEpilogueUlp = 128;
+// Polynomial log/log1p plus the table's correction subtraction.
+constexpr std::uint64_t kTableUlp = 512;
+// Whole-column sums through the precompiled gather schedule: terms are
+// regrouped into granule chains AND dependent rows are pre-folded
+// (cd + es rounded once), so the per-column divergence can exceed the
+// single-kernel gather bound.
+constexpr std::uint64_t kColumnUlp = 2048;
+// When cancellation leaves a tiny result, ULP distance is meaningless;
+// below this absolute difference the values are equal for every
+// consumer (inputs are O(10) log terms).
+constexpr double kCancelTol = 1e-11;
+
+void expect_close(double reference, double got, std::uint64_t max_ulp,
+                  const std::string& what) {
+  double diff = std::abs(reference - got);
+  if (diff <= kCancelTol) return;  // covers equal ±inf via ULP below
+  EXPECT_LE(kernels::ulp_distance(reference, got), max_ulp)
+      << what << ": reference=" << reference << " got=" << got
+      << " ulp=" << kernels::ulp_distance(reference, got);
+}
+
+std::vector<LogPair> random_pairs(Rng& rng, std::size_t n, double lo,
+                                  double hi) {
+  std::vector<LogPair> out(n);
+  for (LogPair& p : out) {
+    p.t = rng.uniform(lo, hi);
+    p.f = rng.uniform(lo, hi);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> random_indices(Rng& rng, std::size_t len,
+                                          std::size_t table_size) {
+  std::vector<std::uint32_t> idx(len);
+  for (std::uint32_t& u : idx) {
+    u = rng.uniform_u32(static_cast<std::uint32_t>(table_size));
+  }
+  return idx;
+}
+
+const std::vector<std::size_t> kLengths = {0, 1,  2,  3,  4,  5, 6,
+                                           7, 8,  9,  13, 31, 64, 100};
+
+// ---------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------
+
+TEST(Dispatch, ScalarPinAlwaysSucceeds) {
+  test_support::ScopedBackend pin(simd::Backend::kScalar);
+  EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+  EXPECT_FALSE(simd::avx2_active());
+  EXPECT_STREQ(simd::active_backend_name(), "scalar");
+}
+
+TEST(Dispatch, ForceAvx2ReportsHostCapability) {
+  test_support::ScopedBackend pin(simd::Backend::kScalar);
+  bool ok = simd::force_backend(simd::Backend::kAvx2);
+  EXPECT_EQ(ok, simd::avx2_runtime_supported());
+  if (ok) {
+    EXPECT_EQ(simd::active_backend(), simd::Backend::kAvx2);
+    EXPECT_STREQ(simd::active_backend_name(), "avx2");
+  } else {
+    // A refused request must leave the selection untouched.
+    EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+  }
+}
+
+TEST(Dispatch, EnvVariableControlsResolution) {
+  const char* old = std::getenv("SS_KERNEL_BACKEND");
+  const bool had_old = old != nullptr;
+  const std::string saved = had_old ? old : "";
+  auto set_and_resolve = [](const char* value) {
+    ASSERT_EQ(::setenv("SS_KERNEL_BACKEND", value, 1), 0);
+    simd::reset_backend();
+  };
+
+  set_and_resolve("scalar");
+  EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+
+  set_and_resolve("SCALAR");  // values are case-insensitive
+  EXPECT_EQ(simd::active_backend(), simd::Backend::kScalar);
+
+  set_and_resolve("avx2");  // honored iff the host can run it
+  EXPECT_EQ(simd::avx2_active(), simd::avx2_runtime_supported());
+
+  set_and_resolve("bogus-backend");  // unknown values behave like auto
+  EXPECT_EQ(simd::avx2_active(), simd::avx2_runtime_supported());
+
+  if (had_old) {
+    ::setenv("SS_KERNEL_BACKEND", saved.c_str(), 1);
+  } else {
+    ::unsetenv("SS_KERNEL_BACKEND");
+  }
+  simd::reset_backend();
+}
+
+TEST(Dispatch, WrappersRouteOnPinnedBackend) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(11);
+  std::vector<LogPair> terms = random_pairs(rng, 64, -8.0, 8.0);
+  std::vector<std::uint32_t> idx = random_indices(rng, 24, terms.size());
+
+  test_support::ScopedBackend pin(simd::Backend::kAvx2);
+  LogPair via_wrapper = kernels::gather_add({0.0, 0.0}, idx, terms.data());
+  LogPair direct = simd::gather_add_avx2({0.0, 0.0}, idx, terms.data());
+  EXPECT_EQ(via_wrapper.t, direct.t);
+  EXPECT_EQ(via_wrapper.f, direct.f);
+
+  simd::force_backend(simd::Backend::kScalar);
+  LogPair scalar = kernels::gather_add({0.0, 0.0}, idx, terms.data());
+  double at = 0.0, af = 0.0;
+  for (std::uint32_t u : idx) {
+    at += terms[u].t;
+    af += terms[u].f;
+  }
+  EXPECT_EQ(scalar.t, at);
+  EXPECT_EQ(scalar.f, af);
+}
+
+// ---------------------------------------------------------------------
+// Gather kernels: reassociation only.
+// ---------------------------------------------------------------------
+
+TEST(SimdKernels, GatherAddAcrossTailLengths) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(404);
+  std::vector<LogPair> terms = random_pairs(rng, 97, -8.0, 8.0);
+  for (std::size_t len : kLengths) {
+    std::vector<std::uint32_t> idx = random_indices(rng, len, terms.size());
+    LogPair seed{rng.uniform(-4.0, 4.0), rng.uniform(-4.0, 4.0)};
+    double at = seed.t, af = seed.f;
+    for (std::uint32_t u : idx) {
+      at += terms[u].t;
+      af += terms[u].f;
+    }
+    LogPair got = simd::gather_add_avx2(seed, idx, terms.data());
+    std::string tag = "gather_add len=" + std::to_string(len);
+    expect_close(at, got.t, kGatherUlp, tag + " .t");
+    expect_close(af, got.f, kGatherUlp, tag + " .f");
+  }
+}
+
+TEST(SimdKernels, GatherAdd2AcrossLengthCombinations) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(405);
+  std::vector<LogPair> terms = random_pairs(rng, 97, -8.0, 8.0);
+  const std::size_t combos[][2] = {{0, 0}, {1, 5},  {5, 1},  {3, 3},
+                                   {7, 2}, {8, 8},  {17, 4}, {4, 17},
+                                   {40, 33}, {64, 64}};
+  for (const auto& combo : combos) {
+    std::vector<std::uint32_t> idx0 =
+        random_indices(rng, combo[0], terms.size());
+    std::vector<std::uint32_t> idx1 =
+        random_indices(rng, combo[1], terms.size());
+    LogPair a0{rng.uniform(-4.0, 4.0), rng.uniform(-4.0, 4.0)};
+    LogPair a1{rng.uniform(-4.0, 4.0), rng.uniform(-4.0, 4.0)};
+    LogPair ref0 = a0, ref1 = a1;
+    for (std::uint32_t u : idx0) {
+      ref0.t += terms[u].t;
+      ref0.f += terms[u].f;
+    }
+    for (std::uint32_t u : idx1) {
+      ref1.t += terms[u].t;
+      ref1.f += terms[u].f;
+    }
+    simd::gather_add2_avx2(a0, idx0, a1, idx1, terms.data());
+    std::string tag = "gather_add2 " + std::to_string(combo[0]) + "/" +
+                      std::to_string(combo[1]);
+    expect_close(ref0.t, a0.t, kGatherUlp, tag + " c0.t");
+    expect_close(ref0.f, a0.f, kGatherUlp, tag + " c0.f");
+    expect_close(ref1.t, a1.t, kGatherUlp, tag + " c1.t");
+    expect_close(ref1.f, a1.f, kGatherUlp, tag + " c1.f");
+  }
+}
+
+TEST(SimdKernels, GatherAddSelectAcrossTailLengths) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(406);
+  std::vector<LogPair> indep = random_pairs(rng, 97, -8.0, 8.0);
+  std::vector<LogPair> dep = random_pairs(rng, 97, -8.0, 8.0);
+  for (std::size_t len : kLengths) {
+    std::vector<std::uint32_t> idx = random_indices(rng, len, indep.size());
+    std::vector<char> flags(len);
+    for (char& f : flags) f = rng.bernoulli(0.5) ? 1 : 0;
+    LogPair seed{rng.uniform(-4.0, 4.0), rng.uniform(-4.0, 4.0)};
+    double at = seed.t, af = seed.f;
+    for (std::size_t k = 0; k < len; ++k) {
+      const LogPair& p = (flags[k] ? dep : indep)[idx[k]];
+      at += p.t;
+      af += p.f;
+    }
+    LogPair got = simd::gather_add_select_avx2(seed, idx, flags,
+                                               indep.data(), dep.data());
+    std::string tag = "gather_add_select len=" + std::to_string(len);
+    expect_close(at, got.t, kGatherUlp, tag + " .t");
+    expect_close(af, got.f, kGatherUlp, tag + " .f");
+  }
+}
+
+TEST(SimdKernels, GatherSumAndMassAcrossTailLengths) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(407);
+  std::vector<double> values(131);
+  std::vector<double> posterior(131);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = rng.uniform(-5.0, 5.0);
+    posterior[i] = rng.uniform(0.0, 1.0);
+  }
+  for (std::size_t len : kLengths) {
+    std::vector<std::uint32_t> idx =
+        random_indices(rng, len, values.size());
+    double ref_sum = 0.0;
+    MassPair ref_mass;
+    for (std::uint32_t j : idx) {
+      ref_sum += values[j];
+      ref_mass.z += posterior[j];
+      ref_mass.y += 1.0 - posterior[j];
+    }
+    std::string tag = " len=" + std::to_string(len);
+    expect_close(ref_sum, simd::gather_sum_avx2(idx, values.data()),
+                 kGatherUlp, "gather_sum" + tag);
+    MassPair got = simd::gather_mass_avx2(idx, posterior.data());
+    expect_close(ref_mass.z, got.z, kGatherUlp, "gather_mass.z" + tag);
+    expect_close(ref_mass.y, got.y, kGatherUlp, "gather_mass.y" + tag);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Batch epilogues.
+// ---------------------------------------------------------------------
+
+TEST(SimdKernels, FinalizeColumnsMatchesScalarIncludingDegenerates) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(408);
+  const std::size_t n = 103;
+  std::vector<double> la(n), lb(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    la[j] = rng.uniform(-40.0, 10.0);
+    lb[j] = rng.uniform(-40.0, 10.0);
+  }
+  // Degenerate lanes: the vector path must detect them and delegate the
+  // whole 4-lane block to the scalar finalize_column (exact semantics).
+  la[5] = -kInf;                     // impossible-under-true column
+  lb[9] = -kInf;                     // impossible-under-false column
+  la[12] = lb[12] = -kInf;           // contradiction column
+  la[17] = kInf;                     // saturated (not produced in
+  lb[21] = std::nan("");             //  practice, still exact)
+  la[40] = 700.0;                    // large-|d| saturation lanes stay
+  lb[41] = 700.0;                    //  on the vector path
+
+  std::vector<double> ref_post(n), ref_odds(n), ref_ll(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    kernels::ColumnStats s = kernels::finalize_column(la[j], lb[j]);
+    ref_post[j] = s.posterior;
+    ref_odds[j] = s.log_odds;
+    ref_ll[j] = s.log_likelihood;
+  }
+  std::vector<double> post(n), odds(n), ll(n);
+  simd::finalize_columns_avx2(la.data(), lb.data(), n, post.data(),
+                              odds.data(), ll.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    std::string tag = "finalize_columns j=" + std::to_string(j);
+    expect_close(ref_post[j], post[j], kEpilogueUlp, tag + " posterior");
+    expect_close(ref_odds[j], odds[j], kEpilogueUlp, tag + " log_odds");
+    expect_close(ref_ll[j], ll[j], kEpilogueUlp, tag + " ll");
+  }
+
+  // Short tails (n = 0..7) run the scalar epilogue inside the vector
+  // entry point: bitwise.
+  for (std::size_t tail = 0; tail <= 7; ++tail) {
+    std::vector<double> tp(tail), to(tail), tl(tail);
+    simd::finalize_columns_avx2(la.data(), lb.data(), tail, tp.data(),
+                                to.data(), tl.data());
+    for (std::size_t j = 0; j + 4 <= tail; ++j) {
+      // vector lanes: ULP
+      expect_close(ref_post[j], tp[j], kEpilogueUlp, "tail posterior");
+    }
+    for (std::size_t j = tail - (tail % 4); j < tail; ++j) {
+      EXPECT_EQ(ref_post[j], tp[j]) << "tail j=" << j;
+      EXPECT_EQ(ref_odds[j], to[j]) << "tail j=" << j;
+      EXPECT_EQ(ref_ll[j], tl[j]) << "tail j=" << j;
+    }
+  }
+}
+
+TEST(SimdKernels, FinalizePairsMatchesScalar) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(409);
+  const std::size_t n = 53;
+  std::vector<double> la(n), lb(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    la[j] = rng.uniform(-40.0, 10.0);
+    lb[j] = rng.uniform(-40.0, 10.0);
+  }
+  la[3] = -kInf;
+  lb[7] = -kInf;
+  std::vector<double> post(n), odds(n);
+  simd::finalize_pairs_avx2(la.data(), lb.data(), n, post.data(),
+                            odds.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    kernels::PairStats s = kernels::finalize_pair(la[j], lb[j]);
+    std::string tag = "finalize_pairs j=" + std::to_string(j);
+    expect_close(s.posterior, post[j], kEpilogueUlp, tag + " posterior");
+    expect_close(s.log_odds, odds[j], kEpilogueUlp, tag + " log_odds");
+  }
+}
+
+TEST(SimdKernels, FinalizeColumnsHonorsElementwiseAliasing) {
+  SKIP_WITHOUT_AVX2();
+  // Exactly the fused E-step's calling convention: log_odds aliases la
+  // and column_ll aliases lb. Same backend, same inputs — the aliased
+  // run must be bitwise identical to the non-aliased one.
+  test_support::ScopedBackend pin(simd::Backend::kAvx2);
+  Rng rng(410);
+  const std::size_t n = 37;
+  std::vector<double> la(n), lb(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    la[j] = rng.uniform(-30.0, 5.0);
+    lb[j] = rng.uniform(-30.0, 5.0);
+  }
+  std::vector<double> post(n), odds(n), ll(n);
+  kernels::finalize_columns(la.data(), lb.data(), n, post.data(),
+                            odds.data(), ll.data());
+  std::vector<double> a_post(n), a_la = la, a_lb = lb;
+  kernels::finalize_columns(a_la.data(), a_lb.data(), n, a_post.data(),
+                            a_la.data(), a_lb.data());
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(post[j], a_post[j]) << "posterior j=" << j;
+    EXPECT_EQ(odds[j], a_la[j]) << "log_odds j=" << j;
+    EXPECT_EQ(ll[j], a_lb[j]) << "column_ll j=" << j;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Table builds (polynomial transcendentals).
+// ---------------------------------------------------------------------
+
+TEST(SimdKernels, ExtLogTableBuildMatchesScalar) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(411);
+  const std::size_t n = 37;
+  std::vector<double> a(n), b(n), f(n), g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(0.02, 0.98);
+    b[i] = rng.uniform(0.02, 0.98);
+    f[i] = rng.uniform(0.02, 0.98);
+    g[i] = rng.uniform(0.02, 0.98);
+  }
+  // Cancellation row: f == a makes exposed_silent.t collapse to ~0.
+  f[4] = a[4];
+  // Degenerate row: rates outside (0,1) must take the scalar-fallback
+  // row inside the vector build (bitwise agreement with scalar).
+  a[10] = 0.0;
+  b[10] = 1.0;
+  auto rates = [&](std::size_t i) {
+    return std::array<double, 4>{a[i], b[i], f[i], g[i]};
+  };
+
+  kernels::ExtLogTable scalar_table;
+  {
+    test_support::ScopedBackend pin(simd::Backend::kScalar);
+    scalar_table.build(n, 0.37, rates);
+  }
+  kernels::ExtLogTable avx2_table;
+  {
+    test_support::ScopedBackend pin(simd::Backend::kAvx2);
+    avx2_table.build(n, 0.37, rates);
+  }
+
+  expect_close(scalar_table.base().t, avx2_table.base().t, kTableUlp,
+               "ext base.t");
+  expect_close(scalar_table.base().f, avx2_table.base().f, kTableUlp,
+               "ext base.f");
+  EXPECT_EQ(scalar_table.log_z(), avx2_table.log_z());
+  EXPECT_EQ(scalar_table.log_1mz(), avx2_table.log_1mz());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string tag = "ext i=" + std::to_string(i);
+    expect_close(scalar_table.exposed_silent()[i].t,
+                 avx2_table.exposed_silent()[i].t, kTableUlp, tag + " es.t");
+    expect_close(scalar_table.exposed_silent()[i].f,
+                 avx2_table.exposed_silent()[i].f, kTableUlp, tag + " es.f");
+    expect_close(scalar_table.claim_indep()[i].t,
+                 avx2_table.claim_indep()[i].t, kTableUlp, tag + " ci.t");
+    expect_close(scalar_table.claim_indep()[i].f,
+                 avx2_table.claim_indep()[i].f, kTableUlp, tag + " ci.f");
+    expect_close(scalar_table.claim_dep()[i].t,
+                 avx2_table.claim_dep()[i].t, kTableUlp, tag + " cd.t");
+    expect_close(scalar_table.claim_dep()[i].f,
+                 avx2_table.claim_dep()[i].f, kTableUlp, tag + " cd.f");
+  }
+  // The degenerate row went through libm in both builds: bitwise.
+  EXPECT_EQ(scalar_table.claim_indep()[10].t,
+            avx2_table.claim_indep()[10].t);
+  EXPECT_EQ(scalar_table.claim_indep()[10].f,
+            avx2_table.claim_indep()[10].f);
+}
+
+TEST(SimdKernels, RateLogTableBuildMatchesScalar) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(412);
+  const std::size_t n = 33;  // odd: exercises the one-source tail
+  std::vector<double> pt(n), pf(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pt[i] = rng.uniform(0.02, 0.98);
+    pf[i] = rng.uniform(0.02, 0.98);
+  }
+  pt[6] = 1.0;  // degenerate pair -> scalar-fallback rows
+  auto rates = [&](std::size_t i) {
+    return std::array<double, 2>{pt[i], pf[i]};
+  };
+
+  kernels::RateLogTable scalar_table;
+  {
+    test_support::ScopedBackend pin(simd::Backend::kScalar);
+    scalar_table.build(n, rates);
+  }
+  kernels::RateLogTable avx2_table;
+  {
+    test_support::ScopedBackend pin(simd::Backend::kAvx2);
+    avx2_table.build(n, rates);
+  }
+  expect_close(scalar_table.base().t, avx2_table.base().t, kTableUlp,
+               "rate base.t");
+  expect_close(scalar_table.base().f, avx2_table.base().f, kTableUlp,
+               "rate base.f");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string tag = "rate i=" + std::to_string(i);
+    expect_close(scalar_table.silent()[i].t, avx2_table.silent()[i].t,
+                 kTableUlp, tag + " silent.t");
+    expect_close(scalar_table.silent()[i].f, avx2_table.silent()[i].f,
+                 kTableUlp, tag + " silent.f");
+    expect_close(scalar_table.claim()[i].t, avx2_table.claim()[i].t,
+                 kTableUlp, tag + " claim.t");
+    expect_close(scalar_table.claim()[i].f, avx2_table.claim()[i].f,
+                 kTableUlp, tag + " claim.f");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Gibbs sweep weights + state refresh.
+// ---------------------------------------------------------------------
+
+TEST(SimdKernels, SweepWeightsBuildMatchesScalar) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(413);
+  for (std::size_t n : kLengths) {
+    std::vector<double> p1(n), p0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      p1[i] = rng.uniform(1e-6, 1.0 - 1e-6);
+      p0[i] = rng.uniform(1e-6, 1.0 - 1e-6);
+    }
+    if (n > 3) p1[3] = 1.0;  // degenerate -> scalar-fallback block
+    std::vector<SweepWeights> ref(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ref[i] = {std::log(p1[i]), std::log1p(-p1[i]), std::log(p0[i]),
+                std::log1p(-p0[i])};
+    }
+    std::vector<SweepWeights> got(n);
+    simd::sweep_weights_avx2(n, p1.data(), p0.data(), got.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string tag =
+          "sweep_weights n=" + std::to_string(n) + " i=" + std::to_string(i);
+      expect_close(ref[i].log_t1, got[i].log_t1, kTableUlp, tag + " t1");
+      expect_close(ref[i].log_t1n, got[i].log_t1n, kTableUlp, tag + " t1n");
+      expect_close(ref[i].log_f1, got[i].log_f1, kTableUlp, tag + " f1");
+      expect_close(ref[i].log_f1n, got[i].log_f1n, kTableUlp, tag + " f1n");
+    }
+  }
+}
+
+TEST(SimdKernels, SumStateLogsAcrossTailLengths) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(414);
+  for (std::size_t n : kLengths) {
+    if (n == 0) continue;  // w.data() must be dereferenceable per API
+    std::vector<SweepWeights> w(n);
+    std::vector<char> bits(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      w[i] = {rng.uniform(-6.0, 0.0), rng.uniform(-6.0, 0.0),
+              rng.uniform(-6.0, 0.0), rng.uniform(-6.0, 0.0)};
+      bits[i] = rng.bernoulli(0.5) ? 1 : 0;
+    }
+    double lt = 0.0, lf = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      lt += bits[i] ? w[i].log_t1 : w[i].log_t1n;
+      lf += bits[i] ? w[i].log_f1 : w[i].log_f1n;
+    }
+    LogPair got = simd::sum_state_logs_avx2(bits, w.data());
+    std::string tag = "sum_state_logs n=" + std::to_string(n);
+    expect_close(lt, got.t, kGatherUlp, tag + " .t");
+    expect_close(lf, got.f, kGatherUlp, tag + " .f");
+  }
+}
+
+// ---------------------------------------------------------------------
+// The dispatch override is load-bearing: forcing scalar on an AVX2
+// host must reproduce the pre-SIMD golden bits (the same constants
+// tests/test_kernels.cpp locks; re-record both together if a model
+// change ever invalidates them).
+// ---------------------------------------------------------------------
+
+TEST(ScalarPin, ForcedScalarReproducesPreSimdGoldens) {
+  test_support::ScopedBackend pin(simd::Backend::kScalar);
+  EXPECT_EQ(golden::golden_em_ext_vote(2), 0xbb95d36ec28d1561ull);
+  EXPECT_EQ(golden::golden_gibbs(1), 0xa309c27c21274f87ull);
+  EXPECT_EQ(golden::golden_truth_finder(), 0xf4bd952366a0c2b7ull);
+  EXPECT_EQ(golden::golden_average_log(), 0x4b590fc19df3a427ull);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: the backends must agree at estimator level, not just per
+// kernel. (The full Kirkuk-scale agreement + ranking check runs in
+// bench_perf_scaling's backend sweep; this is the fast in-suite form.)
+// ---------------------------------------------------------------------
+
+TEST(BackendAgreement, EmExtBeliefsAgreeAcrossBackends) {
+  SKIP_WITHOUT_AVX2();
+  Dataset d = golden::golden_dataset(101, 120, 300);
+  EstimateResult scalar_r, avx2_r;
+  {
+    test_support::ScopedBackend pin(simd::Backend::kScalar);
+    scalar_r = EmExtEstimator().run(d, 5);
+  }
+  {
+    test_support::ScopedBackend pin(simd::Backend::kAvx2);
+    avx2_r = EmExtEstimator().run(d, 5);
+  }
+  ASSERT_EQ(scalar_r.belief.size(), avx2_r.belief.size());
+  double max_diff = 0.0;
+  for (std::size_t j = 0; j < scalar_r.belief.size(); ++j) {
+    max_diff =
+        std::max(max_diff, std::abs(scalar_r.belief[j] - avx2_r.belief[j]));
+  }
+  // ULP-level kernel divergence may compound over EM iterations but
+  // stays far below any decision threshold the estimators use.
+  EXPECT_LT(max_diff, 1e-6);
+}
+
+// The Gibbs full-state refresh: SweepWeightsTable's packed SoA sum
+// (silent_base + masked deltas) against the AoS record walk it is
+// derived from, across tail lengths and both all-false/all-true edge
+// states.
+TEST(SimdKernels, SweepWeightsTablePackedRefreshMatchesRecords) {
+  SKIP_WITHOUT_AVX2();
+  test_support::ScopedBackend pin(simd::Backend::kAvx2);
+  Rng rng(511);
+  for (std::size_t n : kLengths) {
+    std::vector<double> pt(n);
+    std::vector<double> pf(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pt[i] = rng.uniform(0.02, 0.98);
+      pf[i] = rng.uniform(0.02, 0.98);
+    }
+    kernels::SweepWeightsTable table;
+    table.build(pt, pf);
+    ASSERT_EQ(table.size(), n);
+    std::vector<std::vector<char>> states;
+    states.emplace_back(n, char{0});
+    states.emplace_back(n, char{1});
+    std::vector<char> mixed(n);
+    for (char& b : mixed) b = rng.uniform_u32(2) != 0 ? 1 : 0;
+    states.push_back(std::move(mixed));
+    for (const std::vector<char>& bits : states) {
+      LogPair ref = kernels::sum_state_logs(bits, table.data());
+      LogPair got = table.sum_state_logs(bits);
+      std::string tag = "sweep_table n=" + std::to_string(n);
+      expect_close(ref.t, got.t, kGatherUlp, tag + " .t");
+      expect_close(ref.f, got.f, kGatherUlp, tag + " .f");
+    }
+  }
+}
+
+// The E-step gather pass: prior_columns through the precompiled gather
+// schedule (AVX2) against the scalar source-order walk, including
+// ranges that start at an odd column (the schedule's pairs are fixed
+// to columns (2p, 2p+1), so an odd begin peels one column first).
+TEST(BackendAgreement, PriorColumnsScheduleMatchesScalarWalk) {
+  SKIP_WITHOUT_AVX2();
+  Dataset d = golden::golden_dataset(33, 40, 61);
+  ModelParams params;
+  Rng rng(23);
+  params.z = 0.37;
+  params.source.resize(d.source_count());
+  for (SourceParams& s : params.source) {
+    s.a = rng.uniform(0.05, 0.9);
+    s.b = rng.uniform(0.05, 0.9);
+    s.f = rng.uniform(0.05, 0.9);
+    s.g = rng.uniform(0.05, 0.9);
+  }
+  std::size_t m = d.assertion_count();
+  std::vector<double> sla(m), slb(m), vla(m), vlb(m);
+  const std::size_t ranges[][2] = {{0, m}, {1, m}, {5, 6}, {2, 9}, {3, 10}};
+  for (auto [begin, end] : ranges) {
+    {
+      test_support::ScopedBackend pin(simd::Backend::kScalar);
+      LikelihoodTable table(d, params);
+      table.prior_columns(begin, end, sla.data(), slb.data());
+    }
+    {
+      test_support::ScopedBackend pin(simd::Backend::kAvx2);
+      LikelihoodTable table(d, params);
+      table.prior_columns(begin, end, vla.data(), vlb.data());
+    }
+    for (std::size_t j = begin; j < end; ++j) {
+      std::string tag = "prior_columns [" + std::to_string(begin) + "," +
+                        std::to_string(end) + ") j=" + std::to_string(j);
+      expect_close(sla[j], vla[j], kColumnUlp, tag + " la");
+      expect_close(slb[j], vlb[j], kColumnUlp, tag + " lb");
+    }
+  }
+}
+
+}  // namespace

@@ -30,6 +30,13 @@
 //                      (<stdio.h> et al — use the <c*> forms).
 //   todo-owner         (R6) no TODO/FIXME/XXX without an owner:
 //                      `TODO(name): ...`.
+//   raw-intrinsics     (R7) no SIMD intrinsics headers (<immintrin.h>
+//                      et al) or __m*/_mm* tokens outside
+//                      src/math/simd/ — vector code lives behind the
+//                      runtime-dispatched kernel API (math/kernels.h),
+//                      so portable hosts and the scalar bit-identity
+//                      contract are never at the mercy of a stray
+//                      intrinsic in estimator code.
 //
 // Suppression: append `// ss-lint: allow(<rule>[,<rule>...]): <reason>`
 // to the offending line, or put it alone on the line above. The reason
@@ -89,6 +96,8 @@ const RuleInfo kRules[] = {
      "banned header (<iostream>, <strstream>, C-compat <*.h>)"},
     {"todo-owner", "R6",
      "TODO/FIXME/XXX without an owner: write TODO(name): ..."},
+    {"raw-intrinsics", "R7",
+     "intrinsics header or __m*/_mm* token outside src/math/simd/"},
     {"bad-suppression", "-",
      "malformed ss-lint comment (unknown rule or missing reason)"},
 };
@@ -274,6 +283,7 @@ class FileScanner {
       : path_(normalize(std::move(path))),
         sink_(sink),
         exempt_math_(in_dir(path_, "math")),
+        exempt_simd_(in_dir(path_, "math/simd")),
         exempt_rng_(file_is(path_, "rng") && in_dir(path_, "util")),
         exempt_log_(file_is(path_, "log") && in_dir(path_, "util")) {}
 
@@ -319,6 +329,7 @@ class FileScanner {
     check_banned_include(raw, lineno);
 
     std::string code = scrub_line(raw, scrub_);
+    check_raw_intrinsics(raw, code, lineno);
     check_raw_log_exp(code, lineno);
     check_rng_engine(code, lineno);
     check_direct_io(code, lineno);
@@ -353,6 +364,33 @@ class FileScanner {
                   "> form";
     diag(lineno, "banned-include",
          "banned header <" + header + ">: " + why);
+  }
+
+  void check_raw_intrinsics(const std::string& raw,
+                            const std::string& code, std::size_t lineno) {
+    if (exempt_simd_) return;
+    // The include form is checked on the raw line (preprocessor
+    // directives survive scrubbing anyway, but keep it symmetric with
+    // banned-include); the token form runs on scrubbed code so prose
+    // mentions of __m256d in comments or strings never fire.
+    static const std::regex inc_re(
+        R"(^\s*#\s*include\s*[<"]([A-Za-z0-9_/]*intrin\.h|arm_neon\.h)[>"])");
+    std::smatch m;
+    if (std::regex_search(raw, m, inc_re)) {
+      diag(lineno, "raw-intrinsics",
+           "<" + m[1].str() +
+               "> outside src/math/simd/; vector code lives behind the "
+               "runtime-dispatched kernel API (math/kernels.h)");
+      return;
+    }
+    static const std::regex tok_re(
+        R"(\b(__m(64|128|256|512)[di]?|_mm(256|512)?_[A-Za-z0-9_]+)\b)");
+    if (std::regex_search(code, m, tok_re)) {
+      diag(lineno, "raw-intrinsics",
+           m[1].str() +
+               " outside src/math/simd/; add a kernel behind the "
+               "dispatched API (math/kernels.h) instead");
+    }
   }
 
   void check_raw_log_exp(const std::string& code, std::size_t lineno) {
@@ -472,6 +510,7 @@ class FileScanner {
   std::string path_;
   std::vector<Diagnostic>& sink_;
   bool exempt_math_;
+  bool exempt_simd_;
   bool exempt_rng_;
   bool exempt_log_;
   ScrubState scrub_;
