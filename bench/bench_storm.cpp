@@ -1,0 +1,186 @@
+// Robustness bench: cost of the deterministic simulation harness.
+//
+// Two questions, one record (bench_results/storm_robustness.json):
+//
+//  1. Clean-path overhead — the same Kirkuk cascade streamed once
+//     through LiveApollo directly and once through the sim transport
+//     (SimScheduler + SimProcess, zero faults, zero crashes). The
+//     harness is pure plumbing here, so its tax on the streaming
+//     pipeline must stay within a couple of percent; docs/MODEL.md §13
+//     records the budget.
+//  2. Storm robustness — one fully faulted run_storm() at the same
+//     seed, with its invariant verdict and fault counters, so the JSON
+//     doubles as a provenance record of what a storm survives.
+//
+// SS_PERF_CHECK=1 skips all timing and only asserts the harness leg is
+// bit-identical to the direct leg (ctest `storm_smoke`, label
+// perf-smoke). SS_STORM_SEED overrides the seed.
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "sim/process.h"
+#include "sim/scheduler.h"
+#include "sim/storm.h"
+#include "sim/stream.h"
+#include "twitter/simulator.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ss;
+
+using Ranking = std::vector<std::pair<std::uint32_t, double>>;
+
+constexpr std::size_t kTopK = 30;
+
+// Production path: batches folded straight into LiveApollo.
+Ranking run_direct(const TwitterSimulation& world,
+                   const sim::SimStream& stream) {
+  LiveApollo live(world.follows, LiveApolloConfig{});
+  for (std::uint64_t s = 0; s < stream.batch_count(); ++s) {
+    for (const Tweet& t : stream.clean_batch(s)) live.ingest(t);
+    live.refresh();
+  }
+  return live.top(kTopK);
+}
+
+// Same batches routed through the sim transport: scheduled arrival
+// events, sequence tracking, reorder buffer — everything the storm
+// uses, minus the faults.
+Ranking run_harness(const TwitterSimulation& world,
+                    const sim::SimStream& stream, std::uint64_t seed) {
+  sim::ProcessConfig config;
+  config.fingerprint = splitmix64(seed ^ 0xBE4C4ULL);
+  sim::SimProcess process(&world.follows, config);
+  sim::SimScheduler scheduler(seed);
+  for (const sim::PlannedDelivery& d : stream.deliveries()) {
+    scheduler.schedule(d.tick, sim::EventKind::kBatchArrival, d.seq);
+  }
+  while (!scheduler.empty()) {
+    sim::Event e = scheduler.pop();
+    sim::SimStream::Delivered d = stream.delivered(e.payload);
+    process.deliver(e.payload, std::move(d.tweets));
+  }
+  return process.live().top(kTopK);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ss;
+  bool check_only = env_int("SS_PERF_CHECK", 0) != 0;
+  bool fast = env_int("SS_FAST", 0) != 0;
+  std::uint64_t seed =
+      static_cast<std::uint64_t>(env_int("SS_STORM_SEED", 606));
+
+  bench::banner("Robustness — simulation-harness overhead and storm "
+                "survival",
+                "docs/MODEL.md §13 (deterministic simulation)");
+
+  TwitterScenario scenario =
+      scenario_by_name("Kirkuk").scaled(fast || check_only ? 0.03 : 0.1);
+  TwitterSimulation world = simulate_twitter(scenario, seed);
+  sim::StreamConfig clean_stream;
+  clean_stream.batch_size = 120;
+  clean_stream.faults = fault::BatchFaultConfig{};  // all rates zero
+  sim::SimStream stream(world.tweets, clean_stream, seed);
+  std::printf("seed %llu: %zu tweets in %zu batches\n\n",
+              static_cast<unsigned long long>(seed), world.tweets.size(),
+              stream.batch_count());
+
+  // The harness transport must be invisible on the clean path: same
+  // ranking, same log-odds bits.
+  Ranking direct_top = run_direct(world, stream);
+  Ranking harness_top = run_harness(world, stream, seed);
+  if (direct_top != harness_top) {
+    std::printf("FAIL: harness clean path diverges from direct "
+                "LiveApollo run (SS_STORM_SEED=%llu)\n",
+                static_cast<unsigned long long>(seed));
+    return 1;
+  }
+  if (check_only) {
+    std::printf("check ok: harness top-%zu bit-identical to direct "
+                "run (%zu clusters); timing skipped\n",
+                kTopK, direct_top.size());
+    return 0;
+  }
+
+  std::size_t reps = bench_repetitions(12, 5);
+  StreamingStats direct_ms;
+  StreamingStats harness_ms;
+  for (std::size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    run_direct(world, stream);
+    direct_ms.add(timer.millis());
+    timer.reset();
+    run_harness(world, stream, seed);
+    harness_ms.add(timer.millis());
+  }
+  double overhead_pct =
+      (harness_ms.mean() - direct_ms.mean()) / direct_ms.mean() * 100.0;
+
+  sim::StormConfig storm;
+  storm.seed = seed;
+  storm.scenario = "Kirkuk";
+  storm.scale = fast ? 0.02 : 0.05;
+  storm.stream.batch_size = 60;
+  storm.stream.emit_interval_ticks = 50;
+  storm.stream.faults.delay_rate = 0.3;
+  storm.stream.faults.max_delay_ticks = 120;
+  storm.stream.faults.duplicate_rate = 0.15;
+  storm.stream.faults.drop_rate = 0.1;
+  storm.stream.faults.corrupt_rate = 0.1;
+  storm.crashes = 2;
+  storm.checkpoint_interval_ticks = 120;
+  storm.query_interval_ticks = 170;
+  WallTimer storm_timer;
+  sim::StormReport report = sim::run_storm(storm);
+  double storm_seconds = storm_timer.seconds();
+
+  TablePrinter table({"leg", "time", "notes"});
+  table.add_row({"direct LiveApollo",
+                 bench::mean_ci(direct_ms, 2) + " ms",
+                 std::to_string(stream.batch_count()) + " batches"});
+  table.add_row({"sim harness (clean)",
+                 bench::mean_ci(harness_ms, 2) + " ms",
+                 strprintf("overhead %.2f%%", overhead_pct)});
+  table.add_row({"full storm", strprintf("%.2f s", storm_seconds),
+                 report.passed ? "invariants held" : "VIOLATIONS"});
+  table.print();
+  std::printf("\nstorm: %zu events, %zu crashes, %zu resumes, %zu "
+              "checkpoints, %zu corrupted batches, %zu records lost\n",
+              report.events, report.crashes, report.resumes,
+              report.checkpoints, report.corrupted_batches,
+              report.records_lost);
+  if (!report.passed) {
+    for (const std::string& v : report.violations) {
+      std::printf("violation: %s\n", v.c_str());
+    }
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc["experiment"] = "storm_robustness";
+  doc["seed"] = static_cast<double>(seed);
+  doc["tweets"] = world.tweets.size();
+  doc["batches"] = stream.batch_count();
+  doc["reps"] = reps;
+  doc["direct_ms"] = direct_ms.mean();
+  doc["harness_ms"] = harness_ms.mean();
+  doc["overhead_pct"] = overhead_pct;
+  JsonValue storm_doc = JsonValue::object();
+  storm_doc["passed"] = report.passed;
+  storm_doc["seconds"] = storm_seconds;
+  storm_doc["events"] = report.events;
+  storm_doc["batches"] = report.batches;
+  storm_doc["crashes"] = report.crashes;
+  storm_doc["resumes"] = report.resumes;
+  storm_doc["checkpoints"] = report.checkpoints;
+  storm_doc["duplicates_rejected"] = report.duplicates_rejected;
+  storm_doc["corrupted_batches"] = report.corrupted_batches;
+  storm_doc["records_lost"] = report.records_lost;
+  storm_doc["redeliveries"] = report.redeliveries;
+  doc["storm"] = std::move(storm_doc);
+  bench::write_result("storm_robustness", doc);
+  return report.passed ? 0 : 1;
+}

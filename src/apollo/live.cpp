@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "util/checkpoint.h"
 #include "util/status.h"
 
 namespace ss {
@@ -74,6 +75,91 @@ LiveRefreshResult LiveApollo::refresh() {
   active_.clear();
   window_claims_ = 0;
   return result;
+}
+
+namespace {
+
+void save_belief_map(BinWriter& writer,
+                     const std::unordered_map<std::uint32_t, double>& map) {
+  std::vector<std::pair<std::uint32_t, double>> entries(map.begin(),
+                                                        map.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer.u64(entries.size());
+  for (const auto& [k, v] : entries) {
+    writer.u64(k);
+    writer.f64(v);
+  }
+}
+
+void load_belief_map(BinReader& reader,
+                     std::unordered_map<std::uint32_t, double>& map) {
+  map.clear();
+  std::uint64_t n = reader.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t k = reader.u64();
+    double v = reader.f64();
+    map.emplace(static_cast<std::uint32_t>(k), v);
+  }
+}
+
+}  // namespace
+
+void LiveApollo::save_state(BinWriter& writer) const {
+  clusterer_.save_state(writer);
+  em_.save_state(writer);
+  std::vector<std::uint32_t> keys;
+  keys.reserve(claims_of_cluster_.size());
+  for (const auto& [k, v] : claims_of_cluster_) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  writer.u64(keys.size());
+  for (std::uint32_t k : keys) {
+    const std::vector<Claim>& claims = claims_of_cluster_.at(k);
+    writer.u64(k);
+    writer.u64(claims.size());
+    for (const Claim& c : claims) {
+      writer.u64(c.source);
+      writer.u64(c.assertion);
+      writer.f64(c.time);
+    }
+  }
+  writer.u64(active_.size());
+  for (std::uint32_t c : active_) writer.u64(c);
+  writer.u64(window_claims_);
+  writer.u64(dropped_tweets_);
+  save_belief_map(writer, belief_of_cluster_);
+  save_belief_map(writer, log_odds_of_cluster_);
+}
+
+void LiveApollo::load_state(BinReader& reader) {
+  clusterer_.load_state(reader);
+  em_.load_state(reader);
+  claims_of_cluster_.clear();
+  std::uint64_t clusters = reader.u64();
+  for (std::uint64_t i = 0; i < clusters; ++i) {
+    std::uint32_t k = static_cast<std::uint32_t>(reader.u64());
+    std::uint64_t count = reader.u64();
+    std::vector<Claim> claims;
+    claims.reserve(count);
+    for (std::uint64_t j = 0; j < count; ++j) {
+      Claim c;
+      c.source = static_cast<std::uint32_t>(reader.u64());
+      c.assertion = static_cast<std::uint32_t>(reader.u64());
+      c.time = reader.f64();
+      claims.push_back(c);
+    }
+    claims_of_cluster_.emplace(k, std::move(claims));
+  }
+  std::uint64_t actives = reader.u64();
+  active_.clear();
+  active_.reserve(actives);
+  for (std::uint64_t i = 0; i < actives; ++i) {
+    active_.push_back(static_cast<std::uint32_t>(reader.u64()));
+  }
+  window_claims_ = reader.u64();
+  dropped_tweets_ = reader.u64();
+  load_belief_map(reader, belief_of_cluster_);
+  load_belief_map(reader, log_odds_of_cluster_);
 }
 
 std::vector<std::pair<std::uint32_t, double>> LiveApollo::top(

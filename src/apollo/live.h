@@ -70,6 +70,21 @@ class LiveApollo {
   std::size_t refreshes() const { return em_.batches_seen(); }
   // Tweets dropped at ingest because their user was unknown.
   std::size_t dropped_tweets() const { return dropped_tweets_; }
+  // Sequence number the next refresh() batch will carry (delegates to
+  // the streaming estimator; see the batch-ordering contract in
+  // core/streaming_em.h).
+  std::uint64_t next_sequence() const { return em_.next_sequence(); }
+
+  // Bit-exact serialization of the full pipeline state (clusterer,
+  // estimator, claim history, window buffer, beliefs). The bytes are
+  // canonical — unordered-map iteration order never leaks in — so two
+  // pipelines that processed the same tweets serialize identically and
+  // the storm harness can compare crash/resume state by byte equality.
+  // The follower graph and config are not serialized; the resuming
+  // caller reconstructs with the same ones (graph mismatch surfaces as
+  // a source-universe error from StreamingEmExt::load_state).
+  void save_state(BinWriter& writer) const;
+  void load_state(BinReader& reader);
 
  private:
   LiveApolloConfig config_;

@@ -9,6 +9,7 @@
 #include "core/posterior.h"
 #include "math/kernels.h"
 #include "math/logprob.h"
+#include "util/checkpoint.h"
 #include "util/fault_inject.h"
 #include "util/thread_pool.h"
 
@@ -47,8 +48,30 @@ StreamingEmExt::StreamingEmExt(std::size_t sources,
   batch_denom_g_.assign(sources, 0.0);
 }
 
+StreamingBatchResult StreamingEmExt::observe(const Dataset& batch,
+                                             std::uint64_t seq) {
+  if (seq < next_sequence_) {
+    // Stale duplicate from a retrying transport: already folded in, so
+    // touching any state would double-count it.
+    ++stale_batches_;
+    StreamingBatchResult rejected;
+    rejected.accepted = false;
+    rejected.stats_committed = false;
+    return rejected;
+  }
+  if (seq > next_sequence_) {
+    throw std::invalid_argument(
+        "StreamingEmExt::observe: batch sequence gap (got " +
+        std::to_string(seq) + ", expected " +
+        std::to_string(next_sequence_) +
+        "); the caller must buffer delayed batches");
+  }
+  return observe(batch);
+}
+
 StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
   batch.validate();
+  ++next_sequence_;
   std::size_t n = source_count();
   if (batch.source_count() != n) {
     throw std::invalid_argument(
@@ -202,7 +225,8 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
   // The result vectors are moved to the caller, so (unlike the scratch
   // above) there is nothing to reuse here.
   table.set_params(params_);
-  EStepResult e = fused_e_step(table, &global_pool());
+  ThreadPool* pool = config_.pool != nullptr ? config_.pool : &global_pool();
+  EStepResult e = fused_e_step(table, pool);
   fault::maybe_corrupt_posterior(e.posterior);
   result.belief = std::move(e.posterior);
   result.log_odds = std::move(e.log_odds);
@@ -219,6 +243,75 @@ StreamingBatchResult StreamingEmExt::observe(const Dataset& batch) {
   }
   if (!std::isfinite(result.log_likelihood)) result.log_likelihood = 0.0;
   return result;
+}
+
+void StreamingEmExt::save_state(BinWriter& writer) const {
+  std::size_t n = source_count();
+  writer.u64(n);
+  writer.u64(batches_);
+  writer.u64(skipped_batches_);
+  writer.u64(stale_batches_);
+  writer.u64(next_sequence_);
+  writer.f64(params_.z);
+  for (const SourceParams& s : params_.source) {
+    writer.f64(s.a);
+    writer.f64(s.b);
+    writer.f64(s.f);
+    writer.f64(s.g);
+  }
+  writer.vec_f64(stats_claim_indep_z_);
+  writer.vec_f64(stats_claim_indep_y_);
+  writer.vec_f64(stats_claim_dep_z_);
+  writer.vec_f64(stats_claim_dep_y_);
+  writer.vec_f64(stats_denom_a_);
+  writer.vec_f64(stats_denom_b_);
+  writer.vec_f64(stats_denom_f_);
+  writer.vec_f64(stats_denom_g_);
+  writer.f64(stats_z_num_);
+  writer.f64(stats_z_den_);
+}
+
+void StreamingEmExt::load_state(BinReader& reader) {
+  std::size_t n = source_count();
+  std::uint64_t stored = reader.u64();
+  if (stored != n) {
+    throw std::runtime_error(
+        "StreamingEmExt::load_state: source universe mismatch (state "
+        "has " +
+        std::to_string(stored) + " sources, instance has " +
+        std::to_string(n) + ")");
+  }
+  batches_ = reader.u64();
+  skipped_batches_ = reader.u64();
+  stale_batches_ = reader.u64();
+  next_sequence_ = reader.u64();
+  params_.z = reader.f64();
+  params_.source.assign(n, SourceParams{});
+  for (SourceParams& s : params_.source) {
+    s.a = reader.f64();
+    s.b = reader.f64();
+    s.f = reader.f64();
+    s.g = reader.f64();
+  }
+  auto load_vec = [&](std::vector<double>& out, const char* what) {
+    std::vector<double> v = reader.vec_f64();
+    if (v.size() != n) {
+      throw std::runtime_error(
+          std::string("StreamingEmExt::load_state: ") + what +
+          " length mismatch");
+    }
+    out = std::move(v);
+  };
+  load_vec(stats_claim_indep_z_, "stats_claim_indep_z");
+  load_vec(stats_claim_indep_y_, "stats_claim_indep_y");
+  load_vec(stats_claim_dep_z_, "stats_claim_dep_z");
+  load_vec(stats_claim_dep_y_, "stats_claim_dep_y");
+  load_vec(stats_denom_a_, "stats_denom_a");
+  load_vec(stats_denom_b_, "stats_denom_b");
+  load_vec(stats_denom_f_, "stats_denom_f");
+  load_vec(stats_denom_g_, "stats_denom_g");
+  stats_z_num_ = reader.f64();
+  stats_z_den_ = reader.f64();
 }
 
 }  // namespace ss

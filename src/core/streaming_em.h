@@ -17,6 +17,27 @@
 //
 // Sources persist across batches (same index space); assertions are
 // batch-local, as in a sliding window over a live event.
+//
+// Batch-ordering contract. The estimator is a *recursive* filter: the
+// decayed statistics after batch k are a function of the batches in the
+// exact order they were folded in, so feeding batches out of order
+// silently computes a different model. Callers on an unreliable
+// transport (the src/sim/ storm harness, a network ingest) therefore
+// tag each batch with the sequence number assigned at *emission* time
+// and use the checked overload observe(batch, seq):
+//
+//   - seq == next_sequence(): the batch is folded in, next_sequence()
+//     advances, result.accepted = true.
+//   - seq <  next_sequence(): a stale duplicate (retry of a batch that
+//     already arrived). Rejected without touching any state:
+//     result.accepted = false, stale_batches() counts it, and the
+//     returned beliefs are empty.
+//   - seq >  next_sequence(): a gap — the caller failed to buffer a
+//     delayed batch. That is a caller bug, not a transport condition,
+//     and throws std::invalid_argument.
+//
+// The unchecked observe(batch) is shorthand for
+// observe(batch, next_sequence()) and never rejects.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +47,10 @@
 #include "core/params.h"
 
 namespace ss {
+
+class BinReader;
+class BinWriter;
+class ThreadPool;
 
 struct StreamingEmConfig {
   // Exponential forgetting factor in (0, 1]; 1 = never forget.
@@ -37,9 +62,17 @@ struct StreamingEmConfig {
   double shrinkage = 8.0;
   // Bounds on the learned prior z (see EmExtConfig::z_floor).
   double z_floor = 0.05;
+  // Pool for the fused E-step; nullptr = the process-global pool.
+  // Chunk boundaries depend only on (count, grain), so results are
+  // bit-identical across pool sizes — tests pin a 1-thread and a
+  // 4-thread pool against each other to prove it.
+  ThreadPool* pool = nullptr;
 };
 
 struct StreamingBatchResult {
+  // False only for a stale duplicate rejected by the checked
+  // observe(batch, seq) overload; the other fields are then empty.
+  bool accepted = true;
   // Posterior truth probability per assertion of the batch.
   std::vector<double> belief;
   std::vector<double> log_odds;
@@ -64,6 +97,24 @@ class StreamingEmExt {
   // space is independent of previous batches. Throws on shape mismatch.
   StreamingBatchResult observe(const Dataset& batch);
 
+  // Sequence-checked variant for unreliable transports; see the
+  // batch-ordering contract at the top of this header.
+  StreamingBatchResult observe(const Dataset& batch, std::uint64_t seq);
+
+  // Sequence number the next accepted batch must carry.
+  std::uint64_t next_sequence() const { return next_sequence_; }
+  // Stale duplicates rejected by the checked overload.
+  std::size_t stale_batches() const { return stale_batches_; }
+
+  // Serializes / restores the full mutable state (params, counters,
+  // running statistics) bit-exactly via the checkpoint binary codec.
+  // load_state throws std::runtime_error when the serialized source
+  // universe disagrees with this instance's. Config is not serialized:
+  // the resuming caller must construct with the same config, as with
+  // (seed, config)-keyed checkpoints elsewhere.
+  void save_state(BinWriter& writer) const;
+  void load_state(BinReader& reader);
+
   const ModelParams& params() const { return params_; }
   std::size_t source_count() const { return stats_claim_indep_z_.size(); }
   std::size_t batches_seen() const { return batches_; }
@@ -76,6 +127,8 @@ class StreamingEmExt {
   ModelParams params_;
   std::size_t batches_ = 0;
   std::size_t skipped_batches_ = 0;
+  std::size_t stale_batches_ = 0;
+  std::uint64_t next_sequence_ = 0;
   // Running (decayed) sufficient statistics per source.
   std::vector<double> stats_claim_indep_z_;
   std::vector<double> stats_claim_indep_y_;

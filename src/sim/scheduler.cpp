@@ -1,0 +1,57 @@
+#include "sim/scheduler.h"
+
+namespace ss {
+namespace sim {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBatchArrival:
+      return "batch";
+    case EventKind::kCheckpointTimer:
+      return "checkpoint";
+    case EventKind::kQuery:
+      return "query";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kResume:
+      return "resume";
+  }
+  return "?";
+}
+
+bool SimScheduler::Later::operator()(const Event& a,
+                                     const Event& b) const {
+  // priority_queue pops the *largest*, so "later" means greater tuple.
+  if (a.tick != b.tick) return a.tick > b.tick;
+  if (a.tie != b.tie) return a.tie > b.tie;
+  return a.id > b.id;
+}
+
+SimScheduler::SimScheduler(std::uint64_t seed)
+    : tie_rng_(seed, /*stream=*/0x71E5) {}
+
+void SimScheduler::schedule(std::uint64_t tick, EventKind kind,
+                            std::uint64_t payload) {
+  Event e;
+  e.tick = tick < clock_.now() ? clock_.now() : tick;
+  e.kind = kind;
+  e.payload = payload;
+  // Drawn at scheduling time: the tie sequence depends only on the
+  // seed and the order of schedule() calls, which is itself a pure
+  // function of the seed — so same-tick interleavings replay exactly.
+  e.tie = (static_cast<std::uint64_t>(tie_rng_.uniform_u32(0xffffffffu))
+           << 32) |
+          tie_rng_.uniform_u32(0xffffffffu);
+  e.id = next_id_++;
+  queue_.push(e);
+}
+
+Event SimScheduler::pop() {
+  Event e = queue_.top();
+  queue_.pop();
+  clock_.advance_to(e.tick);
+  return e;
+}
+
+}  // namespace sim
+}  // namespace ss

@@ -1,0 +1,323 @@
+#include "sim/storm.h"
+
+#include <cmath>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/process.h"
+#include "sim/scheduler.h"
+#include "twitter/simulator.h"
+#include "util/checkpoint.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace ss {
+namespace sim {
+namespace {
+
+bool params_finite(const ModelParams& params) {
+  if (!std::isfinite(params.z)) return false;
+  for (const SourceParams& s : params.source) {
+    if (!std::isfinite(s.a) || !std::isfinite(s.b) ||
+        !std::isfinite(s.f) || !std::isfinite(s.g)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool beliefs_finite(const LiveApollo& live) {
+  for (const auto& [cluster, belief] : live.beliefs()) {
+    if (!std::isfinite(belief)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+StormReport run_storm(const StormConfig& config) {
+  StormReport report;
+  report.replay_hint = "SS_STORM_SEED=" + std::to_string(config.seed);
+  auto violate = [&](const std::string& what) {
+    report.violations.push_back(what + " [" + report.replay_hint + "]");
+  };
+
+  // --- Input cascade and its fault plans -----------------------------
+  TwitterScenario scenario =
+      scenario_by_name(config.scenario).scaled(config.scale);
+  TwitterSimulation world = simulate_twitter(scenario, config.seed);
+  SimStream stream(world.tweets, config.stream, config.seed);
+  std::size_t total_batches = stream.batch_count();
+  report.batches = total_batches;
+  bool any_corruption = false;
+  for (std::uint64_t s = 0; s < total_batches; ++s) {
+    if (stream.plan(s).corrupt_seed != 0) any_corruption = true;
+  }
+
+  // --- Fault-free reference run --------------------------------------
+  LiveApolloConfig live_config;
+  live_config.em.pool = config.pool;
+  LiveApollo reference(world.follows, live_config);
+  for (std::uint64_t s = 0; s < total_batches; ++s) {
+    for (const Tweet& t : stream.clean_batch(s)) reference.ingest(t);
+    reference.refresh();
+  }
+  report.reference_top = reference.top(config.top_k);
+
+  // --- Storm process -------------------------------------------------
+  std::string workdir = config.workdir;
+  if (workdir.empty()) {
+    workdir = std::filesystem::temp_directory_path().string();
+  }
+  ProcessConfig process_config;
+  process_config.live = live_config;
+  process_config.checkpoint_path =
+      workdir + "/storm_" + std::to_string(config.seed) + ".snap";
+  process_config.fingerprint = splitmix64(config.seed ^ 0x5708313ULL);
+  {
+    // A stale snapshot from an earlier run of this seed must not leak
+    // into this one.
+    std::error_code ec;
+    std::filesystem::remove(process_config.checkpoint_path, ec);
+  }
+  SimProcess process(&world.follows, process_config);
+
+  // --- Event schedule ------------------------------------------------
+  SimScheduler scheduler(config.seed);
+  for (const PlannedDelivery& d : stream.deliveries()) {
+    scheduler.schedule(d.tick, EventKind::kBatchArrival, d.seq);
+  }
+  std::uint64_t horizon = stream.horizon_ticks();
+  if (config.checkpoint_interval_ticks > 0) {
+    scheduler.schedule(config.checkpoint_interval_ticks,
+                       EventKind::kCheckpointTimer);
+  }
+  if (config.query_interval_ticks > 0) {
+    scheduler.schedule(config.query_interval_ticks, EventKind::kQuery);
+  }
+  std::vector<std::uint64_t> kills =
+      fault::plan_kill_points(config.seed, config.crashes, horizon);
+  for (std::size_t k = 0; k < kills.size(); ++k) {
+    scheduler.schedule(kills[k], EventKind::kCrash, k);
+  }
+
+  // Delivery bookkeeping: a batch whose arrival event was consumed
+  // while the process was up lives only in process memory until the
+  // next checkpoint — after a crash it must be redelivered from the
+  // stream (the stream can always re-produce it).
+  std::set<std::uint64_t> consumed;
+  std::ostringstream log;
+  auto check_invariants = [&](const char* where) {
+    if (!process.running()) return;
+    if (!params_finite(process.live().params())) {
+      violate(std::string("non-finite model parameters after ") + where);
+    }
+    if (!beliefs_finite(process.live())) {
+      violate(std::string("non-finite belief after ") + where);
+    }
+  };
+
+  // --- Event loop ----------------------------------------------------
+  while (!scheduler.empty()) {
+    if (report.events >= config.max_events) {
+      violate("event budget exhausted (storm did not converge)");
+      break;
+    }
+    Event e = scheduler.pop();
+    ++report.events;
+    log << "t=" << e.tick << " " << event_kind_name(e.kind);
+    switch (e.kind) {
+      case EventKind::kBatchArrival: {
+        std::uint64_t seq = e.payload;
+        log << " seq=" << seq;
+        if (!process.running()) {
+          // The wire does not know the process died; the transport
+          // retries until somebody answers.
+          ++report.redeliveries;
+          scheduler.schedule(
+              e.tick + config.stream.faults.retry_delay_ticks,
+              EventKind::kBatchArrival, seq);
+          log << " outcome=retry-later";
+          break;
+        }
+        SimStream::Delivered d = stream.delivered(seq);
+        if (d.corrupted) {
+          ++report.corrupted_batches;
+          report.records_lost += d.records_lost;
+          log << " corrupted lost=" << d.records_lost;
+        }
+        SimProcess::DeliveryOutcome outcome =
+            process.deliver(seq, std::move(d.tweets));
+        consumed.insert(seq);
+        switch (outcome) {
+          case SimProcess::DeliveryOutcome::kApplied:
+            log << " outcome=applied next=" << process.next_seq();
+            break;
+          case SimProcess::DeliveryOutcome::kBuffered:
+            log << " outcome=buffered";
+            break;
+          case SimProcess::DeliveryOutcome::kStale:
+            ++report.duplicates_rejected;
+            log << " outcome=stale";
+            break;
+          case SimProcess::DeliveryOutcome::kDown:
+            log << " outcome=down";
+            break;
+        }
+        check_invariants("batch arrival");
+        break;
+      }
+      case EventKind::kCheckpointTimer: {
+        if (process.running()) {
+          process.checkpoint();
+          ++report.checkpoints;
+          log << " bytes=" << process.last_committed_state().size()
+              << " fnv="
+              << fnv1a64(process.last_committed_state().data(),
+                         process.last_committed_state().size());
+        } else {
+          log << " skipped=down";
+        }
+        if (e.tick + config.checkpoint_interval_ticks <= horizon) {
+          scheduler.schedule(e.tick + config.checkpoint_interval_ticks,
+                             EventKind::kCheckpointTimer);
+        }
+        break;
+      }
+      case EventKind::kQuery: {
+        if (process.running()) {
+          auto top = process.live().top(config.top_k);
+          for (const auto& [cluster, odds] : top) {
+            if (!std::isfinite(odds)) {
+              violate("non-finite log-odds in query result");
+            }
+          }
+          log << " top=" << top.size()
+              << " seen=" << process.live().clusters_seen();
+        } else {
+          log << " skipped=down";
+        }
+        if (e.tick + config.query_interval_ticks <= horizon) {
+          scheduler.schedule(e.tick + config.query_interval_ticks,
+                             EventKind::kQuery);
+        }
+        check_invariants("query");
+        break;
+      }
+      case EventKind::kCrash: {
+        if (!process.running()) {
+          log << " skipped=down";
+          break;
+        }
+        process.crash();
+        ++report.crashes;
+        scheduler.schedule(e.tick + config.resume_delay_ticks,
+                           EventKind::kResume, e.payload);
+        log << " kill=" << e.payload;
+        break;
+      }
+      case EventKind::kResume: {
+        if (process.running()) {
+          log << " skipped=up";
+          break;
+        }
+        process.resume();
+        ++report.resumes;
+        log << " next=" << process.next_seq();
+        if (process.has_committed()) {
+          // The core crash/resume invariant: what came back is, bit
+          // for bit, what was committed.
+          if (process.serialized_state() !=
+              process.last_committed_state()) {
+            violate("resumed state differs from last committed "
+                    "checkpoint");
+          }
+        }
+        // Batches consumed before the crash but not captured by the
+        // restored snapshot are gone from both the queue and process
+        // memory; redeliver them from the stream.
+        for (std::uint64_t seq : consumed) {
+          if (seq < process.next_seq()) continue;
+          ++report.redeliveries;
+          scheduler.schedule(e.tick + 1, EventKind::kBatchArrival, seq);
+          log << " redeliver=" << seq;
+        }
+        check_invariants("resume");
+        break;
+      }
+    }
+    log << "\n";
+  }
+
+  // --- Drain ---------------------------------------------------------
+  // Eventual delivery: the loop above retries while down and
+  // redelivers after resume, so an empty queue with unapplied batches
+  // means the process is down past the last resume; bring it back and
+  // finish.
+  if (!process.running()) {
+    process.resume();
+    ++report.resumes;
+    log << "t=" << scheduler.now() << " resume final next="
+        << process.next_seq() << "\n";
+  }
+  std::size_t drain_guard = 0;
+  while (process.next_seq() < total_batches &&
+         drain_guard++ < total_batches + 8) {
+    std::uint64_t seq = process.next_seq();
+    SimStream::Delivered d = stream.delivered(seq);
+    process.deliver(seq, std::move(d.tweets));
+    ++report.redeliveries;
+    log << "t=" << scheduler.now() << " drain seq=" << seq << "\n";
+  }
+  if (process.next_seq() != total_batches) {
+    violate("drain failed: applied " +
+            std::to_string(process.next_seq()) + " of " +
+            std::to_string(total_batches) + " batches");
+  }
+  check_invariants("drain");
+
+  // --- Final ranking vs the fault-free reference ---------------------
+  report.final_top = process.live().top(config.top_k);
+  log << "final top=" << report.final_top.size() << "\n";
+  if (!any_corruption) {
+    // Same batches, same order, exactly once: the storm run must agree
+    // with the reference to the last bit.
+    if (report.final_top != report.reference_top) {
+      violate("final top-" + std::to_string(config.top_k) +
+              " differs from fault-free reference despite intact "
+              "delivery");
+    }
+  } else {
+    std::set<std::uint32_t> ref_ids;
+    for (const auto& [cluster, odds] : report.reference_top) {
+      ref_ids.insert(cluster);
+    }
+    std::size_t overlap = 0;
+    for (const auto& [cluster, odds] : report.final_top) {
+      overlap += ref_ids.count(cluster);
+    }
+    double denom = static_cast<double>(
+        std::max<std::size_t>(1, report.reference_top.size()));
+    double frac = static_cast<double>(overlap) / denom;
+    log << "overlap=" << strprintf("%.4f", frac) << "\n";
+    if (frac < config.min_rank_overlap) {
+      violate("final top-" + std::to_string(config.top_k) +
+              " overlap " + strprintf("%.4f", frac) +
+              " below configured minimum " +
+              strprintf("%.4f", config.min_rank_overlap));
+    }
+  }
+
+  {
+    std::error_code ec;
+    std::filesystem::remove(process_config.checkpoint_path, ec);
+  }
+  report.event_log = log.str();
+  report.passed = report.violations.empty();
+  return report;
+}
+
+}  // namespace sim
+}  // namespace ss

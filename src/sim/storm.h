@@ -1,0 +1,96 @@
+// Storm composition: one seed -> one complete chaos run.
+//
+// run_storm() generates a scenario-sized tweet cascade, streams it
+// through planned network faults (delay/reorder, duplicate, drop +
+// retry, byte corruption) into a crashable pipeline process, crashes
+// and resumes that process at seed-planned points, and checks the
+// harness invariants after every event:
+//
+//   * all beliefs and learned parameters stay finite (a withheld or
+//     mangled batch must never contaminate the running statistics);
+//   * after every resume, the restored state is bit-identical to the
+//     payload of the last committed checkpoint;
+//   * after the run drains, every batch has been applied exactly once
+//     and in sequence order, and the final top-k ranking matches the
+//     fault-free reference run — exactly (same ids, same log-odds
+//     bits) when no batch was byte-corrupted, by overlap fraction
+//     otherwise (corruption legitimately loses records).
+//
+// The whole run — fault plans, event interleaving, kill points — is a
+// pure function of StormConfig, so a red CI seed replays bit-for-bit:
+// StormReport::event_log of two runs with the same config compare
+// byte-equal (tests/test_sim.cpp locks this down, including across
+// thread-pool sizes).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/stream.h"
+
+namespace ss {
+
+class ThreadPool;
+
+namespace sim {
+
+struct StormConfig {
+  std::uint64_t seed = 1;
+  // Scenario preset driving the cascade (twitter/scenario.h) and the
+  // scale factor applied to it.
+  std::string scenario = "Kirkuk";
+  double scale = 0.05;
+
+  StreamConfig stream;
+  // Process crashes planned inside the stream horizon.
+  std::size_t crashes = 2;
+  std::uint64_t resume_delay_ticks = 25;
+  std::uint64_t checkpoint_interval_ticks = 350;
+  std::uint64_t query_interval_ticks = 450;
+
+  // Final-ranking comparison against the fault-free reference.
+  std::size_t top_k = 30;
+  // Minimum |storm top-k  intersect  reference top-k| / k when byte
+  // corruption made an exact match impossible.
+  double min_rank_overlap = 0.8;
+
+  // Directory for the checkpoint file; empty = the system temp dir.
+  std::string workdir;
+  // Pool for the streaming E-steps; nullptr = the process-global pool.
+  ThreadPool* pool = nullptr;
+  // Safety cap on dispatched events (a storm that exceeds it failed).
+  std::size_t max_events = 200000;
+};
+
+struct StormReport {
+  bool passed = false;
+  // Human-readable invariant violations, empty on success.
+  std::vector<std::string> violations;
+  // One line per dispatched event; byte-identical across replays of
+  // the same config.
+  std::string event_log;
+  // Final top-k (cluster id, log-odds) of the storm run.
+  std::vector<std::pair<std::uint32_t, double>> final_top;
+  std::vector<std::pair<std::uint32_t, double>> reference_top;
+
+  std::size_t events = 0;
+  std::size_t batches = 0;
+  std::size_t crashes = 0;
+  std::size_t resumes = 0;
+  std::size_t checkpoints = 0;
+  std::size_t duplicates_rejected = 0;
+  std::size_t corrupted_batches = 0;
+  std::size_t records_lost = 0;
+  std::size_t redeliveries = 0;
+
+  // Paste-able reproduction pointer, e.g. "SS_STORM_SEED=42"; CI
+  // prints it when a storm fails.
+  std::string replay_hint;
+};
+
+StormReport run_storm(const StormConfig& config);
+
+}  // namespace sim
+}  // namespace ss

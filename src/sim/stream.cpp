@@ -1,0 +1,74 @@
+#include "sim/stream.h"
+
+#include <algorithm>
+
+#include "twitter/tweet_io.h"
+
+namespace ss {
+namespace sim {
+
+SimStream::SimStream(std::vector<Tweet> tweets, StreamConfig config,
+                     std::uint64_t storm_seed)
+    : config_(config) {
+  if (config_.batch_size == 0) config_.batch_size = 1;
+  if (config_.emit_interval_ticks == 0) config_.emit_interval_ticks = 1;
+  for (std::size_t at = 0; at < tweets.size();
+       at += config_.batch_size) {
+    std::size_t end = std::min(at + config_.batch_size, tweets.size());
+    batches_.emplace_back(tweets.begin() + static_cast<std::ptrdiff_t>(at),
+                          tweets.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  plans_.reserve(batches_.size());
+  for (std::uint64_t seq = 0; seq < batches_.size(); ++seq) {
+    fault::BatchFaultPlan plan =
+        fault::plan_batch_faults(config_.faults, storm_seed, seq);
+    std::uint64_t base = emission_tick(seq) + plan.delay_ticks;
+    PlannedDelivery first;
+    first.seq = seq;
+    first.tick = base;
+    if (plan.drop_first_attempt) {
+      // The first attempt is lost on the wire; only the retry arrives.
+      first.tick = base + config_.faults.retry_delay_ticks;
+      first.is_retry = true;
+    }
+    deliveries_.push_back(first);
+    if (plan.duplicate) {
+      PlannedDelivery dup = first;
+      dup.tick = base + 1;
+      dup.is_duplicate = true;
+      deliveries_.push_back(dup);
+    }
+    horizon_ = std::max({horizon_, first.tick, base + 1});
+    plans_.push_back(plan);
+  }
+  horizon_ += config_.faults.retry_delay_ticks + 1;
+}
+
+SimStream::Delivered SimStream::delivered(std::uint64_t seq) const {
+  const std::vector<Tweet>& clean = clean_batch(seq);
+  const fault::BatchFaultPlan& plan = this->plan(seq);
+  Delivered d;
+  if (plan.corrupt_seed == 0) {
+    d.tweets = clean;
+    return d;
+  }
+  d.corrupted = true;
+  std::string wire = fault::corrupt_bytes(
+      tweets_to_jsonl(clean), config_.faults.corrupt_byte_rate,
+      plan.corrupt_seed);
+  IngestOptions options;
+  options.mode = IngestMode::kRepair;
+  Expected<std::vector<Tweet>> parsed =
+      parse_tweets_jsonl(wire, "sim-batch-" + std::to_string(seq),
+                         options);
+  // Repair mode never fails at the stream level; defensive fallback to
+  // an empty batch keeps the storm running if it ever does.
+  if (parsed.ok()) d.tweets = std::move(parsed).value();
+  d.records_lost = clean.size() > d.tweets.size()
+                       ? clean.size() - d.tweets.size()
+                       : 0;
+  return d;
+}
+
+}  // namespace sim
+}  // namespace ss

@@ -1,0 +1,93 @@
+// Simulated tweet stream with planned network faults.
+//
+// SimStream slices a generated tweet cascade into fixed-size batches
+// tagged with emission-order sequence numbers, then derives each
+// batch's wire behaviour from the storm seed via the pure planners in
+// util/fault_inject.h: a batch may arrive late (and thereby overtake
+// its successors), twice, only on a retry after its first attempt was
+// dropped, or with its serialized bytes mangled. Corruption goes
+// through the real ingest surface — the batch is rendered to JSONL,
+// corrupted with fault::corrupt_bytes, and re-parsed in repair mode —
+// so a storm exercises the same code that faces crawled data.
+//
+// Everything here is a pure function of (tweets, config, storm_seed):
+// the planned delivery schedule and each batch's delivered content can
+// be recomputed at any time, which is what lets a crashed-and-resumed
+// process ask for any past batch again.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "twitter/simulator.h"
+#include "util/fault_inject.h"
+
+namespace ss {
+namespace sim {
+
+struct StreamConfig {
+  // Tweets per batch (the last batch may be smaller).
+  std::size_t batch_size = 200;
+  // Ticks between consecutive batch emissions.
+  std::uint64_t emit_interval_ticks = 100;
+  fault::BatchFaultConfig faults;
+};
+
+// One planned wire delivery. A batch has one entry normally, two when
+// duplicated, and its entry is shifted to the retry tick when the
+// first attempt is dropped.
+struct PlannedDelivery {
+  std::uint64_t tick = 0;
+  std::uint64_t seq = 0;
+  bool is_duplicate = false;
+  bool is_retry = false;
+};
+
+class SimStream {
+ public:
+  SimStream(std::vector<Tweet> tweets, StreamConfig config,
+            std::uint64_t storm_seed);
+
+  std::size_t batch_count() const { return batches_.size(); }
+  std::uint64_t emission_tick(std::uint64_t seq) const {
+    return (seq + 1) * config_.emit_interval_ticks;
+  }
+  // All planned deliveries, in planning order (by seq, first attempt
+  // then duplicate). The scheduler's tie-breaking orders same-tick
+  // arrivals.
+  const std::vector<PlannedDelivery>& deliveries() const {
+    return deliveries_;
+  }
+  // Last planned delivery tick plus one retry window — crashes and
+  // timers are planned inside this horizon.
+  std::uint64_t horizon_ticks() const { return horizon_; }
+
+  // The batch as emitted (fault-free); reference runs consume this.
+  const std::vector<Tweet>& clean_batch(std::uint64_t seq) const {
+    return batches_.at(static_cast<std::size_t>(seq));
+  }
+  const fault::BatchFaultPlan& plan(std::uint64_t seq) const {
+    return plans_.at(static_cast<std::size_t>(seq));
+  }
+
+  struct Delivered {
+    std::vector<Tweet> tweets;
+    bool corrupted = false;
+    // Rows the repair parser had to skip (identity unrecoverable).
+    std::size_t records_lost = 0;
+  };
+  // The batch as it arrives on the wire. Pure: recomputed per call,
+  // identical every time (duplicates and redeliveries carry the same
+  // corruption as the original attempt).
+  Delivered delivered(std::uint64_t seq) const;
+
+ private:
+  StreamConfig config_;
+  std::vector<std::vector<Tweet>> batches_;
+  std::vector<fault::BatchFaultPlan> plans_;
+  std::vector<PlannedDelivery> deliveries_;
+  std::uint64_t horizon_ = 0;
+};
+
+}  // namespace sim
+}  // namespace ss

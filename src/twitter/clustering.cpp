@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "twitter/text.h"
+#include "util/checkpoint.h"
 #include "util/log.h"
 
 namespace ss {
@@ -94,6 +95,71 @@ std::uint32_t IncrementalClusterer::add(const Tweet& tweet) {
   position_of_.emplace(tweet.id, position_of_.size());
   cluster_of_id_[tweet.id] = cluster;
   return cluster;
+}
+
+namespace {
+
+// Canonical (sorted-key) serialization of an unordered u32 -> u64 map.
+template <typename Map>
+void save_u32_map(BinWriter& writer, const Map& map) {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> entries;
+  entries.reserve(map.size());
+  for (const auto& [k, v] : map) {
+    entries.emplace_back(k, static_cast<std::uint64_t>(v));
+  }
+  std::sort(entries.begin(), entries.end());
+  writer.u64(entries.size());
+  for (const auto& [k, v] : entries) {
+    writer.u64(k);
+    writer.u64(v);
+  }
+}
+
+template <typename Map>
+void load_u32_map(BinReader& reader, Map& map) {
+  map.clear();
+  std::uint64_t n = reader.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t k = reader.u64();
+    std::uint64_t v = reader.u64();
+    map.emplace(static_cast<std::uint32_t>(k),
+                static_cast<typename Map::mapped_type>(v));
+  }
+}
+
+}  // namespace
+
+void IncrementalClusterer::save_state(BinWriter& writer) const {
+  writer.u64(cluster_tokens_.size());
+  for (const auto& tokens : cluster_tokens_) {
+    writer.u64(tokens.size());
+    for (const auto& tok : tokens) writer.str(tok);
+  }
+  save_u32_map(writer, cluster_of_id_);
+  save_u32_map(writer, position_of_);
+}
+
+void IncrementalClusterer::load_state(BinReader& reader) {
+  std::uint64_t clusters = reader.u64();
+  cluster_tokens_.clear();
+  cluster_tokens_.reserve(clusters);
+  index_.clear();
+  for (std::uint64_t c = 0; c < clusters; ++c) {
+    std::uint64_t count = reader.u64();
+    std::vector<std::string> tokens;
+    tokens.reserve(count);
+    for (std::uint64_t t = 0; t < count; ++t) {
+      tokens.push_back(reader.str());
+    }
+    // Replaying clusters in id order rebuilds every postings list in
+    // its original order.
+    for (const auto& tok : tokens) {
+      index_[tok].push_back(static_cast<std::uint32_t>(c));
+    }
+    cluster_tokens_.push_back(std::move(tokens));
+  }
+  load_u32_map(reader, cluster_of_id_);
+  load_u32_map(reader, position_of_);
 }
 
 ClusteringResult cluster_tweets(const std::vector<Tweet>& tweets,

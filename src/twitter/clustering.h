@@ -17,6 +17,9 @@
 
 namespace ss {
 
+class BinReader;
+class BinWriter;
+
 struct ClusteringConfig {
   // Minimum Jaccard similarity to join an existing cluster.
   double jaccard_threshold = 0.5;
@@ -60,6 +63,15 @@ class IncrementalClusterer {
 
   std::size_t cluster_count() const { return cluster_tokens_.size(); }
   std::size_t tweets_seen() const { return position_of_.size(); }
+
+  // Bit-exact state round-trip via the checkpoint binary codec. Maps
+  // are serialized in sorted-key order (canonical bytes: two clusterers
+  // with equal state serialize identically); the inverted token index
+  // is rebuilt on load by replaying clusters in id order, which
+  // reproduces the original postings-list order exactly. Config is the
+  // caller's responsibility, as everywhere else in the codebase.
+  void save_state(BinWriter& writer) const;
+  void load_state(BinReader& reader);
 
  private:
   std::uint32_t assign_by_text(const Tweet& tweet);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/string_util.h"
@@ -49,10 +50,8 @@ bool extract_field(const std::string& line, const std::string& key,
 
 }  // namespace
 
-void save_tweets(const std::vector<Tweet>& tweets,
-                 const std::string& path) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_tweets: cannot write " + path);
+std::string tweets_to_jsonl(const std::vector<Tweet>& tweets) {
+  std::ostringstream out;
   for (const Tweet& t : tweets) {
     out << "{\"id\":" << t.id << ",\"user\":" << t.user
         << ",\"time\":" << strprintf("%.17g", t.time) << ",\"text\":\""
@@ -60,6 +59,15 @@ void save_tweets(const std::vector<Tweet>& tweets,
     if (t.is_retweet()) out << ",\"parent\":" << t.parent;
     out << "}\n";
   }
+  return out.str();
+}
+
+void save_tweets(const std::vector<Tweet>& tweets,
+                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_tweets: cannot write " + path);
+  out << tweets_to_jsonl(tweets);
+  if (!out) throw std::runtime_error("save_tweets: short write to " + path);
 }
 
 std::vector<Tweet> load_tweets(const std::string& path) {
@@ -88,6 +96,16 @@ Expected<std::vector<Tweet>> try_load_tweets(
     }
     return error;
   }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  return parse_tweets_jsonl(bytes, path, options, report);
+}
+
+Expected<std::vector<Tweet>> parse_tweets_jsonl(
+    const std::string& text, const std::string& origin,
+    const IngestOptions& options, IngestReport* report) {
+  std::istringstream in(text);
+  const std::string& path = origin;  // defect locations name the origin
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
 

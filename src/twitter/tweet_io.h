@@ -23,6 +23,15 @@ namespace ss {
 void save_tweets(const std::vector<Tweet>& tweets,
                  const std::string& path);
 
+// In-memory forms of the same format. The deterministic simulation
+// (src/sim/stream.*) serializes each batch, corrupts the bytes "on the
+// wire", and re-parses through the ordinary repair path — no filesystem
+// involved. `origin` stands in for the path in defect locations.
+std::string tweets_to_jsonl(const std::vector<Tweet>& tweets);
+Expected<std::vector<Tweet>> parse_tweets_jsonl(
+    const std::string& text, const std::string& origin,
+    const IngestOptions& options = {}, IngestReport* report = nullptr);
+
 // Reads a JSONL tweet stream written by save_tweets (hidden fields come
 // back as kUnknown / 0). Throws std::runtime_error on parse errors
 // (strict mode).

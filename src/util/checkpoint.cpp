@@ -10,6 +10,22 @@ namespace ss {
 namespace {
 
 constexpr std::uint64_t kMagic = 0x53534b50'54313000ULL;  // "SSKPT10\0"
+constexpr std::uint64_t kSnapshotMagic =
+    0x53534e41'50313000ULL;  // "SSNAP10\0"
+// magic + kind + fingerprint + payload size.
+constexpr std::size_t kSnapshotHeaderBytes = 32;
+// Header + trailing checksum.
+constexpr std::size_t kSnapshotMinBytes = kSnapshotHeaderBytes + 8;
+
+std::uint64_t le64_at(const std::string& bytes, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes[at + i]))
+         << (8 * i);
+  }
+  return v;
+}
 
 }  // namespace
 
@@ -40,7 +56,8 @@ void BinWriter::str(const std::string& s) {
 void BinReader::require(std::size_t n) const {
   // n comes from untrusted length prefixes; guard the addition itself.
   if (n > bytes_.size() || pos_ > bytes_.size() - n) {
-    throw std::runtime_error("checkpoint: truncated payload");
+    throw std::runtime_error("checkpoint: truncated payload at byte " +
+                             std::to_string(pos_));
   }
 }
 
@@ -71,7 +88,8 @@ double BinReader::f64() {
 std::vector<double> BinReader::vec_f64() {
   std::uint64_t n = u64();
   if (n > bytes_.size()) {  // rejects absurd length prefixes pre-alloc
-    throw std::runtime_error("checkpoint: truncated payload");
+    throw std::runtime_error("checkpoint: truncated payload at byte " +
+                             std::to_string(pos_));
   }
   require(n * 8);
   std::vector<double> v(n);
@@ -109,6 +127,87 @@ void atomic_write_file(const std::string& path,
   }
 }
 
+std::uint64_t fnv1a64(const char* data, std::size_t size,
+                      std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void write_snapshot(const std::string& path, std::uint64_t kind,
+                    std::uint64_t fingerprint,
+                    const std::string& payload) {
+  BinWriter writer;
+  writer.u64(kSnapshotMagic);
+  writer.u64(kind);
+  writer.u64(fingerprint);
+  writer.str(payload);  // u64 length prefix + bytes
+  std::uint64_t digest =
+      fnv1a64(writer.bytes().data(), writer.bytes().size());
+  writer.u64(digest);
+  atomic_write_file(path, writer.bytes());
+}
+
+Expected<std::string> read_snapshot(const std::string& path,
+                                    std::uint64_t kind,
+                                    std::uint64_t fingerprint) {
+  auto corrupt = [&](std::size_t at, const std::string& why) {
+    return Error{ErrorCode::kCheckpointCorrupt,
+                 path + ": checkpoint corrupt at byte " +
+                     std::to_string(at) + ": " + why};
+  };
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error{ErrorCode::kIoError,
+                 path + ": cannot read checkpoint file"};
+  }
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < kSnapshotMinBytes) {
+    return corrupt(bytes.size(),
+                   "truncated header (" + std::to_string(bytes.size()) +
+                       " bytes, need at least " +
+                       std::to_string(kSnapshotMinBytes) + ")");
+  }
+  if (le64_at(bytes, 0) != kSnapshotMagic) {
+    return corrupt(0, "bad magic (not a snapshot file)");
+  }
+  if (le64_at(bytes, 8) != kind) {
+    return corrupt(8, "kind mismatch (expected " + std::to_string(kind) +
+                          ", found " + std::to_string(le64_at(bytes, 8)) +
+                          ")");
+  }
+  if (le64_at(bytes, 16) != fingerprint) {
+    return corrupt(16, "fingerprint mismatch (stale or foreign run)");
+  }
+  std::uint64_t declared = le64_at(bytes, 24);
+  std::uint64_t present = bytes.size() - kSnapshotMinBytes;
+  if (declared != present) {
+    return corrupt(kSnapshotHeaderBytes,
+                   "payload declares " + std::to_string(declared) +
+                       " bytes, " + std::to_string(present) +
+                       " present");
+  }
+  std::size_t digest_at = bytes.size() - 8;
+  std::uint64_t stored = le64_at(bytes, digest_at);
+  std::uint64_t actual = fnv1a64(bytes.data(), digest_at);
+  if (stored != actual) {
+    return corrupt(digest_at, "checksum mismatch");
+  }
+  return bytes.substr(kSnapshotHeaderBytes, declared);
+}
+
+std::string read_snapshot_or_throw(const std::string& path,
+                                   std::uint64_t kind,
+                                   std::uint64_t fingerprint) {
+  Expected<std::string> r = read_snapshot(path, kind, fingerprint);
+  if (!r.ok()) throw TaxonomyError(r.error().code, r.error().message);
+  return std::move(r).value();
+}
+
 CheckpointStore::CheckpointStore(std::string path, std::uint64_t kind,
                                  std::uint64_t fingerprint,
                                  std::uint64_t units)
@@ -119,32 +218,45 @@ CheckpointStore::CheckpointStore(std::string path, std::uint64_t kind,
   MutexLock lock(mu_);
   std::error_code ec;
   if (!std::filesystem::exists(path_, ec)) return;
+  std::string why;
   try {
-    if (!load_locked()) {
+    if (!load_locked(&why)) {
       recovered_corrupt_ = true;
       payloads_.clear();
     }
-  } catch (const std::exception&) {
+  } catch (const std::exception& e) {
     recovered_corrupt_ = true;
+    why = e.what();
     payloads_.clear();
+  }
+  if (recovered_corrupt_) {
+    recovered_error_ = Error{ErrorCode::kCheckpointCorrupt,
+                             path_ + ": " + why};
   }
 }
 
-bool CheckpointStore::load_locked() {
+bool CheckpointStore::load_locked(std::string* why) {
   std::ifstream in(path_, std::ios::binary);
-  if (!in) return false;
+  if (!in) {
+    *why = "file exists but cannot be read";
+    return false;
+  }
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
   BinReader reader(bytes);
-  if (reader.u64() != kMagic) return false;
-  if (reader.u64() != kind_) return false;
-  if (reader.u64() != fingerprint_) return false;
-  if (reader.u64() != units_) return false;
+  auto at = [&](const std::string& what) {
+    *why = what + " at byte " + std::to_string(reader.position());
+    return false;
+  };
+  if (reader.u64() != kMagic) return at("bad magic");
+  if (reader.u64() != kind_) return at("kind mismatch");
+  if (reader.u64() != fingerprint_) return at("fingerprint mismatch");
+  if (reader.u64() != units_) return at("unit-count mismatch");
   std::uint64_t records = reader.u64();
-  if (records > units_) return false;
+  if (records > units_) return at("record count exceeds units");
   for (std::uint64_t r = 0; r < records; ++r) {
     std::uint64_t unit = reader.u64();
-    if (unit >= units_) return false;
+    if (unit >= units_) return at("unit index out of range");
     payloads_[unit] = reader.str();
   }
   return true;

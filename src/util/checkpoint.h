@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/annotations.h"
+#include "util/status.h"
 
 namespace ss {
 
@@ -58,6 +59,9 @@ class BinReader {
   std::string str();
 
   bool done() const { return pos_ == bytes_.size(); }
+  // Byte offset of the next read — failure messages locate the defect
+  // with it ("corrupt at byte N").
+  std::size_t position() const { return pos_; }
 
  private:
   void require(std::size_t n) const;
@@ -68,6 +72,44 @@ class BinReader {
 // Writes `bytes` to `path` atomically (path + ".tmp", then rename).
 // Throws std::runtime_error on IO failure.
 void atomic_write_file(const std::string& path, const std::string& bytes);
+
+// FNV-1a 64-bit digest; seals snapshot files so corruption anywhere in
+// the header or payload is detected, not merely out-of-range lengths.
+std::uint64_t fnv1a64(const char* data, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+// --- Single-payload snapshots ----------------------------------------
+//
+// The simulation process (src/sim/process.*) checkpoints one opaque
+// state blob per commit rather than a unit map. Layout:
+//
+//   u64 magic | u64 kind | u64 fingerprint | u64 payload size
+//   payload bytes | u64 fnv1a64(everything before the digest)
+//
+// Every load failure is classified and *located*: a truncated, bit
+// -flipped, stale or foreign file comes back as
+// Error{kCheckpointCorrupt|kIoError, "<path>: ... at byte N"} — never
+// UB, never a silently partial state. tests/test_faults.cpp tortures
+// read_snapshot with a truncation at every byte boundary and a flip at
+// every byte position; golden corrupt files live under
+// tests/fixtures/corrupt/checkpoint/.
+
+// Atomically writes a sealed snapshot. Throws std::runtime_error on IO
+// failure.
+void write_snapshot(const std::string& path, std::uint64_t kind,
+                    std::uint64_t fingerprint, const std::string& payload);
+
+// Reads and verifies a snapshot. The payload is returned only when the
+// magic, kind, fingerprint, declared size and checksum all agree.
+Expected<std::string> read_snapshot(const std::string& path,
+                                    std::uint64_t kind,
+                                    std::uint64_t fingerprint);
+
+// Throwing form: surfaces the classified failure as a TaxonomyError
+// (ErrorCode::kCheckpointCorrupt or kIoError) instead of an Expected.
+std::string read_snapshot_or_throw(const std::string& path,
+                                   std::uint64_t kind,
+                                   std::uint64_t fingerprint);
 
 class CheckpointStore {
  public:
@@ -93,20 +135,26 @@ class CheckpointStore {
 
   std::size_t completed() const SS_EXCLUDES(mu_);
   bool recovered_corrupt() const { return recovered_corrupt_; }
+  // Classified, located description of why the pre-existing file was
+  // unusable (code kCheckpointCorrupt; kOk when recovered_corrupt() is
+  // false). The store still auto-recovers — losing a checkpoint only
+  // costs recomputation — but the defect is surfaced, not swallowed.
+  const Error& recovered_error() const { return recovered_error_; }
 
   // Removes the checkpoint file (call after the run completed).
   void remove_file() SS_EXCLUDES(mu_);
 
  private:
-  bool load_locked() SS_REQUIRES(mu_);
+  bool load_locked(std::string* why) SS_REQUIRES(mu_);
   std::string path_;
   std::uint64_t kind_;
   std::uint64_t fingerprint_;
   std::uint64_t units_;
   // Written only inside the constructor (under mu_, before the object
   // escapes), read-only afterwards — deliberately not guarded so the
-  // accessor stays lock-free.
+  // accessors stay lock-free.
   bool recovered_corrupt_ = false;
+  Error recovered_error_;
   mutable Mutex mu_;
   std::map<std::uint64_t, std::string> payloads_ SS_GUARDED_BY(mu_);
 };

@@ -1,5 +1,6 @@
 #include "util/fault_inject.h"
 
+#include <algorithm>
 #include <atomic>
 #include <limits>
 #include <mutex>
@@ -128,6 +129,54 @@ void unit_committed() {
   }
   throw FaultInjectedError(
       "fault-injected: killed after checkpoint commit");
+}
+
+BatchFaultPlan plan_batch_faults(const BatchFaultConfig& config,
+                                 std::uint64_t storm_seed,
+                                 std::uint64_t batch_seq) {
+  // One child stream per batch: a batch's plan depends only on
+  // (storm_seed, batch_seq), never on the other batches' draws.
+  Rng rng = Rng(storm_seed, /*stream=*/0xBA7C4).split(batch_seq);
+  BatchFaultPlan plan;
+  if (config.delay_rate > 0.0 && config.max_delay_ticks > 0 &&
+      rng.bernoulli(config.delay_rate)) {
+    plan.delay_ticks = 1 + rng.uniform_u32(static_cast<std::uint32_t>(
+                               config.max_delay_ticks));
+  }
+  if (config.duplicate_rate > 0.0 &&
+      rng.bernoulli(config.duplicate_rate)) {
+    plan.duplicate = true;
+  }
+  if (config.drop_rate > 0.0 && rng.bernoulli(config.drop_rate)) {
+    plan.drop_first_attempt = true;
+  }
+  if (config.corrupt_rate > 0.0 && rng.bernoulli(config.corrupt_rate)) {
+    // Never 0 (0 means "clean" to the consumer).
+    plan.corrupt_seed = splitmix64(storm_seed ^ (batch_seq + 1)) | 1ULL;
+  }
+  return plan;
+}
+
+std::vector<std::uint64_t> plan_kill_points(std::uint64_t storm_seed,
+                                            std::size_t count,
+                                            std::uint64_t horizon_ticks) {
+  std::vector<std::uint64_t> kills;
+  if (count == 0 || horizon_ticks < 2) return kills;
+  Rng rng(storm_seed, /*stream=*/0xC1771);
+  std::uint32_t span = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(horizon_ticks - 1, 0xffffffffULL));
+  // Rejection keeps the points distinct; the attempt cap bounds the
+  // loop when count approaches the horizon (fewer kills then).
+  std::size_t attempts = 0;
+  while (kills.size() < count && attempts < 4 * count + 16) {
+    ++attempts;
+    std::uint64_t t = 1 + rng.uniform_u32(span);
+    bool fresh = true;
+    for (std::uint64_t k : kills) fresh = fresh && k != t;
+    if (fresh) kills.push_back(t);
+  }
+  std::sort(kills.begin(), kills.end());
+  return kills;
 }
 
 std::string corrupt_bytes(std::string text, double rate,

@@ -103,5 +103,54 @@ void unit_committed();
 std::string corrupt_bytes(std::string text, double rate,
                           std::uint64_t seed);
 
+// --- Network/batch fault planning (src/sim/ storm harness) -----------
+//
+// Pure planning functions for the deterministic simulation substrate:
+// given one storm seed, they decide which batches of a simulated stream
+// are delayed, reordered (a delayed batch overtakes its successors),
+// duplicated, dropped-then-retried, or byte-corrupted, and where the
+// scheduler kills the process. Every draw comes from a split of the
+// storm seed keyed by the batch sequence number, so one batch's plan
+// never depends on how many faults other batches drew — the property
+// that makes a whole CI chaos failure replayable from the single
+// printed seed (SS_STORM_SEED). No arming involved; these are pure
+// functions like corrupt_bytes.
+
+struct BatchFaultConfig {
+  // Probability a batch's delivery is delayed by up to max_delay_ticks
+  // (uniform). Delays within a window larger than the batch spacing
+  // reorder delivery relative to the emission order.
+  double delay_rate = 0.0;
+  std::uint64_t max_delay_ticks = 0;
+  // Probability a batch is delivered twice (the consumer must dedup).
+  double duplicate_rate = 0.0;
+  // Probability the first delivery attempt is lost; the batch is
+  // redelivered retry_delay_ticks later, so delivery stays eventual.
+  double drop_rate = 0.0;
+  std::uint64_t retry_delay_ticks = 40;
+  // Probability the batch's serialized bytes are mangled on the wire
+  // (per-byte rate corrupt_byte_rate, via corrupt_bytes).
+  double corrupt_rate = 0.0;
+  double corrupt_byte_rate = 0.01;
+};
+
+struct BatchFaultPlan {
+  std::uint64_t delay_ticks = 0;
+  bool duplicate = false;
+  bool drop_first_attempt = false;
+  std::uint64_t corrupt_seed = 0;  // 0 = delivered clean
+};
+
+// The fault plan for batch `batch_seq` under `storm_seed`. Pure.
+BatchFaultPlan plan_batch_faults(const BatchFaultConfig& config,
+                                 std::uint64_t storm_seed,
+                                 std::uint64_t batch_seq);
+
+// Scheduler-owned kill points: up to `count` distinct crash ticks in
+// [1, horizon_ticks), strictly ascending. Pure; same seed, same kills.
+std::vector<std::uint64_t> plan_kill_points(std::uint64_t storm_seed,
+                                            std::size_t count,
+                                            std::uint64_t horizon_ticks);
+
 }  // namespace fault
 }  // namespace ss

@@ -1,0 +1,12 @@
+// Bad: wall-clock reads in library code (R8 raw-clock). Timestamps
+// must come from the caller so runs replay deterministically.
+#include <chrono>
+#include <ctime>
+
+namespace bad {
+double event_ts() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+long unix_now() { return std::time(nullptr); }
+}  // namespace bad

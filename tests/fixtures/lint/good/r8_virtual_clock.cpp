@@ -1,0 +1,13 @@
+// Good: deterministic code takes time from its caller (R8 raw-clock).
+// Field accesses and suffixed names that merely contain "time" must
+// not fire.
+#include <cstdint>
+
+namespace good {
+struct Tweet {
+  double time = 0.0;
+};
+double claim_time(const Tweet& t) { return t.time; }
+double shifted(const Tweet& t, double dt) { return claim_time(t) + dt; }
+std::uint64_t next_tick(std::uint64_t now) { return now + 1; }
+}  // namespace good

@@ -329,6 +329,124 @@ TEST(Checkpoint, StoreIgnoresMismatchedOrCorruptFiles) {
   std::filesystem::remove_all(dir);
 }
 
+// --- sealed snapshots (src/sim crash/resume substrate) ----------------
+
+constexpr std::uint64_t kGoldenKind = 7001;
+constexpr std::uint64_t kGoldenFingerprint = 424242;
+
+std::string checkpoint_fixture(const std::string& name) {
+  return std::string(SS_FIXTURE_DIR) + "/corrupt/checkpoint/" + name;
+}
+
+TEST(Snapshot, WriteReadRoundTripsPayloadExactly) {
+  std::string dir = temp_dir("snapshot_roundtrip");
+  std::string path = dir + "/state.snap";
+  std::string payload("blob with NUL \0 inside", 22);
+  write_snapshot(path, 9, 77, payload);
+  Expected<std::string> r = read_snapshot(path, 9, 77);
+  ASSERT_TRUE(r.ok()) << r.error().message;
+  EXPECT_EQ(r.value(), payload);
+  // Wrong identity is a located classified error, not a fatal one.
+  Expected<std::string> foreign = read_snapshot(path, 10, 77);
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_EQ(foreign.error().code, ErrorCode::kCheckpointCorrupt);
+  EXPECT_THROW(read_snapshot_or_throw(path, 9, 78), TaxonomyError);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Snapshot, GoldenFixturesClassifyEveryDefect) {
+  Expected<std::string> ok = read_snapshot(
+      checkpoint_fixture("valid.snap"), kGoldenKind, kGoldenFingerprint);
+  ASSERT_TRUE(ok.ok()) << ok.error().message;
+  EXPECT_EQ(ok.value(), "golden checkpoint payload v1");
+
+  struct GoldenCase {
+    const char* file;
+    const char* why;   // classification substring
+    const char* site;  // located byte offset
+  };
+  const GoldenCase cases[] = {
+      {"truncated.snap", "truncated header", "at byte 20"},
+      {"bad_magic.snap", "bad magic", "at byte 0"},
+      {"wrong_kind.snap", "kind mismatch", "at byte 8"},
+      {"stale_fingerprint.snap", "fingerprint mismatch", "at byte 16"},
+      {"bad_length.snap", "payload declares 33", "at byte 32"},
+      {"bad_checksum.snap", "checksum mismatch", "at byte 60"},
+  };
+  for (const GoldenCase& c : cases) {
+    SCOPED_TRACE(c.file);
+    Expected<std::string> r = read_snapshot(
+        checkpoint_fixture(c.file), kGoldenKind, kGoldenFingerprint);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kCheckpointCorrupt);
+    EXPECT_NE(r.error().message.find(c.why), std::string::npos)
+        << r.error().message;
+    EXPECT_NE(r.error().message.find(c.site), std::string::npos)
+        << r.error().message;
+  }
+
+  Expected<std::string> missing = read_snapshot(
+      checkpoint_fixture("does_not_exist.snap"), kGoldenKind,
+      kGoldenFingerprint);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kIoError);
+}
+
+TEST(Snapshot, TruncationAtEveryByteIsAClassifiedError) {
+  std::string golden = slurp(checkpoint_fixture("valid.snap"));
+  ASSERT_EQ(golden.size(), 68u);
+  std::string dir = temp_dir("snapshot_truncate");
+  std::string path = dir + "/cut.snap";
+  for (std::size_t cut = 0; cut < golden.size(); ++cut) {
+    spit(path, golden.substr(0, cut));
+    Expected<std::string> r =
+        read_snapshot(path, kGoldenKind, kGoldenFingerprint);
+    ASSERT_FALSE(r.ok()) << "cut at " << cut;
+    EXPECT_EQ(r.error().code, ErrorCode::kCheckpointCorrupt);
+    EXPECT_NE(r.error().message.find("at byte"), std::string::npos)
+        << r.error().message;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Snapshot, ByteFlipAtEveryPositionIsAClassifiedError) {
+  std::string golden = slurp(checkpoint_fixture("valid.snap"));
+  std::string dir = temp_dir("snapshot_flip");
+  std::string path = dir + "/flipped.snap";
+  for (std::size_t at = 0; at < golden.size(); ++at) {
+    std::string damaged = golden;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x40);
+    spit(path, damaged);
+    Expected<std::string> r =
+        read_snapshot(path, kGoldenKind, kGoldenFingerprint);
+    ASSERT_FALSE(r.ok()) << "flip at " << at;
+    EXPECT_EQ(r.error().code, ErrorCode::kCheckpointCorrupt)
+        << "flip at " << at;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, StoreSurfacesLocatedRecoveredError) {
+  std::string dir = temp_dir("store_recovered_error");
+  std::string path = dir + "/store.ckpt";
+  {
+    CheckpointStore store(path, 7, 42, 3);
+    store.commit(1, "beta");
+    EXPECT_EQ(store.recovered_error().code, ErrorCode::kOk);
+  }
+  std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() - 3));  // torn tail
+  CheckpointStore hurt(path, 7, 42, 3);
+  ASSERT_TRUE(hurt.recovered_corrupt());
+  EXPECT_EQ(hurt.recovered_error().code, ErrorCode::kCheckpointCorrupt);
+  EXPECT_NE(hurt.recovered_error().message.find(path), std::string::npos)
+      << hurt.recovered_error().message;
+  EXPECT_NE(hurt.recovered_error().message.find("at byte"),
+            std::string::npos)
+      << hurt.recovered_error().message;
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Checkpoint, EmExtKilledRunResumesBitIdentical) {
   Dataset d = tiny_dataset();
   std::string dir = temp_dir("em_resume");

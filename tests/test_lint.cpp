@@ -75,6 +75,7 @@ TEST(LintBadFixtures, EachRuleFiresAtItsSeededLine) {
       {"bad/r6_banned_include.cpp", "banned-include", 3},
       {"bad/r6_todo_owner.cpp", "todo-owner", 4},
       {"bad/r7_raw_intrinsics.cpp", "raw-intrinsics", 3},
+      {"bad/r8_raw_clock.cpp", "raw-clock", 8},
   };
   for (const BadCase& c : cases) {
     SCOPED_TRACE(c.file);
@@ -111,6 +112,13 @@ TEST(LintBadFixtures, SecondarySitesAlsoFire) {
   EXPECT_NE(run.output.find("r7_raw_intrinsics.cpp:7:"), std::string::npos)
       << run.output;
   EXPECT_NE(run.output.find("__m128d"), std::string::npos) << run.output;
+  // r8_raw_clock seeds a std::time(nullptr) read after the chrono
+  // clock; both sites must be reported.
+  run = run_lint(fixture("bad/r8_raw_clock.cpp"));
+  EXPECT_NE(run.output.find("r8_raw_clock.cpp:11:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("time() read"), std::string::npos)
+      << run.output;
 }
 
 TEST(LintGoodFixtures, WholeCorpusScansClean) {
@@ -186,7 +194,7 @@ TEST(LintCli, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"raw-log-exp", "rng-engine", "direct-io", "float-equality",
         "throw-in-parallel", "banned-include", "todo-owner",
-        "raw-intrinsics", "bad-suppression"}) {
+        "raw-intrinsics", "raw-clock", "bad-suppression"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

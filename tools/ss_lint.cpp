@@ -37,6 +37,14 @@
 //                      so portable hosts and the scalar bit-identity
 //                      contract are never at the mercy of a stray
 //                      intrinsic in estimator code.
+//   raw-clock          (R8) no wall-clock reads
+//                      (std::chrono::*_clock, time(), gettimeofday,
+//                      clock_gettime) outside src/util/ — deterministic
+//                      code takes time from its caller, so the
+//                      simulation harness (src/sim/) can replace it
+//                      with a virtual clock and replay runs from a
+//                      seed. util/timer.h and util/log.* are the
+//                      sanctioned homes for real time.
 //
 // Suppression: append `// ss-lint: allow(<rule>[,<rule>...]): <reason>`
 // to the offending line, or put it alone on the line above. The reason
@@ -98,6 +106,8 @@ const RuleInfo kRules[] = {
      "TODO/FIXME/XXX without an owner: write TODO(name): ..."},
     {"raw-intrinsics", "R7",
      "intrinsics header or __m*/_mm* token outside src/math/simd/"},
+    {"raw-clock", "R8",
+     "wall-clock read outside src/util/; take time from the caller"},
     {"bad-suppression", "-",
      "malformed ss-lint comment (unknown rule or missing reason)"},
 };
@@ -285,7 +295,8 @@ class FileScanner {
         exempt_math_(in_dir(path_, "math")),
         exempt_simd_(in_dir(path_, "math/simd")),
         exempt_rng_(file_is(path_, "rng") && in_dir(path_, "util")),
-        exempt_log_(file_is(path_, "log") && in_dir(path_, "util")) {}
+        exempt_log_(file_is(path_, "log") && in_dir(path_, "util")),
+        exempt_util_(in_dir(path_, "util")) {}
 
   bool scan() {
     std::ifstream in(path_);
@@ -335,6 +346,7 @@ class FileScanner {
     check_direct_io(code, lineno);
     check_float_equality(code, lineno);
     check_throw_in_parallel(code, lineno);
+    check_raw_clock(code, lineno);
   }
 
   void check_todo(const std::string& raw, std::size_t lineno) {
@@ -507,12 +519,49 @@ class FileScanner {
     }
   }
 
+  void check_raw_clock(const std::string& code, std::size_t lineno) {
+    if (exempt_util_) return;
+    // Any mention of the clock types — not just ::now() — so a local
+    // `using clock = std::chrono::steady_clock;` alias cannot dodge
+    // the rule.
+    static const std::regex chrono_re(
+        R"(\b(std::)?chrono::(steady_clock|system_clock|high_resolution_clock)\b)");
+    // Bare or std:: time(...) calls; the negated class keeps member
+    // accesses (`t.time`) and suffixed names (`claim_time(`) silent.
+    static const std::regex time_re(
+        R"((^|[^A-Za-z0-9_.:>])(std::)?time\s*\()");
+    static const std::regex posix_re(
+        R"(\b(gettimeofday|clock_gettime|timespec_get)\s*\()");
+    std::smatch m;
+    if (std::regex_search(code, m, chrono_re)) {
+      diag(lineno, "raw-clock",
+           "std::chrono::" + m[2].str() +
+               " outside src/util/; deterministic code takes time from "
+               "its caller (the simulation substitutes "
+               "sim::VirtualClock) — real time lives in util/timer.h");
+      return;
+    }
+    if (std::regex_search(code, m, time_re)) {
+      diag(lineno, "raw-clock",
+           "time() read outside src/util/; take timestamps from the "
+           "caller so runs replay deterministically");
+      return;
+    }
+    if (std::regex_search(code, m, posix_re)) {
+      diag(lineno, "raw-clock",
+           m[1].str() +
+               "() outside src/util/; take timestamps from the caller "
+               "so runs replay deterministically");
+    }
+  }
+
   std::string path_;
   std::vector<Diagnostic>& sink_;
   bool exempt_math_;
   bool exempt_simd_;
   bool exempt_rng_;
   bool exempt_log_;
+  bool exempt_util_;
   ScrubState scrub_;
   std::set<std::string> pending_;
   std::size_t pending_line_ = 0;
