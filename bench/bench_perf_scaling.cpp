@@ -91,17 +91,10 @@ void BM_EmExtSparseTwitterScale(benchmark::State& state) {
 //
 // Not a google-benchmark: each point is min-of-reps wall time under an
 // explicit ThreadPool, so the sweep can pin exact worker counts and
-// write one JSON record for the whole axis.
+// write one JSON record for the whole axis. Timing comes from
+// bench::min_wall_ms (bench_common.h).
 
-double min_wall_ms(int reps, const std::function<void()>& work) {
-  double best = 1e300;
-  for (int r = 0; r < reps; ++r) {
-    WallTimer timer;
-    work();
-    best = std::min(best, timer.millis());
-  }
-  return best;
-}
+using bench::min_wall_ms;
 
 std::vector<std::size_t> thread_axis() {
   std::size_t hw = std::max<std::size_t>(

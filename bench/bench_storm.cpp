@@ -107,16 +107,10 @@ int main() {
   }
 
   std::size_t reps = bench_repetitions(12, 5);
-  StreamingStats direct_ms;
-  StreamingStats harness_ms;
-  for (std::size_t r = 0; r < reps; ++r) {
-    WallTimer timer;
-    run_direct(world, stream);
-    direct_ms.add(timer.millis());
-    timer.reset();
-    run_harness(world, stream, seed);
-    harness_ms.add(timer.millis());
-  }
+  StreamingStats direct_ms =
+      bench::timed_reps(reps, [&] { run_direct(world, stream); });
+  StreamingStats harness_ms =
+      bench::timed_reps(reps, [&] { run_harness(world, stream, seed); });
   double overhead_pct =
       (harness_ms.mean() - direct_ms.mean()) / direct_ms.mean() * 100.0;
 

@@ -22,11 +22,18 @@ bool ColumnModel::valid() const {
 ColumnModel make_column_model(const ModelParams& params,
                               const DependencyIndicators& dep,
                               std::size_t assertion, double clamp_eps) {
-  std::size_t n = params.source_count();
-  if (dep.source_count() != n) {
+  if (dep.source_count() != params.source_count()) {
     throw std::invalid_argument(
         "make_column_model: params/dependency source mismatch");
   }
+  return make_column_model(params, dep.exposed_sources(assertion),
+                           clamp_eps);
+}
+
+ColumnModel make_column_model(
+    const ModelParams& params,
+    std::span<const std::uint32_t> exposed_sources, double clamp_eps) {
+  std::size_t n = params.source_count();
   ColumnModel model;
   model.z = clamp_prob(params.z, clamp_eps);
   model.p_claim_true.resize(n);
@@ -36,7 +43,11 @@ ColumnModel make_column_model(const ModelParams& params,
     model.p_claim_true[i] = clamp_prob(s.a, clamp_eps);
     model.p_claim_false[i] = clamp_prob(s.b, clamp_eps);
   }
-  for (std::uint32_t i : dep.exposed_sources(assertion)) {
+  for (std::uint32_t i : exposed_sources) {
+    if (i >= n) {
+      throw std::invalid_argument(
+          "make_column_model: exposed source out of range");
+    }
     const SourceParams& s = params.source[i];
     model.p_claim_true[i] = clamp_prob(s.f, clamp_eps);
     model.p_claim_false[i] = clamp_prob(s.g, clamp_eps);
@@ -66,8 +77,14 @@ ColumnModel make_column_model(const ModelParams& params,
 
 std::uint64_t exposure_pattern_key(const DependencyIndicators& dep,
                                    std::size_t assertion) {
+  return exposure_pattern_key(
+      std::span<const std::uint32_t>(dep.exposed_sources(assertion)));
+}
+
+std::uint64_t exposure_pattern_key(
+    std::span<const std::uint32_t> exposed_sources) {
   std::uint64_t h = 0x9e3779b97f4a7c15ULL;
-  for (std::uint32_t i : dep.exposed_sources(assertion)) {
+  for (std::uint32_t i : exposed_sources) {
     h = splitmix64(h ^ (i + 0x100000001b3ULL));
   }
   return h;

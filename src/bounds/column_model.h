@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/params.h"
@@ -34,6 +36,13 @@ ColumnModel make_column_model(const ModelParams& params,
                               std::size_t assertion,
                               double clamp_eps = 1e-12);
 
+// Same model from an explicit exposed-source list (a ShardedDataset
+// column slice, data/shard.h). The DependencyIndicators overload
+// delegates here, so both produce bit-identical rates for equal lists.
+ColumnModel make_column_model(const ModelParams& params,
+                              std::span<const std::uint32_t> exposed_sources,
+                              double clamp_eps = 1e-12);
+
 // Variant taking an explicit exposure mask (tests, hand-built scenarios).
 ColumnModel make_column_model(const ModelParams& params,
                               const std::vector<bool>& exposed,
@@ -44,5 +53,10 @@ ColumnModel make_column_model(const ModelParams& params,
 // dataset-level computation exploits for memoization.
 std::uint64_t exposure_pattern_key(const DependencyIndicators& dep,
                                    std::size_t assertion);
+
+// Same key from an explicit exposed-source list; equal lists hash
+// equal, so sharded and flat memoization agree.
+std::uint64_t exposure_pattern_key(
+    std::span<const std::uint32_t> exposed_sources);
 
 }  // namespace ss

@@ -1,8 +1,10 @@
 #include "bounds/dataset_bound.h"
 
 #include <unordered_map>
+#include <vector>
 
 #include "bounds/exact_bound.h"
+#include "util/thread_pool.h"
 
 namespace ss {
 namespace {
@@ -53,6 +55,68 @@ DatasetBoundResult gibbs_dataset_bound(const Dataset& dataset,
                        config)
         .bound;
   });
+}
+
+DatasetBoundResult gibbs_dataset_bound(const ShardedDataset& sharded,
+                                       const ModelParams& params,
+                                       std::uint64_t seed,
+                                       const GibbsBoundConfig& config,
+                                       ThreadPool* pool) {
+  if (pool == nullptr) pool = &global_pool();
+  std::size_t m = sharded.assertion_count();
+  DatasetBoundResult out;
+  out.columns = m;
+
+  // Pass 1 (serial, assertion order): assign each column its distinct
+  // exposure pattern. A pattern is represented by its first-occurrence
+  // column, which also supplies the chain seed — exactly the column the
+  // flat overload's memo would have computed, so the two variants run
+  // the same chains on the same models.
+  std::unordered_map<std::uint64_t, std::uint32_t> pattern_of_key;
+  std::vector<std::uint32_t> pattern_of(m);
+  std::vector<std::uint32_t> first_column;
+  for (std::size_t j = 0; j < m; ++j) {
+    std::uint64_t key = exposure_pattern_key(sharded.exposed_sources(j));
+    auto [it, inserted] = pattern_of_key.emplace(
+        key, static_cast<std::uint32_t>(first_column.size()));
+    if (inserted) first_column.push_back(static_cast<std::uint32_t>(j));
+    pattern_of[j] = it->second;
+  }
+  out.distinct_patterns = first_column.size();
+
+  // Pass 2: one Gibbs run per distinct pattern, concurrently (grain 1;
+  // each pattern owns its slot, and gibbs_bound's own multi-chain
+  // parallelism nests safely because pool callers participate).
+  std::vector<BoundResult> results(first_column.size());
+  pool->parallel_for_chunks(
+      first_column.size(), 1,
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+          std::size_t j = first_column[p];
+          ColumnModel model =
+              make_column_model(params, sharded.exposed_sources(j));
+          results[p] = gibbs_bound(
+                           model, seed ^ (0x9e3779b97f4a7c15ULL * (j + 1)),
+                           config)
+                           .bound;
+        }
+      });
+
+  // Pass 3 (serial, assertion order): the same accumulation sequence as
+  // the flat overload's memo walk.
+  for (std::size_t j = 0; j < m; ++j) {
+    const BoundResult& b = results[pattern_of[j]];
+    out.bound.error += b.error;
+    out.bound.false_positive += b.false_positive;
+    out.bound.false_negative += b.false_negative;
+  }
+  if (m > 0) {
+    double inv = 1.0 / static_cast<double>(m);
+    out.bound.error *= inv;
+    out.bound.false_positive *= inv;
+    out.bound.false_negative *= inv;
+  }
+  return out;
 }
 
 }  // namespace ss

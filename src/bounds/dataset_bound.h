@@ -13,8 +13,11 @@
 #include "bounds/gibbs_bound.h"
 #include "core/params.h"
 #include "data/dataset.h"
+#include "data/shard.h"
 
 namespace ss {
+
+class ThreadPool;
 
 struct DatasetBoundResult {
   BoundResult bound;        // averaged over assertions
@@ -32,5 +35,18 @@ DatasetBoundResult gibbs_dataset_bound(const Dataset& dataset,
                                        const ModelParams& params,
                                        std::uint64_t seed,
                                        const GibbsBoundConfig& config = {});
+
+// Shard-parallel variant over a ShardedDataset: the distinct exposure
+// patterns are discovered serially in assertion order (so each pattern
+// is evaluated at its first-occurrence column, with that column's
+// seed), the per-pattern Gibbs chains run concurrently on `pool`
+// (nullptr selects global_pool()), and the average accumulates
+// serially in assertion order — bit-identical to the Dataset overload
+// on the equivalent data for any shard layout and thread count.
+DatasetBoundResult gibbs_dataset_bound(const ShardedDataset& sharded,
+                                       const ModelParams& params,
+                                       std::uint64_t seed,
+                                       const GibbsBoundConfig& config = {},
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace ss

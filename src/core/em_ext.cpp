@@ -1,121 +1,17 @@
 #include "core/em_ext.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <memory>
-#include <stdexcept>
+#include <vector>
 
+#include "core/em_driver.h"
+#include "core/em_mstep.h"
 #include "core/likelihood.h"
 #include "core/posterior.h"
-#include "math/convergence.h"
 #include "math/kernels.h"
-#include "math/logprob.h"
-#include "util/checkpoint.h"
-#include "util/fault_inject.h"
-#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ss {
 namespace {
-
-// CheckpointStore kind tag for EM restart attempts.
-constexpr std::uint64_t kEmExtCheckpointKind = 1;
-// Split-key base for divergence-recovery re-seeds; offset past any
-// plausible attempt index so retry streams never collide with the
-// attempts' own init streams.
-constexpr std::uint64_t kReseedKeyBase = 0x52450000ull;
-
-bool all_finite(const std::vector<double>& v) {
-  for (double x : v) {
-    if (!std::isfinite(x)) return false;
-  }
-  return true;
-}
-
-// Replaces non-finite parameter estimates with their previous values.
-// A non-finite rate cannot come from clean data — every M-step ratio is
-// clamped — so keep-previous is the only update that cannot make things
-// worse. Returns the number of replacements.
-std::size_t sanitize_params(ModelParams& next, const ModelParams& prev) {
-  std::size_t fixed = 0;
-  auto fix = [&fixed](double& value, double fallback) {
-    if (!std::isfinite(value)) {
-      value = fallback;
-      ++fixed;
-    }
-  };
-  for (std::size_t i = 0; i < next.source.size(); ++i) {
-    fix(next.source[i].a, prev.source[i].a);
-    fix(next.source[i].b, prev.source[i].b);
-    fix(next.source[i].f, prev.source[i].f);
-    fix(next.source[i].g, prev.source[i].g);
-  }
-  fix(next.z, prev.z);
-  return fixed;
-}
-
-// One completed restart attempt, serialized bit-exact for
-// CheckpointStore — everything the winner selection and the final
-// result need, so a resumed run is indistinguishable from an
-// uninterrupted one.
-std::string encode_attempt(const EmExtResult& r) {
-  BinWriter w;
-  w.vec_f64(r.estimate.belief);
-  w.vec_f64(r.estimate.log_odds);
-  w.u64(r.estimate.iterations);
-  w.u8(r.estimate.converged ? 1 : 0);
-  w.vec_f64(r.likelihood_trace);
-  w.f64(r.log_likelihood);
-  w.f64(r.params.z);
-  w.u64(r.params.source.size());
-  for (const SourceParams& s : r.params.source) {
-    w.f64(s.a);
-    w.f64(s.b);
-    w.f64(s.f);
-    w.f64(s.g);
-  }
-  w.u64(r.health.nonfinite_events);
-  w.u64(r.health.reseeded_attempts);
-  w.u64(r.health.failed_attempts);
-  w.u64(r.health.sanitized_params);
-  return w.take();
-}
-
-// Throws std::runtime_error on any malformed payload; the caller treats
-// that as "record absent" and recomputes the attempt.
-EmExtResult decode_attempt(const std::string& bytes) {
-  BinReader rd(bytes);
-  EmExtResult r;
-  r.estimate.belief = rd.vec_f64();
-  r.estimate.log_odds = rd.vec_f64();
-  r.estimate.iterations = static_cast<std::size_t>(rd.u64());
-  r.estimate.converged = rd.u8() != 0;
-  r.estimate.probabilistic = true;
-  r.likelihood_trace = rd.vec_f64();
-  r.log_likelihood = rd.f64();
-  r.params.z = rd.f64();
-  std::uint64_t n = rd.u64();
-  if (n > bytes.size()) {  // 32 bytes per source; reject garbage counts
-    throw std::runtime_error("checkpoint: truncated payload");
-  }
-  r.params.source.resize(static_cast<std::size_t>(n));
-  for (SourceParams& s : r.params.source) {
-    s.a = rd.f64();
-    s.b = rd.f64();
-    s.f = rd.f64();
-    s.g = rd.f64();
-  }
-  r.health.nonfinite_events = static_cast<std::size_t>(rd.u64());
-  r.health.reseeded_attempts = static_cast<std::size_t>(rd.u64());
-  r.health.failed_attempts = static_cast<std::size_t>(rd.u64());
-  r.health.sanitized_params = static_cast<std::size_t>(rd.u64());
-  r.health.resumed_attempts = 1;
-  if (!rd.done()) {
-    throw std::runtime_error("checkpoint: trailing bytes");
-  }
-  return r;
-}
 
 // Sources per parallel chunk of the M-step statistics pass. Fixed so
 // slot writes are identical for any worker count.
@@ -133,118 +29,108 @@ std::vector<std::uint32_t> ranking_of(const std::vector<double>& belief) {
   return order;
 }
 
-// Per-source sufficient statistics for one M-step.
-struct SourceMStats {
-  double claim_indep_z = 0.0;  // claims with D_ij = 0, weighted by Z_j
-  double claim_indep_y = 0.0;
-  double claim_dep_z = 0.0;  // claims with D_ij = 1
-  double claim_dep_y = 0.0;
-  double denom_a = 0.0;  // Z mass over D_ij = 0 cells
-  double denom_b = 0.0;
-  double denom_f = 0.0;  // Z mass over D_ij = 1 (exposed) cells
-  double denom_g = 0.0;
-};
+// The flat (single global CSR) engine: LikelihoodTable + fused_e_step
+// for the E-step, ClaimPartition gathers + the shared serial tail for
+// the M-step. The em_detail::run_em_driver template supplies the outer
+// loop (init, warm-up, retries, restarts, checkpointing).
+class FlatEmEngine {
+ public:
+  FlatEmEngine(const Dataset& dataset, const EmExtConfig& config,
+               ThreadPool* pool)
+      : dataset_(dataset), config_(config), pool_(pool) {}
 
-// Closed-form M-step (Eq. 10-14) given the current posterior. With
-// shrinkage > 0 each ratio becomes a MAP estimate with `shrinkage`
-// pseudo-observations at the pooled all-source rate (see EmExtConfig).
-// The per-source statistics fill runs in parallel source chunks (each
-// source owns its slot); the pooled reduction and the parameter updates
-// stay serial in source order, so the result is bit-identical for any
-// worker count. `stats` is caller-owned scratch, reused across EM
-// iterations (a fresh vector here would churn the heap every M-step).
-ModelParams m_step(const Dataset& dataset,
-                   const std::vector<double>& posterior,
-                   const ModelParams& previous, double clamp_eps,
-                   double shrinkage, double z_floor, ThreadPool* pool,
-                   std::vector<SourceMStats>& stats) {
-  std::size_t n = dataset.source_count();
-  std::size_t m = dataset.assertion_count();
-  const ClaimPartition& part = dataset.partition();
-  double total_z = 0.0;
-  for (double p : posterior) total_z += p;
-  double total_y = static_cast<double>(m) - total_z;
-
-  stats.assign(n, SourceMStats{});
-  auto fill = [&](std::size_t, std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      SourceMStats& s = stats[i];
-      // Sum of Z_j over exposed cells of i.
-      double exposed_z = kernels::gather_sum(
-          dataset.dependency.exposed_assertions(i), posterior.data());
-      double exposed_count = static_cast<double>(
-          dataset.dependency.exposed_assertions(i).size());
-      // The partition's split claim lists are ascending subsequences of
-      // claims_of(i), so each accumulator sees the same addition order
-      // as the branch-per-claim loop they replace.
-      kernels::MassPair dep =
-          kernels::gather_mass(part.dependent_claims(i), posterior.data());
-      kernels::MassPair indep = kernels::gather_mass(
-          part.independent_claims(i), posterior.data());
-      s.claim_dep_z = dep.z;
-      s.claim_dep_y = dep.y;
-      s.claim_indep_z = indep.z;
-      s.claim_indep_y = indep.y;
-      s.denom_a = total_z - exposed_z;
-      s.denom_b = total_y - (exposed_count - exposed_z);
-      s.denom_f = exposed_z;
-      s.denom_g = exposed_count - exposed_z;
-    }
+  struct Scratch {
+    LikelihoodTable table;
+    EStepResult e;
+    std::vector<double> column_ll;
+    std::vector<em_detail::SourceMStats> mstats;
   };
-  if (pool != nullptr && pool->size() > 1 && n > kSourceGrain) {
-    pool->parallel_for_chunks(n, kSourceGrain, fill);
-  } else {
-    fill(0, 0, n);
+
+  std::size_t source_count() const { return dataset_.source_count(); }
+  std::size_t assertion_count() const {
+    return dataset_.assertion_count();
+  }
+  std::uint64_t claim_count() const {
+    return static_cast<std::uint64_t>(dataset_.claims.claim_count());
+  }
+  ThreadPool* pool() const { return pool_; }
+
+  Scratch make_scratch() const {
+    return Scratch{LikelihoodTable(dataset_), EStepResult{}, {}, {}};
   }
 
-  // Pooled rates anchor the shrinkage prior.
-  SourceMStats pooled;
-  for (const SourceMStats& s : stats) {
-    pooled.claim_indep_z += s.claim_indep_z;
-    pooled.claim_indep_y += s.claim_indep_y;
-    pooled.claim_dep_z += s.claim_dep_z;
-    pooled.claim_dep_y += s.claim_dep_y;
-    pooled.denom_a += s.denom_a;
-    pooled.denom_b += s.denom_b;
-    pooled.denom_f += s.denom_f;
-    pooled.denom_g += s.denom_g;
+  void e_step(const ModelParams& params, Scratch& s) const {
+    s.table.set_params(params);
+    fused_e_step(s.table, pool_, s.e, s.column_ll);
   }
-  auto rate = [](double num, double denom, double fallback) {
-    return denom > 0.0 ? num / denom : fallback;
-  };
-  double mu_a = rate(pooled.claim_indep_z, pooled.denom_a, 0.5);
-  double mu_b = rate(pooled.claim_indep_y, pooled.denom_b, 0.5);
-  double mu_f = rate(pooled.claim_dep_z, pooled.denom_f, 0.5);
-  double mu_g = rate(pooled.claim_dep_y, pooled.denom_g, 0.5);
 
-  ModelParams next = previous;
-  next.source.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const SourceMStats& s = stats[i];
-    // Beta-prior MAP with mean mu and strength `shrinkage` pseudo-claims
-    // (shrinkage/mu pseudo-cells). Degenerate denominators with zero
-    // shrinkage (a source exposed to everything, or a posterior
-    // collapsed to one side) keep the previous estimate: those
-    // parameters do not influence the likelihood.
-    auto update = [&](double num, double denom, double mu, double& out) {
-      double cells = shrinkage > 0.0
-                         ? shrinkage / std::max(mu, 1e-9)
-                         : 0.0;
-      double d = denom + cells;
-      if (d > 0.0) out = (num + cells * mu) / d;
+  // Closed-form M-step (Eq. 10-14) given the current posterior. The
+  // per-source statistics fill runs in parallel source chunks (each
+  // source owns its slot); the pooled reduction and the parameter
+  // updates run serially in em_detail::finalize_m_step, so the result
+  // is bit-identical for any worker count. Scratch's stats vector is
+  // reused across EM iterations (a fresh vector here would churn the
+  // heap every M-step).
+  ModelParams m_step(const std::vector<double>& posterior,
+                     const ModelParams& previous, Scratch& s) const {
+    std::size_t n = dataset_.source_count();
+    std::size_t m = dataset_.assertion_count();
+    const ClaimPartition& part = dataset_.partition();
+    double total_z = 0.0;
+    for (double p : posterior) total_z += p;
+    double total_y = static_cast<double>(m) - total_z;
+
+    std::vector<em_detail::SourceMStats>& stats = s.mstats;
+    stats.assign(n, em_detail::SourceMStats{});
+    auto fill = [&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        em_detail::SourceMStats& st = stats[i];
+        // Sum of Z_j over exposed cells of i.
+        double exposed_z = kernels::gather_sum(
+            dataset_.dependency.exposed_assertions(i), posterior.data());
+        double exposed_count = static_cast<double>(
+            dataset_.dependency.exposed_assertions(i).size());
+        // The partition's split claim lists are ascending subsequences
+        // of claims_of(i), so each accumulator sees the same addition
+        // order as the branch-per-claim loop they replace.
+        kernels::MassPair dep = kernels::gather_mass(
+            part.dependent_claims(i), posterior.data());
+        kernels::MassPair indep = kernels::gather_mass(
+            part.independent_claims(i), posterior.data());
+        st.claim_dep_z = dep.z;
+        st.claim_dep_y = dep.y;
+        st.claim_indep_z = indep.z;
+        st.claim_indep_y = indep.y;
+        st.denom_a = total_z - exposed_z;
+        st.denom_b = total_y - (exposed_count - exposed_z);
+        st.denom_f = exposed_z;
+        st.denom_g = exposed_count - exposed_z;
+      }
     };
-    update(s.claim_indep_z, s.denom_a, mu_a, next.source[i].a);
-    update(s.claim_indep_y, s.denom_b, mu_b, next.source[i].b);
-    update(s.claim_dep_z, s.denom_f, mu_f, next.source[i].f);
-    update(s.claim_dep_y, s.denom_g, mu_g, next.source[i].g);
+    if (pool_ != nullptr && pool_->size() > 1 && n > kSourceGrain) {
+      pool_->parallel_for_chunks(n, kSourceGrain, fill);
+    } else {
+      fill(0, 0, n);
+    }
+    return em_detail::finalize_m_step(stats, total_z, m, previous,
+                                      config_.clamp_eps,
+                                      config_.shrinkage, config_.z_floor);
   }
-  next.z = total_z / static_cast<double>(m);
-  if (z_floor > 0.0) {
-    next.z = std::clamp(next.z, z_floor, 1.0 - z_floor);
+
+  std::vector<double> vote_prior(bool independent_only) const {
+    return vote_prior_posterior(dataset_, independent_only);
   }
-  clamp_params(next, clamp_eps);
-  return next;
-}
+
+  bool degenerate_source(std::size_t i) const {
+    return dataset_.claims.claims_of(i).empty() &&
+           dataset_.dependency.exposed_assertions(i).empty();
+  }
+
+ private:
+  const Dataset& dataset_;
+  const EmExtConfig& config_;
+  ThreadPool* pool_;
+};
 
 }  // namespace
 
@@ -287,263 +173,10 @@ EstimateResult EmExtEstimator::run(const Dataset& dataset,
 EmExtResult EmExtEstimator::run_detailed(const Dataset& dataset,
                                          std::uint64_t seed) const {
   dataset.validate();
-  std::size_t n = dataset.source_count();
-  if (dataset.assertion_count() == 0) {
-    // Nothing to estimate; return a well-formed empty result.
-    EmExtResult empty;
-    empty.estimate.probabilistic = true;
-    empty.params.source.assign(n, SourceParams{});
-    return empty;
-  }
-  std::size_t m = dataset.assertion_count();
-  ThreadPool* pool = config_.pool != nullptr ? config_.pool : &global_pool();
-  Rng rng(seed, /*stream=*/0x37);
-
-  bool random_init = !config_.init.has_value() &&
-                     config_.init_kind == EmInit::kRandom;
-  std::size_t restarts =
-      random_init ? std::max<std::size_t>(1, config_.restarts) : 1;
-
-  // One guarded EM run. Returns nullopt when an E-step went non-finite
-  // (injected fault or pathological input) — the caller re-seeds and
-  // retries rather than letting a NaN reach winner selection. retry > 0
-  // always draws fresh random parameters: replaying a deterministic
-  // initialization that already diverged would diverge again.
-  auto run_attempt_once = [&](std::size_t attempt, std::size_t retry,
-                              EmHealth& health)
-      -> std::optional<EmExtResult> {
-    // Per-attempt scratch, reused by every EM iteration below: the
-    // likelihood table is rebuilt in place each M-step (set_params) and
-    // the E-step/M-step buffers keep their capacity, so the iteration
-    // loops run allocation-free.
-    LikelihoodTable table(dataset);
-    EStepResult e;
-    std::vector<double> column_ll;
-    std::vector<SourceMStats> mstats;
-    ModelParams params;
-    if (retry > 0) {
-      Rng retry_rng = rng.split(kReseedKeyBase + attempt * 64 + retry);
-      params = random_init_params(n, retry_rng);
-    } else if (config_.init.has_value()) {
-      params = *config_.init;
-    } else if (random_init) {
-      Rng attempt_rng = rng.split(attempt);
-      params = random_init_params(n, attempt_rng);
-    } else {
-      // Vote prior: derive the initial parameters from a support-based
-      // posterior via one M-step. Only independent claims count toward
-      // the initial support — seeding belief from echo counts would let
-      // a viral rumour enter the first M-step as "true", inflating f
-      // relative to g and locking the dependent-claim semantics in
-      // backwards.
-      ModelParams neutral;
-      neutral.source.assign(n, SourceParams{});
-      params = m_step(dataset,
-                      vote_prior_posterior(dataset,
-                                           /*independent_only=*/true),
-                      neutral, config_.clamp_eps, config_.shrinkage,
-                      config_.z_floor, pool, mstats);
-    }
-    clamp_params(params, config_.clamp_eps);
-
-    EmExtResult result;
-    // Phase 1 (warm-up): f and g tied per source, which cancels every
-    // dependent-branch factor from the posterior — labels form from
-    // independent evidence only (see EmExtConfig::warmup_iters).
-    std::size_t warmup = config_.init.has_value() || random_init
-                             ? 0
-                             : config_.warmup_iters;
-    if (warmup > 0) {
-      ConvergenceMonitor warm_monitor(config_.tol, warmup);
-      bool warm_done = false;
-      while (!warm_done) {
-        table.set_params(params);
-        fused_e_step(table, pool, e, column_ll);
-        fault::maybe_corrupt_posterior(e.posterior);
-        if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
-          ++health.nonfinite_events;
-          return std::nullopt;
-        }
-        result.likelihood_trace.push_back(e.log_likelihood);
-        ModelParams next =
-            m_step(dataset, e.posterior, params, config_.clamp_eps,
-                   config_.shrinkage, config_.z_floor, pool, mstats);
-        health.sanitized_params += sanitize_params(next, params);
-        for (auto& s : next.source) {
-          double tied = 0.5 * (s.f + s.g);
-          s.f = tied;
-          s.g = tied;
-        }
-        double delta = next.max_abs_diff(params);
-        params = std::move(next);
-        warm_done = warm_monitor.update_delta(delta);
-      }
-    }
-
-    // Phase 2: the full model (Eq. 9 / Eq. 10-14). The fused E-step
-    // yields the posterior and the likelihood trace in one column pass.
-    ConvergenceMonitor monitor(config_.tol, config_.max_iters);
-    bool done = false;
-    while (!done) {
-      // E-step (Eq. 9).
-      table.set_params(params);
-      fused_e_step(table, pool, e, column_ll);
-      fault::maybe_corrupt_posterior(e.posterior);
-      if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
-        ++health.nonfinite_events;
-        return std::nullopt;
-      }
-      result.likelihood_trace.push_back(e.log_likelihood);
-
-      // M-step (Eq. 10-14).
-      ModelParams next =
-          m_step(dataset, e.posterior, params, config_.clamp_eps,
-                 config_.shrinkage, config_.z_floor, pool, mstats);
-      health.sanitized_params += sanitize_params(next, params);
-      double delta = next.max_abs_diff(params);
-      params = std::move(next);
-      done = monitor.update_delta(delta);
-    }
-
-    // Final posterior under the converged parameters — one fused pass
-    // supplies beliefs, log-odds and the final likelihood together
-    // (previously three separate full column scans).
-    table.set_params(params);
-    fused_e_step(table, pool, e, column_ll);
-    fault::maybe_corrupt_posterior(e.posterior);
-    if (!std::isfinite(e.log_likelihood) || !all_finite(e.posterior)) {
-      ++health.nonfinite_events;
-      return std::nullopt;
-    }
-    result.estimate.belief = std::move(e.posterior);
-    result.estimate.log_odds = std::move(e.log_odds);
-    result.estimate.probabilistic = true;
-    result.estimate.iterations = monitor.iterations();
-    result.estimate.converged = !monitor.hit_max();
-    result.params = std::move(params);
-    result.log_likelihood = e.log_likelihood;
-    return result;
-  };
-
-  // Retry wrapper: re-seed a diverged attempt up to
-  // max_divergence_retries times; after that, fall back to the
-  // data-driven vote prior with -inf likelihood, which can win only
-  // when every attempt diverged — and even then the returned beliefs
-  // are finite.
-  auto run_attempt = [&](std::size_t attempt) -> EmExtResult {
-    EmHealth health;
-    for (std::size_t retry = 0;
-         retry <= config_.max_divergence_retries; ++retry) {
-      if (retry > 0) ++health.reseeded_attempts;
-      std::optional<EmExtResult> r =
-          run_attempt_once(attempt, retry, health);
-      if (r.has_value()) {
-        r->health = health;
-        return *std::move(r);
-      }
-    }
-    ++health.failed_attempts;
-    EmExtResult r;
-    r.estimate.belief = vote_prior_posterior(dataset);
-    r.estimate.log_odds.resize(m);
-    for (std::size_t j = 0; j < m; ++j) {
-      double b = r.estimate.belief[j];  // clamped to [0.05, 0.95]
-      r.estimate.log_odds[j] = logit(b);
-    }
-    r.estimate.probabilistic = true;
-    r.estimate.converged = false;
-    r.params.source.assign(n, SourceParams{});
-    clamp_params(r.params, config_.clamp_eps);
-    r.log_likelihood = -std::numeric_limits<double>::infinity();
-    r.health = health;
-    return r;
-  };
-
-  // Checkpoint store bound to everything that determines an attempt's
-  // output; a stale file (different data, seed or config) is ignored.
-  std::unique_ptr<CheckpointStore> ckpt;
-  if (!config_.checkpoint_path.empty()) {
-    std::uint64_t fp = fingerprint_combine(0x454d4558ull, seed);
-    fp = fingerprint_combine(fp, static_cast<std::uint64_t>(n));
-    fp = fingerprint_combine(fp, static_cast<std::uint64_t>(m));
-    fp = fingerprint_combine(
-        fp, static_cast<std::uint64_t>(dataset.claims.claim_count()));
-    fp = fingerprint_combine(fp, config_.tol);
-    fp = fingerprint_combine(
-        fp, static_cast<std::uint64_t>(config_.max_iters));
-    fp = fingerprint_combine(fp, config_.clamp_eps);
-    fp = fingerprint_combine(fp, config_.shrinkage);
-    fp = fingerprint_combine(fp, config_.z_floor);
-    fp = fingerprint_combine(
-        fp, static_cast<std::uint64_t>(config_.warmup_iters));
-    fp = fingerprint_combine(
-        fp, static_cast<std::uint64_t>(config_.init_kind));
-    fp = fingerprint_combine(
-        fp, static_cast<std::uint64_t>(config_.max_divergence_retries));
-    fp = fingerprint_combine(
-        fp, static_cast<std::uint64_t>(config_.init.has_value()));
-    ckpt = std::make_unique<CheckpointStore>(
-        config_.checkpoint_path, kEmExtCheckpointKind, fp, restarts);
-  }
-
-  auto run_or_resume = [&](std::size_t attempt) -> EmExtResult {
-    if (ckpt != nullptr && ckpt->has(attempt)) {
-      try {
-        return decode_attempt(ckpt->payload(attempt));
-      } catch (const std::exception&) {
-        // Undecodable record: recompute. A checkpoint can only save
-        // work, never poison a run.
-      }
-    }
-    EmExtResult r = run_attempt(attempt);
-    if (ckpt != nullptr) {
-      ckpt->commit(attempt, encode_attempt(r));
-      fault::unit_committed();  // kill-after-commit injection point
-    }
-    return r;
-  };
-
-  std::vector<EmExtResult> attempts(restarts);
-  if (restarts > 1) {
-    // Random restarts are independent; run them across the pool (grain
-    // 1: one attempt per chunk). Nested parallel sections inside each
-    // attempt are safe because parallel_for_chunks callers participate.
-    pool->parallel_for_chunks(
-        restarts, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
-          for (std::size_t a = begin; a < end; ++a) {
-            attempts[a] = run_or_resume(a);
-          }
-        });
-  } else {
-    attempts[0] = run_or_resume(0);
-  }
-
-  // Winner selection in attempt order (first best wins ties), identical
-  // to the sequential loop it replaces. Health aggregates over every
-  // attempt, not just the winner.
-  EmExtResult best;
-  bool have_best = false;
-  EmHealth total;
-  for (EmExtResult& result : attempts) {
-    total.nonfinite_events += result.health.nonfinite_events;
-    total.reseeded_attempts += result.health.reseeded_attempts;
-    total.failed_attempts += result.health.failed_attempts;
-    total.sanitized_params += result.health.sanitized_params;
-    total.resumed_attempts += result.health.resumed_attempts;
-    if (!have_best || result.log_likelihood > best.log_likelihood) {
-      best = std::move(result);
-      have_best = true;
-    }
-  }
-  for (std::size_t i = 0; i < n; ++i) {
-    if (dataset.claims.claims_of(i).empty() &&
-        dataset.dependency.exposed_assertions(i).empty()) {
-      ++total.degenerate_sources;
-    }
-  }
-  best.health = total;
-  if (ckpt != nullptr && !config_.keep_checkpoint) ckpt->remove_file();
-  return best;
+  ThreadPool* pool =
+      config_.pool != nullptr ? config_.pool : &global_pool();
+  FlatEmEngine engine(dataset, config_, pool);
+  return em_detail::run_em_driver(engine, config_, seed);
 }
 
 }  // namespace ss

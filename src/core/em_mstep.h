@@ -1,0 +1,93 @@
+// Shared closed-form M-step machinery (Eq. 10-14) for the flat and
+// sharded EM-Ext engines.
+//
+// Both engines compute the same per-source sufficient statistics — the
+// flat engine gathers over ClaimPartition's CSR lists, the sharded one
+// over DatasetShard's identically-ordered copies — and must then apply
+// the *same* pooled-shrinkage parameter update, serially, in global
+// source order, so their results stay bit-identical (the pooled rates
+// couple every source; see docs/MODEL.md §14). That serial tail lives
+// here, in one place, so the two engines cannot drift apart.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "core/params.h"
+
+namespace ss {
+namespace em_detail {
+
+// Per-source sufficient statistics for one M-step.
+struct SourceMStats {
+  double claim_indep_z = 0.0;  // claims with D_ij = 0, weighted by Z_j
+  double claim_indep_y = 0.0;
+  double claim_dep_z = 0.0;  // claims with D_ij = 1
+  double claim_dep_y = 0.0;
+  double denom_a = 0.0;  // Z mass over D_ij = 0 cells
+  double denom_b = 0.0;
+  double denom_f = 0.0;  // Z mass over D_ij = 1 (exposed) cells
+  double denom_g = 0.0;
+};
+
+// The serial M-step tail: pooled-rate reduction (source order), the
+// Beta-prior MAP update per source (source order), the prior update
+// z = total_z / m with its floor, and the final clamp. Bit-identical
+// for any worker count by construction — nothing here is parallel.
+inline ModelParams finalize_m_step(const std::vector<SourceMStats>& stats,
+                                   double total_z, std::size_t m,
+                                   const ModelParams& previous,
+                                   double clamp_eps, double shrinkage,
+                                   double z_floor) {
+  const std::size_t n = stats.size();
+  // Pooled rates anchor the shrinkage prior.
+  SourceMStats pooled;
+  for (const SourceMStats& s : stats) {
+    pooled.claim_indep_z += s.claim_indep_z;
+    pooled.claim_indep_y += s.claim_indep_y;
+    pooled.claim_dep_z += s.claim_dep_z;
+    pooled.claim_dep_y += s.claim_dep_y;
+    pooled.denom_a += s.denom_a;
+    pooled.denom_b += s.denom_b;
+    pooled.denom_f += s.denom_f;
+    pooled.denom_g += s.denom_g;
+  }
+  auto rate = [](double num, double denom, double fallback) {
+    return denom > 0.0 ? num / denom : fallback;
+  };
+  double mu_a = rate(pooled.claim_indep_z, pooled.denom_a, 0.5);
+  double mu_b = rate(pooled.claim_indep_y, pooled.denom_b, 0.5);
+  double mu_f = rate(pooled.claim_dep_z, pooled.denom_f, 0.5);
+  double mu_g = rate(pooled.claim_dep_y, pooled.denom_g, 0.5);
+
+  ModelParams next = previous;
+  next.source.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SourceMStats& s = stats[i];
+    // Beta-prior MAP with mean mu and strength `shrinkage` pseudo-claims
+    // (shrinkage/mu pseudo-cells). Degenerate denominators with zero
+    // shrinkage (a source exposed to everything, or a posterior
+    // collapsed to one side) keep the previous estimate: those
+    // parameters do not influence the likelihood.
+    auto update = [&](double num, double denom, double mu, double& out) {
+      double cells =
+          shrinkage > 0.0 ? shrinkage / std::max(mu, 1e-9) : 0.0;
+      double d = denom + cells;
+      if (d > 0.0) out = (num + cells * mu) / d;
+    };
+    update(s.claim_indep_z, s.denom_a, mu_a, next.source[i].a);
+    update(s.claim_indep_y, s.denom_b, mu_b, next.source[i].b);
+    update(s.claim_dep_z, s.denom_f, mu_f, next.source[i].f);
+    update(s.claim_dep_y, s.denom_g, mu_g, next.source[i].g);
+  }
+  next.z = total_z / static_cast<double>(m);
+  if (z_floor > 0.0) {
+    next.z = std::clamp(next.z, z_floor, 1.0 - z_floor);
+  }
+  clamp_params(next, clamp_eps);
+  return next;
+}
+
+}  // namespace em_detail
+}  // namespace ss

@@ -1,0 +1,52 @@
+// EM-Ext over a ShardedDataset: the million-source execution strategy.
+//
+// The flat engine (em_ext.cpp) walks one global CSR; at 10^6 sources
+// its fixed-grain column chunks still work, but every chunk touches the
+// whole value table and the whole incidence image. ShardedEmEstimator
+// runs the *same* E/M kernels over the per-shard CSR slices built by
+// ShardedDataset (data/shard.h): each work unit reads one shard's
+// claimant/exposed lists — which reference only that shard's sources —
+// so the hot loops stay within a shard-sized working set, and shards
+// spread across the thread pool.
+//
+// Sharding is an execution strategy, never an approximation: all ids
+// stay global, the likelihood base / pooled shrinkage rates / prior z
+// are computed over all sources exactly as the flat engine computes
+// them, every per-column and per-source gather walks the same element
+// order as its flat counterpart, and every floating-point reduction
+// (column log-likelihood, M-step pooling) runs serially in canonical
+// global order. On the scalar backend the results are therefore
+// bit-identical to EmExtEstimator for any shard layout and any thread
+// count — tests/test_shard.cpp pins this with golden FNV-1a hashes; on
+// the AVX2 backend both engines live under the same ULP contract
+// (docs/MODEL.md §12). The outer loop (init, warm-up, retries,
+// restarts, checkpointing) is em_detail::run_em_driver, shared with the
+// flat engine, so checkpoint files are interchangeable between the two.
+#pragma once
+
+#include <cstdint>
+
+#include "core/em_ext.h"
+#include "data/shard.h"
+
+namespace ss {
+
+class ShardedEmEstimator {
+ public:
+  explicit ShardedEmEstimator(EmExtConfig config = {});
+
+  // Same contract as EmExtEstimator::run / run_detailed, with the
+  // incidence supplied as shards. The EmExtConfig semantics (tol,
+  // warm-up, shrinkage, restarts, checkpointing, pool) carry over
+  // unchanged — including the checkpoint fingerprint, which depends
+  // only on the dataset shape, not the shard layout.
+  EstimateResult run(const ShardedDataset& sharded,
+                     std::uint64_t seed) const;
+  EmExtResult run_detailed(const ShardedDataset& sharded,
+                           std::uint64_t seed) const;
+
+ private:
+  EmExtConfig config_;
+};
+
+}  // namespace ss

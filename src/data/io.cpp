@@ -331,4 +331,207 @@ Expected<Dataset> try_load_dataset(const std::string& directory,
   }
 }
 
+// --- JSONL stream ----------------------------------------------------
+
+namespace {
+
+// Targeted JSON-line scanning (the writer controls the format: flat
+// objects, known keys — same approach as twitter/tweet_io).
+
+// `"key":value` where value is a number (terminated by , } ]) or a
+// quoted string with backslash escapes.
+bool extract_field(const std::string& line, const std::string& key,
+                   std::string& out) {
+  std::string marker = "\"" + key + "\":";
+  auto pos = line.find(marker);
+  if (pos == std::string::npos) return false;
+  pos += marker.size();
+  if (pos >= line.size()) return false;
+  if (line[pos] == '"') {
+    std::string value;
+    for (std::size_t i = pos + 1; i < line.size(); ++i) {
+      char c = line[i];
+      if (c == '\\' && i + 1 < line.size()) {
+        char next = line[++i];
+        switch (next) {
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case 'r': value += '\r'; break;
+          default: value += next;
+        }
+      } else if (c == '"') {
+        out = std::move(value);
+        return true;
+      } else {
+        value += c;
+      }
+    }
+    return false;
+  }
+  auto end = line.find_first_of(",}]", pos);
+  if (end == std::string::npos) return false;
+  out = trim(line.substr(pos, end - pos));
+  return true;
+}
+
+// Extracts the bracketed payload of `"key":[...]` split on commas.
+bool extract_json_array(const std::string& line, const std::string& key,
+                        std::vector<std::string>& out) {
+  std::string marker = "\"" + key + "\":[";
+  auto pos = line.find(marker);
+  if (pos == std::string::npos) return false;
+  pos += marker.size();
+  auto end = line.find(']', pos);
+  if (end == std::string::npos) return false;
+  out.clear();
+  std::size_t at = pos;
+  while (at < end) {
+    std::size_t comma = line.find(',', at);
+    if (comma == std::string::npos || comma > end) comma = end;
+    out.push_back(trim(line.substr(at, comma - at)));
+    at = comma + 1;
+  }
+  return !out.empty();
+}
+
+// Strips the quotes of a JSON string element ("True" -> True). Labels
+// contain no escapes, so unquoting is a slice.
+bool unquote(const std::string& s, std::string& out) {
+  if (s.size() < 2 || s.front() != '"' || s.back() != '"') return false;
+  out = s.substr(1, s.size() - 2);
+  return true;
+}
+
+[[noreturn]] void jsonl_defect(ErrorCode code, const std::string& path,
+                               std::size_t line, std::string detail) {
+  throw TaxonomyError(
+      code,
+      RecordError{code, path, line, std::move(detail)}.to_string());
+}
+
+}  // namespace
+
+void save_dataset_jsonl(const Dataset& dataset, const std::string& path) {
+  dataset.validate();
+  auto out = open_out(path);
+  out << "{\"meta\":{\"name\":\"" << json_escape(dataset.name)
+      << "\",\"sources\":" << dataset.source_count()
+      << ",\"assertions\":" << dataset.assertion_count() << "}}\n";
+  for (const Claim& c : dataset.claims.to_claims()) {
+    out << "{\"claim\":[" << c.source << ',' << c.assertion << ','
+        << strprintf("%.17g", c.time) << "]}\n";
+  }
+  for (std::size_t i = 0; i < dataset.source_count(); ++i) {
+    for (std::uint32_t j : dataset.dependency.exposed_assertions(i)) {
+      out << "{\"exposure\":[" << i << ',' << j << "]}\n";
+    }
+  }
+  for (std::size_t j = 0; j < dataset.truth.size(); ++j) {
+    if (dataset.truth[j] == Label::kUnknown) continue;
+    out << "{\"truth\":[" << j << ",\"" << label_name(dataset.truth[j])
+        << "\"]}\n";
+  }
+  if (!out) throw std::runtime_error("short write: " + path);
+}
+
+Dataset load_dataset_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw TaxonomyError(ErrorCode::kIoError, "cannot open: " + path);
+  }
+  std::string line;
+  std::size_t lineno = 1;
+  if (!std::getline(in, line)) {
+    jsonl_defect(ErrorCode::kBadRow, path, 1, "missing meta line");
+  }
+  std::string name;
+  std::uint64_t n = 0;
+  std::uint64_t m = 0;
+  {
+    std::string field;
+    if (line.find("\"meta\"") == std::string::npos ||
+        !extract_field(line, "name", name) ||
+        !extract_field(line, "sources", field) ||
+        !try_parse_u64(field, &n) ||
+        !extract_field(line, "assertions", field) ||
+        !try_parse_u64(field, &m)) {
+      jsonl_defect(ErrorCode::kBadRow, path, 1, "malformed meta line");
+    }
+  }
+
+  std::vector<Claim> claims;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> exposed;
+  std::vector<Label> truth(static_cast<std::size_t>(m), Label::kUnknown);
+  bool labeled = false;
+  std::vector<std::string> f;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (trim(line).empty()) continue;
+    auto index = [&](const std::string& s, std::uint64_t limit,
+                     const char* what) -> std::uint32_t {
+      std::uint64_t v = 0;
+      if (!try_parse_u64(s, &v)) {
+        jsonl_defect(ErrorCode::kBadNumber, path, lineno,
+                     std::string("unparseable ") + what + " '" + s + "'");
+      }
+      if (v >= limit) {
+        jsonl_defect(ErrorCode::kIndexOutOfRange, path, lineno,
+                     strprintf("%s %llu outside declared %llu", what,
+                               static_cast<unsigned long long>(v),
+                               static_cast<unsigned long long>(limit)));
+      }
+      return static_cast<std::uint32_t>(v);
+    };
+    if (extract_json_array(line, "claim", f)) {
+      if (f.size() != 3) {
+        jsonl_defect(ErrorCode::kBadRow, path, lineno,
+                     strprintf("expected 3 claim fields, got %zu",
+                               f.size()));
+      }
+      double time = 0.0;
+      if (!try_parse_f64(f[2], &time)) {
+        jsonl_defect(ErrorCode::kBadNumber, path, lineno,
+                     "unparseable time '" + f[2] + "'");
+      }
+      if (!std::isfinite(time)) {
+        jsonl_defect(ErrorCode::kNonFinite, path, lineno,
+                     "non-finite time '" + f[2] + "'");
+      }
+      claims.push_back(
+          {index(f[0], n, "source"), index(f[1], m, "assertion"), time});
+    } else if (extract_json_array(line, "exposure", f)) {
+      if (f.size() != 2) {
+        jsonl_defect(ErrorCode::kBadRow, path, lineno,
+                     strprintf("expected 2 exposure fields, got %zu",
+                               f.size()));
+      }
+      exposed.emplace_back(index(f[0], n, "source"),
+                           index(f[1], m, "assertion"));
+    } else if (extract_json_array(line, "truth", f)) {
+      std::string text;
+      Label label = Label::kUnknown;
+      if (f.size() != 2 || !unquote(f[1], text) ||
+          !parse_label(text, &label)) {
+        jsonl_defect(ErrorCode::kBadLabel, path, lineno,
+                     "malformed truth record");
+      }
+      truth[index(f[0], m, "assertion")] = label;
+      labeled = true;
+    } else {
+      jsonl_defect(ErrorCode::kBadRow, path, lineno,
+                   "unrecognized record");
+    }
+  }
+
+  Dataset dataset;
+  dataset.name = std::move(name);
+  dataset.claims = SourceClaimMatrix(static_cast<std::size_t>(n),
+                                     static_cast<std::size_t>(m), claims);
+  dataset.dependency = DependencyIndicators::from_cells(
+      static_cast<std::size_t>(n), static_cast<std::size_t>(m), exposed);
+  if (labeled) dataset.truth = std::move(truth);
+  dataset.validate();
+  return dataset;
+}
+
 }  // namespace ss

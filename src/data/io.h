@@ -49,4 +49,20 @@ Expected<Dataset> try_load_dataset(const std::string& directory,
                                    const IngestOptions& options = {},
                                    IngestReport* report = nullptr);
 
+// Single-file JSONL dataset stream: line 1 is a meta record, then one
+// flat object per claim / exposure cell / truth label,
+//   {"meta":{"name":"...","sources":N,"assertions":M}}
+//   {"claim":[source,assertion,time]}
+//   {"exposure":[source,assertion]}
+//   {"truth":[assertion,"True"]}
+// Times use %.17g so values round-trip exactly (unlike the diff-able
+// CSV directory, which trades precision for readability). This is the
+// interchange format ss_pack converts to .ssd — and the text baseline
+// bench_scale measures the binary format's load speedup against.
+void save_dataset_jsonl(const Dataset& dataset, const std::string& path);
+
+// Strict load: throws TaxonomyError with file:line and taxonomy code
+// on the first defective line (kIoError for an unreadable file).
+Dataset load_dataset_jsonl(const std::string& path);
+
 }  // namespace ss

@@ -1,0 +1,157 @@
+#include "simgen/scale_gen.h"
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ss {
+namespace {
+
+// 53-bit uniform in [0, 1) from a hash word.
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// Claim rates of one source, derived from (seed, id) by a splitmix64
+// chain — the SimKnobs theta mapping without any per-source storage.
+struct SourceProfile {
+  double a, b, f, g;
+};
+
+SourceProfile profile_of(std::uint64_t seed, std::uint64_t id,
+                         const ScaleKnobs& knobs) {
+  std::uint64_t h = splitmix64(seed ^ (id + 0x9e3779b97f4a7c15ULL));
+  double p_on = knobs.p_on.lo + unit(h) * (knobs.p_on.hi - knobs.p_on.lo);
+  h = splitmix64(h);
+  double p_it = knobs.p_indep_true.lo +
+                unit(h) * (knobs.p_indep_true.hi - knobs.p_indep_true.lo);
+  h = splitmix64(h);
+  double p_dt = knobs.p_dep_true.lo +
+                unit(h) * (knobs.p_dep_true.hi - knobs.p_dep_true.lo);
+  return {p_on * p_it, p_on * (1.0 - p_it), p_on * p_dt,
+          p_on * (1.0 - p_dt)};
+}
+
+}  // namespace
+
+std::size_t generate_scale_stream(const ScaleKnobs& knobs,
+                                  std::uint64_t seed, SsdWriter& writer) {
+  std::size_t n = knobs.sources;
+  std::size_t m = knobs.assertions;
+  if (n == 0 || m == 0) {
+    throw std::invalid_argument("generate_scale_stream: empty shape");
+  }
+  if (knobs.community_lo == 0 || knobs.community_hi < knobs.community_lo) {
+    throw std::invalid_argument(
+        "generate_scale_stream: bad community range");
+  }
+
+  // Community layout: sizes hashed from the seed, last one truncated to
+  // land exactly on n. O(communities) memory.
+  std::vector<std::uint64_t> base{0};
+  {
+    std::uint64_t h = splitmix64(seed ^ 0x636f6d6dULL);  // 'comm'
+    std::size_t span = knobs.community_hi - knobs.community_lo + 1;
+    while (base.back() < n) {
+      h = splitmix64(h);
+      std::size_t size = knobs.community_lo + h % span;
+      base.push_back(std::min<std::uint64_t>(base.back() + size, n));
+    }
+  }
+  std::size_t communities = base.size() - 1;
+
+  // Global truth ratio, one draw (the paper's per-experiment d).
+  double d;
+  {
+    Rng rng(seed, /*stream=*/0x5d);
+    d = knobs.d.sample(rng);
+  }
+
+  // Per-community working set, reused across communities.
+  std::vector<SourceProfile> profile;
+  std::vector<std::uint32_t> followee;  // local rank; roots self-map
+  std::vector<std::uint8_t> claimed;
+  std::vector<double> time;
+
+  bool burst = knobs.time_model == ScaleTimeModel::kBurst;
+  for (std::size_t c = 0; c < communities; ++c) {
+    std::size_t lo = static_cast<std::size_t>(base[c]);
+    std::size_t size = static_cast<std::size_t>(base[c + 1]) - lo;
+    std::size_t roots = std::max<std::size_t>(
+        1, static_cast<std::size_t>(knobs.root_fraction *
+                                        static_cast<double>(size) +
+                                    0.5));
+    roots = std::min(roots, size);
+
+    // Each community owns its Rng stream: its columns are identical no
+    // matter what the other communities do.
+    Rng rng(seed, /*stream=*/c + 1);
+
+    profile.resize(size);
+    followee.resize(size);
+    for (std::size_t r = 0; r < size; ++r) {
+      profile[r] = profile_of(seed, lo + r, knobs);
+      if (r < roots) {
+        followee[r] = static_cast<std::uint32_t>(r);
+      } else {
+        // Low-rank bias: u^follow_bias concentrates follows on early
+        // members, yielding the long-tailed in-degree of a real graph.
+        double u = std::pow(rng.uniform(), knobs.follow_bias);
+        followee[r] = static_cast<std::uint32_t>(
+            std::min<std::size_t>(r - 1,
+                                  static_cast<std::size_t>(
+                                      u * static_cast<double>(r))));
+      }
+    }
+
+    // Largest-remainder-free proportional split of the m assertions:
+    // community c owns [floor(m*base[c]/n), floor(m*base[c+1]/n)).
+    std::size_t columns =
+        static_cast<std::size_t>(base[c + 1] * m / n) -
+        static_cast<std::size_t>(base[c] * m / n);
+
+    claimed.assign(size, 0);
+    time.assign(size, 0.0);
+    for (std::size_t col = 0; col < columns; ++col) {
+      bool truth = rng.uniform() < d;
+      writer.begin_assertion(truth ? Label::kTrue : Label::kFalse);
+      for (std::size_t r = 0; r < size; ++r) {
+        const SourceProfile& p = profile[r];
+        bool exposed = r >= roots && claimed[followee[r]] != 0;
+        double rate = exposed ? (truth ? p.f : p.g)
+                              : (truth ? p.a : p.b);
+        bool claims = rng.uniform() < rate;
+        double t;
+        if (exposed) {
+          t = time[followee[r]] +
+              (burst ? rng.exponential(knobs.hop_mean_hours) : 1.0);
+          writer.exposed(static_cast<std::uint32_t>(lo + r));
+        } else {
+          t = burst ? rng.uniform(0.0, knobs.burst_hours) : 0.0;
+        }
+        claimed[r] = claims ? 1 : 0;
+        time[r] = t;
+        if (claims) {
+          writer.claim(static_cast<std::uint32_t>(lo + r), t);
+        }
+      }
+      // Reset for the next column (assign keeps capacity).
+      claimed.assign(size, 0);
+    }
+  }
+  return communities;
+}
+
+ScaleStats generate_scale_ssd(const ScaleKnobs& knobs, std::uint64_t seed,
+                              const std::string& path) {
+  SsdWriter writer(path, knobs.sources, knobs.name);
+  ScaleStats stats;
+  stats.communities = generate_scale_stream(knobs, seed, writer);
+  stats.ssd = writer.finish();
+  return stats;
+}
+
+}  // namespace ss

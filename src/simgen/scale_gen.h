@@ -1,0 +1,78 @@
+// Streaming million-source generator.
+//
+// The parametric generator (parametric_gen.h) materializes a Dataset,
+// which caps it near 10^5 sources. This generator targets the 10^6
+// regime by streaming straight into an SsdWriter (data/ssd.h): working
+// memory is one community at a time plus the writer's own O(n + m)
+// counters, never the claim list.
+//
+// Structure: sources partition into communities of community_lo..hi
+// members. Each community opens with a block of independent "root"
+// accounts; every later member follows one earlier member, chosen with
+// a low-rank bias (follow_bias) so in-degree is long-tailed like a real
+// follower graph. Each assertion belongs to exactly one community and
+// cascades over its follower edges: roots claim at their independent
+// rates (a_i true / b_i false), a follower whose followee claimed is
+// *exposed* and claims at its dependent rates (f_i / g_i), and an
+// unexposed follower falls back to its independent rates. Claims and
+// exposures therefore never cross a community boundary, so the claim
+// graph keeps ~sources/avg_community connected components and
+// ShardedDataset gets real parallelism instead of one giant component.
+//
+// Per-source behaviour parameters are derived from splitmix64 hashes of
+// (seed, source id) — no O(n) parameter arrays — using the same knob
+// ranges and theta mapping as SimKnobs (a = p_on * p_indepT, ...).
+// Everything is deterministic in the single seed; community c draws
+// from its own Rng stream, so output is independent of how many other
+// communities exist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/ssd.h"
+#include "simgen/knobs.h"
+
+namespace ss {
+
+// Claim timestamps: kUnitDepth stamps cascade depth (root 0, follower
+// followee+1), matching the parametric generator's root-0 / leaf-1
+// convention; kBurst stamps event-style hours (root uniform in
+// [0, burst_hours), each hop adding an exponential delay) for
+// Twitter-shaped data (twitter/scale_bridge.h).
+enum class ScaleTimeModel { kUnitDepth, kBurst };
+
+struct ScaleKnobs {
+  std::size_t sources = 1'000'000;
+  std::size_t assertions = 100'000;
+  std::size_t community_lo = 128;   // members per community, inclusive
+  std::size_t community_hi = 512;
+  double root_fraction = 0.05;      // independent members per community
+  double follow_bias = 2.0;         // higher -> stronger hub formation
+  ScaleTimeModel time_model = ScaleTimeModel::kUnitDepth;
+  double burst_hours = 48.0;        // kBurst: root arrival window
+  double hop_mean_hours = 0.5;      // kBurst: mean follower delay
+  // Behaviour ranges; defaults repeat SimKnobs' paper values.
+  Range p_on{0.5, 0.7};
+  Range d{0.55, 0.75};
+  Range p_indep_true{7.0 / 12.0, 0.75};
+  Range p_dep_true{0.4, 0.6};
+  std::string name = "scale";
+};
+
+struct ScaleStats {
+  SsdStats ssd;                 // shape of the committed file
+  std::size_t communities = 0;  // community (= component ceiling) count
+};
+
+// Streams all assertions into `writer` (already constructed for
+// knobs.sources sources) without finishing it; returns the community
+// count. Lets callers append their own columns or control commit.
+std::size_t generate_scale_stream(const ScaleKnobs& knobs,
+                                  std::uint64_t seed, SsdWriter& writer);
+
+// One-shot: construct the writer, stream, commit atomically.
+ScaleStats generate_scale_ssd(const ScaleKnobs& knobs, std::uint64_t seed,
+                              const std::string& path);
+
+}  // namespace ss

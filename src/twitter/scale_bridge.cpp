@@ -1,0 +1,25 @@
+#include "twitter/scale_bridge.h"
+
+namespace ss {
+
+ScaleKnobs cascade_knobs(const ScaleCascadeSpec& spec) {
+  ScaleKnobs knobs;
+  knobs.sources = spec.users;
+  knobs.assertions = spec.assertions;
+  knobs.community_lo = spec.community_lo;
+  knobs.community_hi = spec.community_hi;
+  knobs.root_fraction = spec.verified_fraction;
+  knobs.follow_bias = spec.hub_bias;
+  knobs.time_model = ScaleTimeModel::kBurst;
+  knobs.burst_hours = spec.burst_hours;
+  knobs.hop_mean_hours = spec.hop_mean_hours;
+  knobs.name = spec.name;
+  return knobs;
+}
+
+ScaleStats write_cascade_ssd(const ScaleCascadeSpec& spec,
+                             std::uint64_t seed, const std::string& path) {
+  return generate_scale_ssd(cascade_knobs(spec), seed, path);
+}
+
+}  // namespace ss

@@ -1,0 +1,41 @@
+// Twitter-shaped front end of the streaming scale generator.
+//
+// The full Twitter simulator (simulator.h) synthesizes tweets, text,
+// and retweet timing for scenario-scale studies; it materializes
+// everything and tops out far below 10^6 users. This bridge maps a
+// Twitter-flavoured spec onto simgen's streaming generator
+// (simgen/scale_gen.h) so follower-graph cascade datasets of a million
+// accounts stream straight into an .ssd file: verified accounts play
+// the independent roots, everyone else retweets what their followee
+// posted, and timestamps are event-style hours (burst window + per-hop
+// exponential delays) like the simulator's cascades.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simgen/scale_gen.h"
+
+namespace ss {
+
+struct ScaleCascadeSpec {
+  std::size_t users = 1'000'000;
+  std::size_t assertions = 100'000;
+  std::size_t community_lo = 128;  // accounts per community
+  std::size_t community_hi = 512;
+  double verified_fraction = 0.05;  // independent accounts per community
+  double hub_bias = 2.0;            // follower-graph hub formation
+  double burst_hours = 48.0;        // event window for original posts
+  double hop_mean_hours = 0.5;      // mean retweet delay per hop
+  std::string name = "twitter-scale";
+};
+
+// Expands the spec into ScaleKnobs (kBurst time model, paper behaviour
+// ranges) — exposed so tools can report the effective knobs.
+ScaleKnobs cascade_knobs(const ScaleCascadeSpec& spec);
+
+// Streams the cascade dataset into `path` (atomic commit).
+ScaleStats write_cascade_ssd(const ScaleCascadeSpec& spec,
+                             std::uint64_t seed, const std::string& path);
+
+}  // namespace ss

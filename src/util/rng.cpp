@@ -137,6 +137,13 @@ std::uint32_t Rng::geometric(double p) {
   return static_cast<std::uint32_t>(std::log(u) / std::log1p(-p));
 }
 
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  // Inverse CDF; uniform() < 1 keeps the log argument > 0.
+  // ss-lint: allow(raw-log-exp): exponential inversion on a uniform variate, not a probability
+  return -mean * std::log(1.0 - uniform());
+}
+
 std::size_t Rng::zipf(std::size_t n, double s) {
   assert(n > 0);
   // Cumulative inverse method; n is small (<= a few hundred thousand) in

@@ -75,6 +75,8 @@ class Rng {
   // Geometric-like count: number of failures before first success with
   // success probability p in (0,1].
   std::uint32_t geometric(double p);
+  // Exponential waiting time with the given mean (> 0), via inverse CDF.
+  double exponential(double mean);
   // Zipf-distributed integer in [0, n) with exponent s >= 0, via inverse
   // CDF on precomputed weights is avoided; uses rejection-free cumulative
   // method suitable for the modest n used in the Twitter simulator.

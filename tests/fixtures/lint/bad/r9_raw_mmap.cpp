@@ -1,0 +1,11 @@
+// Bad: raw file mapping and fd-level syscalls outside src/data/ +
+// src/util/ (R9 raw-mmap). The .ssd layer owns the mapping code.
+#include <cstddef>
+
+namespace bad {
+void* map_dataset(int fd, std::size_t size) {
+  return mmap(nullptr, size, 3, 1, fd, 0);
+}
+int open_dataset(const char* path) { return ::open(path, 0); }
+void drop(void* base, std::size_t size) { munmap(base, size); }
+}  // namespace bad

@@ -1,0 +1,22 @@
+// Good: file access through <fstream> and member open() calls (R9
+// raw-mmap). Member functions spelled `file.open(...)` and identifiers
+// that merely contain "mmap" or "open" must not fire.
+#include <fstream>
+#include <string>
+
+namespace good {
+inline std::string read_all(const std::string& path) {
+  std::ifstream file;
+  file.open(path, std::ios::binary);
+  std::string body((std::istreambuf_iterator<char>(file)),
+                   std::istreambuf_iterator<char>());
+  return body;
+}
+inline bool reopen(std::ofstream& out, const std::string& path) {
+  out.open(path);
+  return out.is_open();
+}
+struct MmapStats {
+  std::size_t remmapped = 0;  // identifier containing "mmap"
+};
+}  // namespace good

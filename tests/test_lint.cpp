@@ -76,6 +76,7 @@ TEST(LintBadFixtures, EachRuleFiresAtItsSeededLine) {
       {"bad/r6_todo_owner.cpp", "todo-owner", 4},
       {"bad/r7_raw_intrinsics.cpp", "raw-intrinsics", 3},
       {"bad/r8_raw_clock.cpp", "raw-clock", 8},
+      {"bad/r9_raw_mmap.cpp", "raw-mmap", 7},
   };
   for (const BadCase& c : cases) {
     SCOPED_TRACE(c.file);
@@ -119,6 +120,15 @@ TEST(LintBadFixtures, SecondarySitesAlsoFire) {
       << run.output;
   EXPECT_NE(run.output.find("time() read"), std::string::npos)
       << run.output;
+  // r9_raw_mmap seeds a raw ::open() and a munmap() after the mmap();
+  // all three sites must be reported.
+  run = run_lint(fixture("bad/r9_raw_mmap.cpp"));
+  EXPECT_NE(run.output.find("r9_raw_mmap.cpp:9:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("::open()"), std::string::npos) << run.output;
+  EXPECT_NE(run.output.find("r9_raw_mmap.cpp:10:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("munmap()"), std::string::npos) << run.output;
 }
 
 TEST(LintGoodFixtures, WholeCorpusScansClean) {
@@ -163,6 +173,40 @@ TEST(LintSuppression, StrippingTheMarkerBringsDiagnosticsBack) {
   std::remove(tmp.c_str());
 }
 
+TEST(LintSuppression, RawMmapAllowRequiresAReason) {
+  // A reasoned allow(raw-mmap) silences the rule outside the exempt
+  // dirs; dropping the reason turns it into a bad-suppression and the
+  // raw-mmap diagnostic comes back — the written reason is load-bearing.
+  const std::string reasoned =
+      "void* grab(std::size_t size) {\n"
+      "  // ss-lint: allow(raw-mmap): fixture exercising the escape hatch\n"
+      "  return mmap(nullptr, size, 3, 1, -1, 0);\n"
+      "}\n";
+  std::string tmp = testing::TempDir() + "/r9_allow_lint_fixture.cpp";
+  {
+    std::ofstream out(tmp);
+    ASSERT_TRUE(out.is_open());
+    out << reasoned;
+  }
+  LintRun run = run_lint(tmp);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+
+  {
+    std::ofstream out(tmp);
+    ASSERT_TRUE(out.is_open());
+    out << "void* grab(std::size_t size) {\n"
+           "  // ss-lint: allow(raw-mmap)\n"
+           "  return mmap(nullptr, size, 3, 1, -1, 0);\n"
+           "}\n";
+  }
+  run = run_lint(tmp);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("[bad-suppression]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("[raw-mmap]"), std::string::npos) << run.output;
+  std::remove(tmp.c_str());
+}
+
 TEST(LintSuppression, MalformedAllowIsItselfADiagnostic) {
   LintRun run = run_lint(fixture("bad/bad_suppression.cpp"));
   EXPECT_EQ(run.exit_code, 1) << run.output;
@@ -194,7 +238,7 @@ TEST(LintCli, ListRulesNamesEveryRule) {
   for (const char* rule :
        {"raw-log-exp", "rng-engine", "direct-io", "float-equality",
         "throw-in-parallel", "banned-include", "todo-owner",
-        "raw-intrinsics", "raw-clock", "bad-suppression"}) {
+        "raw-intrinsics", "raw-clock", "raw-mmap", "bad-suppression"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -1,0 +1,266 @@
+// Connected-component sharding (src/data/shard.h) and the sharded
+// inference engine (src/core/sharded_em.h).
+//
+// Two layers:
+//   * partition properties — every assertion and source lands in
+//     exactly one shard, component edges never cross shards, lists are
+//     the flat views re-sliced (ShardedDataset::check plus direct
+//     comparisons here);
+//   * bit-identity — the sharded EM driver and the sharded Gibbs bound
+//     reproduce the flat engines bit for bit on the scalar backend, at
+//     one thread and at several, for natural and forced-small shard
+//     caps, and when built from an .ssd view instead of a Dataset.
+//     Sharding is an execution strategy, never an approximation.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+#include "backend_guard.h"
+#include "bounds/dataset_bound.h"
+#include "core/em_ext.h"
+#include "core/sharded_em.h"
+#include "data/shard.h"
+#include "data/ssd.h"
+#include "kernel_golden.h"
+#include "simgen/scale_gen.h"
+#include "util/thread_pool.h"
+
+namespace ss {
+namespace {
+
+using golden::golden_dataset;
+using golden::Hash;
+using golden::hash_em_result;
+using test_support::ScopedBackend;
+
+std::uint64_t hash_flat_em(const Dataset& d, const EmExtConfig& config,
+                           std::uint64_t seed) {
+  Hash h;
+  hash_em_result(h, EmExtEstimator(config).run_detailed(d, seed));
+  return h.value();
+}
+
+std::uint64_t hash_sharded_em(const ShardedDataset& sharded,
+                              const EmExtConfig& config,
+                              std::uint64_t seed) {
+  Hash h;
+  hash_em_result(h, ShardedEmEstimator(config).run_detailed(sharded, seed));
+  return h.value();
+}
+
+TEST(Shard, PartitionPropertiesHoldAcrossConfigs) {
+  Dataset d = golden_dataset(7, 90, 240);
+  for (std::size_t cap : {std::size_t{0}, std::size_t{1}, std::size_t{4},
+                          std::size_t{32}, std::size_t{10000}}) {
+    ShardedDataset sharded = ShardedDataset::build(d, {cap});
+    sharded.check();  // throws std::logic_error naming any violation
+    ASSERT_EQ(sharded.assertion_count(), d.assertion_count());
+    ASSERT_EQ(sharded.source_count(), d.source_count());
+    EXPECT_EQ(sharded.claim_count(), d.claims.to_claims().size());
+    EXPECT_EQ(sharded.exposed_cell_count(),
+              d.dependency.exposed_cell_count());
+    EXPECT_EQ(sharded.truth(), d.truth);
+
+    // Every assertion in exactly one shard, and its column lists are
+    // exactly the flat views.
+    std::size_t seen = 0;
+    for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+      const DatasetShard& shard = sharded.shard(s);
+      seen += shard.assertion_ids().size();
+      for (std::size_t c = 0; c < shard.assertion_ids().size(); ++c) {
+        std::uint32_t j = shard.assertion_ids()[c];
+        EXPECT_EQ(sharded.shard_of_assertion(j), s);
+        EXPECT_EQ(sharded.position_of_assertion(j), c);
+        auto flat = d.claims.claimants_of(j);
+        auto got = shard.claimants(c);
+        ASSERT_EQ(got.size(), flat.size());
+        EXPECT_TRUE(std::equal(got.begin(), got.end(), flat.begin()));
+        auto flat_exp = d.dependency.exposed_sources(j);
+        auto got_exp = shard.exposed_sources(c);
+        ASSERT_EQ(got_exp.size(), flat_exp.size());
+        EXPECT_TRUE(
+            std::equal(got_exp.begin(), got_exp.end(), flat_exp.begin()));
+      }
+    }
+    EXPECT_EQ(seen, d.assertion_count());
+
+    // No cross-shard dependency edge: every exposed source of a column
+    // belongs to the column's shard.
+    for (std::size_t j = 0; j < d.assertion_count(); ++j) {
+      std::uint32_t s = sharded.shard_of_assertion(j);
+      for (std::uint32_t i : sharded.exposed_sources(j)) {
+        EXPECT_EQ(sharded.shard_of_source(i), s)
+            << "exposure edge (" << i << "," << j << ") crosses shards";
+      }
+    }
+  }
+}
+
+TEST(Shard, CapOneIsolatesComponentsCapHugeMergesAll) {
+  Dataset d = golden_dataset(7, 90, 240);
+  ShardedDataset fine = ShardedDataset::build(d, {1});
+  ShardedDataset coarse = ShardedDataset::build(d, {d.assertion_count()});
+  // cap=1: every component its own (possibly oversized) shard.
+  EXPECT_EQ(fine.shard_count(), fine.component_count());
+  // cap=m: everything packs into one shard.
+  EXPECT_EQ(coarse.shard_count(), 1u);
+  EXPECT_EQ(coarse.component_count(), fine.component_count());
+}
+
+TEST(Shard, SingleGiantComponent) {
+  // One source claims every assertion: m columns, one component.
+  std::vector<Claim> claims;
+  std::size_t m = 50;
+  for (std::size_t j = 0; j < m; ++j) {
+    claims.push_back({0, static_cast<std::uint32_t>(j), 0.0});
+    claims.push_back({static_cast<std::uint32_t>(1 + j % 9),
+                      static_cast<std::uint32_t>(j), 1.0});
+  }
+  Dataset d;
+  d.name = "giant";
+  d.claims = SourceClaimMatrix(10, m, claims);
+  d.dependency = DependencyIndicators::from_cells(10, m, {});
+  d.validate();
+  ShardedDataset sharded = ShardedDataset::build(d, {4});
+  sharded.check();
+  EXPECT_EQ(sharded.component_count(), 1u);
+  EXPECT_EQ(sharded.shard_count(), 1u);  // cap never splits a component
+  EXPECT_EQ(sharded.shard(0).assertion_ids().size(), m);
+}
+
+TEST(Shard, AllSingletonComponents) {
+  // Source j claims assertion j and nothing else: m isolated columns.
+  std::vector<Claim> claims;
+  std::size_t m = 40;
+  for (std::size_t j = 0; j < m; ++j) {
+    claims.push_back({static_cast<std::uint32_t>(j),
+                      static_cast<std::uint32_t>(j), 0.0});
+  }
+  Dataset d;
+  d.name = "singletons";
+  d.claims = SourceClaimMatrix(m, m, claims);
+  d.dependency = DependencyIndicators::from_cells(m, m, {});
+  d.validate();
+  ShardedDataset fine = ShardedDataset::build(d, {1});
+  fine.check();
+  EXPECT_EQ(fine.component_count(), m);
+  EXPECT_EQ(fine.shard_count(), m);
+  ShardedDataset packed = ShardedDataset::build(d, {8});
+  packed.check();
+  EXPECT_EQ(packed.shard_count(), (m + 7) / 8);
+}
+
+TEST(Shard, BuildFromSsdViewMatchesBuildFromDataset) {
+  Dataset d = golden_dataset(31, 80, 200);
+  std::string path = ::testing::TempDir() + "/shard_equiv.ssd";
+  write_ssd(d, path);
+  SsdView view = SsdView::open_or_throw(path);
+  ShardedDataset from_view = ShardedDataset::build(view, {16});
+  ShardedDataset from_dataset = ShardedDataset::build(d, {16});
+  from_view.check();
+  ASSERT_EQ(from_view.shard_count(), from_dataset.shard_count());
+  for (std::size_t s = 0; s < from_view.shard_count(); ++s) {
+    const DatasetShard& a = from_view.shard(s);
+    const DatasetShard& b = from_dataset.shard(s);
+    ASSERT_EQ(a.assertion_ids().size(), b.assertion_ids().size());
+    EXPECT_TRUE(std::equal(a.assertion_ids().begin(),
+                           a.assertion_ids().end(),
+                           b.assertion_ids().begin()));
+    EXPECT_TRUE(std::equal(a.source_ids().begin(), a.source_ids().end(),
+                           b.source_ids().begin()));
+  }
+  // Same inference, bit for bit.
+  ScopedBackend guard(simd::Backend::kScalar);
+  EmExtConfig config;
+  EXPECT_EQ(hash_sharded_em(from_view, config, 5),
+            hash_sharded_em(from_dataset, config, 5));
+}
+
+// The tentpole guarantee: sharded EM == flat EM, bitwise, for every
+// shard layout and thread count, scalar-pinned (the golden reference
+// backend).
+TEST(Shard, EmBitIdenticalToFlatEngine) {
+  ScopedBackend guard(simd::Backend::kScalar);
+  Dataset d = golden_dataset(101, 120, 300);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    EmExtConfig config;
+    config.pool = &pool;
+    std::uint64_t flat = hash_flat_em(d, config, 5);
+    for (std::size_t cap : {std::size_t{0}, std::size_t{1},
+                            std::size_t{8}, std::size_t{64}}) {
+      ShardedDataset sharded = ShardedDataset::build(d, {cap});
+      EXPECT_EQ(hash_sharded_em(sharded, config, 5), flat)
+          << "threads=" << threads << " cap=" << cap;
+    }
+  }
+}
+
+TEST(Shard, EmBitIdenticalUnderRandomRestarts) {
+  ScopedBackend guard(simd::Backend::kScalar);
+  Dataset d = golden_dataset(101, 120, 300);
+  ThreadPool pool(4);
+  EmExtConfig config;
+  config.pool = &pool;
+  config.init_kind = EmInit::kRandom;
+  config.restarts = 3;
+  ShardedDataset sharded = ShardedDataset::build(d, {8});
+  EXPECT_EQ(hash_sharded_em(sharded, config, 9),
+            hash_flat_em(d, config, 9));
+}
+
+TEST(Shard, EmBitIdenticalOnGeneratedScaleData) {
+  ScopedBackend guard(simd::Backend::kScalar);
+  ScaleKnobs knobs;
+  knobs.sources = 2000;
+  knobs.assertions = 400;
+  knobs.community_lo = 50;
+  knobs.community_hi = 150;
+  std::string path = ::testing::TempDir() + "/shard_scale.ssd";
+  generate_scale_ssd(knobs, 77, path);
+  SsdView view = SsdView::open_or_throw(path);
+  Dataset d = view.materialize();
+  // The auto cap floors at 1024 columns, which would pack this small
+  // instance into one shard; pin a small cap so the test exercises a
+  // genuinely multi-shard layout.
+  ShardedDataset sharded = ShardedDataset::build(view, {32});
+  sharded.check();
+  EXPECT_GT(sharded.shard_count(), 1u);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    EmExtConfig config;
+    config.pool = &pool;
+    EXPECT_EQ(hash_sharded_em(sharded, config, 5),
+              hash_flat_em(d, config, 5))
+        << "threads=" << threads;
+  }
+}
+
+TEST(Shard, GibbsBoundBitIdenticalToFlat) {
+  ScopedBackend guard(simd::Backend::kScalar);
+  Rng rng(7);
+  SimInstance inst =
+      generate_parametric(SimKnobs::paper_defaults(40, 120), rng);
+  const Dataset& d = inst.dataset;
+  const ModelParams& params = inst.true_params;
+  GibbsBoundConfig config;
+  config.chains = 2;
+  config.max_sweeps = 400;
+  DatasetBoundResult flat = gibbs_dataset_bound(d, params, 11, config);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    ShardedDataset sharded = ShardedDataset::build(d, {8});
+    DatasetBoundResult got =
+        gibbs_dataset_bound(sharded, params, 11, config, &pool);
+    EXPECT_EQ(got.columns, flat.columns);
+    EXPECT_EQ(got.distinct_patterns, flat.distinct_patterns);
+    EXPECT_EQ(got.bound.error, flat.bound.error);
+    EXPECT_EQ(got.bound.false_positive, flat.bound.false_positive);
+    EXPECT_EQ(got.bound.false_negative, flat.bound.false_negative);
+  }
+}
+
+}  // namespace
+}  // namespace ss

@@ -45,6 +45,14 @@
 //                      with a virtual clock and replay runs from a
 //                      seed. util/timer.h and util/log.* are the
 //                      sanctioned homes for real time.
+//   raw-mmap           (R9) no raw file mapping or fd-level syscalls
+//                      (mmap/munmap/msync family, ::open/::openat,
+//                      MapViewOfFile/CreateFileMapping) outside
+//                      src/data/ + src/util/ — the .ssd reader/writer
+//                      (data/ssd.*) and the checkpoint layer own the
+//                      platform-specific mapping code paths, with their
+//                      error taxonomy and cleanup; everything else
+//                      reads through those layers or <fstream>.
 //
 // Suppression: append `// ss-lint: allow(<rule>[,<rule>...]): <reason>`
 // to the offending line, or put it alone on the line above. The reason
@@ -108,6 +116,9 @@ const RuleInfo kRules[] = {
      "intrinsics header or __m*/_mm* token outside src/math/simd/"},
     {"raw-clock", "R8",
      "wall-clock read outside src/util/; take time from the caller"},
+    {"raw-mmap", "R9",
+     "raw mmap/fd syscall outside src/data/ + src/util/; go through "
+     "data/ssd.h or <fstream>"},
     {"bad-suppression", "-",
      "malformed ss-lint comment (unknown rule or missing reason)"},
 };
@@ -296,7 +307,8 @@ class FileScanner {
         exempt_simd_(in_dir(path_, "math/simd")),
         exempt_rng_(file_is(path_, "rng") && in_dir(path_, "util")),
         exempt_log_(file_is(path_, "log") && in_dir(path_, "util")),
-        exempt_util_(in_dir(path_, "util")) {}
+        exempt_util_(in_dir(path_, "util")),
+        exempt_data_(in_dir(path_, "data")) {}
 
   bool scan() {
     std::ifstream in(path_);
@@ -347,6 +359,7 @@ class FileScanner {
     check_float_equality(code, lineno);
     check_throw_in_parallel(code, lineno);
     check_raw_clock(code, lineno);
+    check_raw_mmap(code, lineno);
   }
 
   void check_todo(const std::string& raw, std::size_t lineno) {
@@ -555,6 +568,33 @@ class FileScanner {
     }
   }
 
+  void check_raw_mmap(const std::string& code, std::size_t lineno) {
+    if (exempt_data_ || exempt_util_) return;
+    // The mapping family fires on the bare token (both `mmap(` and
+    // `::mmap(` spellings); the fd-level calls require the explicit
+    // `::` qualifier so member functions like std::ifstream::open —
+    // spelled `file.open(...)` — never match.
+    static const std::regex map_re(
+        R"(\b(mmap|mmap64|munmap|mremap|msync|shm_open|shm_unlink|MapViewOfFile(Ex)?|UnmapViewOfFile|CreateFileMapping[AW]?)\s*\()");
+    static const std::regex fd_re(
+        R"((^|[^A-Za-z0-9_])::\s*(open|openat|creat|ftruncate)\s*\()");
+    std::smatch m;
+    if (std::regex_search(code, m, map_re)) {
+      diag(lineno, "raw-mmap",
+           m[1].str() +
+               "() outside src/data/ + src/util/; file mapping lives in "
+               "the .ssd layer (data/ssd.h) and the checkpoint layer, "
+               "which own the error taxonomy and cleanup");
+      return;
+    }
+    if (std::regex_search(code, m, fd_re)) {
+      diag(lineno, "raw-mmap",
+           "::" + m[2].str() +
+               "() outside src/data/ + src/util/; open files through "
+               "data/ssd.h, util/checkpoint.h or <fstream>");
+    }
+  }
+
   std::string path_;
   std::vector<Diagnostic>& sink_;
   bool exempt_math_;
@@ -562,6 +602,7 @@ class FileScanner {
   bool exempt_rng_;
   bool exempt_log_;
   bool exempt_util_;
+  bool exempt_data_;
   ScrubState scrub_;
   std::set<std::string> pending_;
   std::size_t pending_line_ = 0;

@@ -1,0 +1,171 @@
+// ss_pack: convert, inspect, verify, and generate .ssd dataset images.
+//
+// Modes:
+//   --mode pack    read --in (a CSV dataset directory, or a .jsonl
+//                  stream when the path ends in .jsonl) and write the
+//                  packed image to --out;
+//   --mode info    print the header of --in plus the shard layout the
+//                  default ShardConfig would build (no payload scan);
+//   --mode verify  full-file payload digest check of --in;
+//   --mode gen     stream a synthetic million-source instance straight
+//                  to --out with the scale generator — --flavor sim
+//                  (depth timestamps) or twitter (burst cascades).
+//
+//   ./ss_pack --mode pack --in data/kirkuk --out kirkuk.ssd
+//   ./ss_pack --mode gen --sources 1000000 --assertions 100000 \
+//             --out scale.ssd
+//   ./ss_pack --mode info --in scale.ssd
+#include <cstdio>
+#include <string>
+
+#include "data/io.h"
+#include "data/shard.h"
+#include "data/ssd.h"
+#include "simgen/scale_gen.h"
+#include "twitter/scale_bridge.h"
+#include "util/cli.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ss;
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+void print_stats(const char* verb, const SsdStats& stats) {
+  std::printf(
+      "%s: %zu sources, %zu assertions, %zu claims, %zu exposed cells\n"
+      "  fingerprint %016llx, %llu bytes\n",
+      verb, stats.sources, stats.assertions, stats.claims, stats.exposed,
+      static_cast<unsigned long long>(stats.fingerprint),
+      static_cast<unsigned long long>(stats.bytes));
+}
+
+int mode_pack(const std::string& in, const std::string& out) {
+  Dataset dataset = ends_with(in, ".jsonl") ? load_dataset_jsonl(in)
+                                            : load_dataset(in);
+  print_stats("packed", write_ssd(dataset, out));
+  return 0;
+}
+
+int mode_info(const std::string& in) {
+  SsdView view = SsdView::open_or_throw(in);
+  std::printf("%s: \"%s\"\n", in.c_str(), view.name().c_str());
+  std::printf(
+      "  %zu sources, %zu assertions, %zu claims, %zu exposed cells\n"
+      "  fingerprint %016llx, %zu bytes\n",
+      view.source_count(), view.assertion_count(), view.claim_count(),
+      view.exposed_cell_count(),
+      static_cast<unsigned long long>(view.fingerprint()),
+      view.file_size());
+  ShardedDataset sharded = ShardedDataset::build(view, ShardConfig{});
+  std::size_t min_m = view.assertion_count();
+  std::size_t max_m = 0;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    std::size_t m = sharded.shard(s).assertion_ids().size();
+    min_m = std::min(min_m, m);
+    max_m = std::max(max_m, m);
+  }
+  std::printf(
+      "  default shard layout: %zu shards, %zu..%zu assertions each\n",
+      sharded.shard_count(), min_m, max_m);
+  return 0;
+}
+
+int mode_verify(const std::string& in) {
+  SsdView view = SsdView::open_or_throw(in);
+  Error why;
+  if (!view.verify_payload(&why)) {
+    std::fprintf(stderr, "ss_pack: %s: %s\n", in.c_str(),
+                 why.message.c_str());
+    return 1;
+  }
+  std::printf("%s: payload digest OK (%zu bytes)\n", in.c_str(),
+              view.file_size());
+  return 0;
+}
+
+int mode_gen(const std::string& out, const std::string& flavor,
+             std::uint64_t seed, std::size_t sources,
+             std::size_t assertions, std::size_t community_lo,
+             std::size_t community_hi) {
+  ScaleStats stats;
+  if (flavor == "twitter") {
+    ScaleCascadeSpec spec;
+    spec.users = sources;
+    spec.assertions = assertions;
+    spec.community_lo = community_lo;
+    spec.community_hi = community_hi;
+    stats = write_cascade_ssd(spec, seed, out);
+  } else if (flavor == "sim") {
+    ScaleKnobs knobs;
+    knobs.sources = sources;
+    knobs.assertions = assertions;
+    knobs.community_lo = community_lo;
+    knobs.community_hi = community_hi;
+    stats = generate_scale_ssd(knobs, seed, out);
+  } else {
+    std::fprintf(stderr, "ss_pack: unknown --flavor '%s'\n",
+                 flavor.c_str());
+    return 2;
+  }
+  print_stats("generated", stats.ssd);
+  std::printf("  %zu communities\n", stats.communities);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ss;
+  Cli cli("ss_pack", "Convert, inspect, and generate .ssd images");
+  auto& mode = cli.add_string("mode", "info", "pack | info | verify | gen");
+  auto& in = cli.add_string("in", "", "input: CSV dir, .jsonl, or .ssd");
+  auto& out = cli.add_string("out", "", "output .ssd path");
+  auto& flavor = cli.add_string("flavor", "sim", "gen: sim | twitter");
+  auto& seed = cli.add_int("seed", 2016, "gen: RNG seed");
+  auto& sources = cli.add_int("sources", 100000, "gen: user count");
+  auto& assertions = cli.add_int("assertions", 10000, "gen: columns");
+  auto& community_lo = cli.add_int("community-lo", 128,
+                                   "gen: min community size");
+  auto& community_hi = cli.add_int("community-hi", 512,
+                                   "gen: max community size");
+  cli.parse(argc, argv);
+
+  try {
+    if (mode == "pack") {
+      if (in.empty() || out.empty()) {
+        std::fprintf(stderr, "ss_pack: pack needs --in and --out\n");
+        return 2;
+      }
+      return mode_pack(in, out);
+    }
+    if (mode == "info" || mode == "verify") {
+      if (in.empty()) {
+        std::fprintf(stderr, "ss_pack: %s needs --in\n", mode.c_str());
+        return 2;
+      }
+      return mode == "info" ? mode_info(in) : mode_verify(in);
+    }
+    if (mode == "gen") {
+      if (out.empty()) {
+        std::fprintf(stderr, "ss_pack: gen needs --out\n");
+        return 2;
+      }
+      return mode_gen(out, flavor, static_cast<std::uint64_t>(seed),
+                      static_cast<std::size_t>(sources),
+                      static_cast<std::size_t>(assertions),
+                      static_cast<std::size_t>(community_lo),
+                      static_cast<std::size_t>(community_hi));
+    }
+    std::fprintf(stderr, "ss_pack: unknown --mode '%s'\n%s", mode.c_str(),
+                 cli.usage().c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ss_pack: %s\n", e.what());
+    return 1;
+  }
+}
