@@ -45,7 +45,7 @@ Dataset load_dataset(const std::string& directory,
 
 // Non-throwing variant: IO-level and strict-mode failures come back as
 // a classified Error instead of an exception.
-Expected<Dataset> try_load_dataset(const std::string& directory,
+[[nodiscard]] Expected<Dataset> try_load_dataset(const std::string& directory,
                                    const IngestOptions& options = {},
                                    IngestReport* report = nullptr);
 

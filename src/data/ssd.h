@@ -88,7 +88,7 @@ class SsdView {
 
   // Maps and validates `path` (header digest, section table, CSR
   // offset monotonicity — not the payload digest; see verify_payload).
-  static Expected<SsdView> open(const std::string& path);
+  [[nodiscard]] static Expected<SsdView> open(const std::string& path);
   // Throwing form (TaxonomyError carries the classified code).
   static SsdView open_or_throw(const std::string& path);
 
@@ -129,7 +129,7 @@ class SsdView {
   // Recomputes the payload digest over every section (full-file scan)
   // and checks it against the sealed header value. `why` receives the
   // classified mismatch when non-null.
-  bool verify_payload(Error* why = nullptr) const;
+  [[nodiscard]] bool verify_payload(Error* why = nullptr) const;
 
   // Expands the view into an ordinary in-memory Dataset (tests, small
   // files, tools). Costs the full materialization the view exists to

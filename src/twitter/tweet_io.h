@@ -49,7 +49,7 @@ std::vector<Tweet> load_tweets(const std::string& path,
 
 // Non-throwing variant: IO-level and strict-mode failures come back as
 // a classified Error instead of an exception.
-Expected<std::vector<Tweet>> try_load_tweets(
+[[nodiscard]] Expected<std::vector<Tweet>> try_load_tweets(
     const std::string& path, const IngestOptions& options = {},
     IngestReport* report = nullptr);
 

@@ -101,7 +101,7 @@ void write_snapshot(const std::string& path, std::uint64_t kind,
 
 // Reads and verifies a snapshot. The payload is returned only when the
 // magic, kind, fingerprint, declared size and checksum all agree.
-Expected<std::string> read_snapshot(const std::string& path,
+[[nodiscard]] Expected<std::string> read_snapshot(const std::string& path,
                                     std::uint64_t kind,
                                     std::uint64_t fingerprint);
 

@@ -32,7 +32,7 @@ class Cli {
 
   // Testable form: returns false and fills `error` instead of exiting.
   // --help is reported as an error with the usage text.
-  bool try_parse(int argc, char** argv, std::string* error);
+  [[nodiscard]] bool try_parse(int argc, char** argv, std::string* error);
 
   std::string usage() const;
 

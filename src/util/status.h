@@ -46,7 +46,7 @@ inline constexpr std::size_t kErrorCodeCount = 10;
 
 const char* error_code_name(ErrorCode code);
 
-struct Error {
+struct [[nodiscard]] Error {
   ErrorCode code = ErrorCode::kOk;
   std::string message;
 };
@@ -67,29 +67,29 @@ class TaxonomyError : public std::runtime_error {
 // value() on an error throws std::runtime_error carrying the message,
 // so callers that do not care about taxonomy keep exception semantics.
 template <typename T>
-class Expected {
+class [[nodiscard]] Expected {
  public:
   Expected(T value) : state_(std::move(value)) {}
   Expected(Error error) : state_(std::move(error)) {}
 
-  bool ok() const { return std::holds_alternative<T>(state_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
   explicit operator bool() const { return ok(); }
 
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     require_ok();
     return std::get<T>(state_);
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     require_ok();
     return std::get<T>(state_);
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     require_ok();
     return std::get<T>(std::move(state_));
   }
 
   // Requires !ok().
-  const Error& error() const { return std::get<Error>(state_); }
+  [[nodiscard]] const Error& error() const { return std::get<Error>(state_); }
 
  private:
   void require_ok() const {
@@ -122,12 +122,12 @@ struct RecordError {
   std::size_t line = 0;  // 1-based line number within `file`
   std::string detail;
 
-  std::string to_string() const;
+  [[nodiscard]] std::string to_string() const;
 };
 
 // Per-run ingestion accounting. rows_total counts every non-blank data
 // row seen; each row ends up in exactly one of ok/repaired/skipped.
-struct IngestReport {
+struct [[nodiscard]] IngestReport {
   std::size_t rows_total = 0;
   std::size_t rows_ok = 0;
   std::size_t rows_repaired = 0;
@@ -137,10 +137,10 @@ struct IngestReport {
   // First max_recorded_errors defects in file order.
   std::vector<RecordError> errors;
 
-  std::size_t count(ErrorCode code) const {
+  [[nodiscard]] std::size_t count(ErrorCode code) const {
     return code_counts[static_cast<std::size_t>(code)];
   }
-  bool clean() const { return rows_skipped == 0 && rows_repaired == 0; }
+  [[nodiscard]] bool clean() const { return rows_skipped == 0 && rows_repaired == 0; }
 
   // Records a defect (detail list capped by `cap`); the caller still
   // decides whether the row is skipped or repaired.
@@ -149,7 +149,7 @@ struct IngestReport {
 
   // One-line human summary, e.g.
   // "1000 rows: 990 ok, 6 repaired, 4 skipped (bad-number:3 bad-row:1)".
-  std::string summary() const;
+  [[nodiscard]] std::string summary() const;
 };
 
 }  // namespace ss

@@ -42,10 +42,10 @@ std::vector<std::string> csv_parse_line(std::string_view line);
 // (trimmed) field must parse; leftover characters, empty fields, signs
 // on the unsigned parse, and range overflow all return false. Unlike
 // std::stoul, "12abc" and "-1" are rejected instead of accepted.
-bool try_parse_u32(std::string_view field, std::uint32_t* out);
-bool try_parse_u64(std::string_view field, std::uint64_t* out);
+[[nodiscard]] bool try_parse_u32(std::string_view field, std::uint32_t* out);
+[[nodiscard]] bool try_parse_u64(std::string_view field, std::uint64_t* out);
 // Accepts anything strtod does, including "nan"/"inf" — finiteness is
 // the caller's policy decision, not a parse failure.
-bool try_parse_f64(std::string_view field, double* out);
+[[nodiscard]] bool try_parse_f64(std::string_view field, double* out);
 
 }  // namespace ss

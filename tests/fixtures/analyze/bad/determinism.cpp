@@ -1,0 +1,25 @@
+// Bad fixture for checker C (unordered-reduction): compound float
+// accumulation through a by-reference capture inside parallel worker
+// bodies, plus an unordered helper. Seeded lines are asserted in
+// tests/test_analyze.cpp.
+#include <numeric>
+#include <vector>
+
+struct Pool {
+  template <typename F> void parallel_for(int n, F f);
+  template <typename F> void parallel_for_chunks(int n, F f);
+  template <typename F> double ordered_reduce(int n, F f);
+};
+
+double total_error(Pool& pool, const std::vector<double>& xs) {
+  double total = 0.0;
+  pool.parallel_for(4, [&](int i) {
+    total += xs[i];
+  });
+  double sum = 0.0;
+  pool.parallel_for_chunks(4, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) sum -= xs[i];
+    sum += std::accumulate(xs.begin() + begin, xs.begin() + end, 0.0);
+  });
+  return total + sum;
+}

@@ -1,0 +1,27 @@
+// Bad fixture for checker D (hot-loop-alloc): per-iteration heap
+// allocation inside loops in E/M-step bodies. Seeded lines are
+// asserted in tests/test_analyze.cpp.
+#include <string>
+#include <vector>
+
+struct Scratch {
+  std::vector<double> buf;
+};
+
+void e_step(Scratch& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    std::vector<double> tmp(static_cast<unsigned>(n));
+    s.buf.push_back(tmp[0]);
+    std::string label = std::to_string(i);
+  }
+}
+
+void m_step(Scratch& s, int n) {
+  s.buf.resize(static_cast<unsigned>(n));
+  int j = 0;
+  while (j < n) {
+    double* p = new double[4];
+    delete[] p;
+    ++j;
+  }
+}

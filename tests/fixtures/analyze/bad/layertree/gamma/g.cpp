@@ -1,0 +1,4 @@
+// Exercises undeclared-edge and internal-include diagnostics.
+#include "beta/b.h"
+#include "alpha/a.h"
+#include "alpha/detail/impl.h"

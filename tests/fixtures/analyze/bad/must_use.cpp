@@ -1,0 +1,26 @@
+// Bad fixture for checker B (must-use): discarded and never-read
+// results of the error-taxonomy types, and a try_* declaration without
+// [[nodiscard]]. Seeded lines are asserted in tests/test_analyze.cpp.
+struct Error { int code; };
+template <typename T> struct Expected { T v; };
+struct IngestReport { int rows; };
+
+Expected<int> load_thing(const char* path);
+bool try_parse_num(const char* s, int* out);
+struct Store {
+  static Expected<Store> open(const char* p);
+  bool try_flush();
+};
+void fill(IngestReport* report);
+
+void scenario() {
+  load_thing("a.csv");
+  Store s{};
+  s.try_flush();
+  Store::open("x");
+  auto r = load_thing("b.csv");
+  IngestReport report;
+  fill(&report);
+  int n = 0;
+  (void)try_parse_num("1", &n);
+}

@@ -1,0 +1,11 @@
+// Bad fixture for the suppression grammar: a reasonless allow and an
+// unknown check id are each a bad-suppression diagnostic.
+void process(int* out);
+
+void f(int n) {
+  // ss-analyze: allow(hot-loop-alloc)
+  process(&n);
+}
+
+// ss-analyze: allow(no-such-check): the id is not a known check
+void g();

@@ -1,0 +1,26 @@
+// Good fixture for checker C: per-chunk partials written to owned
+// slots, a region-local accumulator, a serial canonical reduction, and
+// an ordered_reduce body — all sanctioned shapes.
+#include <vector>
+
+struct Pool {
+  template <typename F> void parallel_for_chunks(int n, F f);
+  template <typename F> double ordered_reduce(int n, F f);
+};
+
+double total_error(Pool& pool, const std::vector<double>& xs,
+                   std::vector<double>* partials) {
+  pool.parallel_for_chunks(4, [&](int begin, int end) {
+    double local = 0.0;
+    for (int i = begin; i < end; ++i) local += xs[i];
+    (*partials)[static_cast<unsigned>(begin)] = local;
+  });
+  double total = 0.0;
+  for (double p : *partials) total += p;
+  double ordered = pool.ordered_reduce(4, [&](int i) {
+    double slot = xs[static_cast<unsigned>(i)];
+    slot += 1.0;
+    return slot;
+  });
+  return total + ordered;
+}

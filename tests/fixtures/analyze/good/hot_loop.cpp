@@ -1,0 +1,20 @@
+// Good fixture for checker D: allocation hoisted out of the loop in a
+// hot body, and loop-time growth in a function that is not hot.
+#include <vector>
+
+struct Scratch {
+  std::vector<double> buf;
+};
+
+void e_step(Scratch& s, int n) {
+  s.buf.resize(static_cast<unsigned>(n));
+  for (int i = 0; i < n; ++i) {
+    s.buf[static_cast<unsigned>(i)] = 0.0;
+  }
+}
+
+void collect(std::vector<double>* out, int n) {
+  for (int i = 0; i < n; ++i) {
+    out->push_back(static_cast<double>(i));
+  }
+}

@@ -1,0 +1,2 @@
+// Conforms to the declared DAG.
+#include "beta/b.h"

@@ -1,0 +1,28 @@
+// Good fixture for checker B: every must-use result is bound and read,
+// out-param reports are inspected, and try_* declarations carry
+// [[nodiscard]].
+struct Error { int code; };
+template <typename T> struct Expected { T v; bool ok() const; };
+struct IngestReport { int rows_skipped; };
+
+Expected<int> load_thing(const char* path);
+[[nodiscard]] bool try_parse_num(const char* s, int* out);
+struct Store {
+  static Expected<Store> open(const char* p);
+  [[nodiscard]] bool try_flush();
+};
+void fill(IngestReport* report);
+void consume(int);
+
+int scenario() {
+  auto r = load_thing("b.csv");
+  if (!r.ok()) return 1;
+  auto s = Store::open("x");
+  if (!s.ok()) return 2;
+  IngestReport report;
+  fill(&report);
+  consume(report.rows_skipped);
+  int n = 0;
+  if (!try_parse_num("1", &n)) return 3;
+  return n;
+}

@@ -116,7 +116,9 @@ TEST(FaultPlans, KillPointsDistinctSortedInRange) {
   for (std::size_t i = 0; i < kills.size(); ++i) {
     EXPECT_GE(kills[i], 1u);
     EXPECT_LT(kills[i], 1000u);
-    if (i > 0) EXPECT_LT(kills[i - 1], kills[i]);
+    if (i > 0) {
+      EXPECT_LT(kills[i - 1], kills[i]);
+    }
   }
   EXPECT_TRUE(fault::plan_kill_points(42, 0, 1000).empty());
   EXPECT_TRUE(fault::plan_kill_points(42, 3, 1).empty());

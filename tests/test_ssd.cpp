@@ -259,6 +259,7 @@ TEST(Ssd, ScaleGeneratorStreamsValidDeterministicImages) {
   ScaleStats sa = generate_scale_ssd(knobs, 99, a);
   ScaleStats sb = generate_scale_ssd(knobs, 99, b);
   EXPECT_GT(sa.communities, 10u);
+  EXPECT_EQ(sa.communities, sb.communities);
   auto slurp = [](const std::string& p) {
     std::ifstream in(p, std::ios::binary);
     return std::string((std::istreambuf_iterator<char>(in)), {});

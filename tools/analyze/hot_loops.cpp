@@ -1,0 +1,180 @@
+#include "analyze/hot_loops.h"
+
+#include <regex>
+
+namespace analyze {
+namespace {
+
+struct AllocPattern {
+  const char* regex;
+  const char* what;
+};
+
+const AllocPattern kAllocPatterns[] = {
+    {R"(\bnew\b)", "operator new"},
+    {R"(\bmake_(?:unique|shared)\s*<)", "make_unique/make_shared"},
+    {R"((?:\.|->)(?:resize|reserve|push_back|emplace_back)\s*\()",
+     "container growth"},
+    {R"(\bstd::string\s+[A-Za-z_])", "std::string construction"},
+    {R"(\bstd::string\s*\()", "std::string construction"},
+    {R"(\bstd::to_string\s*\()", "std::to_string"},
+    {R"(\bstrprintf\s*\()", "strprintf"},
+    {R"(\bstd::vector\s*<[^;]*>\s+[A-Za-z_]\w*)",
+     "local std::vector construction"},
+};
+
+}  // namespace
+
+void HotLoopChecker::scan_file(const SourceFile& file,
+                               std::vector<scan::Diagnostic>* sink) const {
+  std::string path = scan::normalize(file.path);
+  bool whole_file_hot =
+      scan::in_dir(path, "math/simd") ||
+      (scan::in_dir(path, "math") && scan::file_is(path, "kernels"));
+
+  static const std::regex hot_def_re(
+      R"(\b(fused_e_step|e_step|m_step)\s*\()");
+  static const std::regex loop_re(R"(\b(for|while)\s*\()");
+  static const std::regex do_re(R"(\bdo\b)");
+
+  // Lexical state machine over the whole file: brace depth, the brace
+  // extents of hot function bodies, and the loop extents inside them.
+  enum class Mode { kCode, kParams, kAfterParams };
+  enum class What { kHotDef, kLoop };
+  Mode mode = Mode::kCode;
+  What what = What::kLoop;
+  int param_depth = 0;
+  int depth = 0;
+  bool pending_do = false;  // `do` awaiting its '{'
+  std::vector<int> hot_stack;   // depth of each open hot body
+  std::vector<int> loop_stack;  // depth of each open loop body
+
+  std::vector<std::regex> alloc_res;
+  for (const AllocPattern& p : kAllocPatterns) {
+    alloc_res.emplace_back(p.regex);
+  }
+
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& code = file.code[li];
+
+    // Positions where a hot definition / loop statement may start, and
+    // the allocation matches to judge once the state is known there.
+    std::vector<std::pair<std::size_t, What>> starts;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        hot_def_re);
+         it != std::sregex_iterator(); ++it) {
+      starts.emplace_back(static_cast<std::size_t>(it->position(0)),
+                          What::kHotDef);
+    }
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        loop_re);
+         it != std::sregex_iterator(); ++it) {
+      starts.emplace_back(static_cast<std::size_t>(it->position(0)),
+                          What::kLoop);
+    }
+    std::sort(starts.begin(), starts.end());
+
+    struct AllocHit {
+      std::size_t pos;
+      const char* what;
+      std::string text;
+    };
+    std::vector<AllocHit> hits;
+    for (std::size_t p = 0; p < alloc_res.size(); ++p) {
+      for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                          alloc_res[p]);
+           it != std::sregex_iterator(); ++it) {
+        hits.push_back({static_cast<std::size_t>(it->position(0)),
+                        kAllocPatterns[p].what, it->str()});
+      }
+    }
+    std::sort(hits.begin(), hits.end(),
+              [](const AllocHit& a, const AllocHit& b) {
+                return a.pos < b.pos;
+              });
+
+    for (auto it = std::sregex_iterator(code.begin(), code.end(), do_re);
+         it != std::sregex_iterator(); ++it) {
+      // `do { ... } while(...)`: arm on the keyword; the next '{'
+      // opens the loop (a `do` without a brace is not tracked).
+      (void)it;
+    }
+
+    std::size_t next_start = 0;
+    std::size_t next_hit = 0;
+    for (std::size_t i = 0; i <= code.size(); ++i) {
+      bool in_hot = whole_file_hot || !hot_stack.empty();
+      bool in_loop = !loop_stack.empty();
+      while (next_hit < hits.size() && hits[next_hit].pos == i) {
+        const AllocHit& h = hits[next_hit];
+        if (in_hot && in_loop) {
+          sink->push_back(
+              {file.path, li + 1, "hot-loop-alloc",
+               std::string(h.what) + " (`" + h.text + "`) inside a "
+               "loop in a hot body; hoist the allocation into reused "
+               "scratch (§10 keeps E/M-step iterations allocation-free)"});
+        }
+        ++next_hit;
+      }
+      if (i == code.size()) break;
+      if (mode == Mode::kCode) {
+        while (next_start < starts.size() && starts[next_start].first < i) {
+          ++next_start;
+        }
+        if (next_start < starts.size() && starts[next_start].first == i) {
+          mode = Mode::kParams;
+          what = starts[next_start].second;
+          param_depth = 0;
+          ++next_start;
+        }
+      }
+      char c = code[i];
+      if (mode == Mode::kParams) {
+        if (c == '(') ++param_depth;
+        if (c == ')' && --param_depth == 0) mode = Mode::kAfterParams;
+        continue;
+      }
+      if (mode == Mode::kAfterParams) {
+        if (c == ' ' || c == '\t') continue;
+        if (c == '{') {
+          ++depth;
+          (what == What::kHotDef ? hot_stack : loop_stack)
+              .push_back(depth);
+          mode = Mode::kCode;
+          continue;
+        }
+        if (c == ';' || c == ')' || c == ',' || c == '=' || c == '}') {
+          // A call, an unbraced body, or `= delete` — no region.
+          mode = Mode::kCode;
+          // fall through to normal handling of this char
+        } else {
+          continue;  // const / noexcept / -> Type ... keep skipping
+        }
+      }
+      if (c == '{') {
+        ++depth;
+        if (pending_do) {
+          loop_stack.push_back(depth);
+          pending_do = false;
+        }
+      } else if (c == '}') {
+        if (!hot_stack.empty() && hot_stack.back() == depth) {
+          hot_stack.pop_back();
+        }
+        if (!loop_stack.empty() && loop_stack.back() == depth) {
+          loop_stack.pop_back();
+        }
+        if (depth > 0) --depth;
+      } else if (c == 'd' && code.compare(i, 2, "do") == 0 &&
+                 (i == 0 || !(isalnum(code[i - 1]) || code[i - 1] == '_')) &&
+                 (i + 2 >= code.size() ||
+                  !(isalnum(code[i + 2]) || code[i + 2] == '_'))) {
+        pending_do = true;
+      } else if (c == ';') {
+        pending_do = false;
+      }
+    }
+  }
+}
+
+}  // namespace analyze

@@ -1,0 +1,34 @@
+// Checker D — hot-loop allocation audit (docs/MODEL.md §15).
+//
+// PR 3 removed every per-iteration heap allocation from the kernel
+// layer and the E/M-step bodies (scratch reuse, hoisted tables); that
+// zero-allocation property was previously preserved by review only.
+// This checker preserves it mechanically: inside loop bodies within
+// the hot scope, any allocating construct is a diagnostic —
+//
+//   new / make_unique / make_shared, container growth (.resize /
+//   .reserve / .push_back / .emplace_back), string construction
+//   (std::string locals, std::to_string, strprintf), and local
+//   std::vector declarations.
+//
+// Hot scope = src/math/kernels.cpp and src/math/simd/ whole-file, plus
+// the brace-tracked bodies of functions named e_step / m_step /
+// fused_e_step anywhere in the tree. One-time setup (resize before the
+// loop, schedule compilation) is outside loop bodies and stays silent;
+// a genuinely amortized growth inside a loop carries a reasoned
+// `// ss-analyze: allow(hot-loop-alloc): <reason>`.
+#pragma once
+
+#include <vector>
+
+#include "analyze/analysis.h"
+
+namespace analyze {
+
+class HotLoopChecker {
+ public:
+  void scan_file(const SourceFile& file,
+                 std::vector<scan::Diagnostic>* sink) const;
+};
+
+}  // namespace analyze

@@ -1,0 +1,304 @@
+#include "analyze/include_graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <regex>
+
+namespace analyze {
+namespace {
+
+// Splits on spaces/tabs, dropping empties.
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return std::string();
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+LayerConfig LayerConfig::load(const std::string& path,
+                              std::vector<scan::Diagnostic>* sink) {
+  LayerConfig out;
+  std::ifstream in(path);
+  if (!in) {
+    sink->push_back({path, 0, "layering", "cannot read layer config"});
+    return out;
+  }
+  std::string raw;
+  std::size_t lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = trim(raw);
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      sink->push_back({path, lineno, "layering",
+                       "malformed line; expected `module <name>: <deps>` "
+                       "or `internal <prefix>: <modules>`"});
+      continue;
+    }
+    std::vector<std::string> head = split_ws(line.substr(0, colon));
+    std::vector<std::string> tail = split_ws(line.substr(colon + 1));
+    if (head.size() == 2 && head[0] == "module") {
+      if (!out.allowed.emplace(head[1],
+                               std::set<std::string>(tail.begin(),
+                                                     tail.end()))
+               .second) {
+        sink->push_back({path, lineno, "layering",
+                         "module `" + head[1] + "` declared twice"});
+      }
+    } else if (head.size() == 2 && head[0] == "internal") {
+      // Raw path prefix: "math/simd/" confines a directory,
+      // "math/simd/vecmath" a family of headers within it.
+      out.internals.emplace_back(
+          head[1], std::set<std::string>(tail.begin(), tail.end()));
+    } else {
+      sink->push_back({path, lineno, "layering",
+                       "malformed line; expected `module <name>: <deps>` "
+                       "or `internal <prefix>: <modules>`"});
+    }
+  }
+  // Every declared dep must itself be a declared module.
+  for (const auto& [mod, deps] : out.allowed) {
+    for (const std::string& dep : deps) {
+      if (dep != mod && out.allowed.find(dep) == out.allowed.end()) {
+        sink->push_back({path, 0, "layering",
+                         "module `" + mod + "` depends on undeclared "
+                         "module `" + dep + "`"});
+      }
+    }
+  }
+  // The declared graph itself must be a DAG: rank() recursion below
+  // assumes it, and a cyclic declaration would make every layering
+  // verdict meaningless.
+  std::map<std::string, int> state;  // 0 new, 1 on stack, 2 done
+  std::function<bool(const std::string&)> dfs =
+      [&](const std::string& mod) -> bool {
+    int& s = state[mod];
+    if (s == 1) return false;
+    if (s == 2) return true;
+    s = 1;
+    auto it = out.allowed.find(mod);
+    if (it != out.allowed.end()) {
+      for (const std::string& dep : it->second) {
+        if (dep != mod && !dfs(dep)) return false;
+      }
+    }
+    s = 2;
+    return true;
+  };
+  for (const auto& [mod, deps] : out.allowed) {
+    if (!dfs(mod)) {
+      sink->push_back({path, 0, "layering",
+                       "declared layer graph has a cycle through `" +
+                           mod + "`"});
+      return out;  // refuse a cyclic config outright
+    }
+  }
+  out.loaded = true;
+  return out;
+}
+
+bool LayerConfig::reaches(const std::string& from,
+                          const std::string& to) const {
+  if (from == to) return true;
+  std::set<std::string> seen;
+  std::vector<std::string> stack{from};
+  while (!stack.empty()) {
+    std::string mod = stack.back();
+    stack.pop_back();
+    if (!seen.insert(mod).second) continue;
+    auto it = allowed.find(mod);
+    if (it == allowed.end()) continue;
+    for (const std::string& dep : it->second) {
+      if (dep == to) return true;
+      stack.push_back(dep);
+    }
+  }
+  return false;
+}
+
+std::size_t LayerConfig::rank(const std::string& module) const {
+  auto it = allowed.find(module);
+  if (it == allowed.end()) return 0;
+  std::size_t best = 0;
+  for (const std::string& dep : it->second) {
+    if (dep == module) continue;
+    best = std::max(best, rank(dep) + 1);
+  }
+  return best;
+}
+
+void IncludeGraphChecker::scan_file(const SourceFile& file) {
+  if (file.rel.empty()) return;
+  std::string from = module_of(file.rel);
+  if (from.empty()) return;  // file directly at the root
+  modules_.insert(from);
+  // The quoted target is a string literal, blanked in the scrubbed
+  // view — so match the raw line, but only where the scrubbed line
+  // confirms a real directive (commented-out includes scrub away).
+  static const std::regex inc_re(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  static const std::regex directive_re(R"(^\s*#\s*include\b)");
+  for (std::size_t i = 0; i < file.raw.size(); ++i) {
+    if (!std::regex_search(file.code[i], directive_re)) continue;
+    std::smatch m;
+    if (!std::regex_search(file.raw[i], m, inc_re)) continue;
+    std::string target = m[1].str();
+    IncludeSite site{file.path, i + 1, target};
+    std::string to = module_of(target);
+    if (to.empty()) to = from;  // same-directory include
+    edges_[{from, to}].sites.push_back(site);
+    if (config_ != nullptr) {
+      for (const auto& [prefix, allowed_mods] : config_->internals) {
+        if (target.rfind(prefix, 0) == 0 &&
+            allowed_mods.count(from) == 0) {
+          internal_sites_.push_back(site);
+          internal_from_.push_back(from);
+        }
+      }
+    }
+  }
+}
+
+void IncludeGraphChecker::finalize(
+    std::vector<scan::Diagnostic>* sink) const {
+  bool conf = config_ != nullptr && config_->loaded;
+  // Edge conformance against the declared DAG.
+  if (conf) {
+    std::set<std::string> reported_unknown;
+    for (const auto& [edge, info] : edges_) {
+      const auto& [from, to] = edge;
+      if (from == to) continue;
+      // Only judge edges into something that is really a module
+      // (seen in the tree or declared); a quoted include of an
+      // external header is not a layering question.
+      if (modules_.count(to) == 0 &&
+          config_->allowed.find(to) == config_->allowed.end()) {
+        continue;
+      }
+      auto it = config_->allowed.find(from);
+      if (it == config_->allowed.end()) {
+        if (reported_unknown.insert(from).second) {
+          const IncludeSite& s = info.sites.front();
+          sink->push_back({s.file, s.line, "layering",
+                           "module `" + from + "` is not declared in "
+                           "layers.conf; add a `module " + from +
+                           ": <deps>` line"});
+        }
+        continue;
+      }
+      if (it->second.count(to) > 0) continue;
+      bool upward = config_->reaches(to, from);
+      for (const IncludeSite& s : info.sites) {
+        std::string msg =
+            upward ? "upward include: `" + to + "` sits above `" + from +
+                         "` in the layer DAG (" + to + " already depends "
+                         "on " + from + "); invert the dependency or move "
+                         "the shared piece down"
+                   : "include edge `" + from + "` -> `" + to +
+                         "` is not declared in layers.conf; declare it "
+                         "there (keeping the graph acyclic) or remove "
+                         "the include";
+        sink->push_back({s.file, s.line, "layering", msg});
+      }
+    }
+  }
+  // Internal-prefix confinement (needs only the config's internals).
+  for (std::size_t i = 0; i < internal_sites_.size(); ++i) {
+    const IncludeSite& s = internal_sites_[i];
+    sink->push_back({s.file, s.line, "layering",
+                     "include of internal header \"" + s.target +
+                         "\" from module `" + internal_from_[i] +
+                         "`; go through the public API of that "
+                         "subsystem instead"});
+  }
+  // Real-graph cycles, config or not: DFS over the module graph,
+  // reporting each back edge once with the cycle path.
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& [edge, info] : edges_) {
+    if (edge.first != edge.second) adj[edge.first].push_back(edge.second);
+  }
+  std::map<std::string, int> state;  // 0 new, 1 on stack, 2 done
+  std::vector<std::string> stack;
+  std::function<void(const std::string&)> dfs =
+      [&](const std::string& mod) {
+        state[mod] = 1;
+        stack.push_back(mod);
+        for (const std::string& next : adj[mod]) {
+          if (state[next] == 1) {
+            // Found a cycle: slice the stack from `next` to here.
+            std::string path;
+            auto at = std::find(stack.begin(), stack.end(), next);
+            for (; at != stack.end(); ++at) path += *at + " -> ";
+            path += next;
+            const IncludeSite& s =
+                edges_.at({mod, next}).sites.front();
+            sink->push_back({s.file, s.line, "layering",
+                             "module include cycle: " + path});
+          } else if (state[next] == 0) {
+            dfs(next);
+          }
+        }
+        stack.pop_back();
+        state[mod] = 2;
+      };
+  for (const std::string& mod : modules_) {
+    if (state[mod] == 0) dfs(mod);
+  }
+}
+
+std::string IncludeGraphChecker::dot() const {
+  std::string out = "digraph include_graph {\n  rankdir=BT;\n";
+  for (const std::string& mod : modules_) {
+    out += "  \"" + mod + "\";\n";
+  }
+  for (const auto& [edge, info] : edges_) {
+    if (edge.first == edge.second) continue;
+    out += "  \"" + edge.first + "\" -> \"" + edge.second +
+           "\" [label=\"" + std::to_string(info.sites.size()) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string IncludeGraphChecker::markdown() const {
+  std::string out =
+      "# Include graph\n\n"
+      "Generated by `ss_analyze --report`; module = first directory\n"
+      "under `src/`. Edge counts are `#include \"...\"` sites.\n\n"
+      "| module | layer | depends on |\n|---|---|---|\n";
+  for (const std::string& mod : modules_) {
+    std::string deps;
+    for (const auto& [edge, info] : edges_) {
+      if (edge.first != mod || edge.second == mod) continue;
+      if (!deps.empty()) deps += ", ";
+      deps += edge.second + " (" + std::to_string(info.sites.size()) +
+              ")";
+    }
+    std::string rank =
+        config_ != nullptr && config_->loaded
+            ? std::to_string(config_->rank(mod))
+            : "-";
+    out += "| " + mod + " | " + rank + " | " +
+           (deps.empty() ? "—" : deps) + " |\n";
+  }
+  return out;
+}
+
+}  // namespace analyze

@@ -1,0 +1,87 @@
+// Checker A — architecture layering (docs/MODEL.md §15).
+//
+// Parses the quoted-include graph of a source tree, aggregates it to
+// module level (module = first path component under the scan root),
+// and checks it against the declared layer DAG in
+// tools/analyze/layers.conf:
+//
+//   * every real include edge must be declared (`module a: b c` allows
+//     a -> {a, b, c}); an undeclared edge that would point *up* the
+//     DAG is called out as an upward include,
+//   * the real module graph must be acyclic (reported even without a
+//     config — a cycle is a defect regardless of what is declared),
+//   * `internal <prefix>: <modules...>` confines includes of a
+//     sub-tree (src/math/simd/ internals) to the named modules.
+//
+// The checker also renders the *real* graph as DOT and markdown, so
+// the declared DAG and the documentation can never drift silently.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.h"
+
+namespace analyze {
+
+struct LayerConfig {
+  // module -> allowed dependency modules (self always allowed).
+  std::map<std::string, std::set<std::string>> allowed;
+  // raw path prefix (e.g. "math/simd/vecmath") -> modules allowed to
+  // include targets under it.
+  std::vector<std::pair<std::string, std::set<std::string>>> internals;
+  bool loaded = false;
+
+  // Parses the conf; malformed lines, deps on undeclared modules and a
+  // cyclic declared graph are diagnostics attributed to the conf file.
+  static LayerConfig load(const std::string& path,
+                          std::vector<scan::Diagnostic>* sink);
+
+  // True when `from` can reach `to` along declared edges.
+  bool reaches(const std::string& from, const std::string& to) const;
+
+  // Longest declared dependency chain below `module` (0 for leaves).
+  std::size_t rank(const std::string& module) const;
+};
+
+struct IncludeSite {
+  std::string file;  // SourceFile::path
+  std::size_t line = 0;
+  std::string target;  // include text, e.g. "math/simd/dispatch.h"
+};
+
+class IncludeGraphChecker {
+ public:
+  explicit IncludeGraphChecker(const LayerConfig* config)
+      : config_(config) {}
+
+  // Collects the quoted-include edges of one file. Only files with a
+  // root-relative path participate (layering needs a tree).
+  void scan_file(const SourceFile& file);
+
+  // Emits every layering diagnostic (undeclared/upward edges, internal
+  // includes, real-graph cycles) into `sink`.
+  void finalize(std::vector<scan::Diagnostic>* sink) const;
+
+  // Deterministic module-level DOT rendering of the real graph.
+  std::string dot() const;
+
+  // Deterministic markdown report (module table + edge list).
+  std::string markdown() const;
+
+ private:
+  struct Edge {
+    std::vector<IncludeSite> sites;  // in scan order
+  };
+
+  const LayerConfig* config_;
+  std::set<std::string> modules_;  // every module seen in the tree
+  // (from, to) -> sites; intra-module edges kept for the report.
+  std::map<std::pair<std::string, std::string>, Edge> edges_;
+  std::vector<IncludeSite> internal_sites_;  // include text hit a prefix
+  std::vector<std::string> internal_from_;   // module of the including file
+};
+
+}  // namespace analyze

@@ -1,0 +1,335 @@
+#include "analyze/must_use.h"
+
+#include <regex>
+
+namespace analyze {
+namespace {
+
+// Index just past the '>' matching the '<' at `lt`, or npos when the
+// line does not balance (multi-line types are skipped, not guessed).
+std::size_t skip_angles(const std::string& s, std::size_t lt) {
+  int depth = 0;
+  for (std::size_t i = lt; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+// First of ';' or '{' in the scrubbed lines from (li, pos) on; 0 when
+// the file ends first. A '{' opening a braced *initializer* (its
+// previous significant char is '=', '(', ',' or '{' — default
+// arguments like `options = {}`) is skipped with its matching '}'
+// rather than mistaken for a function body.
+char first_terminator(const SourceFile& f, std::size_t li,
+                      std::size_t pos) {
+  char prev = 0;
+  int init_depth = 0;
+  for (; li < f.code.size(); ++li, pos = 0) {
+    const std::string& s = f.code[li];
+    for (std::size_t i = pos; i < s.size(); ++i) {
+      char c = s[i];
+      if (c == ' ' || c == '\t') continue;
+      if (init_depth > 0) {
+        if (c == '{') ++init_depth;
+        if (c == '}') --init_depth;
+        prev = c;
+        continue;
+      }
+      if (c == ';') return ';';
+      if (c == '{') {
+        if (prev == '=' || prev == '(' || prev == ',' || prev == '{') {
+          init_depth = 1;
+          prev = c;
+          continue;
+        }
+        return '{';
+      }
+      prev = c;
+    }
+  }
+  return 0;
+}
+
+bool word_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+// Whole-word occurrences of `name` in `s`, appended as positions.
+void find_words(const std::string& s, const std::string& name,
+                std::vector<std::size_t>* out) {
+  for (std::size_t at = s.find(name); at != std::string::npos;
+       at = s.find(name, at + 1)) {
+    bool left_ok = at == 0 || !word_char(s[at - 1]);
+    bool right_ok =
+        at + name.size() >= s.size() || !word_char(s[at + name.size()]);
+    if (left_ok && right_ok) out->push_back(at);
+  }
+}
+
+bool is_preprocessor(const std::string& code) {
+  std::size_t i = code.find_first_not_of(" \t");
+  return i != std::string::npos && code[i] == '#';
+}
+
+// Statement-boundary + paren-depth bookkeeping shared by both passes:
+// a pattern anchored at line start is only a *statement* start when no
+// parenthesis spans the line break and the previous significant line
+// ended a statement (';', braces, labels) or was a preprocessor line.
+class StatementCursor {
+ public:
+  bool at_boundary() const { return boundary_ && paren_ == 0; }
+
+  void advance(const std::string& code) {
+    if (is_preprocessor(code)) {
+      boundary_ = true;
+      return;
+    }
+    char last = 0;
+    for (char c : code) {
+      if (c == '(') ++paren_;
+      if (c == ')' && paren_ > 0) --paren_;
+      if (c != ' ' && c != '\t') last = c;
+    }
+    if (last != 0) {
+      boundary_ =
+          last == ';' || last == '{' || last == '}' || last == ':';
+    }
+  }
+
+ private:
+  bool boundary_ = true;
+  int paren_ = 0;
+};
+
+const char* const kNotATypeKeyword[] = {
+    "return", "co_return", "throw", "delete", "new", "goto", "else",
+    "case",   "typedef",   "using"};
+
+bool keyword_not_type(const std::string& token) {
+  for (const char* k : kNotATypeKeyword) {
+    if (token == k) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void MustUseChecker::build_registry(const SourceFile& file) {
+  static const std::regex type_re(
+      R"(^\s*(?:template\s*<[^;{]*>\s*)?(?:\[\[nodiscard\]\]\s*)?(?:(?:static|inline|constexpr|virtual|friend|extern)\s+)*((?:ss::)?Expected\s*<|(?:ss::)?IngestReport\b|(?:ss::)?Error\b))");
+  static const std::regex name_re(
+      R"(^\s*(?:([A-Za-z_]\w*)::)?([A-Za-z_]\w*)\s*\()");
+  static const std::regex class_re(
+      R"(\b(?:class|struct)\s+(?:\[\[nodiscard\]\]\s+)?([A-Za-z_]\w*))");
+
+  std::vector<std::pair<std::string, int>> class_stack;  // name, depth
+  int depth = 0;
+  std::string pending_class;
+  StatementCursor cursor;
+
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& code = file.code[li];
+    if (cursor.at_boundary()) {
+      std::smatch m;
+      if (std::regex_search(code, m, type_re)) {
+        std::string type = m[1].str();
+        std::size_t after = static_cast<std::size_t>(m.position(1)) +
+                            type.size();
+        if (type.back() == '<') {
+          after = skip_angles(code, after - 1);
+        }
+        if (after != std::string::npos) {
+          std::string rest = code.substr(after);
+          std::smatch n;
+          if (std::regex_search(rest, n, name_re) &&
+              !keyword_not_type(n[2].str())) {
+            std::string qual = n[1].str();
+            std::string name = n[2].str();
+            if (!qual.empty()) {
+              qualified_.insert(qual + "::" + name);
+            } else if (!class_stack.empty()) {
+              qualified_.insert(class_stack.back().first + "::" + name);
+            } else {
+              free_.insert(name);
+            }
+          }
+        }
+      }
+    }
+    // Class-context + brace tracking (a `class X` token arms a pending
+    // scope that the next '{' opens; ';' defuses forward declarations).
+    std::vector<std::pair<std::size_t, std::string>> class_marks;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        class_re);
+         it != std::sregex_iterator(); ++it) {
+      class_marks.emplace_back(static_cast<std::size_t>(it->position(0)),
+                               (*it)[1].str());
+    }
+    std::size_t next_mark = 0;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      while (next_mark < class_marks.size() &&
+             class_marks[next_mark].first == i) {
+        pending_class = class_marks[next_mark].second;
+        ++next_mark;
+      }
+      char c = code[i];
+      if (c == '{') {
+        ++depth;
+        if (!pending_class.empty()) {
+          class_stack.emplace_back(pending_class, depth);
+          pending_class.clear();
+        }
+      } else if (c == '}') {
+        if (!class_stack.empty() && class_stack.back().second == depth) {
+          class_stack.pop_back();
+        }
+        if (depth > 0) --depth;
+      } else if (c == ';') {
+        pending_class.clear();  // forward declaration / plain statement
+      }
+    }
+    cursor.advance(code);
+  }
+}
+
+void MustUseChecker::scan_file(const SourceFile& file,
+                               std::vector<scan::Diagnostic>* sink) const {
+  static const std::regex call_re(
+      R"(^\s*(?:([A-Za-z_]\w*)::)?((?:[A-Za-z_]\w*(?:\.|->))*)([A-Za-z_]\w*)\s*\()");
+  static const std::regex bind_re(
+      R"(^\s*(?:const\s+)?(?:auto|(?:ss::)?Expected\s*<[^;=]*>|(?:ss::)?IngestReport|(?:ss::)?Error)\s*&{0,2}\s*([A-Za-z_]\w*)\s*=(.*)$)");
+  static const std::regex report_decl_re(
+      R"(^\s*(?:ss::)?IngestReport\s+([A-Za-z_]\w*)\s*;)");
+  static const std::regex rhs_call_re(R"(([A-Za-z_]\w*)\s*\()");
+  static const std::regex nodiscard_decl_re(
+      R"(^\s*(\[\[nodiscard\]\]\s*)?((?:(?:static|inline|constexpr|virtual|friend|extern)\s+)*)([A-Za-z_][\w:]*(?:\s*<[^;{}()]*>)?(?:\s*[&*])*)\s+(try_\w+)\s*\()");
+
+  auto is_must_use_name = [&](const std::string& qual,
+                              const std::string& name) {
+    if (name.rfind("try_", 0) == 0) return true;
+    if (!qual.empty()) return qualified_.count(qual + "::" + name) > 0;
+    return free_.count(name) > 0;
+  };
+
+  // True when `name` is read after (li, pos). For out-params
+  // (IngestReport passed by address), an occurrence directly preceded
+  // by '&' is a *binding*, not a read.
+  auto read_after = [&](const std::string& name, std::size_t li,
+                        std::size_t pos, bool address_is_not_read) {
+    for (std::size_t l = li; l < file.code.size(); ++l) {
+      const std::string& s = file.code[l];
+      std::vector<std::size_t> hits;
+      find_words(s, name, &hits);
+      for (std::size_t at : hits) {
+        if (l == li && at < pos) continue;
+        if (address_is_not_read) {
+          std::size_t p = at;
+          while (p > 0 && (s[p - 1] == ' ' || s[p - 1] == '\t')) --p;
+          if (p > 0 && s[p - 1] == '&') continue;
+        }
+        return true;
+      }
+    }
+    return false;
+  };
+
+  StatementCursor cursor;
+  for (std::size_t li = 0; li < file.code.size(); ++li) {
+    const std::string& code = file.code[li];
+    if (cursor.at_boundary()) {
+      std::smatch m;
+      // Discarded statement-call of a must-use producer.
+      if (std::regex_search(code, m, call_re)) {
+        std::string qual = m[1].str();
+        std::string name = m[3].str();
+        bool object_call = m[2].length() > 0;
+        bool must_use =
+            object_call ? name.rfind("try_", 0) == 0
+                        : is_must_use_name(qual, name);
+        if (must_use &&
+            first_terminator(
+                file, li,
+                static_cast<std::size_t>(m.position(3))) == ';') {
+          sink->push_back(
+              {file.path, li + 1, "must-use",
+               "result of " + name + "() is discarded; it carries the "
+               "error taxonomy (util/status.h) — bind it and branch on "
+               "ok()/the report"});
+        }
+      }
+      // Result bound but never read.
+      if (std::regex_search(code, m, bind_re)) {
+        std::string var = m[1].str();
+        std::string rhs = m[2].str();
+        bool rhs_must_use = false;
+        for (auto it = std::sregex_iterator(rhs.begin(), rhs.end(),
+                                            rhs_call_re);
+             it != std::sregex_iterator(); ++it) {
+          std::string callee = (*it)[1].str();
+          if (callee.rfind("try_", 0) == 0 || free_.count(callee) > 0) {
+            rhs_must_use = true;
+            break;
+          }
+          // Qualified: look back for "Class::" before the callee.
+          std::size_t at = static_cast<std::size_t>(it->position(1));
+          if (at >= 2 && rhs.compare(at - 2, 2, "::") == 0) {
+            std::size_t b = at - 2;
+            while (b > 0 && word_char(rhs[b - 1])) --b;
+            if (qualified_.count(rhs.substr(b, at - b) + callee) > 0) {
+              rhs_must_use = true;
+              break;
+            }
+          }
+        }
+        if (rhs_must_use &&
+            !read_after(var, li,
+                        static_cast<std::size_t>(m.position(1)) +
+                            var.size(),
+                        /*address_is_not_read=*/false)) {
+          sink->push_back(
+              {file.path, li + 1, "must-use",
+               "`" + var + "` binds a must-use result but is never "
+               "read; check ok()/the report before dropping it"});
+        }
+      }
+      // IngestReport out-param filled but never read.
+      if (std::regex_search(code, m, report_decl_re)) {
+        std::string var = m[1].str();
+        if (!read_after(var, li,
+                        static_cast<std::size_t>(m.position(1)) +
+                            var.size(),
+                        /*address_is_not_read=*/true)) {
+          sink->push_back(
+              {file.path, li + 1, "must-use",
+               "IngestReport `" + var + "` is filled but never read; "
+               "silently dropping an ingest report hides skipped or "
+               "repaired records"});
+        }
+      }
+      // try_* declaration missing [[nodiscard]].
+      if (std::regex_search(code, m, nodiscard_decl_re) &&
+          !keyword_not_type(m[3].str()) &&
+          first_terminator(file, li,
+                           static_cast<std::size_t>(m.position(4))) ==
+              ';') {
+        bool has_attr = m[1].length() > 0;
+        if (!has_attr && li > 0) {
+          has_attr = file.code[li - 1].find("[[nodiscard]]") !=
+                     std::string::npos;
+        }
+        if (!has_attr) {
+          sink->push_back(
+              {file.path, li + 1, "must-use",
+               m[4].str() + "() declaration is missing [[nodiscard]]; "
+               "try_* results are the error contract and must not be "
+               "silently droppable"});
+        }
+      }
+    }
+    cursor.advance(code);
+  }
+}
+
+}  // namespace analyze

@@ -1,0 +1,55 @@
+// Checker B — must-use error contracts (docs/MODEL.md §15).
+//
+// The fault-tolerance layer (util/status.h) reports recoverable
+// failures through values: `Expected<T>`, `Error`, `IngestReport`, and
+// the `try_*` function family. A discarded result silently swallows a
+// classified failure — precisely the defect the taxonomy exists to
+// prevent. The compiler half of the contract is `[[nodiscard]]`
+// (type-level on Expected/Error/IngestReport, per-declaration on
+// try_*); this checker covers what the attribute cannot see and keeps
+// the attribute itself adopted:
+//
+//   * a registry pass collects every function in the scanned tree
+//     whose result is must-use (return type Expected<...> /
+//     IngestReport / Error by value, or a try_* name); static member
+//     functions are registered class-qualified (SsdView::open),
+//   * a plain statement-call of a registered function — the result
+//     discarded outright — is a diagnostic,
+//   * a result *bound but never read* (the variable, or an
+//     IngestReport passed by address as an out-param, is never
+//     mentioned again) is a diagnostic,
+//   * a try_* declaration without `[[nodiscard]]` is a diagnostic, so
+//     adoption is enforced mechanically rather than by review
+//     (Expected/Error/IngestReport returns are covered by the
+//     type-level attribute in util/status.h).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/analysis.h"
+
+namespace analyze {
+
+class MustUseChecker {
+ public:
+  // Pass 1 over every file: collect must-use producers.
+  void build_registry(const SourceFile& file);
+
+  // Pass 2 per file: flag discarded / never-read results and try_*
+  // declarations missing [[nodiscard]].
+  void scan_file(const SourceFile& file,
+                 std::vector<scan::Diagnostic>* sink) const;
+
+  const std::set<std::string>& free_functions() const { return free_; }
+  const std::set<std::string>& qualified_functions() const {
+    return qualified_;
+  }
+
+ private:
+  std::set<std::string> free_;       // bare names, called as `name(...)`
+  std::set<std::string> qualified_;  // "Class::name", static members
+};
+
+}  // namespace analyze

@@ -1,0 +1,130 @@
+// Shared substrate for the project's token-level static analyzers
+// (tools/ss_lint and tools/ss_analyze — docs/MODEL.md §11, §15).
+//
+// Both tools walk source files line by line, scrub comments and
+// string/char literals so rule patterns only ever see code tokens,
+// honour mandatory-reason inline suppressions, and emit file:line
+// diagnostics in text or JSON. That machinery lives here exactly once
+// so the two scanners cannot drift apart; the rule logic itself stays
+// in each tool.
+//
+// Built as C++17 on purpose (like ss_lint): the analysis gate must
+// stay buildable by older toolchains in CI images that predate the
+// library's C++20 requirement.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace scan {
+
+struct Diagnostic {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Stable output order: file, then line, then rule id.
+void sort_diagnostics(std::vector<Diagnostic>& diags);
+
+// ---------------------------------------------------------------------
+// Line scrubbing: blank out comments and string/char literals so rule
+// patterns only ever see code tokens. Removed characters become spaces
+// (token boundaries survive, columns are irrelevant to the output).
+// Block comments are tracked across lines via the carried state.
+
+struct ScrubState {
+  bool in_block_comment = false;
+};
+
+std::string scrub_line(const std::string& line, ScrubState& state);
+
+// ---------------------------------------------------------------------
+// Suppressions: `// <marker> allow(<rule>[,<rule>...]): <reason>` on
+// the offending line, or alone on the line above. The reason is
+// mandatory — an allow without one is itself a diagnostic, which is
+// how "every suppression carries a written reason" is enforced rather
+// than hoped for. `marker` is the tool tag (ss-lint / ss-analyze,
+// colon included).
+
+struct Suppression {
+  std::set<std::string> rules;
+  bool valid = true;
+  std::string error;
+};
+
+// Parses the marker out of a raw line, if present. Returns true when
+// the marker exists (even malformed — the caller reports malformed
+// markers as bad-suppression diagnostics). `known` validates rule ids.
+bool parse_suppression(const std::string& raw, const std::string& marker,
+                       const std::function<bool(const std::string&)>& known,
+                       Suppression& out);
+
+// True when the raw line holds nothing but the comment (so the
+// suppression targets the *next* line).
+bool comment_only_line(const std::string& raw);
+
+// Per-file suppression bookkeeping: feed every raw line in order via
+// step() (bad suppressions land in `sink`), then ask suppressed()
+// before emitting a diagnostic for that line.
+class SuppressionTracker {
+ public:
+  SuppressionTracker(std::string marker,
+                     std::function<bool(const std::string&)> known)
+      : marker_(std::move(marker)), known_(std::move(known)) {}
+
+  void step(const std::string& raw, std::size_t lineno,
+            const std::string& path, std::vector<Diagnostic>& sink);
+  bool suppressed(const std::string& rule, std::size_t line) const {
+    return pending_line_ == line && pending_.count(rule) > 0;
+  }
+
+ private:
+  std::string marker_;
+  std::function<bool(const std::string&)> known_;
+  std::set<std::string> pending_;
+  std::size_t pending_line_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Path scoping.
+
+std::string normalize(std::string path);
+
+// Matches "<...>/<dir>/..." or a path that starts with "<dir>/".
+bool in_dir(const std::string& path, const char* dir);
+
+// Matches "<...>/<stem>.<ext>" for any extension.
+bool file_is(const std::string& path, const char* stem);
+
+// ---------------------------------------------------------------------
+// Input collection.
+
+bool lintable(const std::filesystem::path& p);
+
+// Expands files and directories (recursively) into a sorted list of
+// lintable files. Returns false and sets *missing when an input does
+// not exist.
+bool collect_files(const std::vector<std::string>& inputs,
+                   std::vector<std::string>* files, std::string* missing);
+
+// ---------------------------------------------------------------------
+// Emission.
+
+std::string json_escape(const std::string& s);
+
+// {"files_scanned":N,"diagnostics":[{file,line,rule,message}...]}
+std::string diagnostics_json(const std::vector<Diagnostic>& diags,
+                             std::size_t files_scanned);
+
+// "<file>:<line>: [<rule>] <message>" lines plus a trailing
+// "<tool>: N diagnostics in M files scanned" summary when non-empty.
+void print_diagnostics(const std::vector<Diagnostic>& diags,
+                       std::size_t files_scanned, const char* tool);
+
+}  // namespace scan

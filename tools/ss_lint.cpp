@@ -72,24 +72,23 @@
 // Built as C++17 on purpose: the linter must stay buildable by older
 // toolchains in CI images that predate the library's C++20 requirement.
 
-#include <algorithm>
 #include <cstdio>
-#include <filesystem>
 #include <fstream>
-#include <map>
 #include <regex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "analyze/scan_common.h"
+
 namespace {
 
-struct Diagnostic {
-  std::string file;
-  std::size_t line = 0;
-  std::string rule;
-  std::string message;
-};
+using scan::Diagnostic;
+using scan::ScrubState;
+using scan::file_is;
+using scan::in_dir;
+using scan::normalize;
+using scan::scrub_line;
 
 struct RuleInfo {
   const char* id;
@@ -131,171 +130,6 @@ bool known_rule(const std::string& id) {
 }
 
 // ---------------------------------------------------------------------
-// Line scrubbing: blank out comments and string/char literals so rule
-// patterns only ever see code tokens. Removed characters become spaces
-// (token boundaries survive, columns are irrelevant to the output).
-
-struct ScrubState {
-  bool in_block_comment = false;
-};
-
-std::string scrub_line(const std::string& line, ScrubState& state) {
-  std::string out;
-  out.reserve(line.size());
-  std::size_t i = 0;
-  while (i < line.size()) {
-    if (state.in_block_comment) {
-      if (line.compare(i, 2, "*/") == 0) {
-        state.in_block_comment = false;
-        out += "  ";
-        i += 2;
-      } else {
-        out += ' ';
-        ++i;
-      }
-      continue;
-    }
-    char c = line[i];
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-      // Line comment: nothing after it is code.
-      out.append(line.size() - i, ' ');
-      break;
-    }
-    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-      state.in_block_comment = true;
-      out += "  ";
-      i += 2;
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      char quote = c;
-      out += ' ';
-      ++i;
-      while (i < line.size()) {
-        if (line[i] == '\\' && i + 1 < line.size()) {
-          out += "  ";
-          i += 2;
-          continue;
-        }
-        bool closing = line[i] == quote;
-        out += ' ';
-        ++i;
-        if (closing) break;
-      }
-      continue;
-    }
-    out += c;
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------
-// Suppressions.
-
-struct Suppression {
-  std::set<std::string> rules;
-  bool valid = true;
-  std::string error;
-};
-
-// Parses `ss-lint: allow(a,b): reason` out of a raw line, if present.
-// Returns true when the marker exists (even malformed — the caller
-// reports malformed markers as bad-suppression diagnostics).
-bool parse_suppression(const std::string& raw, Suppression& out) {
-  const std::string marker = "ss-lint:";
-  std::size_t at = raw.find(marker);
-  if (at == std::string::npos) return false;
-  std::size_t p = at + marker.size();
-  while (p < raw.size() && raw[p] == ' ') ++p;
-  const std::string verb = "allow(";
-  if (raw.compare(p, verb.size(), verb) != 0) {
-    out.valid = false;
-    out.error = "expected `allow(<rule>[,<rule>...]): <reason>`";
-    return true;
-  }
-  p += verb.size();
-  std::size_t close = raw.find(')', p);
-  if (close == std::string::npos) {
-    out.valid = false;
-    out.error = "unterminated allow(...)";
-    return true;
-  }
-  std::string list = raw.substr(p, close - p);
-  std::size_t start = 0;
-  while (start <= list.size()) {
-    std::size_t comma = list.find(',', start);
-    std::string id = list.substr(
-        start, comma == std::string::npos ? std::string::npos
-                                          : comma - start);
-    // Trim.
-    while (!id.empty() && id.front() == ' ') id.erase(id.begin());
-    while (!id.empty() && id.back() == ' ') id.pop_back();
-    if (id.empty()) {
-      out.valid = false;
-      out.error = "empty rule id in allow(...)";
-      return true;
-    }
-    if (!known_rule(id) || id == "bad-suppression") {
-      out.valid = false;
-      out.error = "unknown rule `" + id + "` in allow(...)";
-      return true;
-    }
-    out.rules.insert(id);
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  // The reason is mandatory: `): <non-empty text>`.
-  std::size_t after = close + 1;
-  while (after < raw.size() && raw[after] == ' ') ++after;
-  if (after >= raw.size() || raw[after] != ':') {
-    out.valid = false;
-    out.error = "missing `: <reason>` after allow(...)";
-    return true;
-  }
-  ++after;
-  while (after < raw.size() && raw[after] == ' ') ++after;
-  if (after >= raw.size()) {
-    out.valid = false;
-    out.error = "empty suppression reason — say why the rule is wrong here";
-    return true;
-  }
-  return true;
-}
-
-// True when the raw line holds nothing but the comment (so the
-// suppression targets the *next* line).
-bool comment_only_line(const std::string& raw) {
-  std::size_t i = 0;
-  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
-  return raw.compare(i, 2, "//") == 0;
-}
-
-// ---------------------------------------------------------------------
-// Path scoping.
-
-std::string normalize(std::string path) {
-  std::replace(path.begin(), path.end(), '\\', '/');
-  return path;
-}
-
-bool in_dir(const std::string& path, const char* dir) {
-  // Matches "<...>/<dir>/..." or a path that starts with "<dir>/".
-  std::string needle = std::string("/") + dir + "/";
-  if (path.find(needle) != std::string::npos) return true;
-  return path.rfind(std::string(dir) + "/", 0) == 0;
-}
-
-bool file_is(const std::string& path, const char* stem) {
-  // Matches "<...>/<stem>.<ext>" for any extension.
-  std::size_t slash = path.find_last_of('/');
-  std::string base =
-      slash == std::string::npos ? path : path.substr(slash + 1);
-  std::string prefix = std::string(stem) + ".";
-  return base.rfind(prefix, 0) == 0;
-}
-
-// ---------------------------------------------------------------------
 // The scanner.
 
 class FileScanner {
@@ -324,29 +158,13 @@ class FileScanner {
 
  private:
   void diag(std::size_t line, const char* rule, std::string message) {
-    if (pending_.count(std::string(rule)) &&
-        pending_line_ == line) {
-      return;  // suppressed for this line
-    }
+    if (suppressions_.suppressed(rule, line)) return;
     sink_.push_back({path_, line, rule, std::move(message)});
   }
 
   void step(const std::string& raw, std::size_t lineno) {
     // Suppressions first: they live in comments, which scrubbing eats.
-    Suppression sup;
-    if (parse_suppression(raw, sup)) {
-      if (!sup.valid) {
-        sink_.push_back({path_, lineno, "bad-suppression", sup.error});
-      } else if (comment_only_line(raw)) {
-        pending_ = sup.rules;
-        pending_line_ = lineno + 1;
-      } else {
-        pending_ = sup.rules;
-        pending_line_ = lineno;
-      }
-    } else if (pending_line_ < lineno) {
-      pending_.clear();
-    }
+    suppressions_.step(raw, lineno, path_, sink_);
 
     check_todo(raw, lineno);
     check_banned_include(raw, lineno);
@@ -604,40 +422,13 @@ class FileScanner {
   bool exempt_util_;
   bool exempt_data_;
   ScrubState scrub_;
-  std::set<std::string> pending_;
-  std::size_t pending_line_ = 0;
+  scan::SuppressionTracker suppressions_{"ss-lint:", known_rule};
   // throw-in-parallel state.
   bool armed_ = false;   // saw the call, waiting for the first `{`
   int depth_ = 0;        // brace depth inside the worker-lambda extent
 };
 
 // ---------------------------------------------------------------------
-
-bool lintable(const std::filesystem::path& p) {
-  std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 int usage() {
   std::fputs(
@@ -678,26 +469,12 @@ int main(int argc, char** argv) {
   if (inputs.empty()) return usage();
 
   std::vector<std::string> files;
-  for (const std::string& input : inputs) {
-    std::error_code ec;
-    if (std::filesystem::is_directory(input, ec)) {
-      for (auto it = std::filesystem::recursive_directory_iterator(
-               input, ec);
-           !ec && it != std::filesystem::recursive_directory_iterator();
-           ++it) {
-        if (it->is_regular_file() && lintable(it->path())) {
-          files.push_back(it->path().string());
-        }
-      }
-    } else if (std::filesystem::is_regular_file(input, ec)) {
-      files.push_back(input);
-    } else {
-      std::fprintf(stderr, "ss_lint: no such file or directory: %s\n",
-                   input.c_str());
-      return 2;
-    }
+  std::string missing;
+  if (!scan::collect_files(inputs, &files, &missing)) {
+    std::fprintf(stderr, "ss_lint: no such file or directory: %s\n",
+                 missing.c_str());
+    return 2;
   }
-  std::sort(files.begin(), files.end());
 
   std::vector<Diagnostic> diags;
   for (const std::string& file : files) {
@@ -709,29 +486,10 @@ int main(int argc, char** argv) {
   }
 
   if (json) {
-    std::string out = "{\"files_scanned\":" +
-                      std::to_string(files.size()) +
-                      ",\"diagnostics\":[";
-    for (std::size_t i = 0; i < diags.size(); ++i) {
-      const Diagnostic& d = diags[i];
-      if (i > 0) out += ',';
-      out += "{\"file\":\"" + json_escape(d.file) + "\",\"line\":" +
-             std::to_string(d.line) + ",\"rule\":\"" +
-             json_escape(d.rule) + "\",\"message\":\"" +
-             json_escape(d.message) + "\"}";
-    }
-    out += "]}\n";
-    std::fputs(out.c_str(), stdout);
+    std::fputs(scan::diagnostics_json(diags, files.size()).c_str(),
+               stdout);
   } else {
-    for (const Diagnostic& d : diags) {
-      std::printf("%s:%zu: [%s] %s\n", d.file.c_str(), d.line,
-                  d.rule.c_str(), d.message.c_str());
-    }
-    if (!diags.empty()) {
-      std::printf("ss_lint: %zu diagnostic%s in %zu file%s scanned\n",
-                  diags.size(), diags.size() == 1 ? "" : "s",
-                  files.size(), files.size() == 1 ? "" : "s");
-    }
+    scan::print_diagnostics(diags, files.size(), "ss_lint");
   }
   return diags.empty() ? 0 : 1;
 }

@@ -12,8 +12,8 @@
 //                  (depth timestamps) or twitter (burst cascades).
 //
 //   ./ss_pack --mode pack --in data/kirkuk --out kirkuk.ssd
-//   ./ss_pack --mode gen --sources 1000000 --assertions 100000 \
-//             --out scale.ssd
+//   ./ss_pack --mode gen --sources 1000000 --assertions 100000
+//             ... --out scale.ssd
 //   ./ss_pack --mode info --in scale.ssd
 #include <cstdio>
 #include <string>
