@@ -1,39 +1,66 @@
-// Million-source scale harness (docs/MODEL.md §14).
+// Million-source scale harness (docs/MODEL.md §14, §16).
 //
 // Sweeps the streaming generator from 10^4 to 10^6 sources and, per
 // point, measures the whole scale path:
-//   generate   stream the community cascade straight into an .ssd file
-//   open       mmap + header validation (SsdView::open)
-//   jsonl      the text-baseline parse the binary format replaces
-//   shard      connected-component partition straight off the view
-//   em         sharded EM-Ext on the global thread pool
-// recording wall time per phase, the shard count/size histogram, and
-// peak RSS after each point (bench::peak_rss_bytes). Results land in
-// bench_results/BENCH_PR8.json.
+//   generate        stream the community cascade into an .ssd file
+//   open            mmap + header validation (SsdView::open)
+//   open-reps       repeated map+validate for the noise-robust open cost
+//   jsonl-baseline  the text-baseline parse the binary format replaces
+//   shard           connected-component partition straight off the view
+//   em              sharded EM-Ext (LPT work stealing + tree reductions)
+//   em-legacy       the same EM on the pre-§16 execution path (A/B leg)
+//   em-profile      one instrumented run capturing per-shard EM seconds
+// recording wall time per phase, min-of-reps EM times for both engines
+// and their ratio (`speedup`), the per-shard EM-seconds histogram with
+// its load-imbalance factor (max/mean), the shard count/size histogram,
+// and peak RSS after each point. Results land in
+// bench_results/BENCH_PR10.json.
+//
+// The legacy leg reimplements the PR 8 execution strategy against the
+// current engine contract: fixed-grain unit dispatch (no LPT ordering,
+// no stealing), serial left-to-right folds for the column
+// log-likelihood and posterior mass, and the copy-heavy serial M-step
+// tail (finalize_m_step + sanitize_params + tie + max_abs_diff re-walk)
+// instead of the fused one. Same gathers, same per-unit arithmetic —
+// the A/B isolates scheduling + reduction/tail fusion, nothing else.
 //
 // SS_PERF_CHECK=1 runs one mid-size point as a correctness gate, no
 // timing tables: .ssd open must beat the JSONL parse by >= 50x, the
 // sharded EM hash must equal the flat engine's bit for bit (scalar
-// pin), and when SS_RSS_BUDGET_MB is set, peak RSS must stay under it.
+// pin) *and* stay identical across 1-worker and 8-worker pools, the
+// LPT work-stealing scheduler must beat fixed-grain dispatch on a
+// synthetic skewed workload (skipped with a printed reason on hosts
+// with < 2 online CPUs, where there is no parallelism to schedule),
+// and when SS_RSS_BUDGET_MB is set, peak RSS must stay under it.
 // `ctest -L scale-smoke` runs this with SS_FAST=1 (10^4 sources).
 //
 // Knobs: SS_FAST=1 shrinks the sweep, SS_THREADS sizes the pool,
-// SS_RESULTS_DIR moves the JSON, SS_RSS_BUDGET_MB arms the RSS gate.
+// SS_REPS overrides the per-point EM repetitions, SS_RESULTS_DIR moves
+// the JSON, SS_RSS_BUDGET_MB arms the RSS gate, SS_AFFINITY pins
+// workers (recorded in the result metadata).
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "core/em_driver.h"
 #include "core/em_ext.h"
+#include "core/em_mstep.h"
+#include "core/posterior.h"
 #include "core/sharded_em.h"
 #include "data/io.h"
 #include "data/shard.h"
 #include "data/ssd.h"
+#include "math/kernels.h"
+#include "math/logprob.h"
 #include "math/simd/dispatch.h"
 #include "simgen/scale_gen.h"
+#include "util/cpu.h"
 #include "util/env.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -75,6 +102,244 @@ std::uint64_t hash_estimate(const EmExtResult& r) {
   return h;
 }
 
+// ---------------------------------------------------------------------
+// Legacy execution path (PR 8), kept runnable so the speedup column is
+// measured, not remembered. Implements the em_detail::run_em_driver
+// engine contract with the production gathers but the pre-§16
+// scheduling and reduction strategy.
+// ---------------------------------------------------------------------
+
+constexpr std::size_t kLegacyGrain = 256;
+
+struct LegacyUnit {
+  std::uint32_t shard;
+  std::uint32_t begin;
+  std::uint32_t end;
+};
+
+std::vector<LegacyUnit> legacy_units(const ShardedDataset& sharded,
+                                     bool columns) {
+  std::vector<LegacyUnit> units;
+  for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
+    const DatasetShard& sh = sharded.shard(s);
+    std::size_t count =
+        columns ? sh.assertion_ids().size() : sh.source_ids().size();
+    for (std::size_t begin = 0; begin < count; begin += kLegacyGrain) {
+      units.push_back(
+          {static_cast<std::uint32_t>(s), static_cast<std::uint32_t>(begin),
+           static_cast<std::uint32_t>(
+               std::min(begin + kLegacyGrain, count))});
+    }
+  }
+  return units;
+}
+
+class LegacyShardedEmEngine {
+ public:
+  LegacyShardedEmEngine(const ShardedDataset& sharded,
+                        const EmExtConfig& config, ThreadPool* pool)
+      : sharded_(sharded),
+        config_(config),
+        pool_(pool),
+        column_units_(legacy_units(sharded, /*columns=*/true)),
+        source_units_(legacy_units(sharded, /*columns=*/false)) {}
+
+  struct Scratch {
+    kernels::ExtLogTable table;
+    EStepResult e;
+    std::vector<double> column_ll;
+    std::vector<em_detail::SourceMStats> mstats;
+  };
+
+  std::size_t source_count() const { return sharded_.source_count(); }
+  std::size_t assertion_count() const {
+    return sharded_.assertion_count();
+  }
+  std::uint64_t claim_count() const {
+    return static_cast<std::uint64_t>(sharded_.claim_count());
+  }
+  ThreadPool* pool() const { return pool_; }
+
+  Scratch make_scratch() const { return Scratch{}; }
+
+  void e_step(const ModelParams& params, Scratch& s) const {
+    const std::size_t n = sharded_.source_count();
+    const std::size_t m = sharded_.assertion_count();
+    if (params.source.size() != n) {
+      throw std::invalid_argument(
+          "LegacyShardedEmEngine: params/source count mismatch");
+    }
+    s.table.build(n, clamp_prob(params.z), [&](std::size_t i) {
+      const SourceParams& sp = params.source[i];
+      return std::array<double, 4>{clamp_prob(sp.a), clamp_prob(sp.b),
+                                   clamp_prob(sp.f), clamp_prob(sp.g)};
+    });
+    s.e.posterior.resize(m);
+    s.e.log_odds.resize(m);
+    s.column_ll.resize(m);
+
+    const double log_z = s.table.log_z();
+    const double log_1mz = s.table.log_1mz();
+    double* la_buf = s.e.log_odds.data();
+    double* lb_buf = s.column_ll.data();
+    double* post = s.e.posterior.data();
+    run_units(column_units_, [&](const LegacyUnit& u) {
+      const DatasetShard& sh = sharded_.shard(u.shard);
+      std::span<const std::uint32_t> ids = sh.assertion_ids();
+      for (std::size_t c = u.begin; c < u.end; ++c) {
+        kernels::LogPair acc =
+            kernels::gather_add(s.table.base(), sh.exposed_sources(c),
+                                s.table.exposed_silent());
+        acc = kernels::gather_add_select(
+            acc, sh.claimants(c), sh.claimant_dependent(c),
+            s.table.claim_indep(), s.table.claim_dep());
+        std::uint32_t j = ids[c];
+        la_buf[j] = acc.t + log_z;
+        lb_buf[j] = acc.f + log_1mz;
+      }
+    });
+    for (std::size_t begin = 0; begin < m; begin += kLegacyGrain) {
+      std::size_t end = std::min(begin + kLegacyGrain, m);
+      kernels::finalize_columns(la_buf + begin, lb_buf + begin,
+                                end - begin, post + begin, la_buf + begin,
+                                lb_buf + begin);
+    }
+    // PR 8 reduction: serial left-to-right fold in assertion order.
+    double ll = 0.0;
+    for (std::size_t j = 0; j < m; ++j) ll += s.column_ll[j];
+    s.e.log_likelihood = ll;
+  }
+
+  void m_step(const std::vector<double>& posterior, ModelParams& params,
+              bool tie_fg, Scratch& s,
+              em_detail::MStepOutcome& out) const {
+    const std::size_t n = sharded_.source_count();
+    const std::size_t m = sharded_.assertion_count();
+    // PR 8 reduction: serial fold for the posterior mass.
+    double total_z = 0.0;
+    for (double z : posterior) total_z += z;
+    double total_y = static_cast<double>(m) - total_z;
+
+    std::vector<em_detail::SourceMStats>& stats = s.mstats;
+    stats.assign(n, em_detail::SourceMStats{});
+    run_units(source_units_, [&](const LegacyUnit& u) {
+      const DatasetShard& sh = sharded_.shard(u.shard);
+      std::span<const std::uint32_t> ids = sh.source_ids();
+      for (std::size_t p = u.begin; p < u.end; ++p) {
+        em_detail::SourceMStats& st = stats[ids[p]];
+        double exposed_z = kernels::gather_sum(sh.exposed_assertions(p),
+                                               posterior.data());
+        double exposed_count =
+            static_cast<double>(sh.exposed_assertions(p).size());
+        kernels::MassPair dep =
+            kernels::gather_mass(sh.dependent_claims(p), posterior.data());
+        kernels::MassPair indep = kernels::gather_mass(
+            sh.independent_claims(p), posterior.data());
+        st.claim_dep_z = dep.z;
+        st.claim_dep_y = dep.y;
+        st.claim_indep_z = indep.z;
+        st.claim_indep_y = indep.y;
+        st.denom_a = total_z - exposed_z;
+        st.denom_b = total_y - (exposed_count - exposed_z);
+        st.denom_f = exposed_z;
+        st.denom_g = exposed_count - exposed_z;
+      }
+    });
+    // PR 8 tail: full-copy finalize, then three more whole-parameter
+    // walks (sanitize, tie, max_abs_diff) — the cost the fused tail
+    // collapsed into one pass.
+    ModelParams next = em_detail::finalize_m_step(
+        stats, total_z, m, params, config_.clamp_eps, config_.shrinkage,
+        config_.z_floor);
+    out.sanitized = em_detail::sanitize_params(next, params);
+    if (tie_fg) {
+      for (SourceParams& sp : next.source) {
+        double tied = 0.5 * (sp.f + sp.g);
+        sp.f = tied;
+        sp.g = tied;
+      }
+    }
+    out.delta = params.max_abs_diff(next);
+    params = std::move(next);
+  }
+
+  std::vector<double> vote_prior(bool independent_only) const {
+    const std::size_t m = sharded_.assertion_count();
+    std::vector<double> posterior(m, 0.5);
+    if (m == 0) return posterior;
+    std::vector<double> support(m, 0.0);
+    for (std::size_t sidx = 0; sidx < sharded_.shard_count(); ++sidx) {
+      const DatasetShard& sh = sharded_.shard(sidx);
+      std::span<const std::uint32_t> ids = sh.assertion_ids();
+      for (std::size_t c = 0; c < ids.size(); ++c) {
+        std::size_t count;
+        if (independent_only) {
+          std::span<const char> flags = sh.claimant_dependent(c);
+          count = static_cast<std::size_t>(
+              std::count(flags.begin(), flags.end(), char{0}));
+        } else {
+          count = sh.claimants(c).size();
+        }
+        support[ids[c]] = static_cast<double>(count);
+      }
+    }
+    double mean_support = 0.0;
+    for (std::size_t j = 0; j < m; ++j) mean_support += support[j];
+    mean_support /= static_cast<double>(m);
+    if (mean_support <= 0.0) return posterior;
+    for (std::size_t j = 0; j < m; ++j) {
+      posterior[j] = std::clamp(
+          support[j] / (support[j] + mean_support), 0.05, 0.95);
+    }
+    return posterior;
+  }
+
+  bool degenerate_source(std::size_t i) const {
+    const DatasetShard& sh = sharded_.shard(sharded_.shard_of_source(i));
+    std::size_t p = sharded_.position_of_source(i);
+    return sh.dependent_claims(p).empty() &&
+           sh.independent_claims(p).empty() &&
+           sh.exposed_assertions(p).empty();
+  }
+
+ private:
+  // PR 8 dispatch: fixed-grain chunks over the unit list in index
+  // order — workers self-schedule off a shared cursor, but nothing
+  // reorders the heavy units to the front and nobody steals.
+  template <typename Fn>
+  void run_units(const std::vector<LegacyUnit>& units,
+                 const Fn& fn) const {
+    if (pool_ != nullptr && pool_->size() > 1 && units.size() > 1) {
+      pool_->parallel_for_chunks(
+          units.size(), 1,
+          [&](std::size_t, std::size_t begin, std::size_t end) {
+            for (std::size_t u = begin; u < end; ++u) fn(units[u]);
+          });
+    } else {
+      for (const LegacyUnit& u : units) fn(u);
+    }
+  }
+
+  const ShardedDataset& sharded_;
+  const EmExtConfig& config_;
+  ThreadPool* pool_;
+  std::vector<LegacyUnit> column_units_;
+  std::vector<LegacyUnit> source_units_;
+};
+
+EmExtResult run_legacy_detailed(const ShardedDataset& sharded,
+                                const EmExtConfig& config,
+                                std::uint64_t seed) {
+  ThreadPool* pool =
+      config.pool != nullptr ? config.pool : &global_pool();
+  LegacyShardedEmEngine engine(sharded, config, pool);
+  return em_detail::run_em_driver(engine, config, seed);
+}
+
+// ---------------------------------------------------------------------
+// Sweep
+// ---------------------------------------------------------------------
+
 struct PointResult {
   std::size_t sources = 0;
   ScaleStats gen;
@@ -85,6 +350,11 @@ struct PointResult {
   std::size_t shard_min = 0;
   std::size_t shard_max = 0;
   std::size_t em_iterations = 0;
+  double em_new_s = 0.0;     // min of reps, production engine
+  double em_legacy_s = 0.0;  // min of reps, PR 8 path
+  int em_reps = 0;
+  std::vector<double> shard_seconds;  // per-shard EM s (instrumented run)
+  double load_imbalance = 0.0;        // max/mean of shard_seconds
   double peak_rss_mb = 0.0;
 };
 
@@ -100,14 +370,18 @@ PointResult run_point(std::size_t sources, const std::string& dir,
 
   out.phases.section("open");
   SsdView view = SsdView::open_or_throw(ssd_path);
-  out.phases.section("idle");
-  // Noise-robust open cost: repeated map + validate.
+
+  // Noise-robust open cost: repeated map + validate. Its wall time is
+  // its own phase (PR 8 lumped it — and the JSONL baseline — into a
+  // phantom "idle" phase).
+  out.phases.section("open-reps");
   out.open_ms = bench::min_wall_ms(5, [&] {
     SsdView again = SsdView::open_or_throw(ssd_path);
     if (again.claim_count() != view.claim_count()) std::abort();
   });
 
   if (with_jsonl) {
+    out.phases.section("jsonl-baseline");
     std::string jsonl_path = dir + "/" + knobs.name + ".jsonl";
     {
       Dataset d = view.materialize();
@@ -121,7 +395,9 @@ PointResult run_point(std::size_t sources, const std::string& dir,
   }
 
   out.phases.section("shard");
-  ShardedDataset sharded = ShardedDataset::build(view, ShardConfig{});
+  ShardConfig shard_config;
+  shard_config.pool = &global_pool();  // first-touch CSR fill (§16)
+  ShardedDataset sharded = ShardedDataset::build(view, shard_config);
   out.shards = sharded.shard_count();
   out.shard_min = sharded.assertion_count();
   for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
@@ -130,16 +406,117 @@ PointResult run_point(std::size_t sources, const std::string& dir,
     out.shard_max = std::max(out.shard_max, m);
   }
 
-  out.phases.section("em");
   EmExtConfig config;
   config.max_iters = 30;  // fixed work per point, convergence untested
-  EmExtResult r = ShardedEmEstimator(config).run_detailed(sharded, 1);
-  out.em_iterations = r.likelihood_trace.size();
+
+  // A/B legs, min of reps each: the production engine (LPT work
+  // stealing + tree reductions + fused M-step tail) against the PR 8
+  // execution path on the identical sharded dataset.
+  out.em_reps = static_cast<int>(env_int(
+      "SS_REPS", sources >= 1'000'000 ? 2 : 3));
+  out.em_reps = std::max(out.em_reps, 1);
+
+  out.phases.section("em");
+  for (int rep = 0; rep < out.em_reps; ++rep) {
+    WallTimer timer;
+    EmExtResult r = ShardedEmEstimator(config).run_detailed(sharded, 1);
+    double s = timer.seconds();
+    if (rep == 0 || s < out.em_new_s) out.em_new_s = s;
+    out.em_iterations = r.likelihood_trace.size();
+  }
+
+  out.phases.section("em-legacy");
+  for (int rep = 0; rep < out.em_reps; ++rep) {
+    WallTimer timer;
+    EmExtResult r = run_legacy_detailed(sharded, config, 1);
+    double s = timer.seconds();
+    if (rep == 0 || s < out.em_legacy_s) out.em_legacy_s = s;
+    if (r.likelihood_trace.empty()) std::abort();
+  }
+
+  // One instrumented run for the per-shard EM-seconds histogram. Kept
+  // out of the timed legs: timing capture reads the clock around every
+  // work unit.
+  out.phases.section("em-profile");
+  config.shard_time_accum = &out.shard_seconds;
+  ShardedEmEstimator(config).run_detailed(sharded, 1);
+  config.shard_time_accum = nullptr;
+  if (!out.shard_seconds.empty()) {
+    double total = 0.0;
+    double peak = 0.0;
+    for (double s : out.shard_seconds) {
+      total += s;
+      peak = std::max(peak, s);
+    }
+    double mean =
+        total / static_cast<double>(out.shard_seconds.size());
+    out.load_imbalance = mean > 0.0 ? peak / mean : 0.0;
+  }
   out.phases.finish();
 
   out.peak_rss_mb = bench::peak_rss_mb();
   std::filesystem::remove(ssd_path);
   return out;
+}
+
+// ---------------------------------------------------------------------
+// SS_PERF_CHECK gates
+// ---------------------------------------------------------------------
+
+// Gate: the LPT work-stealing scheduler beats fixed-grain in-order
+// dispatch on a skewed workload (one task carrying as much work as all
+// the others combined, placed *last* so in-order dispatch starts it
+// last). Pure scheduling micro-benchmark: the task bodies spin on
+// arithmetic, no shared data. Returns 0 on pass or skip, 1 on failure.
+int run_scheduler_gate() {
+  ThreadPool& pool = global_pool();
+  std::size_t online = online_cpu_count();
+  if (online < 2) {
+    std::printf("skip: scheduler perf gate needs >= 2 online CPUs "
+                "(host has %zu; stealing cannot beat anything on a "
+                "serial machine)\n",
+                online);
+    return 0;
+  }
+  if (pool.size() < 1) {
+    std::printf("skip: scheduler perf gate needs pool workers "
+                "(SS_THREADS=1 gives a caller-only pool)\n");
+    return 0;
+  }
+
+  constexpr std::size_t kTasks = 32;
+  std::vector<double> weights(kTasks, 1.0);
+  weights[kTasks - 1] = static_cast<double>(kTasks);
+  auto spin = [](double weight) {
+    // ~0.2 ms per unit weight of pure arithmetic.
+    volatile double acc = 1.0;
+    long iters = static_cast<long>(weight * 40000.0);
+    for (long i = 0; i < iters; ++i) {
+      acc = acc * 1.0000001 + 1e-9;
+    }
+  };
+
+  double fixed_ms = bench::min_wall_ms(3, [&] {
+    pool.parallel_for_chunks(
+        kTasks, 1, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t t = begin; t < end; ++t) spin(weights[t]);
+        });
+  });
+  double lpt_ms = bench::min_wall_ms(3, [&] {
+    pool.parallel_tasks(weights,
+                        [&](std::size_t t) { spin(weights[t]); });
+  });
+  if (lpt_ms >= fixed_ms) {
+    std::printf("FAIL: LPT work stealing (%.2f ms) not faster than "
+                "fixed-grain dispatch (%.2f ms) on the skewed "
+                "workload\n",
+                lpt_ms, fixed_ms);
+    return 1;
+  }
+  std::printf("scheduler gate: LPT %.2f ms vs fixed-grain %.2f ms "
+              "(%.2fx)\n",
+              lpt_ms, fixed_ms, fixed_ms / lpt_ms);
+  return 0;
 }
 
 int run_check() {
@@ -179,10 +556,14 @@ int run_check() {
   }
 
   // Gate 2: sharded EM bit-identical to the flat engine (scalar pin,
-  // the golden reference backend).
+  // the golden reference backend), and invariant across pool sizes —
+  // the tree-reduction + LPT determinism contract (§16) checked at
+  // 1 and 8 workers.
   simd::Backend previous = simd::active_backend();
   simd::force_backend(simd::Backend::kScalar);
-  ShardedDataset sharded = ShardedDataset::build(view, ShardConfig{});
+  ShardConfig shard_config;
+  shard_config.pool = &global_pool();
+  ShardedDataset sharded = ShardedDataset::build(view, shard_config);
   sharded.check();
   EmExtConfig config;
   config.max_iters = 10;
@@ -190,6 +571,21 @@ int run_check() {
       hash_estimate(EmExtEstimator(config).run_detailed(d, 1));
   std::uint64_t sharded_hash =
       hash_estimate(ShardedEmEstimator(config).run_detailed(sharded, 1));
+  bool thread_invariant = true;
+  std::uint64_t hash_t1 = 0;
+  std::uint64_t hash_t8 = 0;
+  {
+    ThreadPool pool1(1);
+    ThreadPool pool8(8);
+    config.pool = &pool1;
+    hash_t1 =
+        hash_estimate(ShardedEmEstimator(config).run_detailed(sharded, 1));
+    config.pool = &pool8;
+    hash_t8 =
+        hash_estimate(ShardedEmEstimator(config).run_detailed(sharded, 1));
+    config.pool = nullptr;
+    thread_invariant = hash_t1 == sharded_hash && hash_t8 == sharded_hash;
+  }
   simd::force_backend(previous);
   if (flat_hash != sharded_hash) {
     std::printf("FAIL: sharded EM diverges from flat engine "
@@ -198,8 +594,21 @@ int run_check() {
                 static_cast<unsigned long long>(flat_hash));
     return 1;
   }
+  if (!thread_invariant) {
+    std::printf("FAIL: sharded EM hash depends on the pool size "
+                "(default %016llx, 1 worker %016llx, 8 workers "
+                "%016llx)\n",
+                static_cast<unsigned long long>(sharded_hash),
+                static_cast<unsigned long long>(hash_t1),
+                static_cast<unsigned long long>(hash_t8));
+    return 1;
+  }
 
-  // Gate 3 (armed by SS_RSS_BUDGET_MB): peak RSS stays under budget.
+  // Gate 3: LPT work stealing beats fixed-grain dispatch (skips on
+  // single-CPU hosts, printing why).
+  if (run_scheduler_gate() != 0) return 1;
+
+  // Gate 4 (armed by SS_RSS_BUDGET_MB): peak RSS stays under budget.
   double rss_mb = bench::peak_rss_mb();
   double budget = static_cast<double>(env_int("SS_RSS_BUDGET_MB", 0));
   if (budget > 0.0 && rss_mb > budget) {
@@ -211,7 +620,8 @@ int run_check() {
   std::filesystem::remove(ssd_path);
   std::filesystem::remove(jsonl_path);
   std::printf("check ok: %zu sources, %zu shards, open %.3f ms vs "
-              "jsonl %.1f ms (%.0fx), sharded EM bit-identical, "
+              "jsonl %.1f ms (%.0fx), sharded EM bit-identical "
+              "(flat == sharded == 1-worker == 8-worker), "
               "peak RSS %.1f MB%s\n",
               gen.ssd.sources, sharded.shard_count(), open_ms, jsonl_ms,
               speedup, rss_mb,
@@ -220,13 +630,25 @@ int run_check() {
   return 0;
 }
 
+const char* affinity_name() {
+  switch (affinity_mode()) {
+    case AffinityMode::kCompact:
+      return "compact";
+    case AffinityMode::kSpread:
+      return "spread";
+    case AffinityMode::kNone:
+      break;
+  }
+  return "none";
+}
+
 }  // namespace
 
 int main() {
   if (env_flag("SS_PERF_CHECK", false)) return run_check();
 
   bench::banner("bench_scale: 10^4 -> 10^6 source scale path",
-                "docs/MODEL.md §14 (sharded engine + .ssd format)");
+                "docs/MODEL.md §14, §16 (sharded engine + .ssd format)");
   bool fast = env_flag("SS_FAST", false);
   std::vector<std::size_t> axis =
       fast ? std::vector<std::size_t>{10'000, 30'000}
@@ -237,8 +659,8 @@ int main() {
   std::filesystem::create_directories(dir);
 
   TablePrinter table({"sources", "claims", "file MB", "gen s", "open ms",
-                      "jsonl s", "shards", "shard m", "em s",
-                      "peak RSS MB"});
+                      "jsonl s", "shards", "shard m", "em s", "legacy s",
+                      "speedup", "imbal", "peak RSS MB"});
   JsonValue points = JsonValue::array();
   for (std::size_t sources : axis) {
     // The JSONL baseline materializes the dataset; cap it at 10^5 so
@@ -247,6 +669,8 @@ int main() {
     PointResult p = run_point(sources, dir, with_jsonl);
     double file_mb =
         static_cast<double>(p.gen.ssd.bytes) / (1024.0 * 1024.0);
+    double em_speedup =
+        p.em_new_s > 0.0 ? p.em_legacy_s / p.em_new_s : 0.0;
     table.add_row(
         {std::to_string(p.sources), std::to_string(p.gen.ssd.claims),
          strprintf("%.1f", file_mb),
@@ -255,7 +679,9 @@ int main() {
          with_jsonl ? strprintf("%.2f", p.jsonl_s) : "-",
          std::to_string(p.shards),
          strprintf("%zu..%zu", p.shard_min, p.shard_max),
-         strprintf("%.2f", p.phases.seconds("em")),
+         strprintf("%.2f", p.em_new_s), strprintf("%.2f", p.em_legacy_s),
+         strprintf("%.2fx", em_speedup),
+         strprintf("%.2f", p.load_imbalance),
          strprintf("%.1f", p.peak_rss_mb)});
 
     JsonValue point = JsonValue::object();
@@ -276,6 +702,14 @@ int main() {
     point["shard_assertions_min"] = static_cast<double>(p.shard_min);
     point["shard_assertions_max"] = static_cast<double>(p.shard_max);
     point["em_iterations"] = static_cast<double>(p.em_iterations);
+    point["em_reps"] = static_cast<double>(p.em_reps);
+    point["em_s_min"] = p.em_new_s;
+    point["em_legacy_s_min"] = p.em_legacy_s;
+    point["em_speedup_vs_legacy"] = em_speedup;
+    JsonValue hist = JsonValue::array();
+    for (double s : p.shard_seconds) hist.push_back(JsonValue(s));
+    point["per_shard_em_seconds"] = hist;
+    point["load_imbalance"] = p.load_imbalance;
     point["peak_rss_mb"] = p.peak_rss_mb;
     points.push_back(point);
   }
@@ -285,9 +719,11 @@ int main() {
   doc["experiment"] = "scale";
   doc["seed"] = static_cast<double>(kSeed);
   doc["threads"] = static_cast<double>(global_pool().size() + 1);
+  doc["online_cpus"] = static_cast<double>(online_cpu_count());
+  doc["affinity"] = affinity_name();
   doc["points"] = points;
-  bench::write_result("BENCH_PR8", doc);
-  std::printf("wrote %s/BENCH_PR8.json\n",
+  bench::write_result("BENCH_PR10", doc);
+  std::printf("wrote %s/BENCH_PR10.json\n",
               bench::results_dir().c_str());
   return 0;
 }

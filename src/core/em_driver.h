@@ -25,23 +25,32 @@
 //   // log_likelihood). May produce non-finite values; the driver
 //   // guards them.
 //   void e_step(const ModelParams& params, Scratch& scratch) const;
-//   // Closed-form M-step given the posterior. Must be bit-identical
-//   // across engines (both delegate the serial tail to
-//   // em_detail::finalize_m_step).
-//   ModelParams m_step(const std::vector<double>& posterior,
-//                      const ModelParams& previous,
-//                      Scratch& scratch) const;
+//   // Closed-form M-step given the posterior, applied to `params` IN
+//   // PLACE (params holds the previous estimates on entry, the new
+//   // ones on return). Fuses what used to be four separate driver
+//   // passes — non-finite sanitize, the optional f=g warm-up tie, and
+//   // the max-norm convergence delta — into the update itself
+//   // (em_detail::finalize_m_step_fused), reporting them via
+//   // MStepOutcome. Must be bit-identical across engines (both
+//   // delegate to the shared fused tail).
+//   void m_step(const std::vector<double>& posterior, ModelParams& params,
+//               bool tie_fg, Scratch& scratch,
+//               em_detail::MStepOutcome& out) const;
 //   // Support-based initial posterior (em_ext.h vote_prior_posterior
 //   // semantics).
 //   std::vector<double> vote_prior(bool independent_only) const;
 //   // True when source i carries no evidence (no claims, no exposure).
 //   bool degenerate_source(std::size_t i) const;
 //
-// Determinism inventory (docs/MODEL.md §14): every floating-point
-// reduction the driver owns is serial in canonical order; engines must
-// keep theirs the same way (log-likelihood in assertion order, M-step
-// statistics slot-addressed with a serial pooled reduction). Integer
-// health counters are the only values merged without ordering.
+// Determinism inventory (docs/MODEL.md §14/§16): every floating-point
+// reduction the driver or the engines own is either serial in
+// canonical order or a fixed-shape tree reduction over a global array
+// (kernels::tree_reduce — shape depends only on the element count, so
+// thread counts, shard layouts and work-stealing schedules cannot
+// perturb it): log-likelihood via kernels::tree_sum in assertion
+// order, M-step statistics slot-addressed with a tree-pooled
+// reduction, per-source updates combined by order-independent +/max.
+// Integer health counters are the only values merged without ordering.
 #pragma once
 
 #include <cmath>
@@ -53,6 +62,7 @@
 #include <vector>
 
 #include "core/em_ext.h"
+#include "core/em_mstep.h"
 #include "core/params.h"
 #include "math/convergence.h"
 #include "math/logprob.h"
@@ -210,15 +220,17 @@ EmExtResult run_em_driver(const Engine& engine, const EmExtConfig& config,
       params = random_init_params(n, attempt_rng);
     } else {
       // Vote prior: derive the initial parameters from a support-based
-      // posterior via one M-step. Only independent claims count toward
-      // the initial support — seeding belief from echo counts would let
+      // posterior via one M-step (in place over neutral parameters;
+      // the outcome's sanitize count and delta are meaningless here
+      // and dropped). Only independent claims count toward the
+      // initial support — seeding belief from echo counts would let
       // a viral rumour enter the first M-step as "true", inflating f
       // relative to g and locking the dependent-claim semantics in
       // backwards.
-      ModelParams neutral;
-      neutral.source.assign(n, SourceParams{});
-      params = engine.m_step(engine.vote_prior(/*independent_only=*/true),
-                             neutral, scratch);
+      params.source.assign(n, SourceParams{});
+      MStepOutcome ignored;
+      engine.m_step(engine.vote_prior(/*independent_only=*/true), params,
+                    /*tie_fg=*/false, scratch, ignored);
     }
     clamp_params(params, config.clamp_eps);
 
@@ -248,17 +260,14 @@ EmExtResult run_em_driver(const Engine& engine, const EmExtConfig& config,
       while (!warm_done) {
         if (!guarded_e_step()) return std::nullopt;
         result.likelihood_trace.push_back(scratch.e.log_likelihood);
-        ModelParams next =
-            engine.m_step(scratch.e.posterior, params, scratch);
-        health.sanitized_params += sanitize_params(next, params);
-        for (auto& s : next.source) {
-          double tied = 0.5 * (s.f + s.g);
-          s.f = tied;
-          s.g = tied;
-        }
-        double delta = next.max_abs_diff(params);
-        params = std::move(next);
-        warm_done = warm_monitor.update_delta(delta);
+        // In-place M-step with the f=g tie and the sanitize/delta
+        // bookkeeping fused into the update pass (same per-element
+        // order as the historical separate walks).
+        MStepOutcome mo;
+        engine.m_step(scratch.e.posterior, params, /*tie_fg=*/true,
+                      scratch, mo);
+        health.sanitized_params += mo.sanitized;
+        warm_done = warm_monitor.update_delta(mo.delta);
       }
     }
 
@@ -268,13 +277,12 @@ EmExtResult run_em_driver(const Engine& engine, const EmExtConfig& config,
     while (!done) {
       if (!guarded_e_step()) return std::nullopt;  // E-step (Eq. 9)
       result.likelihood_trace.push_back(scratch.e.log_likelihood);
-      // M-step (Eq. 10-14).
-      ModelParams next =
-          engine.m_step(scratch.e.posterior, params, scratch);
-      health.sanitized_params += sanitize_params(next, params);
-      double delta = next.max_abs_diff(params);
-      params = std::move(next);
-      done = monitor.update_delta(delta);
+      // M-step (Eq. 10-14), in place.
+      MStepOutcome mo;
+      engine.m_step(scratch.e.posterior, params, /*tie_fg=*/false,
+                    scratch, mo);
+      health.sanitized_params += mo.sanitized;
+      done = monitor.update_delta(mo.delta);
     }
 
     // Final posterior under the converged parameters — one fused pass

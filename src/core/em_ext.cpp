@@ -43,7 +43,7 @@ class FlatEmEngine {
     LikelihoodTable table;
     EStepResult e;
     std::vector<double> column_ll;
-    std::vector<em_detail::SourceMStats> mstats;
+    std::vector<em_detail::SourceMStatsPacked> mstats;
   };
 
   std::size_t source_count() const { return dataset_.source_count(); }
@@ -64,27 +64,29 @@ class FlatEmEngine {
     fused_e_step(s.table, pool_, s.e, s.column_ll);
   }
 
-  // Closed-form M-step (Eq. 10-14) given the current posterior. The
-  // per-source statistics fill runs in parallel source chunks (each
-  // source owns its slot); the pooled reduction and the parameter
-  // updates run serially in em_detail::finalize_m_step, so the result
-  // is bit-identical for any worker count. Scratch's stats vector is
-  // reused across EM iterations (a fresh vector here would churn the
-  // heap every M-step).
-  ModelParams m_step(const std::vector<double>& posterior,
-                     const ModelParams& previous, Scratch& s) const {
+  // Closed-form M-step (Eq. 10-14) given the current posterior,
+  // applied to `params` in place. The per-source statistics fill runs
+  // in parallel source chunks (each source owns its slot, and every
+  // stats field is written, so no pre-zeroing pass is needed); the
+  // pooled reduction and the fused update/sanitize/tie/delta pass run
+  // in em_detail::finalize_m_step_fused — tree-shaped and chunked, so
+  // the result is bit-identical for any worker count. Scratch's stats
+  // vector is reused across EM iterations (a fresh vector here would
+  // churn the heap every M-step).
+  void m_step(const std::vector<double>& posterior, ModelParams& params,
+              bool tie_fg, Scratch& s,
+              em_detail::MStepOutcome& out) const {
     std::size_t n = dataset_.source_count();
     std::size_t m = dataset_.assertion_count();
     const ClaimPartition& part = dataset_.partition();
-    double total_z = 0.0;
-    for (double p : posterior) total_z += p;
-    double total_y = static_cast<double>(m) - total_z;
+    double total_z =
+        kernels::tree_sum(pool_, posterior.data(), posterior.size());
 
-    std::vector<em_detail::SourceMStats>& stats = s.mstats;
-    stats.assign(n, em_detail::SourceMStats{});
+    std::vector<em_detail::SourceMStatsPacked>& stats = s.mstats;
+    stats.resize(n);
     auto fill = [&](std::size_t, std::size_t begin, std::size_t end) {
       for (std::size_t i = begin; i < end; ++i) {
-        em_detail::SourceMStats& st = stats[i];
+        em_detail::SourceMStatsPacked& st = stats[i];
         // Sum of Z_j over exposed cells of i.
         double exposed_z = kernels::gather_sum(
             dataset_.dependency.exposed_assertions(i), posterior.data());
@@ -101,10 +103,11 @@ class FlatEmEngine {
         st.claim_dep_y = dep.y;
         st.claim_indep_z = indep.z;
         st.claim_indep_y = indep.y;
-        st.denom_a = total_z - exposed_z;
-        st.denom_b = total_y - (exposed_count - exposed_z);
-        st.denom_f = exposed_z;
-        st.denom_g = exposed_count - exposed_z;
+        // Packed exposure pair; the update denominators are derived at
+        // consumption time with the identical fl-op order (see
+        // SourceMStatsPacked in em_mstep.h).
+        st.exposed_z = exposed_z;
+        st.exposed_count = exposed_count;
       }
     };
     if (pool_ != nullptr && pool_->size() > 1 && n > kSourceGrain) {
@@ -112,9 +115,9 @@ class FlatEmEngine {
     } else {
       fill(0, 0, n);
     }
-    return em_detail::finalize_m_step(stats, total_z, m, previous,
-                                      config_.clamp_eps,
-                                      config_.shrinkage, config_.z_floor);
+    em_detail::finalize_m_step_fused(stats, total_z, m, params,
+                                     config_.clamp_eps, config_.shrinkage,
+                                     config_.z_floor, tie_fg, pool_, out);
   }
 
   std::vector<double> vote_prior(bool independent_only) const {
@@ -151,8 +154,10 @@ std::vector<double> vote_prior_posterior(const Dataset& dataset,
         independent_only ? dataset.partition().independent_claimants(j).size()
                          : dataset.claims.support(j));
   }
-  double mean_support = 0.0;
-  for (double s : support) mean_support += s;
+  // Tree-shaped like every other global fold (bit-exact no-op here:
+  // support counts are integer-valued doubles, so the tree's regrouped
+  // partial sums are exact at any shape).
+  double mean_support = kernels::tree_sum(nullptr, support.data(), m);
   mean_support /= static_cast<double>(m);
   if (mean_support <= 0.0) return posterior;
   for (std::size_t j = 0; j < m; ++j) {

@@ -138,11 +138,13 @@ void LikelihoodTable::set_params(const ModelParams& params) {
     throw std::invalid_argument(
         "LikelihoodTable: params/source count mismatch");
   }
-  logs_.build(n, clamp_prob(params.z), [&](std::size_t i) {
-    const SourceParams& s = params.source[i];
-    return std::array<double, 4>{clamp_prob(s.a), clamp_prob(s.b),
-                                 clamp_prob(s.f), clamp_prob(s.g)};
-  });
+  // SourceParams is {a, b, f, g} as four contiguous doubles, so the
+  // params array IS the rate-row layout build_from_rows consumes —
+  // the table clamps each rate in flight (bit-identical to the
+  // historical clamp_prob lambda build, minus its scratch pack).
+  static_assert(sizeof(SourceParams) == 4 * sizeof(double));
+  logs_.build_from_rows(n, clamp_prob(params.z),
+                        reinterpret_cast<const double*>(params.source.data()));
 
   // Value rows for the precompiled gather schedule: [es | ci | cd+es]
   // plus two zero sentinel rows (one O(n) pass, negligible next to the

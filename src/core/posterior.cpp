@@ -112,11 +112,10 @@ void fused_e_step(const LikelihoodTable& table, ThreadPool* pool,
       epilogue_pass(begin, end);
     }
   }
-  // Canonical assertion-order summation, independent of which thread
-  // (or backend lane) produced each term.
-  double total = 0.0;
-  for (double v : column_ll_scratch) total += v;
-  out.log_likelihood = total;
+  // Canonical fixed-shape tree sum in assertion order, independent of
+  // which thread (or backend lane) produced each term — and of how
+  // many threads run the leaf blocks (kernels::tree_sum).
+  out.log_likelihood = kernels::tree_sum(pool, column_ll_scratch.data(), m);
 }
 
 EStepResult fused_e_step(const LikelihoodTable& table, ThreadPool* pool) {

@@ -24,28 +24,47 @@ constexpr std::size_t kSourceGrain = 256;
 // One fixed block of one shard's columns (or sources). The flat list
 // of units — not shard-per-task — is what keeps the pool busy when one
 // giant component swallows most of the data: an oversized shard simply
-// contributes many units.
+// contributes many units. Each unit carries its incidence mass (claim
+// + exposure entries it touches), the LPT scheduling weight for
+// parallel_tasks — weights steer placement only, never results.
 struct WorkUnit {
   std::uint32_t shard;
   std::uint32_t begin;  // position range within the shard
   std::uint32_t end;
 };
 
-std::vector<WorkUnit> chunk_units(const ShardedDataset& sharded,
-                                  bool columns, std::size_t grain) {
+struct UnitPlan {
   std::vector<WorkUnit> units;
+  std::vector<double> weights;  // parallel to `units`
+};
+
+UnitPlan chunk_units(const ShardedDataset& sharded, bool columns,
+                     std::size_t grain) {
+  UnitPlan plan;
   for (std::size_t s = 0; s < sharded.shard_count(); ++s) {
     const DatasetShard& sh = sharded.shard(s);
     std::size_t count =
         columns ? sh.assertion_ids().size() : sh.source_ids().size();
     for (std::size_t begin = 0; begin < count; begin += grain) {
-      units.push_back({static_cast<std::uint32_t>(s),
-                       static_cast<std::uint32_t>(begin),
-                       static_cast<std::uint32_t>(
-                           std::min(begin + grain, count))});
+      std::size_t end = std::min(begin + grain, count);
+      double mass = 0.0;
+      for (std::size_t p = begin; p < end; ++p) {
+        if (columns) {
+          mass += static_cast<double>(sh.claimants(p).size() +
+                                      sh.exposed_sources(p).size());
+        } else {
+          mass += static_cast<double>(sh.dependent_claims(p).size() +
+                                      sh.independent_claims(p).size() +
+                                      sh.exposed_assertions(p).size());
+        }
+      }
+      plan.units.push_back({static_cast<std::uint32_t>(s),
+                            static_cast<std::uint32_t>(begin),
+                            static_cast<std::uint32_t>(end)});
+      plan.weights.push_back(mass);
     }
   }
-  return units;
+  return plan;
 }
 
 // The shard-parallel engine behind em_detail::run_em_driver. Gathers
@@ -59,15 +78,18 @@ class ShardedEmEngine {
       : sharded_(sharded),
         config_(config),
         pool_(pool),
-        column_units_(chunk_units(sharded, /*columns=*/true, kColumnGrain)),
-        source_units_(
+        column_plan_(chunk_units(sharded, /*columns=*/true, kColumnGrain)),
+        source_plan_(
             chunk_units(sharded, /*columns=*/false, kSourceGrain)) {}
 
   struct Scratch {
     kernels::ExtLogTable table;
     EStepResult e;
     std::vector<double> column_ll;
-    std::vector<em_detail::SourceMStats> mstats;
+    std::vector<em_detail::SourceMStatsPacked> mstats;
+    // Per-unit wall-clock seconds from the last parallel_tasks call;
+    // only filled when EmExtConfig::shard_time_accum is set.
+    std::vector<double> unit_seconds;
   };
 
   std::size_t source_count() const { return sharded_.source_count(); }
@@ -98,11 +120,14 @@ class ShardedEmEngine {
       throw std::invalid_argument(
           "ShardedEmEngine: params/source count mismatch");
     }
-    s.table.build(n, clamp_prob(params.z), [&](std::size_t i) {
-      const SourceParams& sp = params.source[i];
-      return std::array<double, 4>{clamp_prob(sp.a), clamp_prob(sp.b),
-                                   clamp_prob(sp.f), clamp_prob(sp.g)};
-    });
+    // SourceParams is {a, b, f, g} as four contiguous doubles (the
+    // static_assert lives in em_mstep.h's fused tail, same contract):
+    // build_from_rows reads the params array directly and clamps each
+    // rate in flight — bit-identical to the historical clamp_prob
+    // lambda build, minus its 4n-double scratch pack.
+    s.table.build_from_rows(
+        n, clamp_prob(params.z),
+        reinterpret_cast<const double*>(params.source.data()));
     s.e.posterior.resize(m);
     s.e.log_odds.resize(m);
     s.column_ll.resize(m);
@@ -127,7 +152,7 @@ class ShardedEmEngine {
         lb_buf[j] = acc.f + log_1mz;
       }
     };
-    run_units(column_units_, gather_unit);
+    run_units(column_plan_, gather_unit, s);
 
     // Epilogue over global assertion ranges (sanctioned elementwise
     // aliasing: log_odds == la, column_ll == lb; see kernels.h).
@@ -143,34 +168,36 @@ class ShardedEmEngine {
         epilogue(0, begin, std::min(begin + kColumnGrain, m));
       }
     }
-    // Canonical assertion-order summation (same reduction as the flat
-    // engine, independent of shard layout and thread count).
-    double total = 0.0;
-    for (double v : s.column_ll) total += v;
-    s.e.log_likelihood = total;
+    // Canonical fixed-shape tree sum over the *global* column_ll array
+    // (same reduction as the flat engine, independent of shard layout,
+    // thread count and steal order).
+    s.e.log_likelihood = kernels::tree_sum(pool_, s.column_ll.data(), m);
   }
 
-  // Closed-form M-step, sharded: per-source statistics fill in
-  // shard-parallel units (each source owns its global slot; the shard's
-  // row lists are elementwise equal to the flat engine's
-  // exposed_assertions / dependent_claims / independent_claims views,
-  // so each gather performs the same additions in the same order), then
-  // the shared serial tail in em_detail::finalize_m_step.
-  ModelParams m_step(const std::vector<double>& posterior,
-                     const ModelParams& previous, Scratch& s) const {
+  // Closed-form M-step, sharded, applied to `params` in place:
+  // per-source statistics fill in shard-parallel units (each source
+  // owns its global slot, every field written; the shard's row lists
+  // are elementwise equal to the flat engine's exposed_assertions /
+  // dependent_claims / independent_claims views, so each gather
+  // performs the same additions in the same order), then the shared
+  // fused tail in em_detail::finalize_m_step_fused — tree-pooled over
+  // the same global stats array the flat engine fills, so both engines
+  // reduce identical values through an identical shape.
+  void m_step(const std::vector<double>& posterior, ModelParams& params,
+              bool tie_fg, Scratch& s,
+              em_detail::MStepOutcome& out) const {
     const std::size_t n = sharded_.source_count();
     const std::size_t m = sharded_.assertion_count();
-    double total_z = 0.0;
-    for (double p : posterior) total_z += p;
-    double total_y = static_cast<double>(m) - total_z;
+    double total_z =
+        kernels::tree_sum(pool_, posterior.data(), posterior.size());
 
-    std::vector<em_detail::SourceMStats>& stats = s.mstats;
-    stats.assign(n, em_detail::SourceMStats{});
+    std::vector<em_detail::SourceMStatsPacked>& stats = s.mstats;
+    stats.resize(n);
     auto fill_unit = [&](const WorkUnit& u) {
       const DatasetShard& sh = sharded_.shard(u.shard);
       std::span<const std::uint32_t> ids = sh.source_ids();
       for (std::size_t p = u.begin; p < u.end; ++p) {
-        em_detail::SourceMStats& st = stats[ids[p]];
+        em_detail::SourceMStatsPacked& st = stats[ids[p]];
         double exposed_z = kernels::gather_sum(sh.exposed_assertions(p),
                                                posterior.data());
         double exposed_count =
@@ -183,16 +210,17 @@ class ShardedEmEngine {
         st.claim_dep_y = dep.y;
         st.claim_indep_z = indep.z;
         st.claim_indep_y = indep.y;
-        st.denom_a = total_z - exposed_z;
-        st.denom_b = total_y - (exposed_count - exposed_z);
-        st.denom_f = exposed_z;
-        st.denom_g = exposed_count - exposed_z;
+        // Packed exposure pair; the update denominators are derived at
+        // consumption time with the identical fl-op order (see
+        // SourceMStatsPacked in em_mstep.h).
+        st.exposed_z = exposed_z;
+        st.exposed_count = exposed_count;
       }
     };
-    run_units(source_units_, fill_unit);
-    return em_detail::finalize_m_step(stats, total_z, m, previous,
-                                      config_.clamp_eps,
-                                      config_.shrinkage, config_.z_floor);
+    run_units(source_plan_, fill_unit, s);
+    em_detail::finalize_m_step_fused(stats, total_z, m, params,
+                                     config_.clamp_eps, config_.shrinkage,
+                                     config_.z_floor, tie_fg, pool_, out);
   }
 
   // Support-based initial posterior: per-column support counts scatter
@@ -219,8 +247,9 @@ class ShardedEmEngine {
         support[ids[c]] = static_cast<double>(count);
       }
     }
-    double mean_support = 0.0;
-    for (double v : support) mean_support += v;
+    // Same tree shape as the flat vote_prior_posterior fold (exact for
+    // these integer-valued supports, so flat == sharded bit for bit).
+    double mean_support = kernels::tree_sum(nullptr, support.data(), m);
     mean_support /= static_cast<double>(m);
     if (mean_support <= 0.0) return posterior;
     for (std::size_t j = 0; j < m; ++j) {
@@ -239,24 +268,43 @@ class ShardedEmEngine {
   }
 
  private:
+  // Runs fn over every unit through the pool's LPT work-stealing
+  // scheduler, weighted by incidence mass, so the giant-component
+  // shard's units start first and an idle worker steals from whoever
+  // has the longest backlog — placement only; every unit writes the
+  // same global slots it would serially. With timing requested
+  // (EmExtConfig::shard_time_accum), per-unit seconds aggregate into
+  // per-shard totals serially after the parallel region (no clock
+  // reads inside core code — the pool takes them; lint rule R8).
   template <typename Fn>
-  void run_units(const std::vector<WorkUnit>& units, const Fn& fn) const {
-    if (pool_ != nullptr && pool_->size() > 1 && units.size() > 1) {
-      pool_->parallel_for_chunks(
-          units.size(), 1,
-          [&](std::size_t, std::size_t begin, std::size_t end) {
-            for (std::size_t u = begin; u < end; ++u) fn(units[u]);
-          });
+  void run_units(const UnitPlan& plan, const Fn& fn, Scratch& s) const {
+    bool timed = config_.shard_time_accum != nullptr;
+    if (pool_ != nullptr && (pool_->size() > 1 || timed) &&
+        plan.units.size() > 1) {
+      pool_->parallel_tasks(
+          plan.weights,
+          [&](std::size_t u) { fn(plan.units[u]); },
+          timed ? &s.unit_seconds : nullptr);
     } else {
-      for (const WorkUnit& u : units) fn(u);
+      for (const WorkUnit& u : plan.units) fn(u);
+      return;
+    }
+    if (timed) {
+      std::vector<double>& acc = *config_.shard_time_accum;
+      if (acc.size() != sharded_.shard_count()) {
+        acc.assign(sharded_.shard_count(), 0.0);
+      }
+      for (std::size_t u = 0; u < plan.units.size(); ++u) {
+        acc[plan.units[u].shard] += s.unit_seconds[u];
+      }
     }
   }
 
   const ShardedDataset& sharded_;
   const EmExtConfig& config_;
   ThreadPool* pool_;
-  std::vector<WorkUnit> column_units_;
-  std::vector<WorkUnit> source_units_;
+  UnitPlan column_plan_;
+  UnitPlan source_plan_;
 };
 
 }  // namespace

@@ -12,16 +12,24 @@
 // Sharding is an execution strategy, never an approximation: all ids
 // stay global, the likelihood base / pooled shrinkage rates / prior z
 // are computed over all sources exactly as the flat engine computes
-// them, every per-column and per-source gather walks the same element
-// order as its flat counterpart, and every floating-point reduction
-// (column log-likelihood, M-step pooling) runs serially in canonical
-// global order. On the scalar backend the results are therefore
-// bit-identical to EmExtEstimator for any shard layout and any thread
-// count — tests/test_shard.cpp pins this with golden FNV-1a hashes; on
-// the AVX2 backend both engines live under the same ULP contract
-// (docs/MODEL.md §12). The outer loop (init, warm-up, retries,
-// restarts, checkpointing) is em_detail::run_em_driver, shared with the
-// flat engine, so checkpoint files are interchangeable between the two.
+// them, and every per-column and per-source gather walks the same
+// element order as its flat counterpart. Work units (shard-confined
+// column/source ranges) are dispatched through the LPT work-stealing
+// scheduler (ThreadPool::parallel_tasks) — heaviest shards first, idle
+// workers steal — so a skewed shard histogram no longer serializes on
+// its largest shard. Scheduling freedom is safe because units only
+// scatter into disjoint index-addressed slots; every global
+// floating-point reduction (column log-likelihood, M-step pooling,
+// update deltas) then runs through the fixed-shape tree reductions of
+// math/kernels.h, whose shape depends only on the element count. On
+// the scalar backend the results are therefore bit-identical to
+// EmExtEstimator for any shard layout, any thread count and any
+// steal order — tests/test_shard.cpp pins this with golden FNV-1a
+// hashes; on the AVX2 backend both engines live under the same
+// exactness contract (docs/MODEL.md §12, §16). The outer loop (init,
+// warm-up, retries, restarts, checkpointing) is
+// em_detail::run_em_driver, shared with the flat engine, so checkpoint
+// files are interchangeable between the two.
 #pragma once
 
 #include <cstdint>

@@ -7,6 +7,7 @@
 #include "data/ssd.h"
 #include "graph/union_find.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ss {
 namespace {
@@ -196,9 +197,19 @@ ShardedDataset ShardedDataset::build_impl(const Access& a,
     }
   }
 
-  // 6. Column CSR per shard: claimant list + aligned D_ij flags (merge
-  // walk against the ascending exposed list) + exposed list.
-  for (DatasetShard& sh : out.shards_) {
+  // 6+7. CSR fill, one task per shard. Column CSR: claimant list +
+  // aligned D_ij flags (merge walk against the ascending exposed list)
+  // + exposed list. Row CSR: dependent/independent claim split (merge
+  // walk of the ascending claim and exposure lists) + exposure list.
+  // Each task allocates and writes only its own shard's vectors, so
+  // with an affinity-pinned pool the worker that fills a shard
+  // first-touches its pages — the NUMA placement the EM passes later
+  // want. The fill content depends only on the (already decided) shard
+  // layout, never on scheduling; range errors propagate via
+  // parallel_tasks' lowest-task-index rethrow, matching the serial
+  // loop's first-failure behaviour because shards partition ascending
+  // id ranges.
+  auto fill_shard = [&](DatasetShard& sh) {
     sh.cl_off_.assign(sh.assertions_.size() + 1, 0);
     sh.ex_off_.assign(sh.assertions_.size() + 1, 0);
     for (std::size_t c = 0; c < sh.assertions_.size(); ++c) {
@@ -217,13 +228,6 @@ ShardedDataset ShardedDataset::build_impl(const Access& a,
       sh.cl_off_[c + 1] = sh.claimants_.size();
       sh.ex_off_[c + 1] = sh.exposed_.size();
     }
-    out.claim_count_ += sh.claimants_.size();
-    out.exposed_count_ += sh.exposed_.size();
-  }
-
-  // 7. Row CSR per shard: dependent/independent claim split (merge walk
-  // of the ascending claim and exposure lists) + exposure list.
-  for (DatasetShard& sh : out.shards_) {
     sh.dep_off_.assign(sh.sources_.size() + 1, 0);
     sh.indep_off_.assign(sh.sources_.size() + 1, 0);
     sh.expa_off_.assign(sh.sources_.size() + 1, 0);
@@ -245,6 +249,34 @@ ShardedDataset ShardedDataset::build_impl(const Access& a,
       sh.indep_off_[s + 1] = sh.indep_claims_.size();
       sh.expa_off_[s + 1] = sh.exp_asserts_.size();
     }
+  };
+  if (config.pool != nullptr && config.pool->size() > 1 &&
+      out.shards_.size() > 1) {
+    // LPT weight: incidence slots to fill, known exactly up front
+    // (claimed + exposed entries per shard's assertions and sources).
+    std::vector<double> weights(out.shards_.size(), 0.0);
+    for (std::size_t s = 0; s < out.shards_.size(); ++s) {
+      double w = 0.0;
+      for (std::uint32_t j : out.shards_[s].assertions_) {
+        w += static_cast<double>(a.claimants(j).size() +
+                                 a.exposed(j).size());
+      }
+      for (std::uint32_t i : out.shards_[s].sources_) {
+        w += static_cast<double>(a.claims_of(i).size() +
+                                 a.exposed_assertions(i).size());
+      }
+      weights[s] = w;
+    }
+    config.pool->parallel_tasks(
+        weights, [&](std::size_t s) { fill_shard(out.shards_[s]); });
+  } else {
+    for (DatasetShard& sh : out.shards_) fill_shard(sh);
+  }
+  // Totals in shard order, serial (sizes, not floats — order is
+  // cosmetic, but keep it canonical anyway).
+  for (const DatasetShard& sh : out.shards_) {
+    out.claim_count_ += sh.claimants_.size();
+    out.exposed_count_ += sh.exposed_.size();
   }
   return out;
 }

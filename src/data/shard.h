@@ -37,6 +37,7 @@
 namespace ss {
 
 class SsdView;
+class ThreadPool;
 
 struct ShardConfig {
   // Upper bound on assertions per shard; a single component larger
@@ -45,6 +46,15 @@ struct ShardConfig {
   // unconditionally. 0 = auto: max(1024, ceil(m / 64)), i.e. at most
   // ~64 shards, deterministic and independent of the thread count.
   std::size_t max_shard_assertions = 0;
+  // When non-null, the per-shard CSR fill runs as one LPT-scheduled
+  // task per shard on this pool, so under SS_AFFINITY pinning each
+  // shard's CSR slices are first-touched (allocated and written) by a
+  // worker rather than the calling thread — the same workers that
+  // later gather from them in the EM passes. The shard layout and
+  // every CSR byte are decided before the parallel phase and each task
+  // writes only its own shard, so the result is bit-identical to the
+  // serial build for any pool size.
+  ThreadPool* pool = nullptr;
 };
 
 // One shard: a group of whole components. Ids are global; per-column

@@ -5,6 +5,68 @@
 namespace ss {
 namespace kernels {
 
+double tree_sum(ThreadPool* pool, const double* values, std::size_t n) {
+  return tree_reduce(
+      pool, n, 0.0,
+      [values](std::size_t b, std::size_t e) {
+        double acc = 0.0;
+        for (std::size_t i = b; i < e; ++i) acc += values[i];
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
+}
+
+std::size_t finalize_params(std::size_t n, const double* stats6,
+                            double total_z, double total_y,
+                            const double* cells, const double* cmu,
+                            double lo, double hi, bool tie_fg,
+                            double* params4, double* delta_max) {
+  if (n >= 4 && simd::avx2_active()) {
+    return simd::finalize_params_avx2(n, stats6, total_z, total_y, cells,
+                                      cmu, lo, hi, tie_fg, params4,
+                                      delta_max);
+  }
+  std::size_t sanitized = 0;
+  double dmax = *delta_max;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = stats6 + 6 * i;
+    double* p = params4 + 4 * i;
+    double prev[4] = {p[0], p[1], p[2], p[3]};
+    // Derived denominators; single correctly-rounded subtractions in
+    // the documented order, bitwise the historical fill-time fields.
+    const double ez = row[4];
+    const double t1 = row[5] - ez;
+    const double denoms[4] = {total_z - ez, total_y - t1, ez, t1};
+    for (std::size_t k = 0; k < 4; ++k) {
+      double denom = denoms[k];
+      double d = denom + cells[k];
+      double raw = d > 0.0 ? (row[k] + cmu[k]) / d : prev[k];
+      // NaN-propagating clamp (comparisons are false on NaN, so a NaN
+      // raw value survives to the sanitize check; ±inf clamps to a
+      // bound and is NOT counted — matching the historical
+      // clamp-then-sanitize order).
+      double c = raw < lo ? lo : raw;
+      c = c > hi ? hi : c;
+      if (!(c == c)) {
+        c = prev[k];
+        ++sanitized;
+      }
+      p[k] = c;
+    }
+    if (tie_fg) {
+      double fg = 0.5 * (p[2] + p[3]);
+      p[2] = fg;
+      p[3] = fg;
+    }
+    for (std::size_t k = 0; k < 4; ++k) {
+      double diff = std::fabs(p[k] - prev[k]);
+      if (diff > dmax) dmax = diff;
+    }
+  }
+  *delta_max = dmax;
+  return sanitized;
+}
+
 void build_sweep_weights(std::span<const double> p_claim_true,
                          std::span<const double> p_claim_false,
                          std::vector<SweepWeights>& out) {

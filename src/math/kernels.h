@@ -60,6 +60,7 @@
 // counterpart — §12.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
@@ -70,9 +71,86 @@
 
 #include "math/logprob.h"
 #include "math/simd/dispatch.h"
+#include "util/thread_pool.h"
 
 namespace ss {
 namespace kernels {
+
+// ---------------------------------------------------------------------
+// Deterministic fixed-shape tree reduction (docs/MODEL.md §16).
+//
+// The reduction tree's shape is a pure function of the element count:
+// [0, count) splits into ceil(count / kTreeReduceBlock) fixed blocks,
+// each block is summed serially in element order, and the per-block
+// partials are folded pairwise (p[i] = p[2i] (+) p[2i+1], odd tail
+// carried) until one value remains. Thread count, shard layout and
+// arrival order never enter the shape, so the result is bit-identical
+// whether the block partials were computed serially, by
+// parallel_for_chunks, or by a work-stealing parallel_tasks schedule —
+// and a count <= kTreeReduceBlock reduction degenerates to the plain
+// serial left fold it replaces.
+// ---------------------------------------------------------------------
+
+// Block size of the reduction tree. Chosen so per-block sums amortize
+// scheduling and the combine tree stays tiny (10^6 elements -> 245
+// partials -> 8 pairwise rounds).
+inline constexpr std::size_t kTreeReduceBlock = 4096;
+
+// Number of leaf blocks the tree has for `count` elements.
+inline std::size_t tree_block_count(std::size_t count) {
+  return (count + kTreeReduceBlock - 1) / kTreeReduceBlock;
+}
+
+// Folds `partials` pairwise in place until one value remains and
+// returns it. The fold shape depends only on partials.size().
+template <typename T, typename CombineFn>
+T tree_combine(std::vector<T>& partials, CombineFn&& combine) {
+  std::size_t width = partials.size();
+  while (width > 1) {
+    std::size_t half = width / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      partials[i] = combine(partials[2 * i], partials[2 * i + 1]);
+    }
+    if (width % 2 != 0) partials[half] = partials[width - 1];
+    width = (width + 1) / 2;
+  }
+  return partials[0];
+}
+
+// Tree reduction over [0, count): block_fn(begin, end) -> T computes one
+// leaf partial (serially, in element order), combine(a, b) -> T merges
+// two. Leaves are evaluated through `pool` when given (each leaf writes
+// its own slot — parallel-safe), serially otherwise; the combine rounds
+// run on the calling thread. Identical bits either way.
+template <typename T, typename BlockFn, typename CombineFn>
+T tree_reduce(ThreadPool* pool, std::size_t count, T zero,
+              BlockFn&& block_fn, CombineFn&& combine) {
+  std::size_t blocks = tree_block_count(count);
+  if (blocks == 0) return zero;
+  if (blocks == 1) return block_fn(std::size_t{0}, count);
+  std::vector<T> partials(blocks);
+  if (pool != nullptr) {
+    pool->parallel_for_chunks(
+        count, kTreeReduceBlock,
+        [&](std::size_t c, std::size_t b, std::size_t e) {
+          partials[c] = block_fn(b, e);
+        });
+  } else {
+    for (std::size_t c = 0; c < blocks; ++c) {
+      std::size_t b = c * kTreeReduceBlock;
+      std::size_t e = std::min(count, b + kTreeReduceBlock);
+      partials[c] = block_fn(b, e);
+    }
+  }
+  return tree_combine(partials, combine);
+}
+
+// Tree sum of values[0..n): the deterministic replacement for the
+// serial `for (double v : xs) acc += v` folds on the column
+// log-likelihood and M-step pooling paths. Bit-identical for any
+// thread count; equal to the serial left fold whenever
+// n <= kTreeReduceBlock.
+double tree_sum(ThreadPool* pool, const double* values, std::size_t n);
 
 // ---------------------------------------------------------------------
 // Value types shared by both backends.
@@ -174,6 +252,19 @@ void ext_table_rows_avx2(std::size_t n, const double* rates,
                          kernels::LogPair* claim_indep,
                          kernels::LogPair* claim_dep,
                          kernels::LogPair* base);
+// As ext_table_rows_avx2, but `rates` holds *unclamped* {a, b, f, g}
+// rows (the SourceParams memory layout) and the kernel applies the
+// canonical clamp_prob clamp in-register before the row math. The
+// clamp replicates std::clamp's branch semantics with ordered
+// compare + blend — a NaN rate survives the clamp and takes the
+// scalar degenerate row, exactly like clamp_prob(NaN) fed to the
+// scratch path — so the output bits equal build() over
+// clamp_prob-wrapped rates, without the 4n-double scratch round trip.
+void ext_table_rows_clamped_avx2(std::size_t n, const double* rates,
+                                 kernels::LogPair* exposed_silent,
+                                 kernels::LogPair* claim_indep,
+                                 kernels::LogPair* claim_dep,
+                                 kernels::LogPair* base);
 void rate_table_rows_avx2(std::size_t n, const double* rates,
                           kernels::LogPair* silent, kernels::LogPair* claim,
                           kernels::LogPair* base);
@@ -188,6 +279,16 @@ kernels::LogPair sum_state_logs_avx2(std::span<const char> bits,
 kernels::LogPair sum_packed_state_logs_avx2(std::span<const char> bits,
                                             const double* delta_t,
                                             const double* delta_f);
+// In-place M-step parameter finalize; EXACT contract (not ULP): every
+// operation used (add, div, compare/blend, max/min clamp, 0.5*(f+g)
+// tie, |diff|) is correctly rounded and the kernel is written without
+// FMA contraction, so its bits equal the scalar loop's for all inputs
+// including NaN/inf stats. See kernels::finalize_params.
+std::size_t finalize_params_avx2(std::size_t n, const double* stats6,
+                                 double total_z, double total_y,
+                                 const double* cells, const double* cmu,
+                                 double lo, double hi, bool tie_fg,
+                                 double* params4, double* delta_max);
 
 }  // namespace simd
 
@@ -445,6 +546,37 @@ void finalize_columns(const double* la, const double* lb, std::size_t n,
 void finalize_pairs(const double* la, const double* lb, std::size_t n,
                     double* posterior, double* log_odds);
 
+// Fused M-step parameter finalize over n sources, in place. `stats6`
+// is n rows of 6 doubles laid out as em_detail::SourceMStatsPacked —
+// nums {claim_indep_z, claim_indep_y, claim_dep_z, claim_dep_y}, then
+// {exposed_z, exposed_count}. The four update denominators, aligned
+// lane-for-lane with the `params4` rows {a, b, f, g}, are derived per
+// row from the exposure pair and the loop constants total_z / total_y
+// with this exact operation order (each a single correctly-rounded
+// subtraction, so the derived values are bitwise the historical
+// fill-time denom fields):
+//   t1 = exposed_count - exposed_z;
+//   denom = {total_z - exposed_z, total_y - t1, exposed_z, t1}.
+// `cells` and `cmu` hold the four loop-constant MAP
+// terms cells_x = shrinkage / max(mu_x, 1e-9) and cmu_x = cells_x *
+// mu_x. Per lane, in this exact order:
+//   d = denom + cells; raw = d > 0 ? (num + cmu) / d : prev;
+//   clamped = min(hi, max(lo, raw))   [NaN-propagating operand order];
+//   if clamped is NaN -> prev, counted as sanitized;
+//   if tie_fg        -> f = g = 0.5 * (f + g);
+//   delta_max accumulates |new - prev| (plus |new - prev| of every
+//   other lane; max is order-independent).
+// Returns the sanitized-lane count. Unlike the ULP-contract kernels,
+// the AVX2 backend of this epilogue is EXACT: div/add/max/min/blend
+// are correctly rounded, cmu is precomputed so no FMA opportunity
+// exists, and tests/test_simd.cpp asserts bitwise equality — so the
+// dispatch never perturbs the golden hashes.
+std::size_t finalize_params(std::size_t n, const double* stats6,
+                            double total_z, double total_y,
+                            const double* cells, const double* cmu,
+                            double lo, double hi, bool tie_fg,
+                            double* params4, double* delta_max);
+
 // ---------------------------------------------------------------------
 // Log-parameter tables: per-source terms hoisted once per iteration.
 // ---------------------------------------------------------------------
@@ -494,6 +626,46 @@ class ExtLogTable {
       exposed_silent_[i] = {log_nf - log_na, log_ng - log_nb};
       claim_indep_[i] = {std::log(r[0]) - log_na, std::log(r[1]) - log_nb};
       claim_dep_[i] = {std::log(r[2]) - log_nf, std::log(r[3]) - log_ng};
+    }
+    base_ = {base_t, base_f};
+  }
+
+  // Builds straight from n contiguous *unclamped* {a, b, f, g} rate
+  // rows (the SourceParams memory layout; callers static_assert the
+  // 4-double layout at the reinterpret_cast site), applying the
+  // default clamp_prob per rate in flight. Bit-identical to build()
+  // over clamp_prob-wrapped rates — the scalar path clamps then runs
+  // the exact eight transcendentals above, the avx2 path clamps
+  // in-register with std::clamp's branch semantics — but skips the
+  // per-iteration 4n-double scratch pack the lambda build pays, which
+  // at 10^6 sources is a 32 MB write + read per EM iteration.
+  void build_from_rows(std::size_t n, double z, const double* rates4) {
+    resize(n);
+    log_z_ = std::log(z);
+    log_1mz_ = std::log1p(-z);
+    if (n > 0 && simd::avx2_active()) {
+      simd::ext_table_rows_clamped_avx2(n, rates4, exposed_silent_.data(),
+                                        claim_indep_.data(),
+                                        claim_dep_.data(), &base_);
+      return;
+    }
+    double base_t = 0.0;
+    double base_f = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* r = rates4 + 4 * i;
+      double a = clamp_prob(r[0]);
+      double b = clamp_prob(r[1]);
+      double f = clamp_prob(r[2]);
+      double g = clamp_prob(r[3]);
+      double log_na = std::log1p(-a);
+      double log_nb = std::log1p(-b);
+      double log_nf = std::log1p(-f);
+      double log_ng = std::log1p(-g);
+      base_t += log_na;
+      base_f += log_nb;
+      exposed_silent_[i] = {log_nf - log_na, log_ng - log_nb};
+      claim_indep_[i] = {std::log(a) - log_na, std::log(b) - log_nb};
+      claim_dep_[i] = {std::log(f) - log_nf, std::log(g) - log_ng};
     }
     base_ = {base_t, base_f};
   }

@@ -436,6 +436,60 @@ void ext_table_rows_avx2(std::size_t n, const double* rates,
   _mm_storeu_pd(&base->t, base_acc);
 }
 
+// As ext_table_rows_avx2 over *unclamped* rate rows: each loaded
+// vector is clamped to [kProbEps, 1 - kProbEps] in-register before
+// the row math. The compare + blend pair replicates std::clamp's
+// branch semantics exactly — both ordered compares are false on a NaN
+// lane, so NaN survives both blends (clamp_prob(NaN) == NaN) and the
+// degenerate check routes the row to the scalar fallback, which
+// re-clamps with the identical scalar expression. Clamped lanes are
+// bitwise what clamp_prob produced in the caller-packed scratch path,
+// so the table bits are unchanged.
+void ext_table_rows_clamped_avx2(std::size_t n, const double* rates,
+                                 LogPair* exposed_silent,
+                                 LogPair* claim_indep, LogPair* claim_dep,
+                                 LogPair* base) {
+  constexpr double kProbEps = 1e-9;  // clamp_prob's default eps
+  const __m256d lo = _mm256_set1_pd(kProbEps);
+  const __m256d hi = _mm256_set1_pd(1.0 - kProbEps);
+  // Scalar twin of the vector clamp, for the degenerate fallback row;
+  // written as std::clamp's branch chain so NaN propagates.
+  auto clamp1 = [](double v) {
+    constexpr double l = 1e-9;
+    constexpr double h = 1.0 - 1e-9;
+    return v < l ? l : (h < v ? h : v);
+  };
+  __m128d base_acc = _mm_setzero_pd();
+  for (std::size_t i = 0; i < n; ++i) {
+    __m256d r = _mm256_loadu_pd(rates + 4 * i);  // [a, b, f, g]
+    r = _mm256_blendv_pd(r, lo, _mm256_cmp_pd(r, lo, _CMP_LT_OQ));
+    r = _mm256_blendv_pd(r, hi, _mm256_cmp_pd(hi, r, _CMP_LT_OQ));
+    if (any_degenerate_rate(r)) {
+      double a = clamp1(rates[4 * i]), b = clamp1(rates[4 * i + 1]);
+      double f = clamp1(rates[4 * i + 2]), g = clamp1(rates[4 * i + 3]);
+      double log_na = std::log1p(-a);
+      double log_nb = std::log1p(-b);
+      double log_nf = std::log1p(-f);
+      double log_ng = std::log1p(-g);
+      base_acc = _mm_add_pd(base_acc, _mm_setr_pd(log_na, log_nb));
+      exposed_silent[i] = {log_nf - log_na, log_ng - log_nb};
+      claim_indep[i] = {std::log(a) - log_na, std::log(b) - log_nb};
+      claim_dep[i] = {std::log(f) - log_nf, std::log(g) - log_ng};
+      continue;
+    }
+    __m256d ln = vec::log1p_pd(vec::negate_pd(r));  // log(1-rate) lanes
+    __m256d lp = vec::log_pd(r);                  // log(rate) lanes
+    __m256d diff = _mm256_sub_pd(lp, ln);
+    __m128d ln_lo = _mm256_castpd256_pd128(ln);   // [log_na, log_nb]
+    __m128d ln_hi = _mm256_extractf128_pd(ln, 1); // [log_nf, log_ng]
+    base_acc = _mm_add_pd(base_acc, ln_lo);
+    _mm_storeu_pd(&exposed_silent[i].t, _mm_sub_pd(ln_hi, ln_lo));
+    _mm_storeu_pd(&claim_indep[i].t, _mm256_castpd256_pd128(diff));
+    _mm_storeu_pd(&claim_dep[i].t, _mm256_extractf128_pd(diff, 1));
+  }
+  _mm_storeu_pd(&base->t, base_acc);
+}
+
 // Two sources per iteration ([pt0, pf0, pt1, pf1] lanes); base sums
 // accumulate source-ordered (lane pair i before i+1).
 void rate_table_rows_avx2(std::size_t n, const double* rates,
@@ -608,6 +662,79 @@ LogPair sum_packed_state_logs_avx2(std::span<const char> bits,
   return {dt, df};
 }
 
+// Fused M-step parameter finalize; the one EXACT (non-ULP) kernel in
+// this TU. One 256-bit row per source: lanes {a, b, f, g} of params4
+// line up with stats6's num lanes (row[0..3]); the denom lanes are
+// derived from the packed exposure pair (row[4..5]) and the total_z /
+// total_y loop constants per the kernels::finalize_params contract.
+// Every operation is correctly rounded (add, div, max,
+// min, blend, and, sub) and — critically — cmu is a precomputed input,
+// so there is no a*b+c shape the compiler or this code could contract
+// into an FMA: the bits equal the scalar loop's for ALL inputs.
+//
+// Clamp operand order is load-bearing: vmaxpd/vminpd return the SECOND
+// operand when either input is NaN, so max(lo, raw) then min(hi, ·)
+// with the data in the second slot propagates a NaN raw value to the
+// sanitize blend, while ±inf still clamps to a finite bound — exactly
+// the scalar `raw < lo ? lo : raw; c > hi ? hi : c` semantics.
+std::size_t finalize_params_avx2(std::size_t n, const double* stats6,
+                                 double total_z, double total_y,
+                                 const double* cells, const double* cmu,
+                                 double lo, double hi, bool tie_fg,
+                                 double* params4, double* delta_max) {
+  const __m256d cells_v = _mm256_loadu_pd(cells);
+  const __m256d cmu_v = _mm256_loadu_pd(cmu);
+  const __m256d lo_v = _mm256_set1_pd(lo);
+  const __m256d hi_v = _mm256_set1_pd(hi);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d half = _mm256_set1_pd(0.5);
+  const __m256d abs_mask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffll));
+  __m256d dmax = _mm256_setzero_pd();
+  std::size_t sanitized = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = stats6 + 6 * i;
+    double* p = params4 + 4 * i;
+    const __m256d num = _mm256_loadu_pd(row);
+    // Derived denominator lanes from the packed exposure pair; each a
+    // single correctly-rounded scalar subtraction in the documented
+    // order, so the lanes are bitwise the historical stored fields.
+    const double ez = row[4];
+    const double t1 = row[5] - ez;
+    const __m256d denom = _mm256_setr_pd(total_z - ez, total_y - t1, ez, t1);
+    const __m256d prev = _mm256_loadu_pd(p);
+    const __m256d d = _mm256_add_pd(denom, cells_v);
+    const __m256d q = _mm256_div_pd(_mm256_add_pd(num, cmu_v), d);
+    // d > 0 ? q : prev (ordered compare: d == NaN keeps prev, like the
+    // scalar `d > 0.0` test).
+    const __m256d pos = _mm256_cmp_pd(d, zero, _CMP_GT_OQ);
+    const __m256d raw = _mm256_blendv_pd(prev, q, pos);
+    __m256d c = _mm256_min_pd(hi_v, _mm256_max_pd(lo_v, raw));
+    // Sanitize: only NaN survives the clamp non-finite.
+    const __m256d is_nan = _mm256_cmp_pd(c, c, _CMP_UNORD_Q);
+    c = _mm256_blendv_pd(c, prev, is_nan);
+    sanitized += static_cast<std::size_t>(__builtin_popcount(
+        static_cast<unsigned>(_mm256_movemask_pd(is_nan))));
+    if (tie_fg) {
+      // 0.5 * (f + g) into both upper lanes; swapping within the upper
+      // 128-bit half makes lane2 compute f+g and lane3 g+f — addition
+      // is commutative bitwise, so both lanes hold identical bits.
+      const __m256d swapped = _mm256_permute_pd(c, 0b0101);
+      const __m256d avg = _mm256_mul_pd(half, _mm256_add_pd(c, swapped));
+      c = _mm256_blend_pd(c, avg, 0b1100);
+    }
+    dmax = _mm256_max_pd(
+        dmax, _mm256_and_pd(abs_mask, _mm256_sub_pd(c, prev)));
+    _mm256_storeu_pd(p, c);
+  }
+  // Horizontal max (order-independent; all values finite by now).
+  __m128d m2 = _mm_max_pd(_mm256_castpd256_pd128(dmax),
+                          _mm256_extractf128_pd(dmax, 1));
+  double m = _mm_cvtsd_f64(_mm_max_sd(m2, _mm_unpackhi_pd(m2, m2)));
+  if (m > *delta_max) *delta_max = m;
+  return sanitized;
+}
+
 }  // namespace ss::simd
 
 #else  // !(__AVX2__ && __FMA__)
@@ -661,6 +788,10 @@ void ext_table_rows_avx2(std::size_t, const double*, LogPair*, LogPair*,
                          LogPair*, LogPair*) {
   std::abort();
 }
+void ext_table_rows_clamped_avx2(std::size_t, const double*, LogPair*,
+                                 LogPair*, LogPair*, LogPair*) {
+  std::abort();
+}
 void rate_table_rows_avx2(std::size_t, const double*, LogPair*, LogPair*,
                           LogPair*) {
   std::abort();
@@ -674,6 +805,11 @@ LogPair sum_state_logs_avx2(std::span<const char>, const SweepWeights*) {
 }
 LogPair sum_packed_state_logs_avx2(std::span<const char>, const double*,
                                    const double*) {
+  std::abort();
+}
+std::size_t finalize_params_avx2(std::size_t, const double*, double, double,
+                                 const double*, const double*, double,
+                                 double, bool, double*, double*) {
   std::abort();
 }
 

@@ -1,7 +1,10 @@
 // Fixed-size worker pool used by the experiment runner and the inference
 // engine (fused E-step, M-step statistics, multi-chain Gibbs). Tasks are
 // type-erased closures; results flow back via std::future or the
-// parallel_for interfaces.
+// parallel_for interfaces. Workers are persistent and, when
+// SS_AFFINITY={compact,spread} is set, pinned to cores at start-up
+// (util/cpu.h) so first-touch page placement by a worker stays local
+// for the worker's whole lifetime.
 //
 // Scheduling model. parallel_for_chunks partitions [0, count) into
 // fixed-size blocks ("chunks") whose boundaries depend only on `count`
@@ -68,6 +71,28 @@ class ThreadPool {
       std::size_t count, std::size_t grain,
       const std::function<void(std::size_t chunk, std::size_t begin,
                                std::size_t end)>& body);
+
+  // Runs body(task) once for every task in [0, weights.size()) under an
+  // LPT (longest-processing-time-first) schedule with work stealing:
+  // tasks are sorted by weight (descending, index ascending on ties) and
+  // greedily dealt to per-participant deques; each participant pops its
+  // own deque front-to-back and, when empty, steals from the back of the
+  // longest remaining deque. The calling thread participates, so nested
+  // use inside a pool task cannot deadlock.
+  //
+  // Scheduling only ever reorders *which thread* runs a task, never what
+  // the task computes — bodies that write disjoint, task-indexed slots
+  // stay bit-identical for any worker count and any steal interleaving.
+  // Exceptions: every task still runs; the exception from the
+  // lowest-indexed failing task is rethrown at the end.
+  //
+  // When `task_seconds` is non-null it is resized to weights.size() and
+  // task_seconds[t] receives the wall-clock seconds body(t) took (each
+  // slot written by the thread that ran the task; read only after this
+  // call returns).
+  void parallel_tasks(const std::vector<double>& weights,
+                      const std::function<void(std::size_t task)>& body,
+                      std::vector<double>* task_seconds = nullptr);
 
   // Number of chunks parallel_for_chunks uses for (count, grain).
   static std::size_t chunk_count(std::size_t count, std::size_t grain) {

@@ -1,15 +1,19 @@
 // Bad fixture for checker C (unordered-reduction): compound float
 // accumulation through a by-reference capture inside parallel worker
-// bodies, plus an unordered helper. Seeded lines are asserted in
-// tests/test_analyze.cpp.
+// bodies, an unordered helper, and a hand-rolled serial fold in a
+// file already on the tree-reduction discipline. Seeded lines are
+// asserted in tests/test_analyze.cpp.
 #include <numeric>
 #include <vector>
 
 struct Pool {
   template <typename F> void parallel_for(int n, F f);
   template <typename F> void parallel_for_chunks(int n, F f);
-  template <typename F> double ordered_reduce(int n, F f);
+  template <typename F>
+  void parallel_tasks(const std::vector<double>& w, F f);
 };
+
+double tree_sum(Pool* pool, const double* xs, unsigned n);
 
 double total_error(Pool& pool, const std::vector<double>& xs) {
   double total = 0.0;
@@ -21,5 +25,11 @@ double total_error(Pool& pool, const std::vector<double>& xs) {
     for (int i = begin; i < end; ++i) sum -= xs[i];
     sum += std::accumulate(xs.begin() + begin, xs.begin() + end, 0.0);
   });
-  return total + sum;
+  double stolen = 0.0;
+  pool.parallel_tasks(xs, [&](unsigned t) {
+    stolen += xs[t];
+  });
+  double rest = tree_sum(&pool, xs.data(), 2);
+  for (double v : xs) rest += v;
+  return total + sum + stolen + rest;
 }

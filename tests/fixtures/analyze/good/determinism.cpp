@@ -1,12 +1,22 @@
 // Good fixture for checker C: per-chunk partials written to owned
-// slots, a region-local accumulator, a serial canonical reduction, and
-// an ordered_reduce body — all sanctioned shapes.
+// slots, a region-local accumulator, an ordered_reduce body, a
+// parallel_tasks body that only scatters into its own slot, and a
+// tree_reduce block fold — all sanctioned shapes. Note the file
+// references the tree primitives, so a hand-rolled serial fold here
+// WOULD fire; the canonical tree_sum call below does not.
 #include <vector>
 
 struct Pool {
   template <typename F> void parallel_for_chunks(int n, F f);
   template <typename F> double ordered_reduce(int n, F f);
+  template <typename F>
+  void parallel_tasks(const std::vector<double>& w, F f);
 };
+
+double tree_sum(Pool* pool, const double* xs, unsigned n);
+
+template <typename BlockFn>
+double tree_reduce(Pool* pool, int n, double zero, BlockFn f);
 
 double total_error(Pool& pool, const std::vector<double>& xs,
                    std::vector<double>* partials) {
@@ -15,12 +25,22 @@ double total_error(Pool& pool, const std::vector<double>& xs,
     for (int i = begin; i < end; ++i) local += xs[i];
     (*partials)[static_cast<unsigned>(begin)] = local;
   });
-  double total = 0.0;
-  for (double p : *partials) total += p;
+  double total = tree_sum(&pool, partials->data(),
+                          static_cast<unsigned>(partials->size()));
   double ordered = pool.ordered_reduce(4, [&](int i) {
     double slot = xs[static_cast<unsigned>(i)];
     slot += 1.0;
     return slot;
   });
-  return total + ordered;
+  pool.parallel_tasks(xs, [&](unsigned t) {
+    double local = xs[t];
+    local += 1.0;
+    (*partials)[t] = local;
+  });
+  double treed = tree_reduce(&pool, 4, 0.0, [&](int begin, int end) {
+    double acc = 0.0;
+    for (int i = begin; i < end; ++i) acc += xs[i];
+    return acc;
+  });
+  return total + ordered + treed;
 }

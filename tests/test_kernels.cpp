@@ -280,6 +280,57 @@ TEST(KernelTables, ExtLogTableMatchesNaiveHoistBitwise) {
   }
 }
 
+// build_from_rows over *raw* rate rows must equal build over
+// clamp_prob-wrapped rates bitwise: the in-flight clamp is the same
+// std::clamp branch chain (NaN propagating), and the row math is
+// unchanged. Runs under whatever backend is active, so both the
+// scalar and the avx2 in-register clamp paths are covered across the
+// test matrix.
+TEST(KernelTables, ExtLogTableBuildFromRowsMatchesClampedBuild) {
+  Rng rng(18);
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{64},
+                        std::size_t{201}}) {
+    std::vector<double> raw(4 * n);
+    for (double& p : raw) p = rng.uniform(-0.2, 1.2);  // out-of-range too
+    if (n >= 3) {
+      raw[4 * 2 + 1] = kNan;  // NaN rate -> degenerate fallback row
+      raw[4 * 2 + 3] = 2.0;
+    }
+    double z = clamp_prob(0.41);
+
+    kernels::ExtLogTable via_lambda;
+    via_lambda.build(n, z, [&](std::size_t i) {
+      return std::array<double, 4>{
+          clamp_prob(raw[4 * i]), clamp_prob(raw[4 * i + 1]),
+          clamp_prob(raw[4 * i + 2]), clamp_prob(raw[4 * i + 3])};
+    });
+    kernels::ExtLogTable via_rows;
+    via_rows.build_from_rows(n, z, raw.data());
+
+    expect_same_bits(via_rows.base().t, via_lambda.base().t, "rows base.t");
+    expect_same_bits(via_rows.base().f, via_lambda.base().f, "rows base.f");
+    expect_same_bits(via_rows.log_z(), via_lambda.log_z(), "rows log_z");
+    expect_same_bits(via_rows.log_1mz(), via_lambda.log_1mz(),
+                     "rows log_1mz");
+    for (std::size_t i = 0; i < n; ++i) {
+      std::string tag = "rows i=" + std::to_string(i);
+      expect_same_bits(via_rows.exposed_silent()[i].t,
+                       via_lambda.exposed_silent()[i].t, (tag + " es.t").c_str());
+      expect_same_bits(via_rows.exposed_silent()[i].f,
+                       via_lambda.exposed_silent()[i].f, (tag + " es.f").c_str());
+      expect_same_bits(via_rows.claim_indep()[i].t,
+                       via_lambda.claim_indep()[i].t, (tag + " ci.t").c_str());
+      expect_same_bits(via_rows.claim_indep()[i].f,
+                       via_lambda.claim_indep()[i].f, (tag + " ci.f").c_str());
+      expect_same_bits(via_rows.claim_dep()[i].t,
+                       via_lambda.claim_dep()[i].t, (tag + " cd.t").c_str());
+      expect_same_bits(via_rows.claim_dep()[i].f,
+                       via_lambda.claim_dep()[i].f, (tag + " cd.f").c_str());
+    }
+  }
+}
+
 TEST(KernelTables, RateLogTableMatchesNaiveHoistBitwise) {
   Rng rng(17);
   std::size_t n = 37;
@@ -485,6 +536,112 @@ TEST(KernelGolden, TruthFinder) {
 
 TEST(KernelGolden, AverageLog) {
   EXPECT_EQ(golden::golden_average_log(), kGoldenAverageLog);
+}
+
+// ---------------------------------------------------------------------
+// Fixed-shape tree reduction (kernels::tree_reduce / tree_sum).
+
+// Reference: the documented shape, written independently of the
+// implementation — serial left-fold per block of kTreeReduceBlock,
+// then pairwise combine rounds carrying an odd tail.
+double tree_sum_reference(const std::vector<double>& xs) {
+  const std::size_t block = kernels::kTreeReduceBlock;
+  std::size_t blocks = (xs.size() + block - 1) / block;
+  if (blocks == 0) return 0.0;
+  std::vector<double> p(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    double acc = 0.0;
+    std::size_t end = std::min(xs.size(), (b + 1) * block);
+    for (std::size_t i = b * block; i < end; ++i) acc += xs[i];
+    p[b] = acc;
+  }
+  while (p.size() > 1) {
+    std::size_t half = p.size() / 2;
+    std::vector<double> next(half + (p.size() % 2));
+    for (std::size_t i = 0; i < half; ++i) {
+      next[i] = p[2 * i] + p[2 * i + 1];
+    }
+    if (p.size() % 2 != 0) next[half] = p.back();
+    p = std::move(next);
+  }
+  return p[0];
+}
+
+std::vector<double> random_terms(Rng& rng, std::size_t n) {
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Wildly mixed magnitudes so any regrouping of the additions is
+    // actually visible in the low bits.
+    xs[i] = rng.uniform(-1.0, 1.0) * std::pow(10.0, rng.uniform(-8.0, 8.0));
+  }
+  return xs;
+}
+
+TEST(TreeReduce, MatchesReferenceShapeForShape) {
+  Rng rng(0x7ee5u);
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                        kernels::kTreeReduceBlock - 1,
+                        kernels::kTreeReduceBlock,
+                        kernels::kTreeReduceBlock + 1,
+                        3 * kernels::kTreeReduceBlock + 17,
+                        8 * kernels::kTreeReduceBlock + 5}) {
+    std::vector<double> xs = random_terms(rng, n);
+    expect_same_bits(kernels::tree_sum(nullptr, xs.data(), n),
+                     tree_sum_reference(xs), "tree_sum vs reference");
+  }
+}
+
+TEST(TreeReduce, SmallCountsDegenerateToPlainSerialFold) {
+  Rng rng(0x51ab5u);
+  for (std::size_t n :
+       {std::size_t{1}, std::size_t{33}, kernels::kTreeReduceBlock}) {
+    std::vector<double> xs = random_terms(rng, n);
+    double serial = 0.0;
+    for (double x : xs) serial += x;
+    expect_same_bits(kernels::tree_sum(nullptr, xs.data(), n), serial,
+                     "single-block tree_sum vs plain fold");
+  }
+}
+
+TEST(TreeReduce, ParallelMatchesSerialBitwise) {
+  Rng rng(0xb17e5u);
+  std::vector<double> xs =
+      random_terms(rng, 5 * kernels::kTreeReduceBlock + 123);
+  double serial = kernels::tree_sum(nullptr, xs.data(), xs.size());
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    expect_same_bits(kernels::tree_sum(&pool, xs.data(), xs.size()),
+                     serial, "tree_sum across pool sizes");
+  }
+}
+
+TEST(TreeReduce, GenericCombineAndZeroElements) {
+  // Non-double payload: max + count reduction through the same shape.
+  struct MaxCount {
+    double hi = kNegInf;
+    std::size_t n = 0;
+  };
+  Rng rng(0xc0de5u);
+  std::vector<double> xs = random_terms(rng, 2 * kernels::kTreeReduceBlock);
+  MaxCount out = kernels::tree_reduce(
+      nullptr, xs.size(), MaxCount{},
+      [&](std::size_t begin, std::size_t end) {
+        MaxCount acc;
+        for (std::size_t i = begin; i < end; ++i) {
+          acc.hi = std::max(acc.hi, xs[i]);
+          ++acc.n;
+        }
+        return acc;
+      },
+      [](MaxCount a, const MaxCount& b) {
+        a.hi = std::max(a.hi, b.hi);
+        a.n += b.n;
+        return a;
+      });
+  EXPECT_EQ(out.n, xs.size());
+  EXPECT_EQ(out.hi, *std::max_element(xs.begin(), xs.end()));
+  // Zero elements return the zero value untouched.
+  EXPECT_EQ(kernels::tree_sum(nullptr, nullptr, 0), 0.0);
 }
 
 }  // namespace

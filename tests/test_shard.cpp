@@ -184,7 +184,8 @@ TEST(Shard, BuildFromSsdViewMatchesBuildFromDataset) {
 TEST(Shard, EmBitIdenticalToFlatEngine) {
   ScopedBackend guard(simd::Backend::kScalar);
   Dataset d = golden_dataset(101, 120, 300);
-  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     ThreadPool pool(threads);
     EmExtConfig config;
     config.pool = &pool;
@@ -201,14 +202,77 @@ TEST(Shard, EmBitIdenticalToFlatEngine) {
 TEST(Shard, EmBitIdenticalUnderRandomRestarts) {
   ScopedBackend guard(simd::Backend::kScalar);
   Dataset d = golden_dataset(101, 120, 300);
-  ThreadPool pool(4);
-  EmExtConfig config;
-  config.pool = &pool;
-  config.init_kind = EmInit::kRandom;
-  config.restarts = 3;
-  ShardedDataset sharded = ShardedDataset::build(d, {8});
-  EXPECT_EQ(hash_sharded_em(sharded, config, 9),
-            hash_flat_em(d, config, 9));
+  std::uint64_t flat = 0;
+  {
+    ThreadPool pool(1);
+    EmExtConfig config;
+    config.pool = &pool;
+    config.init_kind = EmInit::kRandom;
+    config.restarts = 3;
+    flat = hash_flat_em(d, config, 9);
+  }
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    EmExtConfig config;
+    config.pool = &pool;
+    config.init_kind = EmInit::kRandom;
+    config.restarts = 3;
+    for (std::size_t cap : {std::size_t{4}, std::size_t{8},
+                            std::size_t{64}}) {
+      ShardedDataset sharded = ShardedDataset::build(d, {cap});
+      EXPECT_EQ(hash_sharded_em(sharded, config, 9), flat)
+          << "threads=" << threads << " cap=" << cap;
+    }
+  }
+}
+
+TEST(Shard, PoolBuiltShardsMatchSerialBuild) {
+  // First-touch parallel CSR fill (ShardConfig::pool) is a placement
+  // strategy only: the shards must equal the serial build's, byte for
+  // byte, for any pool size — and the inference run over them must
+  // hash identically.
+  ScopedBackend guard(simd::Backend::kScalar);
+  Dataset d = golden_dataset(101, 120, 300);
+  ShardConfig serial_cfg;
+  serial_cfg.max_shard_assertions = 8;
+  ShardedDataset serial = ShardedDataset::build(d, serial_cfg);
+  EmExtConfig em;
+  std::uint64_t want = hash_sharded_em(serial, em, 5);
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    ThreadPool pool(threads);
+    ShardConfig cfg;
+    cfg.max_shard_assertions = 8;
+    cfg.pool = &pool;
+    ShardedDataset built = ShardedDataset::build(d, cfg);
+    built.check();
+    ASSERT_EQ(built.shard_count(), serial.shard_count());
+    for (std::size_t s = 0; s < built.shard_count(); ++s) {
+      const DatasetShard& a = built.shard(s);
+      const DatasetShard& b = serial.shard(s);
+      ASSERT_EQ(a.claim_count(), b.claim_count()) << "shard " << s;
+      ASSERT_EQ(a.exposed_count(), b.exposed_count()) << "shard " << s;
+      for (std::size_t c = 0; c < a.assertion_ids().size(); ++c) {
+        auto ca = a.claimants(c), cb = b.claimants(c);
+        ASSERT_TRUE(std::equal(ca.begin(), ca.end(), cb.begin(),
+                               cb.end()));
+        auto fa = a.claimant_dependent(c), fb = b.claimant_dependent(c);
+        ASSERT_TRUE(std::equal(fa.begin(), fa.end(), fb.begin(),
+                               fb.end()));
+      }
+      for (std::size_t p = 0; p < a.source_ids().size(); ++p) {
+        auto da = a.dependent_claims(p), db = b.dependent_claims(p);
+        ASSERT_TRUE(std::equal(da.begin(), da.end(), db.begin(),
+                               db.end()));
+        auto ia = a.independent_claims(p), ib = b.independent_claims(p);
+        ASSERT_TRUE(std::equal(ia.begin(), ia.end(), ib.begin(),
+                               ib.end()));
+      }
+    }
+    EXPECT_EQ(hash_sharded_em(built, em, 5), want)
+        << "threads=" << threads;
+  }
 }
 
 TEST(Shard, EmBitIdenticalOnGeneratedScaleData) {
@@ -228,7 +292,8 @@ TEST(Shard, EmBitIdenticalOnGeneratedScaleData) {
   ShardedDataset sharded = ShardedDataset::build(view, {32});
   sharded.check();
   EXPECT_GT(sharded.shard_count(), 1u);
-  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+  for (std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     ThreadPool pool(threads);
     EmExtConfig config;
     config.pool = &pool;

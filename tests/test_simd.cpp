@@ -673,4 +673,148 @@ TEST(BackendAgreement, PriorColumnsScheduleMatchesScalarWalk) {
   }
 }
 
+// ---------------------------------------------------------------------
+// finalize_params: EXACT contract (bitwise, not ULP). The AVX2 M-step
+// epilogue must reproduce the scalar loop for every input, including
+// NaN/inf statistics and zero denominators — it is the one vector
+// kernel allowed inside the golden-hash paths.
+
+void expect_same_bits(double reference, double got,
+                      const std::string& what) {
+  std::uint64_t br, bg;
+  std::memcpy(&br, &reference, sizeof(br));
+  std::memcpy(&bg, &got, sizeof(bg));
+  EXPECT_EQ(br, bg) << what << ": reference=" << reference
+                    << " got=" << got;
+}
+
+struct FinalizeCase {
+  std::vector<double> stats6;   // n rows of 6 (SourceMStatsPacked layout)
+  std::vector<double> params4;  // n rows of 4 (prev values, updated)
+  double total_z;
+  double total_y;
+  double cells[4];
+  double cmu[4];
+};
+
+FinalizeCase random_finalize_case(Rng& rng, std::size_t n,
+                                  bool degenerate) {
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  FinalizeCase c;
+  c.stats6.resize(6 * n);
+  c.params4.resize(4 * n);
+  for (double& x : c.stats6) x = rng.uniform(0.0, 40.0);
+  for (double& x : c.params4) x = rng.uniform(0.01, 0.99);
+  // The derived denominators total_z - ez / total_y - t1 go negative
+  // for many random rows (ez, cnt ~ U(0, 40)), exercising the d > 0
+  // keep-prev branch alongside the ordinary update path.
+  c.total_z = rng.uniform(10.0, 30.0);
+  c.total_y = rng.uniform(10.0, 30.0);
+  for (int k = 0; k < 4; ++k) {
+    double mu = rng.uniform(1e-4, 0.9);
+    c.cells[k] = 8.0 / std::max(mu, 1e-9);
+    c.cmu[k] = c.cells[k] * mu;
+  }
+  if (degenerate) {
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (i % 5) {
+        case 0:  // denom_a = total_z - ez == 0 + zero cells -> keep prev
+          c.stats6[6 * i + 4] = c.total_z;
+          break;
+        case 1:  // NaN numerator -> sanitize to prev
+          c.stats6[6 * i + 2] = kNan;
+          break;
+        case 2:  // inf exposed_count -> denom_g = inf (clamps to lo),
+                 // denom_b = -inf (keeps prev)
+          c.stats6[6 * i + 5] = kInf;
+          break;
+        case 3:  // inf numerator -> raw = inf, clamps to hi (no sanitize)
+          c.stats6[6 * i + 1] = kInf;
+          break;
+        default:  // huge numerator vs tiny denom_a -> clamps to hi
+          c.stats6[6 * i + 0] = 1e300;
+          c.stats6[6 * i + 4] = c.total_z - 1e-6;
+          break;
+      }
+    }
+    // Degenerate cases exercise the cells == 0 (shrinkage off) corner.
+    for (int k = 0; k < 4; ++k) {
+      c.cells[k] = 0.0;
+      c.cmu[k] = 0.0;
+    }
+  }
+  return c;
+}
+
+TEST(BackendAgreement, FinalizeParamsBitwiseExact) {
+  SKIP_WITHOUT_AVX2();
+  Rng rng(0xf17a1u);
+  const double lo = 1e-6;
+  const double hi = 1.0 - 1e-6;
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                        std::size_t{4}, std::size_t{7}, std::size_t{64},
+                        std::size_t{129}}) {
+    for (bool degenerate : {false, true}) {
+      for (bool tie_fg : {false, true}) {
+        FinalizeCase base = random_finalize_case(rng, n, degenerate);
+        FinalizeCase scalar = base;
+        FinalizeCase vec = base;
+        double scalar_delta = 0.0;
+        double vec_delta = 0.0;
+        std::size_t scalar_sanitized;
+        {
+          test_support::ScopedBackend pin(simd::Backend::kScalar);
+          scalar_sanitized = kernels::finalize_params(
+              n, scalar.stats6.data(), scalar.total_z, scalar.total_y,
+              scalar.cells, scalar.cmu, lo, hi, tie_fg,
+              scalar.params4.data(), &scalar_delta);
+        }
+        std::size_t vec_sanitized = simd::finalize_params_avx2(
+            n, vec.stats6.data(), vec.total_z, vec.total_y, vec.cells,
+            vec.cmu, lo, hi, tie_fg, vec.params4.data(), &vec_delta);
+        std::string tag = "n=" + std::to_string(n) +
+                          (degenerate ? " degenerate" : "") +
+                          (tie_fg ? " tie" : "");
+        EXPECT_EQ(scalar_sanitized, vec_sanitized) << tag;
+        expect_same_bits(scalar_delta, vec_delta, tag + " delta_max");
+        for (std::size_t k = 0; k < 4 * n; ++k) {
+          expect_same_bits(scalar.params4[k], vec.params4[k],
+                           tag + " lane " + std::to_string(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(BackendAgreement, FinalizeParamsDispatchIsExact) {
+  // Through the kernels:: wrapper (which dispatches on the pinned
+  // backend): scalar and AVX2 runs of the same case must agree
+  // bitwise, so golden hashes cannot depend on the backend.
+  SKIP_WITHOUT_AVX2();
+  Rng rng(0xd15abu);
+  FinalizeCase base = random_finalize_case(rng, 37, false);
+  double lo = 1e-6, hi = 1.0 - 1e-6;
+  FinalizeCase a = base, b = base;
+  double da = 0.0, db = 0.0;
+  std::size_t sa, sb;
+  {
+    test_support::ScopedBackend pin(simd::Backend::kScalar);
+    sa = kernels::finalize_params(37, a.stats6.data(), a.total_z,
+                                  a.total_y, a.cells, a.cmu, lo, hi, true,
+                                  a.params4.data(), &da);
+  }
+  {
+    test_support::ScopedBackend pin(simd::Backend::kAvx2);
+    sb = kernels::finalize_params(37, b.stats6.data(), b.total_z,
+                                  b.total_y, b.cells, b.cmu, lo, hi, true,
+                                  b.params4.data(), &db);
+  }
+  EXPECT_EQ(sa, sb);
+  expect_same_bits(da, db, "dispatch delta_max");
+  for (std::size_t k = 0; k < a.params4.size(); ++k) {
+    expect_same_bits(a.params4[k], b.params4[k],
+                      "dispatch lane " + std::to_string(k));
+  }
+}
+
 }  // namespace

@@ -46,16 +46,35 @@ void DeterminismChecker::scan_file(
   if (scan::in_dir(scan::normalize(file.path), "math")) return;
 
   static const std::regex dispatch_re(
-      R"(\b(parallel_for_chunks|parallel_for|ordered_reduce)\s*\()");
+      R"(\b(parallel_for_chunks|parallel_for|parallel_tasks|ordered_reduce|tree_reduce)\s*\()");
   static const std::regex compound_re(
       R"(([A-Za-z_]\w*)\s*((?:\[[^\]]*\]|\.[A-Za-z_]\w*)*)\s*(\+=|-=))");
   static const std::regex helper_re(
       R"(\bstd::(accumulate|reduce|transform_reduce|inner_product)\s*\()");
   static const std::regex local_decl_re(
       R"(\b(?:double|float)\s*[*&]?\s*([A-Za-z_]\w*))");
+  // A single-statement range-for fold over floats:
+  //   for (double v : xs) acc += v;
+  static const std::regex serial_fold_re(
+      R"(\bfor\s*\(\s*(?:const\s+)?(?:double|float)\s+([A-Za-z_]\w*)\s*:[^)]*\)\s*[A-Za-z_][\w.\[\]]*\s*\+=\s*([A-Za-z_]\w*)\b)");
+  static const std::regex tree_api_re(
+      R"(\b(?:tree_sum|tree_reduce|parallel_tasks)\s*\()");
 
   std::set<std::string> float_ids;
   collect_float_decls(file, &float_ids);
+
+  // Files already on the canonical-reduction discipline (they call the
+  // tree primitives or the task scheduler) must not also carry
+  // hand-rolled serial float folds: the fold's left-to-right shape
+  // diverges from the fixed tree shape the rest of the file commits
+  // to, so the same data reduced twice can disagree bit-for-bit.
+  bool uses_tree_api = false;
+  for (const std::string& code : file.code) {
+    if (std::regex_search(code, tree_api_re)) {
+      uses_tree_api = true;
+      break;
+    }
+  }
 
   std::vector<Region> stack;
   std::deque<bool> pending;  // armed dispatches awaiting their '{'
@@ -69,8 +88,12 @@ void DeterminismChecker::scan_file(
     for (auto it = std::sregex_iterator(code.begin(), code.end(),
                                         dispatch_re);
          it != std::sregex_iterator(); ++it) {
+      // parallel_* bodies are checked regions; ordered_reduce and
+      // tree_reduce bodies are sanctioned (their partials combine in a
+      // fixed order by construction).
+      const std::string name = (*it)[1].str();
       arms.emplace_back(static_cast<std::size_t>(it->position(0)),
-                        (*it)[1].str() != "ordered_reduce");
+                        name != "ordered_reduce" && name != "tree_reduce");
     }
 
     // Per-character region state: 0 outside, 1 checked, 2 sanctioned.
@@ -150,6 +173,23 @@ void DeterminismChecker::scan_file(
            "std::" + (*it)[1].str() + " inside a parallel worker body; "
            "reductions go through ordered_reduce or the canonical "
            "serial epilogues (src/math/ kernels)"});
+    }
+
+    if (!uses_tree_api) continue;
+    for (auto it = std::sregex_iterator(code.begin(), code.end(),
+                                        serial_fold_re);
+         it != std::sregex_iterator(); ++it) {
+      std::size_t at = static_cast<std::size_t>(it->position(0));
+      // Inside a region the compound-assignment rule already governs;
+      // this rule covers the plain serial fold at top level.
+      if (state[at + 1] != 0) continue;
+      if ((*it)[1].str() != (*it)[2].str()) continue;
+      sink->push_back(
+          {file.path, li + 1, "unordered-reduction",
+           "hand-rolled serial float fold in a file that uses the "
+           "canonical tree primitives; its left-to-right shape diverges "
+           "from the fixed tree shape — reduce through "
+           "kernels::tree_sum / kernels::tree_reduce instead"});
     }
   }
 }
